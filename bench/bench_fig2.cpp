@@ -1,0 +1,79 @@
+// Fig. 2 reproduction: motivational analysis of signal cross-correlation.
+//
+// Paper: starting from the top-100 correlation set of an anomalous input,
+// P_A rises from 0.22 (Iter.0) to 0.66 (Iter.5) as dissimilar signals are
+// eliminated each second — normal signals are eliminated faster than
+// anomalous ones.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "emap/core/search.hpp"
+#include "emap/core/tracker.hpp"
+
+int main() {
+  using namespace emap;
+  auto store = bench::load_or_build_mdb(26);
+  const core::EmapConfig config = core::EmapConfig::paper_defaults();
+
+  std::printf("=== Fig. 2: anomaly probability across tracking iterations "
+              "===\n");
+  std::printf("paper series: PA = 0.22, 0.29, 0.38, 0.60, 0.55, 0.66 "
+              "(iterations 0..5)\n\n");
+
+  // Several anomalous inputs, probed mid-prodrome so the top-100 set is a
+  // normal/anomalous mixture like the paper's Iter.0 snapshot.
+  double pa_sum[6] = {0};
+  int pa_count[6] = {0};
+  const int inputs = 10;
+  for (int i = 0; i < inputs; ++i) {
+    synth::EvalInputSpec spec;
+    spec.cls = synth::AnomalyClass::kSeizure;
+    spec.seed = 700 + static_cast<std::uint64_t>(i);
+    const auto input = synth::make_eval_input(spec);
+    const auto filtered = bench::filter_recording(input);
+
+    // Window very early in the prodrome (signature just emerging), so the
+    // Iter.0 top-100 is a normal/anomalous mixture like the paper's.
+    const double probe_time = spec.onset_sec - 169.0;
+    const auto probe = bench::window_at(filtered, probe_time);
+
+    core::CrossCorrelationSearch search(config);
+    const auto result = search.search(probe, store);
+    if (result.matches.size() < 20) {
+      continue;  // thin match set: not a meaningful PA snapshot
+    }
+    core::EdgeTracker tracker(config);
+    tracker.load_from_search(result, store);
+    pa_sum[0] += tracker.anomaly_probability();
+    ++pa_count[0];
+    for (int iteration = 1; iteration <= 5; ++iteration) {
+      const auto window =
+          bench::window_at(filtered, probe_time + iteration);
+      const auto step = tracker.step(window);
+      if (step.tracked_after == 0) {
+        break;
+      }
+      pa_sum[iteration] += step.anomaly_probability;
+      ++pa_count[iteration];
+    }
+  }
+
+  std::printf("%-10s %-8s %-8s  %s\n", "iteration", "PA", "paper", "PA bar");
+  const double paper_series[6] = {0.22, 0.29, 0.38, 0.60, 0.55, 0.66};
+  double pa0 = 0.0;
+  double pa5 = 0.0;
+  for (int iteration = 0; iteration <= 5; ++iteration) {
+    const double pa =
+        pa_count[iteration] > 0 ? pa_sum[iteration] / pa_count[iteration]
+                                : 0.0;
+    if (iteration == 0) pa0 = pa;
+    if (iteration == 5) pa5 = pa;
+    std::printf("%-10d %-8.2f %-8.2f  |%s\n", iteration, pa,
+                paper_series[iteration],
+                bench::bar(pa, 1.0, 40).c_str());
+  }
+  std::printf("\nshape check: PA rises substantially across iterations -> "
+              "%s (paper: 0.22 -> 0.66)\n",
+              pa5 - pa0 > 0.2 ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

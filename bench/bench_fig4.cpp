@@ -1,0 +1,94 @@
+// Fig. 4 reproduction: transmission time across communication platforms.
+//
+// (a) upload time [us] for 20..400 samples (one 16-bit channel); the paper
+//     requires 256 samples in < 1 ms on 4G-era links.
+// (b) download time [ms] for 20..400 signal-sets; the paper requires the
+//     top-100 set in < 200 ms.
+#include <cstdio>
+
+#include "emap/net/channel.hpp"
+#include "emap/net/transport.hpp"
+
+int main() {
+  using namespace emap;
+  net::ChannelOptions serialization_only;
+  serialization_only.include_latency = false;
+
+  std::printf("=== Fig. 4(a): upload time [us] vs samples transmitted ===\n");
+  std::printf("%-9s", "samples");
+  for (auto platform : net::kAllPlatforms) {
+    std::printf(" %10s", net::platform_name(platform));
+  }
+  std::printf("\n");
+  const std::size_t sample_counts[] = {20, 40, 60, 100, 200, 256, 300, 400};
+  for (std::size_t count : sample_counts) {
+    net::SignalUploadMessage message;
+    message.samples.assign(count, 1.0);
+    const std::size_t bytes = net::wire_size(message);
+    std::printf("%-9zu", count);
+    for (auto platform : net::kAllPlatforms) {
+      net::Channel channel(platform, serialization_only);
+      std::printf(" %10.1f", channel.upload_seconds(bytes) * 1e6);
+    }
+    std::printf(count == 256 ? "   <- paper operating point (1 s window)\n"
+                             : "\n");
+  }
+  {
+    net::SignalUploadMessage message;
+    message.samples.assign(256, 1.0);
+    bool all_fast = true;
+    for (auto platform :
+         {net::CommPlatform::kLte, net::CommPlatform::kLteAdvanced,
+          net::CommPlatform::kWimaxR2}) {
+      net::Channel channel(platform, serialization_only);
+      all_fast = all_fast &&
+                 channel.upload_seconds(net::wire_size(message)) < 1e-3;
+    }
+    std::printf("constraint: 256 samples < 1 ms on 4G-era links -> %s\n\n",
+                all_fast ? "HOLDS" : "VIOLATED");
+  }
+
+  std::printf("=== Fig. 4(b): download time [ms] vs signal-sets "
+              "transmitted ===\n");
+  std::printf("%-9s", "signals");
+  for (auto platform : net::kAllPlatforms) {
+    std::printf(" %10s", net::platform_name(platform));
+  }
+  std::printf("\n");
+  const std::size_t signal_counts[] = {20, 40, 60, 100, 150, 200, 300, 400};
+  for (std::size_t count : signal_counts) {
+    net::CorrelationSetMessage message;
+    for (std::size_t i = 0; i < count; ++i) {
+      net::CorrelationEntry entry;
+      entry.samples.assign(1000, 1.0);
+      message.entries.push_back(std::move(entry));
+    }
+    const std::size_t bytes = net::wire_size(message);
+    std::printf("%-9zu", count);
+    for (auto platform : net::kAllPlatforms) {
+      net::Channel channel(platform, serialization_only);
+      std::printf(" %10.2f", channel.download_seconds(bytes) * 1e3);
+    }
+    std::printf(count == 100 ? "   <- paper operating point (top-100)\n"
+                             : "\n");
+  }
+  {
+    net::CorrelationSetMessage message;
+    for (int i = 0; i < 100; ++i) {
+      net::CorrelationEntry entry;
+      entry.samples.assign(1000, 1.0);
+      message.entries.push_back(std::move(entry));
+    }
+    bool all_fast = true;
+    for (auto platform :
+         {net::CommPlatform::kLte, net::CommPlatform::kLteAdvanced,
+          net::CommPlatform::kWimaxR2}) {
+      net::Channel channel(platform, serialization_only);
+      all_fast = all_fast &&
+                 channel.download_seconds(net::wire_size(message)) < 0.2;
+    }
+    std::printf("constraint: 100 signals < 200 ms on 4G-era links -> %s\n",
+                all_fast ? "HOLDS" : "VIOLATED");
+  }
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Table I reproduction: average prediction accuracy of EMAP for seizure,
+// encephalopathy, and stroke across five batches (B1..B5 of 20 inputs),
+// compared with the state-of-the-art prediction/detection techniques.
+//
+// Paper values:
+//   seizure        0.95 0.94 0.95 0.97 0.94 | SoA pred [11]=0.94 [13]=0.93
+//   encephalopathy 0.67 0.76 0.74 0.76 0.72 | (SoA: N.A.)
+//   stroke         0.74 0.85 0.80 0.78 0.77 | (SoA: N.A.)
+// Batch protocol as in bench_fig10: 14 patients + 6 controls per batch;
+// a patient counts correct when the alarm precedes onset (the paper
+// evaluates after two sequential cloud calls; our alarms always involve
+// multiple cloud rounds), a control when no alarm fires.
+//
+// The reimplemented SoA columns are measured ([13] = IoT predictor,
+// [18] = cross-correlation classifier, seizure-only); deep-learning SoA
+// cells ([11], [7], [8]) are quoted from the paper.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "emap/baselines/iot_predictor.hpp"
+#include "emap/baselines/xcorr_classifier.hpp"
+#include "emap/core/pipeline.hpp"
+
+namespace {
+
+using namespace emap;
+
+constexpr int kBatches = 5;
+constexpr int kPerBatch = 20;
+constexpr int kAnomalousPerBatch = 14;
+
+}  // namespace
+
+int main() {
+  auto store = bench::load_or_build_mdb(26);
+
+  // SoA baselines trained on the 256 Hz corpus.  The IoT predictor [13]
+  // runs in its published small-data, strict-persistence regime (see
+  // bench_fig10); the detection-task classifier [18] trains on the full
+  // corpus (detection is the easier task; the paper quotes 0.99 for it).
+  std::vector<synth::Recording> training;
+  for (const auto& corpus : synth::standard_corpora(26)) {
+    if (std::abs(corpus.native_fs_hz - 256.0) > 1e-9) {
+      continue;
+    }
+    for (auto& recording : synth::generate_corpus(corpus)) {
+      training.push_back(std::move(recording));
+    }
+  }
+  baselines::IotPredictorConfig iot_config;
+  iot_config.votes_needed = 4;
+  baselines::IotPredictor iot(iot_config);
+  iot.train(std::vector<synth::Recording>(training.begin(),
+                                          training.begin() + 10));
+  // "[11]-style" cloud DL stand-in: the same streaming protocol on an MLP
+  // trained without the IoT resource constraints (full corpus).
+  baselines::IotPredictorConfig dl_config;
+  dl_config.hidden_units = 24;
+  baselines::IotPredictor cloud_dl(dl_config);
+  cloud_dl.train(training);
+  baselines::XcorrClassifier xcorr;
+  xcorr.train(training);
+
+  core::PipelineOptions options;
+  options.stop_on_alarm = true;
+  core::EmapPipeline pipeline(std::move(store),
+                              core::EmapConfig::paper_defaults(), options);
+
+  std::printf("=== Table I: average prediction accuracy ===\n\n");
+  std::printf("%-16s %5s %5s %5s %5s %5s | %6s  (paper EMAP avg)\n",
+              "anomaly", "B1", "B2", "B3", "B4", "B5", "mean");
+
+  double seizure_mean = 0.0;
+  std::size_t total_false_positives = 0;
+  std::size_t total_controls = 0;
+  const double paper_avg[3] = {0.94, 0.73, 0.79};
+  int class_index = 0;
+  for (auto cls : synth::kAnomalyClasses) {
+    std::printf("%-16s", synth::anomaly_name(cls));
+    double class_sum = 0.0;
+    for (int b = 0; b < kBatches; ++b) {
+      int correct = 0;
+      for (int i = 0; i < kPerBatch; ++i) {
+        synth::EvalInputSpec spec;
+        spec.cls = (i < kAnomalousPerBatch) ? cls
+                                            : synth::AnomalyClass::kNormal;
+        spec.seed = 20000 + static_cast<std::uint64_t>(class_index) * 1000 +
+                    static_cast<std::uint64_t>(b) * 100 +
+                    static_cast<std::uint64_t>(i);
+        const auto input = synth::make_eval_input(spec);
+        const bool anomalous = spec.cls != synth::AnomalyClass::kNormal;
+        const auto result =
+            pipeline.run(input, anomalous ? spec.onset_sec : -1.0);
+        if (anomalous) {
+          if (result.anomaly_predicted) {
+            ++correct;
+          }
+        } else {
+          ++total_controls;
+          if (!result.anomaly_predicted) {
+            ++correct;
+          } else {
+            ++total_false_positives;
+          }
+        }
+      }
+      const double accuracy = static_cast<double>(correct) / kPerBatch;
+      class_sum += accuracy;
+      std::printf(" %5.2f", accuracy);
+    }
+    const double class_mean = class_sum / kBatches;
+    if (cls == synth::AnomalyClass::kSeizure) {
+      seizure_mean = class_mean;
+    }
+    std::printf(" | %6.2f  (%.2f)\n", class_mean, paper_avg[class_index]);
+    ++class_index;
+  }
+
+  std::printf("\nfalse positives on controls: %.0f%%   (paper: ~15%%)\n",
+              total_controls > 0
+                  ? 100.0 * static_cast<double>(total_false_positives) /
+                        static_cast<double>(total_controls)
+                  : 0.0);
+
+  // --- SoA columns (seizure only; N.A. for the other anomalies, as in the
+  // paper).  [13] is evaluated with the same lead-time protocol as EMAP in
+  // Fig. 10 (alarm at least L seconds before onset, mean over leads);
+  // [18] is a detection-time task (classify the current window), so the
+  // lead concept does not apply to it. ---
+  std::printf("\nSoA comparison, seizure row:\n");
+  const double soa_leads[] = {15, 30, 45, 60, 120};
+  double iot_correct = 0.0;
+  double dl_correct = 0.0;
+  int xcorr_correct = 0;
+  int evaluated = 0;
+  for (int i = 0; i < 40; ++i) {
+    synth::EvalInputSpec spec;
+    spec.cls = (i % 3 == 2) ? synth::AnomalyClass::kNormal
+                            : synth::AnomalyClass::kSeizure;
+    spec.seed = 30000 + static_cast<std::uint64_t>(i);
+    const auto input = synth::make_eval_input(spec);
+    const bool anomalous = spec.cls != synth::AnomalyClass::kNormal;
+    ++evaluated;
+
+    // [13]/[11]-style streaming prediction; record the latched alarm time
+    // of each model and score with the lead protocol.
+    auto stream_alarm_time = [&](baselines::IotPredictor& predictor) {
+      predictor.reset_stream();
+      for (std::size_t w = 0; (w + 1) * 256 <= input.samples.size(); ++w) {
+        const double t = static_cast<double>(w + 1);
+        if (anomalous && t > spec.onset_sec) {
+          break;
+        }
+        (void)predictor.observe_window(std::span<const double>(
+            input.samples.data() + w * 256, 256));
+        if (predictor.alarm()) {
+          return t;
+        }
+      }
+      return -1.0;
+    };
+    auto lead_score = [&](double alarm_at) {
+      if (!anomalous) {
+        return alarm_at < 0.0 ? 1.0 : 0.0;
+      }
+      double lead_hits = 0.0;
+      for (double lead : soa_leads) {
+        if (alarm_at >= 0.0 && alarm_at <= spec.onset_sec - lead) {
+          lead_hits += 1.0;
+        }
+      }
+      return lead_hits / std::size(soa_leads);
+    };
+    iot_correct += lead_score(stream_alarm_time(iot));
+    dl_correct += lead_score(stream_alarm_time(cloud_dl));
+
+    // [18]-style window classification (detection-flavoured): majority of
+    // the last 10 pre-onset windows.
+    int votes = 0;
+    const std::size_t end_window = anomalous
+        ? static_cast<std::size_t>(spec.onset_sec) - 1
+        : input.samples.size() / 256 - 1;
+    for (std::size_t w = end_window - 10; w < end_window; ++w) {
+      if (xcorr.predict(std::span<const double>(
+              input.samples.data() + w * 256, 256))) {
+        ++votes;
+      }
+    }
+    if ((votes >= 5) == anomalous) {
+      ++xcorr_correct;
+    }
+  }
+  std::printf("  EMAP                      : %.2f (measured above)\n",
+              seizure_mean);
+  std::printf("  SoA prediction [13] (ours): %.2f   (paper: 0.93)\n",
+              iot_correct / evaluated);
+  std::printf("  SoA prediction [11] (ours, MLP stand-in): %.2f   "
+              "(paper: 0.94)\n",
+              dl_correct / evaluated);
+  std::printf("  SoA detection  [18] (ours): %.2f   (paper: 0.99 for "
+              "detection-time task)\n",
+              static_cast<double>(xcorr_correct) / evaluated);
+  std::printf("  SoA detection  [7][8]: 0.86 / 0.93 (quoted from the "
+              "paper; full deep-learning replicas out of scope)\n");
+  std::printf("\nshape check: seizure >> encephalopathy/stroke accuracy, "
+              "N.A. SoA coverage for the latter two -> the multi-anomaly "
+              "capability is EMAP-specific\n");
+  return 0;
+}

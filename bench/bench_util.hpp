@@ -1,0 +1,80 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "emap/core/config.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/mdb/builder.hpp"
+#include "emap/synth/corpus.hpp"
+
+namespace emap::bench {
+
+/// Builds (or loads from the per-user temp cache) a mega-database with
+/// `per_corpus` recordings from each of the five standard corpora.  The
+/// cache key includes a format version so stale files are rebuilt after
+/// generator changes.
+inline mdb::MdbStore load_or_build_mdb(std::size_t per_corpus) {
+  constexpr int kCacheVersion = 3;
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("emap_bench_mdb_v" + std::to_string(kCacheVersion) + "_" +
+       std::to_string(per_corpus) + ".bin");
+  if (std::filesystem::exists(path)) {
+    try {
+      auto store = mdb::MdbStore::load(path);
+      std::fprintf(stderr, "[bench] loaded cached MDB (%zu sets) from %s\n",
+                   store.size(), path.c_str());
+      return store;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[bench] cache unusable (%s); rebuilding\n",
+                   error.what());
+    }
+  }
+  std::fprintf(stderr, "[bench] building MDB (%zu recordings/corpus)...\n",
+               per_corpus);
+  mdb::MdbBuilder builder;
+  for (const auto& corpus : synth::standard_corpora(per_corpus)) {
+    const auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+    }
+  }
+  auto store = builder.take_store();
+  try {
+    store.save(path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "[bench] could not cache MDB: %s\n", error.what());
+  }
+  std::fprintf(stderr, "[bench] MDB ready: %zu sets (%zu anomalous)\n",
+               store.size(), store.count_anomalous());
+  return store;
+}
+
+/// Applies the paper's acquisition bandpass to a whole recording.
+inline std::vector<double> filter_recording(const synth::Recording& input) {
+  dsp::FirFilter filter{core::EmapConfig{}.filter};
+  return filter.apply(input.samples);
+}
+
+/// One filtered 256-sample window at second `t` of a filtered stream.
+inline std::vector<double> window_at(const std::vector<double>& filtered,
+                                     double t_sec) {
+  const auto begin = static_cast<std::size_t>(t_sec * 256.0);
+  return {filtered.begin() + static_cast<std::ptrdiff_t>(begin),
+          filtered.begin() + static_cast<std::ptrdiff_t>(begin + 256)};
+}
+
+/// Pretty horizontal bar for console "plots".
+inline std::string bar(double value, double full_scale, int width = 40) {
+  int filled = static_cast<int>(value / full_scale * width + 0.5);
+  if (filled < 0) filled = 0;
+  if (filled > width) filled = width;
+  return std::string(static_cast<std::size_t>(filled), '#');
+}
+
+}  // namespace emap::bench

@@ -1,0 +1,80 @@
+// Fleet capacity planning: how many patients can one EMAP cloud serve?
+//
+// Each monitored patient re-calls the cloud roughly every 6 tracked
+// iterations (Fig. 9 cadence).  This example loads a shared mega-database,
+// generates a Poisson-like request schedule for fleets of increasing size,
+// and reports response-time statistics from the multi-patient CloudService
+// — the capacity question a deployment of the paper's design has to answer.
+//
+//   $ ./fleet_capacity [horizon-seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "emap/common/rng.hpp"
+#include "emap/core/cloud_service.hpp"
+#include "emap/mdb/builder.hpp"
+#include "emap/synth/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emap;
+  const double horizon = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const double recall_period_sec = 6.0;  // observed Fig. 9 cadence
+
+  mdb::MdbBuilder builder;
+  for (const auto& corpus : synth::standard_corpora(10)) {
+    const auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+    }
+  }
+  const auto store = builder.take_store();
+  std::printf("MDB: %zu signal-sets; re-call period %.0f s; horizon %.0f s\n\n",
+              store.size(), recall_period_sec, horizon);
+
+  // One pre-filtered request window per patient (content barely matters
+  // for the timing study; reuse a seizure prodrome window).
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = 17;
+  const auto input = synth::make_eval_input(spec);
+  dsp::FirFilter filter{core::EmapConfig{}.filter};
+  const auto filtered = filter.apply(input.samples);
+  net::SignalUploadMessage upload;
+  upload.samples.assign(filtered.begin() + 200 * 256,
+                        filtered.begin() + 201 * 256);
+
+  std::printf("%-10s %-9s %12s %12s %12s %12s\n", "patients", "workers",
+              "mean rsp[s]", "max rsp[s]", "util", "rt ok");
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    for (std::size_t patients : {1u, 2u, 4u, 8u, 16u}) {
+      core::CloudService service(mdb::MdbStore(store),
+                                 core::EmapConfig::paper_defaults(), workers);
+      Rng rng(99);
+      for (std::size_t p = 0; p < patients; ++p) {
+        // Each patient re-calls on its own jittered clock.
+        double t = rng.uniform(0.0, recall_period_sec);
+        std::uint32_t sequence = 0;
+        while (t < horizon) {
+          net::SignalUploadMessage request = upload;
+          request.sequence = sequence++;
+          service.submit(core::ServiceRequest{
+              static_cast<std::uint32_t>(p), std::move(request), t});
+          t += recall_period_sec * rng.uniform(0.8, 1.2);
+        }
+      }
+      (void)service.process_all();
+      const auto& stats = service.stats();
+      // "Real-time" here: a response within one re-call period keeps every
+      // edge tracker fed before its set thins out.
+      const bool real_time_ok = stats.max_response_sec < recall_period_sec;
+      std::printf("%-10zu %-9zu %12.2f %12.2f %12.2f %12s\n", patients,
+                  workers, stats.mean_response_sec, stats.max_response_sec,
+                  stats.utilization, real_time_ok ? "yes" : "NO");
+    }
+  }
+  std::printf("\nreading: with the paper's single-server cloud the fleet "
+              "saturates once utilization -> 1;\nscaling workers (or the "
+              "FFT search, see bench_ablation) restores the margin.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Privacy exposure analysis.
+//
+// The paper's introduction motivates the hybrid design partly on privacy:
+// fully cloud-based techniques stream the entire bio-signal to a third
+// party, while EMAP transmits "only one second of the EEG signal data to
+// the cloud every few seconds", from which "the third party cannot
+// retrieve the complete signal information".  This example quantifies
+// that: the fraction of the patient's signal that ever leaves the edge,
+// and the upload cadence, across anomaly classes.
+//
+//   $ ./privacy_exposure [inputs-per-class]
+#include <cstdio>
+#include <cstdlib>
+
+#include "emap/core/pipeline.hpp"
+#include "emap/mdb/builder.hpp"
+#include "emap/net/transport.hpp"
+#include "emap/synth/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emap;
+  const int per_class = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  mdb::MdbBuilder builder;
+  for (const auto& corpus : synth::standard_corpora(10)) {
+    const auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+    }
+  }
+  core::EmapPipeline pipeline(builder.take_store(),
+                              core::EmapConfig::paper_defaults());
+
+  std::printf("%-16s %14s %14s %16s %18s\n", "input class",
+              "monitored [s]", "uploads", "signal exposed",
+              "upload rate [B/s]");
+  const synth::AnomalyClass classes[] = {
+      synth::AnomalyClass::kNormal, synth::AnomalyClass::kSeizure,
+      synth::AnomalyClass::kEncephalopathy, synth::AnomalyClass::kStroke};
+  for (auto cls : classes) {
+    double monitored = 0.0;
+    double uploads = 0.0;
+    for (int i = 0; i < per_class; ++i) {
+      synth::EvalInputSpec spec;
+      spec.cls = cls;
+      spec.seed = 600 + static_cast<std::uint64_t>(i);
+      const auto input = synth::make_eval_input(spec);
+      const auto result = pipeline.run(input);
+      uploads += static_cast<double>(result.cloud_calls);
+      monitored += result.iterations.empty()
+                       ? 0.0
+                       : result.iterations.back().t_sec;
+    }
+    // Each upload carries exactly one 256-sample window.
+    net::SignalUploadMessage window;
+    window.samples.assign(256, 1.0);
+    const double bytes_per_upload =
+        static_cast<double>(net::wire_size(window));
+    const double exposed_seconds = uploads;  // 1 s of signal per upload
+    std::printf("%-16s %14.0f %14.0f %15.1f%% %18.1f\n",
+                synth::anomaly_name(cls), monitored / per_class,
+                uploads / per_class,
+                100.0 * exposed_seconds / monitored,
+                uploads * bytes_per_upload / monitored);
+  }
+
+  std::printf("\nfully cloud-based reference: 100%% exposure at %.0f B/s "
+              "(16-bit 256 Hz stream)\n", 256.0 * 2.0);
+  std::printf("EMAP uploads non-contiguous 1 s fragments only when the "
+              "tracked set thins out (N(F) < H);\n"
+              "the cloud never observes the complete signal "
+              "(paper Section I's privacy/urgency trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Driving-scenario monitor: the paper's motivating use case is a patient
+// prone to seizures operating a vehicle.  This example streams several
+// patients through EMAP side by side with the Samie-style IoT baseline
+// [13], comparing alarms and lead times.
+//
+//   $ ./seizure_monitor [patients]
+#include <cstdio>
+#include <cstdlib>
+
+#include "emap/baselines/iot_predictor.hpp"
+#include "emap/core/pipeline.hpp"
+#include "emap/mdb/builder.hpp"
+#include "emap/synth/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emap;
+  const int patients = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  // Shared cloud database.
+  mdb::MdbBuilder builder;
+  std::vector<synth::Recording> training;
+  for (const auto& corpus : synth::standard_corpora(10)) {
+    const auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+      // The baseline trains on the 256 Hz corpus only (it has no
+      // resampling stage of its own).
+      if (std::abs(recordings[i].fs() - 256.0) < 1e-9) {
+        training.push_back(recordings[i]);
+      }
+    }
+  }
+  core::PipelineOptions options;
+  options.stop_on_alarm = true;
+  core::EmapPipeline pipeline(builder.take_store(),
+                              core::EmapConfig::paper_defaults(), options);
+
+  baselines::IotPredictor iot;
+  iot.train(training);
+
+  std::printf("%-8s %-10s %-22s %-22s\n", "patient", "onset[s]",
+              "EMAP alarm (lead)", "IoT baseline alarm (lead)");
+  int emap_hits = 0;
+  int iot_hits = 0;
+  for (int p = 0; p < patients; ++p) {
+    synth::EvalInputSpec spec;
+    spec.cls = synth::AnomalyClass::kSeizure;
+    spec.seed = 40 + static_cast<std::uint64_t>(p);
+    const auto input = synth::make_eval_input(spec);
+
+    const auto result = pipeline.run(input, spec.onset_sec);
+    const bool emap_alarm = result.anomaly_predicted;
+    if (emap_alarm) {
+      ++emap_hits;
+    }
+
+    iot.reset_stream();
+    double iot_alarm_at = -1.0;
+    for (std::size_t w = 0; (w + 1) * 256 <= input.samples.size(); ++w) {
+      const double t = static_cast<double>(w + 1);
+      if (t > spec.onset_sec) {
+        break;
+      }
+      (void)iot.observe_window(std::span<const double>(
+          input.samples.data() + w * 256, 256));
+      if (iot.alarm()) {
+        iot_alarm_at = t;
+        ++iot_hits;
+        break;
+      }
+    }
+
+    char emap_cell[32];
+    char iot_cell[32];
+    if (emap_alarm) {
+      std::snprintf(emap_cell, sizeof emap_cell, "t=%.0f (%.0f s early)",
+                    result.first_alarm_sec,
+                    spec.onset_sec - result.first_alarm_sec);
+    } else {
+      std::snprintf(emap_cell, sizeof emap_cell, "missed");
+    }
+    if (iot_alarm_at >= 0.0) {
+      std::snprintf(iot_cell, sizeof iot_cell, "t=%.0f (%.0f s early)",
+                    iot_alarm_at, spec.onset_sec - iot_alarm_at);
+    } else {
+      std::snprintf(iot_cell, sizeof iot_cell, "missed");
+    }
+    std::printf("%-8d %-10.0f %-22s %-22s\n", p, spec.onset_sec, emap_cell,
+                iot_cell);
+  }
+  std::printf("\nEMAP predicted %d/%d, IoT baseline %d/%d\n", emap_hits,
+              patients, iot_hits, patients);
+  std::printf("note: EMAP additionally generalizes to encephalopathy and "
+              "stroke (see multi_anomaly); the baseline is seizure-only.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Exhaustive cross-correlation search baseline.
+//
+// Evaluates every offset of every signal-set (β += 1, no threshold
+// skipping) — the comparison point of Fig. 7(b) (~6.8x slower than
+// Algorithm 1) and Fig. 11 (the correlation-quality reference).
+#pragma once
+
+#include <span>
+
+#include "emap/common/thread_pool.hpp"
+#include "emap/core/config.hpp"
+#include "emap/core/search.hpp"
+#include "emap/mdb/store.hpp"
+
+namespace emap::baselines {
+
+/// Exhaustive top-k search; result/stat types shared with Algorithm 1.
+class ExhaustiveSearch {
+ public:
+  explicit ExhaustiveSearch(const core::EmapConfig& config,
+                            ThreadPool* pool = nullptr);
+
+  /// Correlates the input at every full-overlap offset of every set and
+  /// returns the top-k by ω.  The candidate set of Algorithm 1 is a subset
+  /// of this search's candidate set (property-tested).
+  core::SearchResult search(std::span<const double> input_window,
+                            const mdb::MdbStore& store) const;
+
+ private:
+  core::EmapConfig config_;
+  ThreadPool* pool_;
+};
+
+}  // namespace emap::baselines

@@ -1,0 +1,86 @@
+#include "emap/baselines/iot_predictor.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+#include "emap/ml/features.hpp"
+
+namespace emap::baselines {
+
+IotPredictor::IotPredictor(IotPredictorConfig config)
+    : config_(config),
+      model_(config.logistic),
+      mlp_model_([&config] {
+        ml::MlpConfig mlp = config.mlp;
+        if (config.hidden_units > 0) {
+          mlp.hidden_units = config.hidden_units;
+        }
+        return mlp;
+      }()) {
+  require(config_.window_length >= 8, "IotPredictor: window too short");
+  require(config_.votes_needed <= config_.vote_window,
+          "IotPredictor: votes_needed must be <= vote_window");
+}
+
+bool IotPredictor::trained() const {
+  return config_.hidden_units > 0 ? mlp_model_.trained() : model_.trained();
+}
+
+double IotPredictor::model_proba(const ml::FeatureVector& row) const {
+  return config_.hidden_units > 0 ? mlp_model_.predict_proba(row)
+                                  : model_.predict_proba(row);
+}
+
+void IotPredictor::train(const std::vector<synth::Recording>& recordings) {
+  require(!recordings.empty(), "IotPredictor::train: no recordings");
+  std::vector<ml::FeatureVector> rows;
+  std::vector<int> labels;
+  for (const auto& recording : recordings) {
+    const std::size_t window = config_.window_length;
+    const std::size_t count = recording.samples.size() / window;
+    const bool has_anomaly =
+        recording.spec.cls != synth::AnomalyClass::kNormal;
+    for (std::size_t w = 0; w < count; ++w) {
+      const std::span<const double> samples(
+          recording.samples.data() + w * window, window);
+      rows.push_back(ml::extract_features(samples, config_.fs_hz));
+      const double t = static_cast<double>(w * window) / config_.fs_hz;
+      const bool positive =
+          has_anomaly && t >= recording.spec.onset_sec -
+                                  config_.preictal_horizon_sec;
+      labels.push_back(positive ? 1 : 0);
+    }
+  }
+  require(!rows.empty(), "IotPredictor::train: recordings too short");
+  standardizer_.fit(rows);
+  if (config_.hidden_units > 0) {
+    mlp_model_.fit(standardizer_.transform(rows), labels);
+  } else {
+    model_.fit(standardizer_.transform(rows), labels);
+  }
+}
+
+double IotPredictor::observe_window(std::span<const double> window) {
+  require(trained(), "IotPredictor::observe_window: not trained");
+  const auto features = ml::extract_features(window, config_.fs_hz);
+  const double probability =
+      model_proba(standardizer_.transform(features));
+  recent_votes_.push_back(probability >= 0.5 ? 1 : 0);
+  if (recent_votes_.size() > config_.vote_window) {
+    recent_votes_.erase(recent_votes_.begin());
+  }
+  const auto positives = static_cast<std::size_t>(
+      std::count(recent_votes_.begin(), recent_votes_.end(), 1));
+  if (recent_votes_.size() == config_.vote_window &&
+      positives >= config_.votes_needed) {
+    alarmed_ = true;
+  }
+  return probability;
+}
+
+void IotPredictor::reset_stream() {
+  recent_votes_.clear();
+  alarmed_ = false;
+}
+
+}  // namespace emap::baselines

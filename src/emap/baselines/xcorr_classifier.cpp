@@ -1,0 +1,111 @@
+#include "emap/baselines/xcorr_classifier.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/xcorr.hpp"
+#include "emap/ml/features.hpp"
+
+namespace emap::baselines {
+namespace {
+
+// Maximum NCC of `window` against any template in [begin, end).
+double bank_correlation(std::span<const double> window,
+                        const std::vector<std::vector<double>>& bank,
+                        std::size_t begin, std::size_t end) {
+  double best = -1.0;
+  const dsp::NormalizedWindow probe(window);
+  for (std::size_t i = begin; i < end; ++i) {
+    best = std::max(best, probe.correlate(bank[i]));
+  }
+  return best;
+}
+
+}  // namespace
+
+XcorrClassifier::XcorrClassifier(XcorrClassifierConfig config)
+    : config_(config), model_(config.logistic) {
+  require(config_.window_length >= 8, "XcorrClassifier: window too short");
+  require(config_.templates_per_class >= 1,
+          "XcorrClassifier: need at least one template per class");
+}
+
+ml::FeatureVector XcorrClassifier::make_features(
+    std::span<const double> window) const {
+  // Feature layout: the first 8 standard window features, with the last
+  // two slots carrying the template-bank correlations (max NCC against the
+  // anomalous bank and against the normal bank) — the "cross-correlation"
+  // part of [18].
+  ml::FeatureVector features = ml::extract_features(window, config_.fs_hz);
+  features[8] = bank_correlation(window, templates_, 0,
+                                 anomalous_template_count_);
+  features[9] = bank_correlation(window, templates_,
+                                 anomalous_template_count_,
+                                 templates_.size());
+  return features;
+}
+
+void XcorrClassifier::train(const std::vector<synth::Recording>& recordings) {
+  require(!recordings.empty(), "XcorrClassifier::train: no recordings");
+  const std::size_t window = config_.window_length;
+
+  // Pass 1: collect labeled windows.
+  std::vector<std::vector<double>> anomalous_windows;
+  std::vector<std::vector<double>> normal_windows;
+  for (const auto& recording : recordings) {
+    const std::size_t count = recording.samples.size() / window;
+    for (std::size_t w = 0; w < count; ++w) {
+      const double t =
+          static_cast<double>(w * window) / recording.fs();
+      std::vector<double> samples(
+          recording.samples.begin() + static_cast<std::ptrdiff_t>(w * window),
+          recording.samples.begin() +
+              static_cast<std::ptrdiff_t>((w + 1) * window));
+      if (recording.anomalous_at(t)) {
+        anomalous_windows.push_back(std::move(samples));
+      } else {
+        normal_windows.push_back(std::move(samples));
+      }
+    }
+  }
+  require(!anomalous_windows.empty() && !normal_windows.empty(),
+          "XcorrClassifier::train: need both classes in the training data");
+
+  // Pass 2: template bank = evenly spaced exemplars of each class.
+  templates_.clear();
+  auto pick_templates = [this](const std::vector<std::vector<double>>& pool) {
+    const std::size_t take = std::min(config_.templates_per_class,
+                                      pool.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      templates_.push_back(pool[i * pool.size() / take]);
+    }
+  };
+  pick_templates(anomalous_windows);
+  anomalous_template_count_ = templates_.size();
+  pick_templates(normal_windows);
+
+  // Pass 3: train the classifier on the combined features.
+  std::vector<ml::FeatureVector> rows;
+  std::vector<int> labels;
+  for (const auto& samples : anomalous_windows) {
+    rows.push_back(make_features(samples));
+    labels.push_back(1);
+  }
+  for (const auto& samples : normal_windows) {
+    rows.push_back(make_features(samples));
+    labels.push_back(0);
+  }
+  standardizer_.fit(rows);
+  model_.fit(standardizer_.transform(rows), labels);
+}
+
+double XcorrClassifier::predict_proba(std::span<const double> window) const {
+  require(model_.trained(), "XcorrClassifier::predict_proba: not trained");
+  return model_.predict_proba(standardizer_.transform(make_features(window)));
+}
+
+bool XcorrClassifier::predict(std::span<const double> window) const {
+  return predict_proba(window) >= 0.5;
+}
+
+}  // namespace emap::baselines

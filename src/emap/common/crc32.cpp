@@ -1,0 +1,44 @@
+#include "emap/common/crc32.hpp"
+
+#include <array>
+
+namespace emap {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> bytes) {
+  const auto& t = table();
+  for (std::byte b : bytes) {
+    state_ = t[(state_ ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (state_ >> 8);
+  }
+}
+
+void Crc32::update(const void* data, std::size_t size) {
+  update(std::span<const std::byte>(static_cast<const std::byte*>(data), size));
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace emap

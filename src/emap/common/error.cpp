@@ -1,0 +1,11 @@
+#include "emap/common/error.hpp"
+
+namespace emap::detail {
+
+void require(bool condition, const char* message) {
+  if (!condition) {
+    throw InvalidArgument(message);
+  }
+}
+
+}  // namespace emap::detail

@@ -1,0 +1,52 @@
+// EMAP error hierarchy.
+//
+// All throwing EMAP APIs throw a subclass of emap::Error.  The categories
+// mirror the subsystems: configuration misuse, I/O failures (EDF files and
+// MDB persistence), and data-integrity violations (corrupt codecs, label
+// inconsistencies).  Non-throwing variants return std::optional or a status
+// where documented.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace emap {
+
+/// Base class of every exception thrown by an EMAP library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad parameter, wrong size).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An operating-system level I/O operation failed (open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Stored data failed validation (bad magic, CRC mismatch, truncated file).
+class CorruptData : public Error {
+ public:
+  explicit CorruptData(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Throws InvalidArgument with `message` when `condition` is false.
+void require(bool condition, const char* message);
+}  // namespace detail
+
+/// Precondition check used across EMAP public APIs.
+///
+/// Unlike assert() this is active in release builds: EMAP is a data-driven
+/// pipeline and silently accepting malformed signals would corrupt the MDB.
+inline void require(bool condition, const char* message) {
+  detail::require(condition, message);
+}
+
+}  // namespace emap

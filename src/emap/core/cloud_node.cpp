@@ -1,0 +1,44 @@
+#include "emap/core/cloud_node.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+
+CloudNode::CloudNode(mdb::MdbStore store, const EmapConfig& config,
+                     std::size_t threads)
+    : config_(config),
+      store_(std::move(store)),
+      pool_(threads == 1 ? nullptr : std::make_unique<ThreadPool>(threads)),
+      searcher_(config_, pool_.get()) {
+  config_.validate();
+}
+
+SearchResult CloudNode::search(std::span<const double> input_window) const {
+  SearchResult result = searcher_.search(input_window, store_);
+  last_stats_ = result.stats;
+  return result;
+}
+
+net::CorrelationSetMessage CloudNode::respond(
+    const net::SignalUploadMessage& request) const {
+  require(request.samples.size() == config_.window_length,
+          "CloudNode::respond: bad request window length");
+  const SearchResult result = search(request.samples);
+
+  net::CorrelationSetMessage response;
+  response.request_sequence = request.sequence;
+  response.entries.reserve(result.matches.size());
+  for (const auto& match : result.matches) {
+    net::CorrelationEntry entry;
+    entry.set_id = match.set_id;
+    entry.omega = static_cast<float>(match.omega);
+    entry.beta = static_cast<std::uint32_t>(match.beta);
+    entry.anomalous = match.anomalous ? 1 : 0;
+    entry.class_tag = match.class_tag;
+    entry.samples = store_.at(match.store_index).samples;
+    response.entries.push_back(std::move(entry));
+  }
+  return response;
+}
+
+}  // namespace emap::core

@@ -1,0 +1,46 @@
+// The cloud node: hosts the mega-database and serves cross-correlation
+// search requests (paper Fig. 3, middle).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "emap/common/thread_pool.hpp"
+#include "emap/core/config.hpp"
+#include "emap/core/search.hpp"
+#include "emap/mdb/store.hpp"
+#include "emap/net/transport.hpp"
+
+namespace emap::core {
+
+/// Cloud-side service wrapping Algorithm 1 over an owned MdbStore.
+class CloudNode {
+ public:
+  /// `threads` = 0 selects hardware concurrency; 1 disables parallelism.
+  CloudNode(mdb::MdbStore store, const EmapConfig& config,
+            std::size_t threads = 0);
+
+  const mdb::MdbStore& store() const { return store_; }
+  const EmapConfig& config() const { return config_; }
+
+  /// Runs Algorithm 1 for one filtered input window.
+  SearchResult search(std::span<const double> input_window) const;
+
+  /// Full request path: decodes nothing (message is already structured),
+  /// runs the search, and packages the correlation set with the matched
+  /// signal-sets' samples for download.
+  net::CorrelationSetMessage respond(
+      const net::SignalUploadMessage& request) const;
+
+  /// Stats of the most recent search (for timing accounting).
+  const SearchStats& last_stats() const { return last_stats_; }
+
+ private:
+  EmapConfig config_;
+  mdb::MdbStore store_;
+  std::unique_ptr<ThreadPool> pool_;
+  CrossCorrelationSearch searcher_;
+  mutable SearchStats last_stats_{};
+};
+
+}  // namespace emap::core

@@ -1,0 +1,93 @@
+#include "emap/core/cloud_service.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+
+CloudService::CloudService(mdb::MdbStore store, const EmapConfig& config,
+                           std::size_t virtual_workers)
+    : node_(std::move(store), config, /*threads=*/1),
+      device_(sim::cloud_i7()),
+      virtual_workers_(virtual_workers) {
+  require(virtual_workers_ >= 1, "CloudService: need at least one worker");
+}
+
+void CloudService::submit(ServiceRequest request) {
+  queue_.push_back(std::move(request));
+}
+
+std::vector<ServiceResponse> CloudService::process_all() {
+  // FIFO by arrival; stable sort keeps submission order on simultaneous
+  // arrivals.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const ServiceRequest& a, const ServiceRequest& b) {
+                     return a.arrival_sec < b.arrival_sec;
+                   });
+
+  std::vector<double> worker_free(virtual_workers_, 0.0);
+  std::vector<ServiceResponse> responses;
+  responses.reserve(queue_.size());
+
+  double busy_time = 0.0;
+  double first_arrival = queue_.empty() ? 0.0 : queue_.front().arrival_sec;
+  double last_completion = first_arrival;
+  double total_wait = 0.0;
+  double total_service = 0.0;
+  double total_response = 0.0;
+  double max_response = 0.0;
+
+  for (auto& request : queue_) {
+    // Earliest-free worker serves next (FIFO dispatch).
+    auto worker = std::min_element(worker_free.begin(), worker_free.end());
+    ServiceResponse response;
+    response.patient = request.patient;
+    response.sequence = request.upload.sequence;
+    response.arrival_sec = request.arrival_sec;
+    response.start_sec = std::max(*worker, request.arrival_sec);
+
+    response.correlation_set = node_.respond(request.upload);
+    const SearchStats& stats = node_.last_stats();
+    const double service =
+        device_.seconds_for_macs(static_cast<double>(stats.mac_ops)) +
+        device_.per_signal_overhead_sec *
+            static_cast<double>(stats.sets_scanned);
+    response.completion_sec = response.start_sec + service;
+    *worker = response.completion_sec;
+
+    busy_time += service;
+    total_wait += response.wait_sec();
+    total_service += service;
+    total_response += response.response_sec();
+    max_response = std::max(max_response, response.response_sec());
+    last_completion = std::max(last_completion, response.completion_sec);
+    responses.push_back(std::move(response));
+  }
+
+  stats_ = CloudServiceStats{};
+  stats_.requests = responses.size();
+  if (!responses.empty()) {
+    const auto count = static_cast<double>(responses.size());
+    stats_.mean_wait_sec = total_wait / count;
+    stats_.mean_service_sec = total_service / count;
+    stats_.mean_response_sec = total_response / count;
+    stats_.max_response_sec = max_response;
+    stats_.makespan_sec = last_completion - first_arrival;
+    if (stats_.makespan_sec > 0.0) {
+      stats_.utilization = busy_time / (static_cast<double>(virtual_workers_) *
+                                        stats_.makespan_sec);
+    }
+  }
+  queue_.clear();
+  std::sort(responses.begin(), responses.end(),
+            [](const ServiceResponse& a, const ServiceResponse& b) {
+              if (a.completion_sec != b.completion_sec) {
+                return a.completion_sec < b.completion_sec;
+              }
+              return a.patient < b.patient;
+            });
+  return responses;
+}
+
+}  // namespace emap::core

@@ -1,0 +1,80 @@
+// Multi-patient cloud service (extension beyond the paper).
+//
+// The paper evaluates one patient against one cloud; a deployed EMAP cloud
+// serves a fleet of edge devices concurrently.  CloudService models that:
+// search requests from multiple patients arrive over (virtual) time, are
+// queued FIFO, and are executed by a fixed number of virtual search
+// workers whose service time comes from the calibrated cloud device model.
+// The resulting waiting times show how Δ_CS — and with it Δ_initial and
+// the real-time guarantee — degrades with patient count, which is the
+// capacity-planning question the hybrid design raises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emap/core/cloud_node.hpp"
+#include "emap/sim/device.hpp"
+
+namespace emap::core {
+
+/// One queued search request.
+struct ServiceRequest {
+  std::uint32_t patient = 0;
+  net::SignalUploadMessage upload;
+  double arrival_sec = 0.0;
+};
+
+/// Completed request with its queueing/service timeline.
+struct ServiceResponse {
+  std::uint32_t patient = 0;
+  std::uint32_t sequence = 0;
+  net::CorrelationSetMessage correlation_set;
+  double arrival_sec = 0.0;
+  double start_sec = 0.0;       ///< when a worker picked it up
+  double completion_sec = 0.0;  ///< start + device-model service time
+  double wait_sec() const { return start_sec - arrival_sec; }
+  double response_sec() const { return completion_sec - arrival_sec; }
+};
+
+/// Aggregate service statistics over one process_all() run.
+struct CloudServiceStats {
+  std::size_t requests = 0;
+  double mean_wait_sec = 0.0;
+  double mean_service_sec = 0.0;
+  double mean_response_sec = 0.0;
+  double max_response_sec = 0.0;
+  double makespan_sec = 0.0;    ///< last completion - first arrival
+  double utilization = 0.0;     ///< busy worker-time / (workers * makespan)
+};
+
+/// FIFO multi-worker search service over one mega-database.
+class CloudService {
+ public:
+  /// `virtual_workers` is the number of device-model search servers the
+  /// cloud provisions (each as fast as the calibrated i7 profile).
+  CloudService(mdb::MdbStore store, const EmapConfig& config,
+               std::size_t virtual_workers = 1);
+
+  /// Enqueues a request; arrivals need not be submitted in time order.
+  void submit(ServiceRequest request);
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Serves every queued request (FIFO by arrival, stable on ties),
+  /// returning the responses in completion order and updating stats().
+  /// The queue is empty afterwards.
+  std::vector<ServiceResponse> process_all();
+
+  const CloudServiceStats& stats() const { return stats_; }
+  const CloudNode& node() const { return node_; }
+
+ private:
+  CloudNode node_;
+  sim::DeviceProfile device_;
+  std::size_t virtual_workers_;
+  std::vector<ServiceRequest> queue_;
+  CloudServiceStats stats_{};
+};
+
+}  // namespace emap::core

@@ -1,0 +1,29 @@
+#include "emap/core/config.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+
+void EmapConfig::validate() const {
+  require(base_fs_hz > 0.0, "EmapConfig: base_fs_hz must be > 0");
+  require(window_length >= 8, "EmapConfig: window_length must be >= 8");
+  require(alpha > 0.0 && alpha < 1.0, "EmapConfig: alpha must be in (0, 1)");
+  require(delta > -1.0 && delta < 1.0, "EmapConfig: delta must be in (-1, 1)");
+  require(top_k > 0, "EmapConfig: top_k must be > 0");
+  require(max_skip >= 1, "EmapConfig: max_skip must be >= 1");
+  require(delta_area > 0.0, "EmapConfig: delta_area must be > 0");
+  require(track_scan_stride >= 1,
+          "EmapConfig: track_scan_stride must be >= 1");
+  require(track_max_scan_offsets >= 1,
+          "EmapConfig: track_max_scan_offsets must be >= 1");
+  require(predict_high_probability > 0.0 && predict_high_probability <= 1.0,
+          "EmapConfig: predict_high_probability must be in (0, 1]");
+  require(predict_rise_threshold >= 0.0,
+          "EmapConfig: predict_rise_threshold must be >= 0");
+  require(predict_trend_window >= 2,
+          "EmapConfig: predict_trend_window must be >= 2");
+  require(predict_persistence >= 1,
+          "EmapConfig: predict_persistence must be >= 1");
+}
+
+}  // namespace emap::core

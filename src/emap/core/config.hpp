@@ -1,0 +1,60 @@
+// EMAP framework configuration (the paper's operating parameters).
+#pragma once
+
+#include <cstddef>
+
+#include "emap/dsp/fir.hpp"
+
+namespace emap::core {
+
+/// All tunables of the EMAP framework, preset to the paper's values
+/// (Section V): 256 Hz sampling, 256-sample windows, 1000-sample
+/// signal-sets, α = 0.004, δ = 0.8, δ_A ≈ 900, top-100 tracking.
+struct EmapConfig {
+  // --- Acquisition ---
+  double base_fs_hz = 256.0;       ///< sampling rate
+  std::size_t window_length = 256; ///< samples per time-step (1 s)
+  dsp::FirDesign filter{};         ///< 100-tap 11-40 Hz bandpass (Eq. 1)
+
+  // --- Cloud search (Algorithm 1) ---
+  double alpha = 0.004;            ///< step-size of the sliding window
+  double delta = 0.8;              ///< cross-correlation threshold
+  std::size_t top_k = 100;         ///< size of the correlation set T
+  /// Clamp on the exponential skip β += α^(ω-1); equals 1/α at ω = 0 for
+  /// the paper's α but guards degenerate configurations.
+  std::size_t max_skip = 4096;
+
+  // --- Edge tracking (Algorithm 2) ---
+  double delta_area = 900.0;       ///< area threshold δ_A (sq. units)
+  std::size_t tracking_threshold_h = 30;  ///< H: re-call cloud below this
+  /// Offset stride of the forward re-match scan (Algorithm 2's inner
+  /// while-loop over W.β; see DESIGN.md on the interpretation).
+  std::size_t track_scan_stride = 4;
+  /// Maximum offsets probed per signal per iteration: the tracker looks at
+  /// most stride * max_scan samples ahead (one window with the defaults),
+  /// which bounds the per-iteration edge cost ("lightweight").
+  std::size_t track_max_scan_offsets = 32;
+
+  // --- Prediction ---
+  double predict_high_probability = 0.80;  ///< alarm when P_A exceeds this
+  double predict_rise_threshold = 0.12;    ///< or when P_A rises this much
+  double predict_base_probability = 0.30;  ///< ... above this floor
+  std::size_t predict_trend_window = 5;    ///< iterations in the rise test
+  /// P_A estimates over fewer tracked signals than this are statistically
+  /// meaningless (2 survivors that happen to be anomalous read as
+  /// P_A = 1.0) and are not fed to the predictor.
+  std::size_t predict_min_support = 7;
+  /// The alarm condition must hold on this many consecutive observations.
+  /// A true prodrome keeps P_A elevated for many iterations; transient
+  /// spikes from correlated survivors (several slices of one recording
+  /// tracking together) do not.
+  std::size_t predict_persistence = 2;
+
+  /// Throws InvalidArgument when any parameter is out of range.
+  void validate() const;
+
+  /// The configuration used throughout the paper's evaluation.
+  static EmapConfig paper_defaults() { return EmapConfig{}; }
+};
+
+}  // namespace emap::core

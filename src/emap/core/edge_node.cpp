@@ -1,0 +1,42 @@
+#include "emap/core/edge_node.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+
+EdgeNode::EdgeNode(const EmapConfig& config)
+    : config_(config),
+      filter_([&config] {
+        dsp::FirDesign design = config.filter;
+        design.sample_rate_hz = config.base_fs_hz;
+        return dsp::FirFilter(design);
+      }()),
+      tracker_(config),
+      predictor_(config) {
+  config_.validate();
+}
+
+std::vector<double> EdgeNode::acquire_window(
+    std::span<const double> raw_window) {
+  require(raw_window.size() == config_.window_length,
+          "EdgeNode::acquire_window: window length mismatch");
+  return filter_.process_block(raw_window);
+}
+
+net::SignalUploadMessage EdgeNode::make_upload(
+    std::uint32_t sequence, std::span<const double> filtered_window) const {
+  require(filtered_window.size() == config_.window_length,
+          "EdgeNode::make_upload: window length mismatch");
+  net::SignalUploadMessage message;
+  message.sequence = sequence;
+  message.samples.assign(filtered_window.begin(), filtered_window.end());
+  return message;
+}
+
+void EdgeNode::reset() {
+  filter_.reset();
+  tracker_ = EdgeTracker(config_);
+  predictor_.reset();
+}
+
+}  // namespace emap::core

@@ -1,0 +1,49 @@
+// The edge sensor node: acquisition (sampling + streaming bandpass),
+// upload packaging, tracking, and prediction (paper Fig. 3, right).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emap/core/config.hpp"
+#include "emap/core/predictor.hpp"
+#include "emap/core/tracker.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/net/transport.hpp"
+
+namespace emap::core {
+
+/// Edge device state machine (acquisition side is stateful: the FIR runs in
+/// streaming mode across window boundaries, like the paper's "hard-coded
+/// accelerator" would).
+class EdgeNode {
+ public:
+  explicit EdgeNode(const EmapConfig& config);
+
+  /// Filters one raw input window (window_length samples); filter history
+  /// carries across calls so consecutive windows form a continuous stream.
+  std::vector<double> acquire_window(std::span<const double> raw_window);
+
+  /// Packages a filtered window for upload (time-step `sequence`).
+  net::SignalUploadMessage make_upload(
+      std::uint32_t sequence, std::span<const double> filtered_window) const;
+
+  EdgeTracker& tracker() { return tracker_; }
+  const EdgeTracker& tracker() const { return tracker_; }
+  AnomalyPredictor& predictor() { return predictor_; }
+  const AnomalyPredictor& predictor() const { return predictor_; }
+
+  const EmapConfig& config() const { return config_; }
+
+  /// Clears filter history, tracker contents, and predictor state.
+  void reset();
+
+ private:
+  EmapConfig config_;
+  dsp::FirFilter filter_;
+  EdgeTracker tracker_;
+  AnomalyPredictor predictor_;
+};
+
+}  // namespace emap::core

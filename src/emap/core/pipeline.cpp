@@ -1,0 +1,208 @@
+#include "emap/core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+
+std::vector<double> RunResult::pa_history() const {
+  std::vector<double> history;
+  for (const auto& record : iterations) {
+    if (record.tracked) {
+      history.push_back(record.anomaly_probability);
+    }
+  }
+  return history;
+}
+
+EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
+                           PipelineOptions options)
+    : config_(config),
+      options_(options),
+      cloud_(std::move(store), config_, options.cloud_threads),
+      edge_device_(sim::edge_raspberry_pi()),
+      cloud_device_(sim::cloud_i7()) {
+  config_.validate();
+}
+
+EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
+    std::uint32_t sequence, const std::vector<double>& filtered_window,
+    double now_sec, net::Channel& channel, sim::TimelineTrace& trace) const {
+  net::SignalUploadMessage upload;
+  upload.sequence = sequence;
+  upload.samples = filtered_window;
+
+  PendingSearch pending;
+  pending.delta_ec = channel.upload_seconds(net::wire_size(upload));
+
+  net::CorrelationSetMessage response;
+  if (options_.use_transport) {
+    // Full wire path: the cloud sees the 16-bit quantized window and the
+    // edge receives 16-bit quantized signal-sets.
+    const auto upload_bytes = net::encode_upload(upload);
+    const auto decoded = net::decode_upload(upload_bytes);
+    response = cloud_.respond(decoded);
+    const auto download_bytes = net::encode_correlation_set(response);
+    response = net::decode_correlation_set(download_bytes);
+  } else {
+    response = cloud_.respond(upload);
+  }
+  const SearchStats& stats = cloud_.last_stats();
+  pending.delta_cs =
+      cloud_device_.seconds_for_macs(static_cast<double>(stats.mac_ops)) +
+      cloud_device_.per_signal_overhead_sec *
+          static_cast<double>(stats.sets_scanned);
+  pending.delta_ce = channel.download_seconds(net::wire_size(response));
+  pending.ready_at_sec =
+      now_sec + pending.delta_ec + pending.delta_cs + pending.delta_ce;
+
+  pending.correlation_set.reserve(response.entries.size());
+  for (const auto& entry : response.entries) {
+    TrackedSignal signal;
+    signal.set_id = entry.set_id;
+    signal.omega = static_cast<double>(entry.omega);
+    signal.beta = entry.beta;
+    signal.anomalous = entry.anomalous != 0;
+    signal.class_tag = entry.class_tag;
+    signal.samples = entry.samples;
+    pending.correlation_set.push_back(std::move(signal));
+  }
+
+  if (options_.collect_trace) {
+    trace.record(sim::ActivityKind::kUpload, now_sec,
+                 now_sec + pending.delta_ec, "delta_EC");
+    trace.record(sim::ActivityKind::kCloudSearch, now_sec + pending.delta_ec,
+                 now_sec + pending.delta_ec + pending.delta_cs, "delta_CS");
+    trace.record(sim::ActivityKind::kDownload,
+                 now_sec + pending.delta_ec + pending.delta_cs,
+                 pending.ready_at_sec, "delta_CE");
+  }
+  return pending;
+}
+
+RunResult EmapPipeline::run(const synth::Recording& input,
+                            double stop_at_sec) {
+  const double saved = options_.stop_at_sec;
+  options_.stop_at_sec = stop_at_sec;
+  RunResult result = run(input);
+  options_.stop_at_sec = saved;
+  return result;
+}
+
+RunResult EmapPipeline::run(const synth::Recording& input) {
+  require(std::abs(input.fs() - config_.base_fs_hz) < 1e-9,
+          "EmapPipeline::run: input must be sampled at the base rate");
+  const std::size_t window = config_.window_length;
+  require(input.samples.size() >= window,
+          "EmapPipeline::run: input shorter than one window");
+
+  EdgeNode edge(config_);
+  net::Channel channel(options_.platform, options_.channel);
+
+  RunResult result;
+  std::optional<PendingSearch> pending;
+  bool first_round_trip_recorded = false;
+  double total_track_sec = 0.0;
+  std::size_t track_steps = 0;
+
+  const std::size_t window_count =
+      std::min(options_.max_windows, input.samples.size() / window);
+
+  for (std::size_t w = 0; w < window_count; ++w) {
+    // Window w covers input time [w, w+1) seconds; processing happens at
+    // its completion instant.
+    const double t_end = static_cast<double>(w + 1);
+    if (options_.stop_at_sec >= 0.0 && t_end > options_.stop_at_sec) {
+      break;
+    }
+    const std::span<const double> raw(input.samples.data() + w * window,
+                                      window);
+    if (options_.collect_trace) {
+      result.trace.record(sim::ActivityKind::kSample, t_end - 1.0, t_end);
+      result.trace.record(sim::ActivityKind::kFilter, t_end,
+                          t_end + options_.filter_accelerator_sec);
+    }
+    const auto filtered = edge.acquire_window(raw);
+
+    IterationRecord record;
+    record.window_index = w;
+    record.t_sec = t_end;
+
+    // Deliver a completed cloud search (the paper reloads T wholesale; the
+    // edge kept tracking the old set in the meantime).
+    if (pending && pending->ready_at_sec <= t_end) {
+      edge.tracker().load(std::move(pending->correlation_set));
+      record.set_loaded = true;
+      record.pa_on_load = edge.tracker().anomaly_probability();
+      if (!first_round_trip_recorded) {
+        result.timings.delta_ec_sec = pending->delta_ec;
+        result.timings.delta_cs_sec = pending->delta_cs;
+        result.timings.delta_ce_sec = pending->delta_ce;
+        result.timings.delta_initial_sec =
+            pending->delta_ec + pending->delta_cs + pending->delta_ce;
+        first_round_trip_recorded = true;
+      }
+      ++result.cloud_calls;
+      pending.reset();
+    }
+
+    if (edge.tracker().loaded()) {
+      const TrackStepResult step = edge.tracker().step(filtered);
+      record.tracked = true;
+      record.anomaly_probability = step.anomaly_probability;
+      record.tracked_before = step.tracked_before;
+      record.tracked_after = step.tracked_after;
+      record.removed_dissimilar = step.removed_dissimilar;
+      record.removed_exhausted = step.removed_exhausted;
+      record.abs_ops = step.abs_ops;
+      record.track_device_sec =
+          edge_device_.seconds_for_abs(static_cast<double>(step.abs_ops)) +
+          edge_device_.per_signal_overhead_sec *
+              static_cast<double>(step.tracked_before);
+      total_track_sec += record.track_device_sec;
+      result.timings.max_track_sec =
+          std::max(result.timings.max_track_sec, record.track_device_sec);
+      ++track_steps;
+      if (options_.collect_trace) {
+        result.trace.record(sim::ActivityKind::kEdgeTrack, t_end,
+                            t_end + record.track_device_sec);
+        result.trace.record(sim::ActivityKind::kPrediction,
+                            t_end + record.track_device_sec,
+                            t_end + record.track_device_sec + 1e-3);
+      }
+      if (step.tracked_after >= config_.predict_min_support) {
+        edge.predictor().observe(step.anomaly_probability, t_end);
+      }
+
+      // "The previous set of sampled signals is transmitted to the cloud
+      // ... while doing real-time signal tracking at the edge in parallel."
+      if (step.cloud_call_needed && !pending) {
+        pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
+                                   t_end, channel, result.trace);
+        record.cloud_call_issued = true;
+      }
+    } else if (!pending) {
+      // Cold start: the very first window triggers the initial MDB search.
+      pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
+                                 t_end, channel, result.trace);
+      record.cloud_call_issued = true;
+    }
+
+    result.iterations.push_back(record);
+    if (options_.stop_on_alarm && edge.predictor().anomaly_predicted()) {
+      break;
+    }
+  }
+
+  if (track_steps > 0) {
+    result.timings.mean_track_sec =
+        total_track_sec / static_cast<double>(track_steps);
+  }
+  result.anomaly_predicted = edge.predictor().anomaly_predicted();
+  result.first_alarm_sec = edge.predictor().first_alarm_sec();
+  return result;
+}
+
+}  // namespace emap::core

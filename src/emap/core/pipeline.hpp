@@ -1,0 +1,133 @@
+// EmapPipeline: the closed-loop cloud-edge system (paper Fig. 3 + Fig. 9).
+//
+// Drives an input recording through the full framework — acquisition,
+// upload, cloud search, download, edge tracking, prediction — while
+// maintaining a virtual clock: the input advances one window per second of
+// simulated time, transfers take Channel time, and compute takes
+// DeviceProfile time, so the Fig. 9 timeline and Eq. 4's Δ_initial fall out
+// of the run.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "emap/core/cloud_node.hpp"
+#include "emap/core/edge_node.hpp"
+#include "emap/mdb/store.hpp"
+#include "emap/net/channel.hpp"
+#include "emap/sim/device.hpp"
+#include "emap/sim/trace.hpp"
+#include "emap/synth/generator.hpp"
+
+namespace emap::core {
+
+/// Pipeline environment switches.
+struct PipelineOptions {
+  net::CommPlatform platform = net::CommPlatform::kLte;
+  net::ChannelOptions channel{};
+  /// Route messages through encode/decode (includes the 16-bit wire
+  /// quantization in the signal path, as the real system would).
+  bool use_transport = true;
+  /// Stop monitoring at this input time (seconds); negative = whole input.
+  /// Used by the lead-time evaluation (Fig. 10): predictions made before
+  /// `stop_at_sec` with the anomaly at onset_sec count at lead
+  /// onset_sec - stop_at_sec.
+  double stop_at_sec = -1.0;
+  std::size_t max_windows = std::numeric_limits<std::size_t>::max();
+  /// End the run at the first alarm (the alarm latches, so lead-time
+  /// evaluation only needs first_alarm_sec).
+  bool stop_on_alarm = false;
+  /// Number of cloud worker threads (0 = hardware concurrency).
+  std::size_t cloud_threads = 0;
+  /// Collect the Fig. 9 activity trace.
+  bool collect_trace = true;
+  /// Fixed latency of the edge's hard-coded filter accelerator.
+  double filter_accelerator_sec = 0.002;
+};
+
+/// Per-iteration record of the run.
+struct IterationRecord {
+  std::size_t window_index = 0;
+  double t_sec = 0.0;                ///< virtual time at window completion
+  bool set_loaded = false;           ///< a correlation set arrived here
+  double pa_on_load = -1.0;          ///< P_A of the freshly loaded set
+  bool tracked = false;              ///< a tracking step ran this window
+  double anomaly_probability = 0.0;  ///< P_A after the step
+  std::size_t tracked_before = 0;
+  std::size_t tracked_after = 0;
+  std::size_t removed_dissimilar = 0;
+  std::size_t removed_exhausted = 0;
+  bool cloud_call_issued = false;
+  double track_device_sec = 0.0;     ///< edge-device-model time of the step
+  std::uint64_t abs_ops = 0;
+};
+
+/// Eq. 4 decomposition of the first cloud round trip.
+struct RunTimings {
+  double delta_ec_sec = 0.0;   ///< edge -> cloud transfer
+  double delta_cs_sec = 0.0;   ///< cloud search (device model)
+  double delta_ce_sec = 0.0;   ///< cloud -> edge transfer
+  double delta_initial_sec = 0.0;  ///< sum (Eq. 4)
+  double mean_track_sec = 0.0;     ///< average edge iteration (device model)
+  double max_track_sec = 0.0;
+};
+
+/// Outcome of one monitored input.
+struct RunResult {
+  std::vector<IterationRecord> iterations;
+  bool anomaly_predicted = false;
+  double first_alarm_sec = -1.0;
+  std::size_t cloud_calls = 0;
+  RunTimings timings;
+  sim::TimelineTrace trace;
+
+  /// P_A sequence across tracked iterations.
+  std::vector<double> pa_history() const;
+};
+
+/// The full framework instance.
+class EmapPipeline {
+ public:
+  EmapPipeline(mdb::MdbStore store, EmapConfig config,
+               PipelineOptions options = {});
+
+  /// Monitors `input` (must be sampled at config.base_fs_hz) and returns
+  /// the run record.  The pipeline resets per run; runs are independent.
+  RunResult run(const synth::Recording& input);
+
+  /// Same, overriding options().stop_at_sec for this run only (the Fig. 10
+  /// lead-time sweep re-runs one pipeline at many stop points).
+  RunResult run(const synth::Recording& input, double stop_at_sec);
+
+  const CloudNode& cloud() const { return cloud_; }
+  const EmapConfig& config() const { return config_; }
+  const PipelineOptions& options() const { return options_; }
+
+  /// Device profiles used for the virtual-time accounting.
+  const sim::DeviceProfile& edge_device() const { return edge_device_; }
+  const sim::DeviceProfile& cloud_device() const { return cloud_device_; }
+
+ private:
+  struct PendingSearch {
+    double ready_at_sec = 0.0;
+    std::vector<TrackedSignal> correlation_set;
+    double delta_ec = 0.0;
+    double delta_cs = 0.0;
+    double delta_ce = 0.0;
+  };
+
+  PendingSearch issue_cloud_call(std::uint32_t sequence,
+                                 const std::vector<double>& filtered_window,
+                                 double now_sec, net::Channel& channel,
+                                 sim::TimelineTrace& trace) const;
+
+  EmapConfig config_;
+  PipelineOptions options_;
+  CloudNode cloud_;
+  sim::DeviceProfile edge_device_;
+  sim::DeviceProfile cloud_device_;
+};
+
+}  // namespace emap::core

@@ -1,0 +1,75 @@
+#include "emap/core/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+namespace {
+
+std::ofstream open_for_write(const std::filesystem::path& path) {
+  std::ofstream stream(path, std::ios::trunc);
+  if (!stream) {
+    throw IoError("report: cannot open " + path.string());
+  }
+  return stream;
+}
+
+}  // namespace
+
+void write_iterations_csv(const RunResult& result,
+                          const std::filesystem::path& path) {
+  auto stream = open_for_write(path);
+  stream << "window,t_sec,tracked,set_loaded,pa_on_load,"
+            "anomaly_probability,tracked_before,tracked_after,"
+            "removed_dissimilar,removed_exhausted,cloud_call_issued,"
+            "track_device_sec\n";
+  for (const auto& record : result.iterations) {
+    stream << record.window_index << ',' << record.t_sec << ','
+           << (record.tracked ? 1 : 0) << ',' << (record.set_loaded ? 1 : 0)
+           << ',' << record.pa_on_load << ',' << record.anomaly_probability
+           << ',' << record.tracked_before << ',' << record.tracked_after
+           << ',' << record.removed_dissimilar << ','
+           << record.removed_exhausted << ','
+           << (record.cloud_call_issued ? 1 : 0) << ','
+           << record.track_device_sec << '\n';
+  }
+  if (!stream) {
+    throw IoError("report: write failed for " + path.string());
+  }
+}
+
+void write_trace_csv(const RunResult& result,
+                     const std::filesystem::path& path) {
+  auto stream = open_for_write(path);
+  stream << "kind,start_sec,end_sec,label\n";
+  for (const auto& activity : result.trace.activities()) {
+    stream << sim::activity_name(activity.kind) << ',' << activity.start
+           << ',' << activity.end << ',' << activity.label << '\n';
+  }
+  if (!stream) {
+    throw IoError("report: write failed for " + path.string());
+  }
+}
+
+std::string run_summary_json(const RunResult& result) {
+  std::ostringstream json;
+  json << "{";
+  json << "\"iterations\":" << result.iterations.size() << ",";
+  json << "\"cloud_calls\":" << result.cloud_calls << ",";
+  json << "\"anomaly_predicted\":"
+       << (result.anomaly_predicted ? "true" : "false") << ",";
+  json << "\"first_alarm_sec\":" << result.first_alarm_sec << ",";
+  json << "\"delta_ec_sec\":" << result.timings.delta_ec_sec << ",";
+  json << "\"delta_cs_sec\":" << result.timings.delta_cs_sec << ",";
+  json << "\"delta_ce_sec\":" << result.timings.delta_ce_sec << ",";
+  json << "\"delta_initial_sec\":" << result.timings.delta_initial_sec
+       << ",";
+  json << "\"mean_track_sec\":" << result.timings.mean_track_sec << ",";
+  json << "\"max_track_sec\":" << result.timings.max_track_sec;
+  json << "}";
+  return json.str();
+}
+
+}  // namespace emap::core

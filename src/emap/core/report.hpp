@@ -1,0 +1,33 @@
+// Export of pipeline run results for offline analysis.
+//
+// The paper's figures are time series over the run (P_A trajectories,
+// activity timelines).  These writers dump a RunResult in the two formats
+// an analysis notebook actually wants: per-iteration CSV and a compact
+// JSON summary.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "emap/core/pipeline.hpp"
+
+namespace emap::core {
+
+/// Writes one CSV row per iteration:
+///   window,t_sec,tracked,set_loaded,pa_on_load,anomaly_probability,
+///   tracked_before,tracked_after,removed_dissimilar,removed_exhausted,
+///   cloud_call_issued,track_device_sec
+/// Throws IoError on filesystem failure.
+void write_iterations_csv(const RunResult& result,
+                          const std::filesystem::path& path);
+
+/// Writes the Fig. 9-style activity trace as CSV:
+///   kind,start_sec,end_sec,label
+void write_trace_csv(const RunResult& result,
+                     const std::filesystem::path& path);
+
+/// Compact JSON summary (timings, alarm, cloud calls, iteration count) —
+/// a flat object of scalars, no external JSON dependency needed.
+std::string run_summary_json(const RunResult& result);
+
+}  // namespace emap::core

@@ -1,0 +1,113 @@
+#include "emap/core/search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/xcorr.hpp"
+
+namespace emap::core {
+namespace {
+
+bool better_match(const SearchMatch& a, const SearchMatch& b) {
+  if (a.omega != b.omega) return a.omega > b.omega;
+  if (a.set_id != b.set_id) return a.set_id < b.set_id;
+  return a.beta < b.beta;
+}
+
+}  // namespace
+
+std::vector<SearchMatch> select_top_k(std::vector<SearchMatch> candidates,
+                                      std::size_t k) {
+  if (candidates.size() > k) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                     candidates.end(), better_match);
+    candidates.resize(k);
+  }
+  std::sort(candidates.begin(), candidates.end(), better_match);
+  return candidates;
+}
+
+CrossCorrelationSearch::CrossCorrelationSearch(const EmapConfig& config,
+                                               ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  config_.validate();
+}
+
+std::size_t CrossCorrelationSearch::skip_for_omega(double omega) const {
+  // Paper lines 9-11: negative correlations are clamped to zero before the
+  // skip computation, so anti-correlated regions jump the farthest.
+  const double clamped = std::clamp(omega, 0.0, 1.0);
+  const double step = std::pow(config_.alpha, clamped - 1.0);
+  const double bounded =
+      std::min(step, static_cast<double>(config_.max_skip));
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(bounded)));
+}
+
+SearchResult CrossCorrelationSearch::search(
+    std::span<const double> input_window, const mdb::MdbStore& store) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  require(input_window.size() == config_.window_length,
+          "CrossCorrelationSearch: input window length mismatch");
+
+  const dsp::NormalizedWindow probe(input_window);
+  const std::size_t window = config_.window_length;
+
+  std::mutex merge_mutex;
+  std::vector<SearchMatch> candidates;
+  std::atomic<std::uint64_t> total_evals{0};
+  std::atomic<std::uint64_t> total_hits{0};
+
+  auto scan_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<SearchMatch> local;
+    std::uint64_t evals = 0;
+    for (std::size_t index = begin; index < end; ++index) {
+      const auto& set = store.at(index);
+      if (set.samples.size() < window) {
+        continue;  // degenerate record; nothing to correlate
+      }
+      const std::span<const double> samples(set.samples);
+      // Paper line 4: while β < Length(S) - Length(I_N).
+      const std::size_t limit = set.samples.size() - window;
+      std::size_t beta = 0;
+      while (beta < limit) {
+        const double omega = probe.correlate(samples.subspan(beta, window));
+        ++evals;
+        if (omega > config_.delta) {
+          local.push_back(SearchMatch{index, set.id, omega, beta,
+                                      set.anomalous, set.class_tag});
+        }
+        beta += skip_for_omega(omega);
+      }
+    }
+    total_evals.fetch_add(evals, std::memory_order_relaxed);
+    total_hits.fetch_add(local.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    candidates.insert(candidates.end(), local.begin(), local.end());
+  };
+
+  if (pool_ != nullptr && pool_->size() > 1) {
+    pool_->parallel_for(store.size(), scan_range);
+  } else {
+    scan_range(0, store.size());
+  }
+
+  SearchResult result;
+  result.matches = select_top_k(std::move(candidates), config_.top_k);
+  result.stats.correlation_evals = total_evals.load();
+  result.stats.mac_ops = total_evals.load() * window;
+  result.stats.candidates = total_hits.load();
+  result.stats.sets_scanned = store.size();
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return result;
+}
+
+}  // namespace emap::core

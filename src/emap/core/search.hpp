@@ -1,0 +1,78 @@
+// Algorithm 1: the signal cross-correlation search.
+//
+// Scans every signal-set of the mega-database with an exponential sliding
+// window: after evaluating the correlation ω at offset β, the offset
+// advances by α^(ω-1) (clamped to [1, max_skip]) — low correlation jumps
+// far, high correlation steps finely — and offsets whose ω exceeds δ become
+// candidates.  The top-100 candidates by ω form the signal correlation set
+// T that is transmitted to the edge.
+//
+// Deviation note (documented in DESIGN.md): the paper's pseudocode ends
+// with "AscendingSort(SignalArray, ω); T = SignalArray(0:99)", which as
+// written selects the *lowest* correlations; we sort descending, which is
+// the evident intent ("top-100 signals, which have the maximum correlation
+// with the input signal").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emap/common/thread_pool.hpp"
+#include "emap/core/config.hpp"
+#include "emap/mdb/store.hpp"
+
+namespace emap::core {
+
+/// One entry of the signal correlation set T.
+struct SearchMatch {
+  std::size_t store_index = 0;  ///< position of the set within the store
+  std::uint64_t set_id = 0;
+  double omega = 0.0;           ///< normalized cross-correlation at β
+  std::size_t beta = 0;         ///< matching offset within the signal-set
+  bool anomalous = false;
+  std::uint8_t class_tag = 0;
+};
+
+/// Cost and coverage accounting of one search.
+struct SearchStats {
+  std::uint64_t correlation_evals = 0;  ///< windows correlated
+  std::uint64_t mac_ops = 0;            ///< correlation_evals * window length
+  std::uint64_t candidates = 0;         ///< evaluations with ω > δ
+  std::uint64_t sets_scanned = 0;
+  double wall_seconds = 0.0;            ///< measured host time
+};
+
+/// Search outcome: T plus its statistics.
+struct SearchResult {
+  std::vector<SearchMatch> matches;  ///< descending ω, at most top_k
+  SearchStats stats;
+};
+
+/// Algorithm 1 over an MdbStore, optionally parallel across store shards.
+class CrossCorrelationSearch {
+ public:
+  /// `pool` may be null (serial scan); the pool is borrowed, not owned.
+  explicit CrossCorrelationSearch(const EmapConfig& config,
+                                  ThreadPool* pool = nullptr);
+
+  /// Runs the search for one input window (window_length samples).
+  /// Results are deterministic and independent of the shard count.
+  SearchResult search(std::span<const double> input_window,
+                      const mdb::MdbStore& store) const;
+
+  /// The exponential skip: clamp(round(α^(ω-1)), 1, max_skip) with ω
+  /// clamped below at 0 (paper Algorithm 1 lines 9-12).
+  std::size_t skip_for_omega(double omega) const;
+
+ private:
+  EmapConfig config_;
+  ThreadPool* pool_;
+};
+
+/// Selects the top-k matches (descending ω, ties broken by set id then β)
+/// from an unsorted candidate list.  Shared with the exhaustive baseline.
+std::vector<SearchMatch> select_top_k(std::vector<SearchMatch> candidates,
+                                      std::size_t k);
+
+}  // namespace emap::core

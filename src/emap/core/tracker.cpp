@@ -1,0 +1,121 @@
+#include "emap/core/tracker.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/area.hpp"
+
+namespace emap::core {
+
+EdgeTracker::EdgeTracker(const EmapConfig& config) : config_(config) {
+  config_.validate();
+}
+
+void EdgeTracker::load(std::vector<TrackedSignal> correlation_set) {
+  tracked_ = std::move(correlation_set);
+  loaded_ = true;
+}
+
+void EdgeTracker::load_from_search(const SearchResult& result,
+                                   const mdb::MdbStore& store) {
+  std::vector<TrackedSignal> set;
+  set.reserve(result.matches.size());
+  for (const auto& match : result.matches) {
+    TrackedSignal signal;
+    signal.set_id = match.set_id;
+    signal.omega = match.omega;
+    signal.beta = match.beta;
+    signal.anomalous = match.anomalous;
+    signal.class_tag = match.class_tag;
+    signal.samples = store.at(match.store_index).samples;
+    set.push_back(std::move(signal));
+  }
+  load(std::move(set));
+}
+
+void EdgeTracker::load_from_message(
+    const net::CorrelationSetMessage& message) {
+  std::vector<TrackedSignal> set;
+  set.reserve(message.entries.size());
+  for (const auto& entry : message.entries) {
+    TrackedSignal signal;
+    signal.set_id = entry.set_id;
+    signal.omega = static_cast<double>(entry.omega);
+    signal.beta = entry.beta;
+    signal.anomalous = entry.anomalous != 0;
+    signal.class_tag = entry.class_tag;
+    signal.samples = entry.samples;
+    set.push_back(std::move(signal));
+  }
+  load(std::move(set));
+}
+
+double EdgeTracker::anomaly_probability() const {
+  if (tracked_.empty()) {
+    return 0.0;
+  }
+  const auto anomalous = static_cast<double>(
+      std::count_if(tracked_.begin(), tracked_.end(),
+                    [](const TrackedSignal& s) { return s.anomalous; }));
+  return anomalous / static_cast<double>(tracked_.size());
+}
+
+TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
+  TrackStepResult result;
+  if (!loaded_) {
+    return result;
+  }
+  require(filtered_window.size() == config_.window_length,
+          "EdgeTracker::step: window length mismatch");
+  const auto start_time = std::chrono::steady_clock::now();
+
+  const std::size_t window = config_.window_length;
+  result.tracked_before = tracked_.size();
+
+  std::vector<TrackedSignal> survivors;
+  survivors.reserve(tracked_.size());
+  for (auto& signal : tracked_) {
+    if (signal.samples.size() < window ||
+        signal.beta > signal.samples.size() - window) {
+      ++result.removed_exhausted;
+      continue;
+    }
+    const std::span<const double> samples(signal.samples);
+    // Forward re-match scan from the current offset (Algorithm 2's
+    // while-loop over W.β).
+    const std::size_t limit =
+        std::min(signal.samples.size() - window,
+                 signal.beta + config_.track_scan_stride *
+                                   (config_.track_max_scan_offsets - 1));
+    bool matched = false;
+    for (std::size_t offset = signal.beta; offset <= limit;
+         offset += config_.track_scan_stride) {
+      const double area = dsp::area_between_capped_counted(
+          filtered_window, samples.subspan(offset, window),
+          config_.delta_area, result.abs_ops);
+      if (area <= config_.delta_area) {
+        signal.beta = offset;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      survivors.push_back(std::move(signal));
+    } else {
+      ++result.removed_dissimilar;
+    }
+  }
+  tracked_ = std::move(survivors);
+
+  result.tracked_after = tracked_.size();
+  result.anomaly_probability = anomaly_probability();
+  result.cloud_call_needed = tracked_.size() < config_.tracking_threshold_h;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time)
+          .count();
+  return result;
+}
+
+}  // namespace emap::core

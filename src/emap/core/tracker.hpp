@@ -1,0 +1,88 @@
+// Algorithm 2: lightweight signal tracking at the edge.
+//
+// The edge holds the signal correlation set T downloaded from the cloud.
+// For every subsequent one-second input window it evaluates the area
+// between curves (Eq. 3) between the input and each tracked signal-set,
+// removes sets that no longer match, estimates the anomaly probability
+// P_A = N(AS)/N(F) (Eq. 5), and requests a new cloud search when the
+// number of tracked signals drops below H.
+//
+// Interpretation note (see DESIGN.md): the paper's Algorithm 2 pseudocode
+// scans W.β over the remaining offsets of each tracked set.  We implement
+// that literal reading: starting from the current matched offset β, scan
+// forward (stride `track_scan_stride`, early-exit area evaluation); the
+// first offset within δ_A becomes the new β and the signal survives, sets
+// with no remaining matching offset are removed.  This is what lets a
+// quasi-stationary match survive the ~5 tracked iterations of Fig. 9 while
+// diverging signals are eliminated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emap/core/config.hpp"
+#include "emap/core/search.hpp"
+#include "emap/mdb/store.hpp"
+#include "emap/net/transport.hpp"
+
+namespace emap::core {
+
+/// One signal-set being tracked at the edge (W = [S, ω, β] of the paper).
+struct TrackedSignal {
+  std::uint64_t set_id = 0;
+  double omega = 0.0;            ///< correlation at the original cloud match
+  std::size_t beta = 0;          ///< current matched offset within samples
+  bool anomalous = false;
+  std::uint8_t class_tag = 0;
+  std::vector<double> samples;   ///< the full signal-set
+};
+
+/// Outcome of one tracking iteration.
+struct TrackStepResult {
+  std::size_t tracked_before = 0;
+  std::size_t removed_dissimilar = 0;  ///< no offset within δ_A
+  std::size_t removed_exhausted = 0;   ///< ran out of signal-set samples
+  std::size_t tracked_after = 0;
+  double anomaly_probability = 0.0;    ///< P_A after removals (Eq. 5)
+  bool cloud_call_needed = false;      ///< N(F) < H
+  std::uint64_t abs_ops = 0;           ///< early-exit ABS ops actually spent
+  double wall_seconds = 0.0;
+};
+
+/// The edge-side tracker.
+class EdgeTracker {
+ public:
+  explicit EdgeTracker(const EmapConfig& config);
+
+  /// Installs a freshly downloaded correlation set, replacing any previous
+  /// one (the paper reloads T wholesale after each cloud call).
+  void load(std::vector<TrackedSignal> correlation_set);
+
+  /// Builds TrackedSignals from a cloud SearchResult plus the store the
+  /// search ran against, then installs them.
+  void load_from_search(const SearchResult& result,
+                        const mdb::MdbStore& store);
+
+  /// Builds TrackedSignals from the wire message (edge side of the
+  /// transport path), then installs them.
+  void load_from_message(const net::CorrelationSetMessage& message);
+
+  /// Runs one Algorithm 2 iteration against the next filtered window.
+  /// No-op returning an empty result when nothing is loaded.
+  TrackStepResult step(std::span<const double> filtered_window);
+
+  bool loaded() const { return loaded_; }
+  std::size_t active_count() const { return tracked_.size(); }
+  const std::vector<TrackedSignal>& active() const { return tracked_; }
+
+  /// P_A over the currently tracked set (Eq. 5); 0 when empty.
+  double anomaly_probability() const;
+
+ private:
+  EmapConfig config_;
+  std::vector<TrackedSignal> tracked_;
+  bool loaded_ = false;
+};
+
+}  // namespace emap::core

@@ -1,0 +1,62 @@
+#include "emap/dsp/area.hpp"
+
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::dsp {
+
+double area_between(std::span<const double> a, std::span<const double> b) {
+  require(!a.empty() && a.size() == b.size(),
+          "area_between: curves must have equal non-zero length");
+  double area = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    area += std::abs(a[i] - b[i]);
+  }
+  return area;
+}
+
+double area_between_capped(std::span<const double> a,
+                           std::span<const double> b, double threshold) {
+  require(!a.empty() && a.size() == b.size(),
+          "area_between_capped: curves must have equal non-zero length");
+  double area = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    area += std::abs(a[i] - b[i]);
+    if (area > threshold) {
+      return area;
+    }
+  }
+  return area;
+}
+
+double area_between_capped_counted(std::span<const double> a,
+                                   std::span<const double> b,
+                                   double threshold, std::size_t& ops) {
+  require(!a.empty() && a.size() == b.size(),
+          "area_between_capped_counted: curves must have equal non-zero length");
+  double area = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    area += std::abs(a[i] - b[i]);
+    ++ops;
+    if (area > threshold) {
+      return area;
+    }
+  }
+  return area;
+}
+
+std::vector<double> sliding_area(std::span<const double> probe,
+                                 std::span<const double> haystack) {
+  if (probe.empty() || haystack.size() < probe.size()) {
+    return {};
+  }
+  const std::size_t offsets = haystack.size() - probe.size() + 1;
+  std::vector<double> result(offsets, 0.0);
+  for (std::size_t k = 0; k < offsets; ++k) {
+    result[k] = area_between(probe, haystack.subspan(k, probe.size()));
+  }
+  return result;
+}
+
+}  // namespace emap::dsp

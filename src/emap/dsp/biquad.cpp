@@ -1,0 +1,152 @@
+#include "emap/dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "emap/common/error.hpp"
+
+namespace emap::dsp {
+namespace {
+
+struct RbjParams {
+  double omega;
+  double sin_w;
+  double cos_w;
+  double alpha;
+};
+
+RbjParams rbj(double freq_hz, double fs_hz, double q) {
+  require(fs_hz > 0.0, "Biquad: fs must be > 0");
+  require(freq_hz > 0.0 && freq_hz < fs_hz / 2.0,
+          "Biquad: frequency must lie in (0, fs/2)");
+  require(q > 0.0, "Biquad: q must be > 0");
+  RbjParams params{};
+  params.omega = 2.0 * std::numbers::pi * freq_hz / fs_hz;
+  params.sin_w = std::sin(params.omega);
+  params.cos_w = std::cos(params.omega);
+  params.alpha = params.sin_w / (2.0 * q);
+  return params;
+}
+
+}  // namespace
+
+Biquad::Biquad(double b0, double b1, double b2, double a0, double a1,
+               double a2) {
+  require(std::abs(a0) > 1e-300, "Biquad: a0 must be non-zero");
+  b0_ = b0 / a0;
+  b1_ = b1 / a0;
+  b2_ = b2 / a0;
+  a1_ = a1 / a0;
+  a2_ = a2 / a0;
+}
+
+Biquad Biquad::lowpass(double freq_hz, double fs_hz, double q) {
+  const auto p = rbj(freq_hz, fs_hz, q);
+  const double b1 = 1.0 - p.cos_w;
+  return Biquad(b1 / 2.0, b1, b1 / 2.0, 1.0 + p.alpha, -2.0 * p.cos_w,
+                1.0 - p.alpha);
+}
+
+Biquad Biquad::highpass(double freq_hz, double fs_hz, double q) {
+  const auto p = rbj(freq_hz, fs_hz, q);
+  const double b1 = 1.0 + p.cos_w;
+  return Biquad(b1 / 2.0, -b1, b1 / 2.0, 1.0 + p.alpha, -2.0 * p.cos_w,
+                1.0 - p.alpha);
+}
+
+Biquad Biquad::notch(double freq_hz, double fs_hz, double q) {
+  const auto p = rbj(freq_hz, fs_hz, q);
+  return Biquad(1.0, -2.0 * p.cos_w, 1.0, 1.0 + p.alpha, -2.0 * p.cos_w,
+                1.0 - p.alpha);
+}
+
+Biquad Biquad::peaking(double freq_hz, double fs_hz, double gain_db,
+                       double q) {
+  const auto p = rbj(freq_hz, fs_hz, q);
+  const double amp = std::pow(10.0, gain_db / 40.0);
+  return Biquad(1.0 + p.alpha * amp, -2.0 * p.cos_w, 1.0 - p.alpha * amp,
+                1.0 + p.alpha / amp, -2.0 * p.cos_w, 1.0 - p.alpha / amp);
+}
+
+double Biquad::process_sample(double x) {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+std::vector<double> Biquad::process_block(std::span<const double> input) {
+  std::vector<double> output;
+  output.reserve(input.size());
+  for (double x : input) {
+    output.push_back(process_sample(x));
+  }
+  return output;
+}
+
+void Biquad::reset() {
+  x1_ = x2_ = y1_ = y2_ = 0.0;
+}
+
+double Biquad::magnitude_response(double freq_hz, double fs_hz) const {
+  require(fs_hz > 0.0, "Biquad: fs must be > 0");
+  const double omega = 2.0 * std::numbers::pi * freq_hz / fs_hz;
+  const std::complex<double> z = std::exp(std::complex<double>(0.0, omega));
+  const std::complex<double> z1 = 1.0 / z;
+  const std::complex<double> z2 = z1 * z1;
+  const std::complex<double> numerator = b0_ + b1_ * z1 + b2_ * z2;
+  const std::complex<double> denominator = 1.0 + a1_ * z1 + a2_ * z2;
+  return std::abs(numerator / denominator);
+}
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_(std::move(sections)) {}
+
+double BiquadCascade::process_sample(double x) {
+  for (auto& section : sections_) {
+    x = section.process_sample(x);
+  }
+  return x;
+}
+
+std::vector<double> BiquadCascade::process_block(
+    std::span<const double> input) {
+  std::vector<double> output;
+  output.reserve(input.size());
+  for (double x : input) {
+    output.push_back(process_sample(x));
+  }
+  return output;
+}
+
+void BiquadCascade::reset() {
+  for (auto& section : sections_) {
+    section.reset();
+  }
+}
+
+double BiquadCascade::magnitude_response(double freq_hz, double fs_hz) const {
+  double magnitude = 1.0;
+  for (const auto& section : sections_) {
+    magnitude *= section.magnitude_response(freq_hz, fs_hz);
+  }
+  return magnitude;
+}
+
+BiquadCascade make_acquisition_frontend(double fs_hz, double mains_hz) {
+  require(mains_hz > 0.0 && mains_hz < fs_hz / 2.0,
+          "make_acquisition_frontend: mains frequency out of range");
+  BiquadCascade cascade;
+  cascade.push_back(Biquad::highpass(0.5, fs_hz));
+  cascade.push_back(Biquad::notch(mains_hz, fs_hz));
+  const double harmonic = 2.0 * mains_hz;
+  if (harmonic < fs_hz / 2.0) {
+    cascade.push_back(Biquad::notch(harmonic, fs_hz));
+  }
+  return cascade;
+}
+
+}  // namespace emap::dsp

@@ -1,0 +1,70 @@
+// IIR biquad filters (RBJ audio-EQ-cookbook designs).
+//
+// The FIR bandpass of Eq. 1 is EMAP's published pre-processing, but a real
+// electrode-cap front end also carries a powerline notch (50/60 Hz) and a
+// DC-blocking highpass before digitization.  This module provides those as
+// standard biquad sections with a cascade container; the acquisition
+// examples and the artifact-robustness tests use them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emap::dsp {
+
+/// Second-order IIR section, direct form I:
+///   y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]) / a0
+class Biquad {
+ public:
+  /// Raw coefficients (a0 must be non-zero; it is divided out).
+  Biquad(double b0, double b1, double b2, double a0, double a1, double a2);
+
+  /// RBJ designs.  `q` controls bandwidth (notch sharpness); frequencies
+  /// must lie in (0, fs/2).
+  static Biquad lowpass(double freq_hz, double fs_hz, double q = 0.7071);
+  static Biquad highpass(double freq_hz, double fs_hz, double q = 0.7071);
+  static Biquad notch(double freq_hz, double fs_hz, double q = 30.0);
+  static Biquad peaking(double freq_hz, double fs_hz, double gain_db,
+                        double q = 1.0);
+
+  /// Processes one sample (stateful).
+  double process_sample(double x);
+
+  /// Processes a block (equivalent to repeated process_sample).
+  std::vector<double> process_block(std::span<const double> input);
+
+  /// Clears the delay line.
+  void reset();
+
+  /// Magnitude response at `freq_hz` for sampling rate `fs_hz`.
+  double magnitude_response(double freq_hz, double fs_hz) const;
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// A chain of biquad sections applied in sequence.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections);
+
+  void push_back(Biquad section) { sections_.push_back(section); }
+  std::size_t size() const { return sections_.size(); }
+
+  double process_sample(double x);
+  std::vector<double> process_block(std::span<const double> input);
+  void reset();
+  double magnitude_response(double freq_hz, double fs_hz) const;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// The standard EEG acquisition front end: DC-blocking highpass (0.5 Hz) +
+/// powerline notch at `mains_hz` (50 or 60) and its first harmonic.
+BiquadCascade make_acquisition_frontend(double fs_hz, double mains_hz = 50.0);
+
+}  // namespace emap::dsp

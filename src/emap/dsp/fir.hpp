@@ -1,0 +1,92 @@
+// FIR filter design and application.
+//
+// EMAP's acquisition stage passes every signal through a 100-tap bandpass
+// filter H(z) = sum_{n=0}^{99} h(n) z^-n attenuating everything outside
+// 11-40 Hz (paper Eq. 1 and Section V-A).  FirFilter implements both the
+// batch form used when building the mega-database and the streaming form
+// the edge sensor node would run ("a simple hard-coded accelerator").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "emap/dsp/window.hpp"
+
+namespace emap::dsp {
+
+/// Filter response types supported by the windowed-sinc designer.
+enum class FirResponse {
+  kLowpass,
+  kHighpass,
+  kBandpass,
+  kBandstop,
+};
+
+/// Design parameters for a windowed-sinc FIR filter.
+struct FirDesign {
+  FirResponse response = FirResponse::kBandpass;
+  std::size_t taps = 100;          ///< number of coefficients (paper: 100)
+  double sample_rate_hz = 256.0;   ///< sampling frequency
+  double low_cut_hz = 11.0;        ///< lower edge (bandpass/bandstop/highpass)
+  double high_cut_hz = 40.0;       ///< upper edge (bandpass/bandstop/lowpass)
+  WindowKind window = WindowKind::kHamming;
+};
+
+/// Designs windowed-sinc coefficients for `design`.
+///
+/// Preconditions: taps >= 2; cut frequencies inside (0, fs/2); for band
+/// responses low_cut < high_cut.  Even-length designs (like the paper's 100
+/// taps) are supported; the ideal response is sampled on the half-sample
+/// symmetric grid so the filter stays linear-phase (type II).
+std::vector<double> design_fir(const FirDesign& design);
+
+/// A causal FIR filter: batch convolution plus stateful streaming.
+class FirFilter {
+ public:
+  /// Builds a filter from explicit coefficients.  Requires at least one tap.
+  explicit FirFilter(std::vector<double> coefficients);
+
+  /// Designs and builds in one step.
+  explicit FirFilter(const FirDesign& design);
+
+  /// The paper's filter: 100-tap Hamming bandpass, 11-40 Hz at 256 Hz.
+  static FirFilter paper_bandpass();
+
+  /// Number of taps.
+  std::size_t taps() const { return coefficients_.size(); }
+
+  /// Filter coefficients h(0..taps-1).
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// Group delay in samples ((taps-1)/2 for linear-phase designs).
+  double group_delay() const {
+    return (static_cast<double>(coefficients_.size()) - 1.0) / 2.0;
+  }
+
+  /// Batch form: y[k] = sum_i h[i] * x[k-i] with zero history before x[0].
+  /// Output has the same length as the input (paper Section V-A's
+  /// B(N,k) = sum_i H_i * I(N,k-i)).
+  std::vector<double> apply(std::span<const double> input) const;
+
+  /// Streaming form: consumes one sample, returns one filtered sample.
+  /// History persists across calls until reset().
+  double process_sample(double sample);
+
+  /// Streaming form over a block, equivalent to repeated process_sample.
+  std::vector<double> process_block(std::span<const double> input);
+
+  /// Clears streaming history.
+  void reset();
+
+  /// Complex magnitude of the frequency response at `frequency_hz` for a
+  /// sampling rate of `sample_rate_hz`.
+  double magnitude_response(double frequency_hz, double sample_rate_hz) const;
+
+ private:
+  std::vector<double> coefficients_;
+  std::vector<double> history_;  // circular delay line
+  std::size_t history_pos_ = 0;
+};
+
+}  // namespace emap::dsp

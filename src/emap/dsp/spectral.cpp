@@ -1,0 +1,54 @@
+#include "emap/dsp/spectral.hpp"
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/fft.hpp"
+
+namespace emap::dsp {
+
+double spectral_edge_frequency(std::span<const double> signal,
+                               double sample_rate_hz, double fraction) {
+  require(sample_rate_hz > 0.0,
+          "spectral_edge_frequency: sample rate must be > 0");
+  require(fraction > 0.0 && fraction <= 1.0,
+          "spectral_edge_frequency: fraction must be in (0, 1]");
+  if (signal.empty()) {
+    return 0.0;
+  }
+  const auto power = power_spectrum(signal);
+  double total = 0.0;
+  for (double p : power) {
+    total += p;
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  const double padded = static_cast<double>(next_pow2(signal.size()));
+  const double bin_hz = sample_rate_hz / padded;
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    cumulative += power[k];
+    if (cumulative >= fraction * total) {
+      return static_cast<double>(k) * bin_hz;
+    }
+  }
+  return static_cast<double>(power.size() - 1) * bin_hz;
+}
+
+double median_frequency(std::span<const double> signal,
+                        double sample_rate_hz) {
+  return spectral_edge_frequency(signal, sample_rate_hz, 0.5);
+}
+
+double band_ratio(std::span<const double> signal, double sample_rate_hz,
+                  double numer_lo_hz, double numer_hi_hz,
+                  double denom_lo_hz, double denom_hi_hz) {
+  const double denominator =
+      band_power(signal, sample_rate_hz, denom_lo_hz, denom_hi_hz);
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return band_power(signal, sample_rate_hz, numer_lo_hz, numer_hi_hz) /
+         denominator;
+}
+
+}  // namespace emap::dsp

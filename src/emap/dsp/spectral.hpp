@@ -1,0 +1,29 @@
+// Spectral summary measures standard in quantitative EEG.
+//
+// Complements stats.hpp with frequency-domain descriptors used by EEG
+// monitoring systems (and by our evaluation tooling): spectral edge
+// frequency, median frequency, and band-ratio indices.
+#pragma once
+
+#include <span>
+
+namespace emap::dsp {
+
+/// Frequency below which `fraction` of the one-sided spectral power lies
+/// (SEF; fraction = 0.95 gives the classic SEF95).  Returns 0 for empty or
+/// all-zero signals.  fraction must be in (0, 1].
+double spectral_edge_frequency(std::span<const double> signal,
+                               double sample_rate_hz, double fraction = 0.95);
+
+/// Median power frequency (SEF with fraction = 0.5).
+double median_frequency(std::span<const double> signal,
+                        double sample_rate_hz);
+
+/// Ratio of power in [numer_lo, numer_hi] to power in [denom_lo, denom_hi];
+/// 0 when the denominator band is empty of power.  Classic uses: theta/beta
+/// slowing index, alpha/delta ratio.
+double band_ratio(std::span<const double> signal, double sample_rate_hz,
+                  double numer_lo_hz, double numer_hi_hz,
+                  double denom_lo_hz, double denom_hi_hz);
+
+}  // namespace emap::dsp

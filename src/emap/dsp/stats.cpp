@@ -1,0 +1,155 @@
+#include "emap/dsp/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace emap::dsp {
+namespace {
+
+constexpr double kTinyVariance = 1e-24;
+
+std::vector<double> diff(std::span<const double> signal) {
+  if (signal.size() < 2) {
+    return {};
+  }
+  std::vector<double> d(signal.size() - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < signal.size(); ++i) {
+    d[i] = signal[i + 1] - signal[i];
+  }
+  return d;
+}
+
+}  // namespace
+
+double mean(std::span<const double> signal) {
+  if (signal.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : signal) {
+    acc += v;
+  }
+  return acc / static_cast<double>(signal.size());
+}
+
+double variance(std::span<const double> signal) {
+  if (signal.empty()) {
+    return 0.0;
+  }
+  const double m = mean(signal);
+  double acc = 0.0;
+  for (double v : signal) {
+    const double centered = v - m;
+    acc += centered * centered;
+  }
+  return acc / static_cast<double>(signal.size());
+}
+
+double stddev(std::span<const double> signal) {
+  return std::sqrt(variance(signal));
+}
+
+double rms(std::span<const double> signal) {
+  if (signal.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : signal) {
+    acc += v * v;
+  }
+  return std::sqrt(acc / static_cast<double>(signal.size()));
+}
+
+double line_length(std::span<const double> signal) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < signal.size(); ++i) {
+    acc += std::abs(signal[i + 1] - signal[i]);
+  }
+  return acc;
+}
+
+std::size_t zero_crossings(std::span<const double> signal) {
+  if (signal.size() < 2) {
+    return 0;
+  }
+  const double m = mean(signal);
+  std::size_t crossings = 0;
+  bool has_prev = false;
+  bool prev_positive = false;
+  for (double v : signal) {
+    const double centered = v - m;
+    if (centered == 0.0) {
+      continue;  // on-axis samples don't define a side
+    }
+    const bool positive = centered > 0.0;
+    if (has_prev && positive != prev_positive) {
+      ++crossings;
+    }
+    prev_positive = positive;
+    has_prev = true;
+  }
+  return crossings;
+}
+
+double hjorth_mobility(std::span<const double> signal) {
+  const double var_x = variance(signal);
+  if (var_x < kTinyVariance) {
+    return 0.0;
+  }
+  const auto dx = diff(signal);
+  return std::sqrt(variance(dx) / var_x);
+}
+
+double hjorth_complexity(std::span<const double> signal) {
+  const double mob_x = hjorth_mobility(signal);
+  if (mob_x == 0.0) {
+    return 0.0;
+  }
+  const auto dx = diff(signal);
+  const double mob_dx = hjorth_mobility(dx);
+  return mob_dx / mob_x;
+}
+
+double peak_abs(std::span<const double> signal) {
+  double peak = 0.0;
+  for (double v : signal) {
+    peak = std::max(peak, std::abs(v));
+  }
+  return peak;
+}
+
+double skewness(std::span<const double> signal) {
+  if (signal.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(signal);
+  const double sd = stddev(signal);
+  if (sd * sd < kTinyVariance) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : signal) {
+    const double z = (v - m) / sd;
+    acc += z * z * z;
+  }
+  return acc / static_cast<double>(signal.size());
+}
+
+double kurtosis_excess(std::span<const double> signal) {
+  if (signal.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(signal);
+  const double sd = stddev(signal);
+  if (sd * sd < kTinyVariance) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double v : signal) {
+    const double z = (v - m) / sd;
+    acc += z * z * z * z;
+  }
+  return acc / static_cast<double>(signal.size()) - 3.0;
+}
+
+}  // namespace emap::dsp

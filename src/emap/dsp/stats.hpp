@@ -1,0 +1,44 @@
+// Signal statistics shared by the synthesizer (amplitude calibration), the
+// ML baselines (feature extraction) and the test suite (invariants).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace emap::dsp {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> signal);
+
+/// Population variance (divide by N); 0 for empty input.
+double variance(std::span<const double> signal);
+
+/// Standard deviation.
+double stddev(std::span<const double> signal);
+
+/// Root mean square amplitude.
+double rms(std::span<const double> signal);
+
+/// Line length: sum of |x[i+1] - x[i]|.  A classic, cheap EEG seizure
+/// feature (rises sharply during rhythmic ictal activity).
+double line_length(std::span<const double> signal);
+
+/// Number of sign changes of the mean-removed signal.
+std::size_t zero_crossings(std::span<const double> signal);
+
+/// Hjorth mobility: stddev(dx) / stddev(x); 0 when x is constant.
+double hjorth_mobility(std::span<const double> signal);
+
+/// Hjorth complexity: mobility(dx) / mobility(x); 0 when undefined.
+double hjorth_complexity(std::span<const double> signal);
+
+/// Peak absolute amplitude; 0 for empty input.
+double peak_abs(std::span<const double> signal);
+
+/// Skewness (Fisher); 0 when variance is ~0 or input shorter than 2.
+double skewness(std::span<const double> signal);
+
+/// Excess kurtosis; 0 when variance is ~0 or input shorter than 2.
+double kurtosis_excess(std::span<const double> signal);
+
+}  // namespace emap::dsp

@@ -1,0 +1,52 @@
+#include "emap/dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "emap/common/error.hpp"
+
+namespace emap::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t length) {
+  require(length > 0, "make_window: length must be > 0");
+  std::vector<double> window(length, 1.0);
+  if (length == 1) {
+    return window;
+  }
+  const double denom = static_cast<double>(length - 1);
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t n = 0; n < length; ++n) {
+    const double phase = two_pi * static_cast<double>(n) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        window[n] = 1.0;
+        break;
+      case WindowKind::kHamming:
+        window[n] = 0.54 - 0.46 * std::cos(phase);
+        break;
+      case WindowKind::kHann:
+        window[n] = 0.5 - 0.5 * std::cos(phase);
+        break;
+      case WindowKind::kBlackman:
+        window[n] = 0.42 - 0.5 * std::cos(phase) + 0.08 * std::cos(2.0 * phase);
+        break;
+    }
+  }
+  return window;
+}
+
+const char* window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return "rectangular";
+    case WindowKind::kHamming:
+      return "hamming";
+    case WindowKind::kHann:
+      return "hann";
+    case WindowKind::kBlackman:
+      return "blackman";
+  }
+  return "unknown";
+}
+
+}  // namespace emap::dsp

@@ -1,0 +1,26 @@
+// Window functions for FIR design and spectral estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emap::dsp {
+
+/// Supported window shapes.
+enum class WindowKind {
+  kRectangular,  ///< all-ones; no sidelobe suppression
+  kHamming,      ///< 0.54 - 0.46 cos; the paper-era default for FIR design
+  kHann,         ///< raised cosine
+  kBlackman,     ///< three-term, strong sidelobe suppression
+};
+
+/// Returns an N-point symmetric window of the given kind.
+///
+/// Symmetric ("filter design") convention: w[n] = w[N-1-n], endpoints
+/// included.  Throws InvalidArgument when length == 0.
+std::vector<double> make_window(WindowKind kind, std::size_t length);
+
+/// Human-readable name of a window kind (for reports and traces).
+const char* window_name(WindowKind kind);
+
+}  // namespace emap::dsp

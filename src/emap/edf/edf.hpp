@@ -1,0 +1,58 @@
+// EDF (European Data Format) subset reader/writer.
+//
+// The paper's toolchain ingests the source corpora from EDF files (via
+// pyedflib); this module replaces that dependency with a from-scratch
+// implementation of the EDF core: the 256-byte fixed header, per-signal
+// header blocks, and 16-bit little-endian data records with linear
+// physical/digital scaling.  Supported subset: continuous recordings
+// ("EDF", not EDF+D), no annotation channels, uniform record duration.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace emap::edf {
+
+/// One signal (channel) of an EDF file.
+struct EdfChannel {
+  std::string label = "EEG";
+  std::string transducer = "AgAgCl electrode";
+  std::string physical_dimension = "uV";
+  /// Physical calibration range; samples outside are clamped on write.
+  double physical_min = -500.0;
+  double physical_max = 500.0;
+  /// Digital range of the stored 16-bit integers.
+  std::int32_t digital_min = -32768;
+  std::int32_t digital_max = 32767;
+  std::string prefiltering;
+  std::vector<double> samples;  ///< physical units
+};
+
+/// An in-memory EDF recording.
+struct EdfFile {
+  std::string patient_id = "X X X X";
+  std::string recording_id = "Startdate 01-JAN-2020 X X X";
+  std::string start_date = "01.01.20";  ///< dd.mm.yy
+  std::string start_time = "00.00.00";  ///< hh.mm.ss
+  double record_duration_sec = 1.0;
+  double sample_rate_hz = 256.0;  ///< uniform across channels (subset)
+  std::vector<EdfChannel> channels;
+};
+
+/// Serializes `file` to EDF bytes.  Channels must be non-empty and equal
+/// length; the final partial record is zero-padded (EDF stores whole
+/// records only).  Throws InvalidArgument on precondition violations.
+std::vector<std::uint8_t> encode_edf(const EdfFile& file);
+
+/// Parses EDF bytes.  Throws CorruptData on malformed or truncated input.
+EdfFile decode_edf(const std::vector<std::uint8_t>& bytes);
+
+/// Writes `file` to `path` (throws IoError on filesystem failure).
+void write_edf(const std::filesystem::path& path, const EdfFile& file);
+
+/// Reads an EDF file from `path`.
+EdfFile read_edf(const std::filesystem::path& path);
+
+}  // namespace emap::edf

@@ -1,0 +1,105 @@
+#include "emap/mdb/builder.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/resample.hpp"
+#include "emap/edf/edf.hpp"
+
+namespace emap::mdb {
+
+MdbBuilder::MdbBuilder(BuilderConfig config)
+    : config_(std::move(config)),
+      store_(StoreInfo{config_.base_fs_hz,
+                       static_cast<std::uint32_t>(config_.slice_length)}) {
+  require(config_.base_fs_hz > 0.0, "MdbBuilder: base rate must be > 0");
+  require(config_.slice_length > 0, "MdbBuilder: slice length must be > 0");
+  require(config_.slice_stride > 0, "MdbBuilder: slice stride must be > 0");
+  require(config_.anomalous_fraction >= 0.0 &&
+              config_.anomalous_fraction <= 1.0,
+          "MdbBuilder: anomalous fraction must be in [0, 1]");
+  config_.filter.sample_rate_hz = config_.base_fs_hz;
+}
+
+std::size_t MdbBuilder::add_signal(std::span<const double> samples,
+                                   double native_fs_hz,
+                                   const std::string& source,
+                                   std::uint32_t source_recording,
+                                   const LabelAt& label_at,
+                                   std::uint8_t class_tag) {
+  require(native_fs_hz > 0.0, "MdbBuilder::add_signal: bad native rate");
+  if (samples.empty()) {
+    return 0;
+  }
+
+  // 1) Up-/down-sample to the base rate.
+  const auto resampled =
+      dsp::resample(samples, native_fs_hz, config_.base_fs_hz);
+
+  // 2) Bandpass filter (identical design to the edge acquisition filter).
+  dsp::FirFilter filter(config_.filter);
+  auto filtered = filter.apply(resampled);
+
+  // 3) Optionally drop the filter warm-up (one filter length) so slices
+  //    don't start with the zero-history transient.
+  std::size_t head = 0;
+  if (config_.drop_filter_transient) {
+    head = std::min(filtered.size(), filter.taps());
+  }
+
+  // 4) Slice and label.
+  std::size_t inserted = 0;
+  for (std::size_t begin = head;
+       begin + config_.slice_length <= filtered.size();
+       begin += config_.slice_stride) {
+    SignalSet set;
+    set.samples.assign(
+        filtered.begin() + static_cast<std::ptrdiff_t>(begin),
+        filtered.begin() +
+            static_cast<std::ptrdiff_t>(begin + config_.slice_length));
+    set.source = source;
+    set.source_recording = source_recording;
+    set.start_sec = static_cast<double>(begin) / config_.base_fs_hz;
+    set.class_tag = class_tag;
+
+    // Label: fraction of slice samples whose time is annotated anomalous.
+    std::size_t anomalous_samples = 0;
+    if (label_at) {
+      for (std::size_t k = 0; k < config_.slice_length; ++k) {
+        const double t =
+            static_cast<double>(begin + k) / config_.base_fs_hz;
+        if (label_at(t)) {
+          ++anomalous_samples;
+        }
+      }
+    }
+    set.anomalous =
+        static_cast<double>(anomalous_samples) >=
+        config_.anomalous_fraction * static_cast<double>(config_.slice_length);
+    store_.insert(std::move(set));
+    ++inserted;
+  }
+  return inserted;
+}
+
+std::size_t MdbBuilder::add_recording(const synth::Recording& recording,
+                                      const std::string& source,
+                                      std::uint32_t source_recording) {
+  return add_signal(
+      recording.samples, recording.fs(), source, source_recording,
+      [&recording](double t) { return recording.anomalous_at(t); },
+      static_cast<std::uint8_t>(recording.spec.cls));
+}
+
+std::size_t MdbBuilder::add_edf(const std::filesystem::path& path,
+                                const std::string& source,
+                                std::uint32_t source_recording,
+                                const LabelAt& label_at,
+                                std::uint8_t class_tag) {
+  const auto file = edf::read_edf(path);
+  require(!file.channels.empty(), "MdbBuilder::add_edf: no channels");
+  return add_signal(file.channels.front().samples, file.sample_rate_hz,
+                    source, source_recording, label_at, class_tag);
+}
+
+}  // namespace emap::mdb

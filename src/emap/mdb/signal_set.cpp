@@ -1,0 +1,2 @@
+// SignalSet is a plain aggregate; see codec.cpp for its wire format.
+#include "emap/mdb/signal_set.hpp"

@@ -1,0 +1,71 @@
+// MdbStore: the mega-database of labeled signal-sets.
+//
+// Stands in for the paper's MongoDB instance: durable storage, label and
+// provenance queries, and a sharded view for the parallel cloud search.
+// The store is append-only; signal-sets are immutable once inserted.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "emap/mdb/codec.hpp"
+#include "emap/mdb/signal_set.hpp"
+
+namespace emap::mdb {
+
+/// In-memory mega-database with binary persistence.
+class MdbStore {
+ public:
+  MdbStore() = default;
+  explicit MdbStore(StoreInfo info) : info_(info) {}
+
+  const StoreInfo& info() const { return info_; }
+
+  /// Inserts a signal-set; assigns the next id when set.id == 0.
+  /// Returns the stored id.  Throws InvalidArgument when the sample count
+  /// does not match info().slice_length.
+  std::uint64_t insert(SignalSet set);
+
+  std::size_t size() const { return sets_.size(); }
+  bool empty() const { return sets_.empty(); }
+
+  /// Record access by position (0 <= index < size()).
+  const SignalSet& at(std::size_t index) const;
+
+  /// All records, in insertion order.
+  std::span<const SignalSet> all() const { return sets_; }
+
+  /// Number of anomalous records.
+  std::size_t count_anomalous() const;
+
+  /// Positions of records with the given label.
+  std::vector<std::size_t> query_label(bool anomalous) const;
+
+  /// Positions of records from the given corpus.
+  std::vector<std::size_t> query_source(std::string_view source) const;
+
+  /// Splits [0, size()) into `shard_count` near-equal [begin, end) ranges
+  /// for parallel scanning; empty shards are omitted.
+  std::vector<std::pair<std::size_t, std::size_t>> shards(
+      std::size_t shard_count) const;
+
+  /// Serializes the whole store (file format in codec.hpp).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses a serialized store; throws CorruptData on malformed input.
+  static MdbStore decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Saves to / loads from disk.
+  void save(const std::filesystem::path& path) const;
+  static MdbStore load(const std::filesystem::path& path);
+
+ private:
+  StoreInfo info_;
+  std::vector<SignalSet> sets_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace emap::mdb

@@ -1,0 +1,52 @@
+#include "emap/ml/features.hpp"
+
+#include "emap/dsp/fft.hpp"
+#include "emap/dsp/stats.hpp"
+
+namespace emap::ml {
+
+const std::array<std::string, kFeatureCount>& feature_names() {
+  static const std::array<std::string, kFeatureCount> names = {
+      "power_delta_theta",  // 1-8 Hz
+      "power_alpha",        // 8-13 Hz
+      "power_low_beta",     // 13-22 Hz
+      "power_high_beta",    // 22-40 Hz
+      "line_length",
+      "variance",
+      "hjorth_mobility",
+      "hjorth_complexity",
+      "zero_crossings",
+      "rms",
+  };
+  return names;
+}
+
+FeatureVector extract_features(std::span<const double> window, double fs_hz) {
+  FeatureVector features{};
+  if (window.size() < 8) {
+    return features;
+  }
+  features[0] = dsp::band_power(window, fs_hz, 1.0, 8.0);
+  features[1] = dsp::band_power(window, fs_hz, 8.0, 13.0);
+  features[2] = dsp::band_power(window, fs_hz, 13.0, 22.0);
+  features[3] = dsp::band_power(window, fs_hz, 22.0, 40.0);
+  features[4] = dsp::line_length(window);
+  features[5] = dsp::variance(window);
+  features[6] = dsp::hjorth_mobility(window);
+  features[7] = dsp::hjorth_complexity(window);
+  features[8] = static_cast<double>(dsp::zero_crossings(window));
+  features[9] = dsp::rms(window);
+  return features;
+}
+
+std::vector<FeatureVector> extract_features_batch(
+    const std::vector<std::vector<double>>& windows, double fs_hz) {
+  std::vector<FeatureVector> rows;
+  rows.reserve(windows.size());
+  for (const auto& window : windows) {
+    rows.push_back(extract_features(window, fs_hz));
+  }
+  return rows;
+}
+
+}  // namespace emap::ml

@@ -1,0 +1,33 @@
+// EEG window feature extraction for the baseline predictors.
+//
+// The SoA comparison points the paper cites ([13] Samie et al., [18] Zhang
+// et al.) are feature-plus-classifier pipelines; this extractor provides
+// the classic low-cost feature set they build on: band powers, line
+// length, variance, Hjorth parameters, and zero crossings.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace emap::ml {
+
+/// Number of features produced per window.
+inline constexpr std::size_t kFeatureCount = 10;
+
+/// Feature vector of one EEG window.
+using FeatureVector = std::array<double, kFeatureCount>;
+
+/// Feature names, index-aligned with FeatureVector.
+const std::array<std::string, kFeatureCount>& feature_names();
+
+/// Extracts the feature vector from `window` sampled at `fs_hz`.
+/// Windows shorter than 8 samples yield all-zero features.
+FeatureVector extract_features(std::span<const double> window, double fs_hz);
+
+/// Batch helper: one row per window.
+std::vector<FeatureVector> extract_features_batch(
+    const std::vector<std::vector<double>>& windows, double fs_hz);
+
+}  // namespace emap::ml

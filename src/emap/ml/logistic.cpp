@@ -1,0 +1,95 @@
+#include "emap/ml/logistic.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+
+namespace emap::ml {
+namespace {
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticConfig config)
+    : config_(config) {
+  require(config_.learning_rate > 0.0, "LogisticRegression: bad lr");
+  require(config_.epochs > 0, "LogisticRegression: bad epochs");
+  require(config_.batch_size > 0, "LogisticRegression: bad batch size");
+}
+
+void LogisticRegression::fit(const std::vector<FeatureVector>& rows,
+                             const std::vector<int>& labels) {
+  require(!rows.empty(), "LogisticRegression::fit: empty data");
+  require(rows.size() == labels.size(),
+          "LogisticRegression::fit: rows/labels size mismatch");
+  weights_.fill(0.0);
+  bias_ = 0.0;
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = rng.uniform_index(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    // Learning-rate decay keeps late epochs stable.
+    const double lr =
+        config_.learning_rate /
+        (1.0 + 0.01 * static_cast<double>(epoch));
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      FeatureVector grad{};
+      double grad_bias = 0.0;
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& row = rows[order[k]];
+        const double target = static_cast<double>(labels[order[k]]);
+        double z = bias_;
+        for (std::size_t j = 0; j < kFeatureCount; ++j) {
+          z += weights_[j] * row[j];
+        }
+        const double error = sigmoid(z) - target;
+        for (std::size_t j = 0; j < kFeatureCount; ++j) {
+          grad[j] += error * row[j];
+        }
+        grad_bias += error;
+      }
+      const double scale = lr / static_cast<double>(end - start);
+      for (std::size_t j = 0; j < kFeatureCount; ++j) {
+        weights_[j] -= scale * (grad[j] + config_.l2 * weights_[j]);
+      }
+      bias_ -= scale * grad_bias;
+    }
+  }
+  trained_ = true;
+}
+
+double LogisticRegression::predict_proba(const FeatureVector& row) const {
+  require(trained_, "LogisticRegression::predict_proba: not trained");
+  double z = bias_;
+  for (std::size_t j = 0; j < kFeatureCount; ++j) {
+    z += weights_[j] * row[j];
+  }
+  return sigmoid(z);
+}
+
+int LogisticRegression::predict(const FeatureVector& row) const {
+  return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace emap::ml

@@ -1,0 +1,52 @@
+// L2-regularized logistic regression trained by mini-batch SGD.
+//
+// The lightweight classifier behind both SoA-style baselines.  Written
+// from scratch (no external ML dependency) and deterministic given the
+// training seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emap/ml/features.hpp"
+
+namespace emap::ml {
+
+/// Training hyperparameters.
+struct LogisticConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t epochs = 200;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 7;
+};
+
+/// Binary logistic-regression model over FeatureVector inputs.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticConfig config = {});
+
+  /// Fits on (rows, labels); labels are 0/1.  Requires equal non-zero
+  /// sizes and at least one example of each class for a meaningful model
+  /// (single-class data trains but predicts that class everywhere).
+  void fit(const std::vector<FeatureVector>& rows,
+           const std::vector<int>& labels);
+
+  /// P(label = 1 | row).
+  double predict_proba(const FeatureVector& row) const;
+
+  /// Hard decision at threshold 0.5.
+  int predict(const FeatureVector& row) const;
+
+  bool trained() const { return trained_; }
+  const FeatureVector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticConfig config_;
+  FeatureVector weights_{};
+  double bias_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace emap::ml

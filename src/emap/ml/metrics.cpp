@@ -1,0 +1,61 @@
+#include "emap/ml/metrics.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::ml {
+
+double Confusion::accuracy() const {
+  const std::size_t n = total();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(n);
+}
+
+double Confusion::sensitivity() const {
+  const std::size_t positives = true_positive + false_negative;
+  if (positives == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive) / static_cast<double>(positives);
+}
+
+double Confusion::specificity() const {
+  const std::size_t negatives = true_negative + false_positive;
+  if (negatives == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_negative) / static_cast<double>(negatives);
+}
+
+double Confusion::false_positive_rate() const {
+  const std::size_t negatives = true_negative + false_positive;
+  if (negatives == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(false_positive) / static_cast<double>(negatives);
+}
+
+Confusion confusion_matrix(const std::vector<int>& truth,
+                           const std::vector<int>& predicted) {
+  require(truth.size() == predicted.size(),
+          "confusion_matrix: size mismatch");
+  Confusion confusion;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool actual = truth[i] != 0;
+    const bool guess = predicted[i] != 0;
+    if (actual && guess) {
+      ++confusion.true_positive;
+    } else if (actual && !guess) {
+      ++confusion.false_negative;
+    } else if (!actual && guess) {
+      ++confusion.false_positive;
+    } else {
+      ++confusion.true_negative;
+    }
+  }
+  return confusion;
+}
+
+}  // namespace emap::ml

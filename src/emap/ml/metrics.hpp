@@ -1,0 +1,34 @@
+// Binary classification metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emap::ml {
+
+/// 2x2 confusion-matrix counts.
+struct Confusion {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+  /// (TP + TN) / total; 0 when empty.
+  double accuracy() const;
+  /// TP / (TP + FN); 0 when no positives.
+  double sensitivity() const;
+  /// TN / (TN + FP); 0 when no negatives.
+  double specificity() const;
+  /// FP / (FP + TN); 0 when no negatives.
+  double false_positive_rate() const;
+};
+
+/// Builds the confusion matrix from 0/1 truth and prediction vectors of
+/// equal length.
+Confusion confusion_matrix(const std::vector<int>& truth,
+                           const std::vector<int>& predicted);
+
+}  // namespace emap::ml

@@ -1,0 +1,56 @@
+// Single-hidden-layer perceptron trained by backprop SGD.
+//
+// The paper's Table I quotes several deep-learning systems ([11] Hosseini
+// et al. cloud DL prediction, [16] CNN detection).  Full replicas are out
+// of scope, but a small MLP over the same window features is the honest
+// minimal member of that family, and the IoT predictor can run on it
+// (IotPredictorConfig::hidden_units) to produce a measured "[11]-style"
+// comparison row.  From scratch, deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emap/ml/features.hpp"
+
+namespace emap::ml {
+
+/// Training hyperparameters of the MLP.
+struct MlpConfig {
+  std::size_t hidden_units = 16;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  std::size_t epochs = 300;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 11;
+};
+
+/// Binary classifier: FeatureVector -> tanh hidden layer -> sigmoid.
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  /// Fits on (rows, labels in {0,1}); sizes must match and be non-zero.
+  void fit(const std::vector<FeatureVector>& rows,
+           const std::vector<int>& labels);
+
+  /// P(label = 1 | row).
+  double predict_proba(const FeatureVector& row) const;
+
+  /// Hard decision at 0.5.
+  int predict(const FeatureVector& row) const;
+
+  bool trained() const { return trained_; }
+  std::size_t hidden_units() const { return config_.hidden_units; }
+
+ private:
+  MlpConfig config_;
+  // Row-major [hidden][input] weights, hidden biases, output weights+bias.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace emap::ml

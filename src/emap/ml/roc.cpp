@@ -1,0 +1,71 @@
+#include "emap/ml/roc.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "emap/common/error.hpp"
+
+namespace emap::ml {
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  require(scores.size() == labels.size(), "roc_curve: size mismatch");
+  require(!scores.empty(), "roc_curve: empty input");
+  std::size_t positives = 0;
+  for (int label : labels) {
+    if (label != 0) {
+      ++positives;
+    }
+  }
+  const std::size_t negatives = labels.size() - positives;
+  require(positives > 0 && negatives > 0,
+          "roc_curve: need both classes present");
+
+  // Sort indices by score descending; sweep thresholds at each distinct
+  // score value.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a,
+                                                  std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{scores[order.front()] + 1.0, 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]] != 0) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    // Emit a point only after consuming all examples with this score.
+    if (i + 1 < order.size() &&
+        scores[order[i + 1]] == scores[order[i]]) {
+      continue;
+    }
+    curve.push_back(RocPoint{
+        scores[order[i]],
+        static_cast<double>(tp) / static_cast<double>(positives),
+        static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels) {
+  const auto curve = roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double width =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    const double height =
+        (curve[i].true_positive_rate + curve[i - 1].true_positive_rate) /
+        2.0;
+    area += width * height;
+  }
+  return area;
+}
+
+}  // namespace emap::ml

@@ -1,0 +1,30 @@
+// ROC analysis for score-producing classifiers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace emap::ml {
+
+/// One ROC operating point.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+/// ROC curve from scores and 0/1 labels.
+///
+/// Points are ordered by decreasing threshold (FPR increasing), including
+/// the trivial (0,0) and (1,1) endpoints.  Requires equal sizes and at
+/// least one example of each class.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels);
+
+/// Area under the ROC curve (trapezoidal over roc_curve()).
+/// Equals the Mann-Whitney probability that a random positive scores
+/// higher than a random negative (ties counted half).
+double roc_auc(const std::vector<double>& scores,
+               const std::vector<int>& labels);
+
+}  // namespace emap::ml

@@ -1,0 +1,56 @@
+#include "emap/ml/standardizer.hpp"
+
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::ml {
+
+void Standardizer::fit(const std::vector<FeatureVector>& rows) {
+  require(!rows.empty(), "Standardizer::fit: empty batch");
+  means_.fill(0.0);
+  stddevs_.fill(0.0);
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < kFeatureCount; ++j) {
+      means_[j] += row[j];
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  for (double& m : means_) {
+    m /= n;
+  }
+  for (const auto& row : rows) {
+    for (std::size_t j = 0; j < kFeatureCount; ++j) {
+      const double d = row[j] - means_[j];
+      stddevs_[j] += d * d;
+    }
+  }
+  for (double& s : stddevs_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) {
+      s = 1.0;  // constant column: map to zero, don't blow up
+    }
+  }
+  fitted_ = true;
+}
+
+FeatureVector Standardizer::transform(const FeatureVector& row) const {
+  require(fitted_, "Standardizer::transform: fit() not called");
+  FeatureVector out{};
+  for (std::size_t j = 0; j < kFeatureCount; ++j) {
+    out[j] = (row[j] - means_[j]) / stddevs_[j];
+  }
+  return out;
+}
+
+std::vector<FeatureVector> Standardizer::transform(
+    const std::vector<FeatureVector>& rows) const {
+  std::vector<FeatureVector> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(transform(row));
+  }
+  return out;
+}
+
+}  // namespace emap::ml

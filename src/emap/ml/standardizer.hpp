@@ -1,0 +1,34 @@
+// Feature standardization (zero mean, unit variance per column).
+#pragma once
+
+#include <vector>
+
+#include "emap/ml/features.hpp"
+
+namespace emap::ml {
+
+/// Per-feature affine normalizer fitted on training data.
+class Standardizer {
+ public:
+  /// Fits column means and standard deviations.  Constant columns get unit
+  /// scale (they standardize to zero).  Requires a non-empty batch.
+  void fit(const std::vector<FeatureVector>& rows);
+
+  /// Applies (x - mean) / std columnwise.  fit() must have been called.
+  FeatureVector transform(const FeatureVector& row) const;
+
+  /// Batch transform.
+  std::vector<FeatureVector> transform(
+      const std::vector<FeatureVector>& rows) const;
+
+  bool fitted() const { return fitted_; }
+  const FeatureVector& means() const { return means_; }
+  const FeatureVector& stddevs() const { return stddevs_; }
+
+ private:
+  FeatureVector means_{};
+  FeatureVector stddevs_{};
+  bool fitted_ = false;
+};
+
+}  // namespace emap::ml

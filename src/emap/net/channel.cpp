@@ -1,0 +1,45 @@
+#include "emap/net/channel.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::net {
+
+Channel::Channel(CommPlatform platform, ChannelOptions options,
+                 std::uint64_t jitter_seed)
+    : platform_(platform), options_(options), rng_(jitter_seed) {
+  require(options_.jitter_fraction >= 0.0 && options_.jitter_fraction < 1.0,
+          "Channel: jitter fraction must be in [0, 1)");
+}
+
+double Channel::line_seconds(std::size_t payload_bytes, double rate_mbps) {
+  require(rate_mbps > 0.0, "Channel::line_seconds: rate must be > 0");
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  return bits / (rate_mbps * 1e6);
+}
+
+double Channel::transfer_seconds(std::size_t payload_bytes,
+                                 double rate_mbps) {
+  const std::size_t total_bytes =
+      payload_bytes + options_.framing_overhead_bytes;
+  double seconds = line_seconds(total_bytes, rate_mbps);
+  if (options_.jitter_fraction > 0.0) {
+    seconds *= 1.0 + rng_.uniform(-options_.jitter_fraction,
+                                  options_.jitter_fraction);
+  }
+  if (options_.include_latency) {
+    seconds += platform_params(platform_).latency_ms * 1e-3;
+  }
+  return seconds;
+}
+
+double Channel::upload_seconds(std::size_t payload_bytes) {
+  return transfer_seconds(payload_bytes,
+                          platform_params(platform_).uplink_mbps);
+}
+
+double Channel::download_seconds(std::size_t payload_bytes) {
+  return transfer_seconds(payload_bytes,
+                          platform_params(platform_).downlink_mbps);
+}
+
+}  // namespace emap::net

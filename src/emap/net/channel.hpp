@@ -1,0 +1,50 @@
+// Edge-cloud channel model.
+//
+// Converts message sizes into transfer times for a given platform.  The
+// Fig. 4 serialization analysis uses pure line-rate time; the end-to-end
+// pipeline (Eq. 4's Δ_EC and Δ_CE) additionally includes the access
+// latency and an optional jitter term.
+#pragma once
+
+#include <cstddef>
+
+#include "emap/common/rng.hpp"
+#include "emap/net/platform.hpp"
+
+namespace emap::net {
+
+/// Channel behaviour switches.
+struct ChannelOptions {
+  bool include_latency = true;   ///< add one-way access latency per message
+  double jitter_fraction = 0.0;  ///< uniform +/- fraction on the line time
+  std::size_t framing_overhead_bytes = 60;  ///< L2/L3/L4 headers per message
+};
+
+/// A point-to-point edge<->cloud link over one platform.
+class Channel {
+ public:
+  explicit Channel(CommPlatform platform, ChannelOptions options = {},
+                   std::uint64_t jitter_seed = 42);
+
+  CommPlatform platform() const { return platform_; }
+  const ChannelOptions& options() const { return options_; }
+
+  /// Seconds to move `payload_bytes` up (edge -> cloud).
+  double upload_seconds(std::size_t payload_bytes);
+
+  /// Seconds to move `payload_bytes` down (cloud -> edge).
+  double download_seconds(std::size_t payload_bytes);
+
+  /// Pure serialization time (no latency, no jitter, no framing) — the
+  /// quantity Fig. 4 plots.
+  static double line_seconds(std::size_t payload_bytes, double rate_mbps);
+
+ private:
+  double transfer_seconds(std::size_t payload_bytes, double rate_mbps);
+
+  CommPlatform platform_;
+  ChannelOptions options_;
+  Rng rng_;
+};
+
+}  // namespace emap::net

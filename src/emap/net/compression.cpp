@@ -1,0 +1,107 @@
+#include "emap/net/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::net {
+namespace {
+
+// Zigzag maps signed deltas to unsigned so small magnitudes stay small.
+std::uint32_t zigzag(std::int32_t value) {
+  return (static_cast<std::uint32_t>(value) << 1) ^
+         static_cast<std::uint32_t>(value >> 31);
+}
+
+std::int32_t unzigzag(std::uint32_t value) {
+  return static_cast<std::int32_t>(value >> 1) ^
+         -static_cast<std::int32_t>(value & 1u);
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(value | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_varint(std::span<const std::uint8_t> bytes,
+                         std::size_t& cursor) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (cursor >= bytes.size()) {
+      throw CorruptData("decompress_samples: truncated varint");
+    }
+    if (shift > 28) {
+      throw CorruptData("decompress_samples: overlong varint");
+    }
+    const std::uint8_t byte = bytes[cursor++];
+    value |= static_cast<std::uint32_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_samples(
+    std::span<const std::int16_t> samples) {
+  std::vector<std::uint8_t> out;
+  if (samples.empty()) {
+    return out;
+  }
+  out.reserve(samples.size());
+  std::int32_t previous = 0;
+  for (std::int16_t sample : samples) {
+    const std::int32_t delta = static_cast<std::int32_t>(sample) - previous;
+    put_varint(out, zigzag(delta));
+    previous = sample;
+  }
+  return out;
+}
+
+std::vector<std::int16_t> decompress_samples(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<std::int16_t> samples;
+  std::size_t cursor = 0;
+  std::int32_t previous = 0;
+  while (cursor < bytes.size()) {
+    const std::int32_t delta = unzigzag(get_varint(bytes, cursor));
+    const std::int32_t value = previous + delta;
+    if (value < INT16_MIN || value > INT16_MAX) {
+      throw CorruptData("decompress_samples: delta overflows int16");
+    }
+    samples.push_back(static_cast<std::int16_t>(value));
+    previous = value;
+  }
+  return samples;
+}
+
+std::size_t compressed_wire_size(std::span<const double> samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  // Mirror the transport's quantization: shared scale to int16 full range.
+  double peak = 1e-9;
+  for (double s : samples) {
+    peak = std::max(peak, std::abs(s));
+  }
+  const double scale = peak / 32767.0;
+  std::vector<std::int16_t> quantized;
+  quantized.reserve(samples.size());
+  for (double s : samples) {
+    quantized.push_back(static_cast<std::int16_t>(
+        std::clamp(std::lround(s / scale), -32767L, 32767L)));
+  }
+  // scale (4 bytes) + count (4) + format flag (1) + the smaller payload.
+  const std::size_t raw_payload = 2 * quantized.size();
+  const std::size_t compressed_payload = compress_samples(quantized).size();
+  return 9 + std::min(raw_payload, compressed_payload);
+}
+
+}  // namespace emap::net

@@ -1,0 +1,30 @@
+#include "emap/net/platform.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::net {
+namespace {
+
+// Representative sustained per-user figures (Steer [19], Parkvall [20]).
+constexpr PlatformParams kTable[] = {
+    {"HSPA", 2.0, 7.2, 35.0},
+    {"HSPA+", 11.5, 42.0, 25.0},
+    {"LTE", 50.0, 100.0, 10.0},
+    {"LTE-A", 500.0, 1000.0, 5.0},
+    {"WiMax R1", 14.0, 46.0, 30.0},
+    {"WiMax R2", 140.0, 340.0, 12.0},
+};
+
+}  // namespace
+
+const PlatformParams& platform_params(CommPlatform platform) {
+  const auto index = static_cast<std::size_t>(platform);
+  require(index < std::size(kTable), "platform_params: unknown platform");
+  return kTable[index];
+}
+
+const char* platform_name(CommPlatform platform) {
+  return platform_params(platform).name;
+}
+
+}  // namespace emap::net

@@ -1,0 +1,45 @@
+// Communication platform parameters (paper Fig. 4, data from [19][20]).
+//
+// The paper evaluates upload/download feasibility across six mobile
+// broadband platforms.  Each platform is reduced to its sustained uplink /
+// downlink rate plus a one-way access latency; rates are representative
+// per-user figures of the respective standards, chosen so the Fig. 4
+// crossings (256 samples ≲ 1 ms, 100 signals ≲ 200 ms on 4G-era links)
+// reproduce.
+#pragma once
+
+#include <cstddef>
+
+namespace emap::net {
+
+/// The six platforms of Fig. 4, in the paper's legend order.
+enum class CommPlatform {
+  kHspa = 0,
+  kHspaPlus = 1,
+  kLte = 2,
+  kLteAdvanced = 3,
+  kWimaxR1 = 4,
+  kWimaxR2 = 5,
+};
+
+inline constexpr CommPlatform kAllPlatforms[] = {
+    CommPlatform::kHspa,       CommPlatform::kHspaPlus,
+    CommPlatform::kLte,        CommPlatform::kLteAdvanced,
+    CommPlatform::kWimaxR1,    CommPlatform::kWimaxR2,
+};
+
+/// Static link parameters of one platform.
+struct PlatformParams {
+  const char* name;
+  double uplink_mbps;    ///< sustained per-user uplink
+  double downlink_mbps;  ///< sustained per-user downlink
+  double latency_ms;     ///< one-way access latency
+};
+
+/// Parameter table lookup.
+const PlatformParams& platform_params(CommPlatform platform);
+
+/// Display name ("HSPA", "LTE-A", ...).
+const char* platform_name(CommPlatform platform);
+
+}  // namespace emap::net

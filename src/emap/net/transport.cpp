@@ -1,0 +1,204 @@
+#include "emap/net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "emap/common/error.hpp"
+
+namespace emap::net {
+namespace {
+
+constexpr std::uint32_t kUploadMagic = 0x55504d45u;   // "EMPU"
+constexpr std::uint32_t kDownloadMagic = 0x44504d45u; // "EMPD"
+
+void write_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void write_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void write_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void write_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t raw = 0;
+  std::memcpy(&raw, &v, sizeof(raw));
+  write_u32(out, raw);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[cursor_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        bytes_[cursor_] | (static_cast<std::uint16_t>(bytes_[cursor_ + 1]) << 8));
+    cursor_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[cursor_ + i]) << (8 * i);
+    }
+    cursor_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[cursor_ + i]) << (8 * i);
+    }
+    cursor_ += 8;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t raw = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &raw, sizeof(v));
+    return v;
+  }
+  bool at_end() const { return cursor_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (cursor_ + n > bytes_.size()) {
+      throw CorruptData("transport: truncated message");
+    }
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t cursor_ = 0;
+};
+
+// Quantizes samples to int16 with a shared scale.  Returns the scale.
+float quantize(const std::vector<double>& samples,
+               std::vector<std::uint8_t>& out) {
+  double peak = 1e-9;
+  for (double s : samples) {
+    peak = std::max(peak, std::abs(s));
+  }
+  const float scale = static_cast<float>(peak / 32767.0);
+  write_f32(out, scale);
+  write_u32(out, static_cast<std::uint32_t>(samples.size()));
+  for (double s : samples) {
+    const auto q = static_cast<std::int16_t>(
+        std::clamp(std::lround(s / scale), -32767L, 32767L));
+    write_u16(out, static_cast<std::uint16_t>(q));
+  }
+  return scale;
+}
+
+std::vector<double> dequantize(Reader& reader) {
+  const float scale = reader.f32();
+  if (!(scale > 0.0f) || !std::isfinite(scale)) {
+    throw CorruptData("transport: bad quantization scale");
+  }
+  const std::uint32_t count = reader.u32();
+  std::vector<double> samples(count, 0.0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    samples[i] =
+        static_cast<double>(static_cast<std::int16_t>(reader.u16())) * scale;
+  }
+  return samples;
+}
+
+}  // namespace
+
+std::size_t wire_size(const SignalUploadMessage& message) {
+  // magic + sequence + scale + count + int16 samples
+  return 4 + 4 + 4 + 4 + 2 * message.samples.size();
+}
+
+std::size_t wire_size(const CorrelationSetMessage& message) {
+  std::size_t size = 4 + 4 + 4;  // magic + sequence + entry count
+  for (const auto& entry : message.entries) {
+    size += 8 + 4 + 4 + 1 + 1;            // id, omega, beta, labels
+    size += 4 + 4 + 2 * entry.samples.size();  // scale, count, samples
+  }
+  return size;
+}
+
+std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(message));
+  write_u32(out, kUploadMagic);
+  write_u32(out, message.sequence);
+  quantize(message.samples, out);
+  return out;
+}
+
+SignalUploadMessage decode_upload(const std::vector<std::uint8_t>& bytes) {
+  Reader reader(bytes);
+  if (reader.u32() != kUploadMagic) {
+    throw CorruptData("decode_upload: bad magic");
+  }
+  SignalUploadMessage message;
+  message.sequence = reader.u32();
+  message.samples = dequantize(reader);
+  if (!reader.at_end()) {
+    throw CorruptData("decode_upload: trailing bytes");
+  }
+  return message;
+}
+
+std::vector<std::uint8_t> encode_correlation_set(
+    const CorrelationSetMessage& message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size(message));
+  write_u32(out, kDownloadMagic);
+  write_u32(out, message.request_sequence);
+  write_u32(out, static_cast<std::uint32_t>(message.entries.size()));
+  for (const auto& entry : message.entries) {
+    write_u64(out, entry.set_id);
+    write_f32(out, entry.omega);
+    write_u32(out, entry.beta);
+    out.push_back(entry.anomalous);
+    out.push_back(entry.class_tag);
+    quantize(entry.samples, out);
+  }
+  return out;
+}
+
+CorrelationSetMessage decode_correlation_set(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader reader(bytes);
+  if (reader.u32() != kDownloadMagic) {
+    throw CorruptData("decode_correlation_set: bad magic");
+  }
+  CorrelationSetMessage message;
+  message.request_sequence = reader.u32();
+  const std::uint32_t count = reader.u32();
+  message.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CorrelationEntry entry;
+    entry.set_id = reader.u64();
+    entry.omega = reader.f32();
+    entry.beta = reader.u32();
+    entry.anomalous = reader.u8();
+    entry.class_tag = reader.u8();
+    entry.samples = dequantize(reader);
+    message.entries.push_back(std::move(entry));
+  }
+  if (!reader.at_end()) {
+    throw CorruptData("decode_correlation_set: trailing bytes");
+  }
+  return message;
+}
+
+}  // namespace emap::net

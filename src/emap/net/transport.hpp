@@ -1,0 +1,51 @@
+// Wire messages exchanged between edge and cloud.
+//
+// The paper transmits 16-bit samples (Section V-A), so both messages
+// quantize doubles to int16 with a per-message scale factor.  wire_size()
+// of these encodings is what the Channel converts to transfer time; the
+// encode/decode pair is also exercised end-to-end by the pipeline so the
+// quantization loss is part of the reproduced system.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace emap::net {
+
+/// Edge -> cloud: one second of filtered input (256 samples at 16 bits).
+struct SignalUploadMessage {
+  std::uint32_t sequence = 0;       ///< time-step index N
+  std::vector<double> samples;      ///< filtered input window
+};
+
+/// One tracked candidate inside the correlation-set download.
+struct CorrelationEntry {
+  std::uint64_t set_id = 0;
+  float omega = 0.0f;               ///< cross-correlation at the match
+  std::uint32_t beta = 0;           ///< matching offset within the set
+  std::uint8_t anomalous = 0;       ///< A(S_P)
+  std::uint8_t class_tag = 0;
+  std::vector<double> samples;      ///< the full 1000-sample signal-set
+};
+
+/// Cloud -> edge: the signal correlation set T (top-100 matches).
+struct CorrelationSetMessage {
+  std::uint32_t request_sequence = 0;
+  std::vector<CorrelationEntry> entries;
+};
+
+/// Serialized sizes in bytes (pre-framing).
+std::size_t wire_size(const SignalUploadMessage& message);
+std::size_t wire_size(const CorrelationSetMessage& message);
+
+/// Encode/decode with 16-bit sample quantization.  decode_* throws
+/// CorruptData on malformed input.
+std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message);
+SignalUploadMessage decode_upload(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_correlation_set(
+    const CorrelationSetMessage& message);
+CorrelationSetMessage decode_correlation_set(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace emap::net

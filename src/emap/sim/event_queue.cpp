@@ -1,0 +1,41 @@
+#include "emap/sim/event_queue.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::sim {
+
+void EventQueue::schedule_at(SimTime at, std::function<void()> action) {
+  require(at >= now_, "EventQueue::schedule_at: cannot schedule in the past");
+  events_.push(Event{at, next_sequence_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime delay, std::function<void()> action) {
+  require(delay >= 0.0, "EventQueue::schedule_in: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (events_.empty()) {
+    return false;
+  }
+  // Copy out before pop: the action may schedule further events.
+  Event event = events_.top();
+  events_.pop();
+  now_ = event.at;
+  event.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime deadline) {
+  while (!events_.empty() && events_.top().at <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace emap::sim

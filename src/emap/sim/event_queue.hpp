@@ -1,0 +1,62 @@
+// Discrete-event simulation core.
+//
+// The EMAP pipeline's timing analysis (paper Fig. 9) is a schedule of
+// overlapping edge and cloud activities; EventQueue provides the virtual
+// clock and ordered dispatch that the pipeline's timing mode runs on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace emap::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Ordered event dispatcher with a virtual clock.
+///
+/// Events scheduled for the same instant fire in scheduling order (stable
+/// FIFO tie-break), which keeps pipeline traces deterministic.
+class EventQueue {
+ public:
+  /// Current virtual time; starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  void schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or the clock passes `deadline`.
+  void run_until(SimTime deadline);
+
+  /// Runs until the queue drains.
+  void run();
+
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t sequence;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace emap::sim

@@ -1,0 +1,94 @@
+#include "emap/sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "emap/common/error.hpp"
+
+namespace emap::sim {
+
+const char* activity_name(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kSample:
+      return "sample";
+    case ActivityKind::kFilter:
+      return "filter";
+    case ActivityKind::kUpload:
+      return "upload";
+    case ActivityKind::kCloudSearch:
+      return "cloud-search";
+    case ActivityKind::kDownload:
+      return "download";
+    case ActivityKind::kEdgeTrack:
+      return "edge-track";
+    case ActivityKind::kPrediction:
+      return "prediction";
+  }
+  return "unknown";
+}
+
+void TimelineTrace::record(ActivityKind kind, SimTime start, SimTime end,
+                           std::string label) {
+  require(end >= start, "TimelineTrace::record: end before start");
+  activities_.push_back(Activity{kind, start, end, std::move(label)});
+}
+
+double TimelineTrace::total_seconds(ActivityKind kind) const {
+  double total = 0.0;
+  for (const auto& activity : activities_) {
+    if (activity.kind == kind) {
+      total += activity.end - activity.start;
+    }
+  }
+  return total;
+}
+
+const Activity* TimelineTrace::first(ActivityKind kind) const {
+  for (const auto& activity : activities_) {
+    if (activity.kind == kind) {
+      return &activity;
+    }
+  }
+  return nullptr;
+}
+
+std::string TimelineTrace::render_ascii(double horizon_sec,
+                                        std::size_t columns) const {
+  require(horizon_sec > 0.0, "render_ascii: horizon must be > 0");
+  require(columns >= 10, "render_ascii: need at least 10 columns");
+  constexpr ActivityKind kRows[] = {
+      ActivityKind::kSample,      ActivityKind::kFilter,
+      ActivityKind::kUpload,      ActivityKind::kCloudSearch,
+      ActivityKind::kDownload,    ActivityKind::kEdgeTrack,
+      ActivityKind::kPrediction,
+  };
+  const double bucket = horizon_sec / static_cast<double>(columns);
+  std::ostringstream out;
+  for (ActivityKind kind : kRows) {
+    std::string row(columns, '.');
+    for (const auto& activity : activities_) {
+      if (activity.kind != kind || activity.start >= horizon_sec) {
+        continue;
+      }
+      auto first_col = static_cast<std::size_t>(activity.start / bucket);
+      auto last_col = static_cast<std::size_t>(
+          std::min(horizon_sec, activity.end) / bucket);
+      first_col = std::min(first_col, columns - 1);
+      last_col = std::min(last_col, columns - 1);
+      for (std::size_t c = first_col; c <= last_col; ++c) {
+        row[c] = '#';
+      }
+    }
+    out << activity_name(kind);
+    out << std::string(14 - std::min<std::size_t>(
+                                13, std::string(activity_name(kind)).size()),
+                       ' ');
+    out << '|' << row << "|\n";
+  }
+  out << "time axis: 0 .. " << horizon_sec << " s (" << bucket
+      << " s per column)\n";
+  return out.str();
+}
+
+}  // namespace emap::sim

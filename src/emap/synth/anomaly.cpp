@@ -1,0 +1,197 @@
+#include "emap/synth/anomaly.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+
+namespace emap::synth {
+namespace {
+
+double smoothstep01(double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return x * x * (3.0 - 2.0 * x);
+}
+
+double sigmoid(double x) {
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+const char* anomaly_name(AnomalyClass cls) {
+  switch (cls) {
+    case AnomalyClass::kNormal:
+      return "normal";
+    case AnomalyClass::kSeizure:
+      return "seizure";
+    case AnomalyClass::kEncephalopathy:
+      return "encephalopathy";
+    case AnomalyClass::kStroke:
+      return "stroke";
+  }
+  return "unknown";
+}
+
+AnomalyClass anomaly_from_name(std::string_view name) {
+  for (AnomalyClass cls :
+       {AnomalyClass::kNormal, AnomalyClass::kSeizure,
+        AnomalyClass::kEncephalopathy, AnomalyClass::kStroke}) {
+    if (name == anomaly_name(cls)) {
+      return cls;
+    }
+  }
+  throw InvalidArgument("anomaly_from_name: unknown class '" +
+                        std::string(name) + "'");
+}
+
+Morphology::Morphology(AnomalyClass cls, std::uint32_t archetype_id)
+    : cls_(cls), archetype_(archetype_id % kArchetypesPerClass) {
+  require(cls != AnomalyClass::kNormal,
+          "Morphology: normal background has no anomaly morphology");
+  // Archetype constants are a pure function of (class, archetype id).
+  Rng rng(0xC1A551F1EDULL ^ (static_cast<std::uint64_t>(cls) << 32) ^
+          archetype_);
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  switch (cls_) {
+    case AnomalyClass::kSeizure: {
+      // Recruiting rhythm: fast rhythmic activity whose frequency drifts
+      // slowly downward through the prodrome.
+      ToneSpec main;
+      main.freq_hz = rng.uniform(13.5, 17.0);
+      main.amp = 1.0;
+      main.phase = rng.uniform(0.0, two_pi);
+      main.drift_hz_per_s = -rng.uniform(0.008, 0.015);
+      tones_.push_back(main);
+      ToneSpec harmonic;
+      harmonic.freq_hz = 1.9 * main.freq_hz;
+      harmonic.amp = 0.35;
+      harmonic.phase = rng.uniform(0.0, two_pi);
+      harmonic.drift_hz_per_s = 1.9 * main.drift_hz_per_s;
+      tones_.push_back(harmonic);
+      spike_wave_.rate_hz = rng.uniform(2.6, 3.4);
+      spike_wave_.spike_amp = 3.0;
+      spike_wave_.spike_width_s = 0.018;
+      spike_wave_.wave_amp = 1.4;
+      spike_wave_.phase_s = rng.uniform(0.0, 0.3);
+      break;
+    }
+    case AnomalyClass::kEncephalopathy: {
+      // Burst-suppression packets of mid-beta activity.
+      ToneSpec burst;
+      burst.freq_hz = rng.uniform(13.0, 16.0);
+      burst.amp = 1.0;
+      burst.phase = rng.uniform(0.0, two_pi);
+      tones_.push_back(burst);
+      ToneSpec companion;
+      companion.freq_hz = burst.freq_hz + rng.uniform(3.0, 5.0);
+      companion.amp = 0.4;
+      companion.phase = rng.uniform(0.0, two_pi);
+      tones_.push_back(companion);
+      spike_wave_.rate_hz = rng.uniform(1.6, 2.1);  // triphasic-like
+      spike_wave_.spike_amp = 1.2;
+      spike_wave_.spike_width_s = 0.035;
+      spike_wave_.wave_amp = 0.6;
+      spike_wave_.phase_s = rng.uniform(0.0, 0.4);
+      gate_period_s_ = rng.uniform(2.0, 3.0);
+      gate_duty_ = rng.uniform(0.6, 0.75);
+      break;
+    }
+    case AnomalyClass::kStroke: {
+      // Focal attenuation with heavy slow AM and periodic sharp waves.
+      ToneSpec slow_beta;
+      slow_beta.freq_hz = rng.uniform(11.0, 13.5);
+      slow_beta.amp = 1.0;
+      slow_beta.phase = rng.uniform(0.0, two_pi);
+      slow_beta.am_freq_hz = rng.uniform(0.3, 0.6);
+      slow_beta.am_depth = 0.7;
+      tones_.push_back(slow_beta);
+      spike_wave_.rate_hz = rng.uniform(0.8, 1.2);  // periodic sharp waves
+      spike_wave_.spike_amp = 1.8;
+      spike_wave_.spike_width_s = 0.03;
+      spike_wave_.wave_amp = 0.5;
+      spike_wave_.phase_s = rng.uniform(0.0, 0.5);
+      break;
+    }
+    case AnomalyClass::kNormal:
+      break;  // unreachable (precondition above)
+  }
+}
+
+double Morphology::intensity(double t_rel) const {
+  // Two-phase prodrome: a fast early shift (the electrographic signature
+  // becomes visible within ~20% of the prodrome, which is what makes the
+  // 120 s lead of Fig. 10 predictable) followed by a slow drift to full
+  // involvement at onset.
+  if (t_rel >= 0.0) {
+    return 1.0;
+  }
+  const double u = (t_rel + kProdromeSeconds) / kProdromeSeconds;
+  if (u <= 0.0) {
+    return 0.0;
+  }
+  const double fast = smoothstep01(u / 0.1);
+  return 0.55 * fast + 0.45 * u;
+}
+
+double Morphology::background_gain(double t_rel) const {
+  // The anomaly progressively displaces normal rhythms; stroke attenuates
+  // the background hardest (that *is* the anomaly).
+  const double occupied = intensity(t_rel);
+  const double floor = (cls_ == AnomalyClass::kStroke) ? 0.15 : 0.35;
+  return 1.0 - (1.0 - floor) * occupied;
+}
+
+double Morphology::value(double t_rel) const {
+  switch (cls_) {
+    case AnomalyClass::kSeizure:
+      return seizure_value(t_rel);
+    case AnomalyClass::kEncephalopathy:
+      return encephalopathy_value(t_rel);
+    case AnomalyClass::kStroke:
+      return stroke_value(t_rel);
+    case AnomalyClass::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+double Morphology::seizure_value(double t_rel) const {
+  // Pre-ictal: growing rhythmic activity; ictal (t_rel >= 0): spike-wave
+  // complexes dominate, rhythm persists underneath.
+  const double rhythm = tone_bank_value(tones_, t_rel);
+  if (t_rel < 0.0) {
+    return rhythm;
+  }
+  const double ictal_blend = smoothstep01(t_rel / 2.0);  // 2 s transition
+  return rhythm * (1.0 - 0.4 * ictal_blend) +
+         ictal_blend * spike_wave_value(spike_wave_, t_rel);
+}
+
+double Morphology::encephalopathy_value(double t_rel) const {
+  // Smooth burst-suppression gate in [0, 1].
+  const double phase =
+      std::fmod(t_rel / gate_period_s_ + 10000.0, 1.0);  // keep positive
+  const double edge = 0.15;  // transition fraction of the period
+  double gate;
+  if (phase < gate_duty_) {
+    gate = smoothstep01(phase / edge);
+  } else {
+    gate = 1.0 - smoothstep01((phase - gate_duty_) / edge);
+  }
+  return gate * tone_bank_value(tones_, t_rel) +
+         0.6 * spike_wave_value(spike_wave_, t_rel);
+}
+
+double Morphology::stroke_value(double t_rel) const {
+  // Amplitude decays after onset (focal attenuation) while periodic sharp
+  // transients persist.
+  const double attenuation = 1.0 - 0.5 * sigmoid(t_rel / 15.0);
+  return attenuation * tone_bank_value(tones_, t_rel) +
+         spike_wave_value(spike_wave_, t_rel);
+}
+
+}  // namespace emap::synth

@@ -1,0 +1,93 @@
+// Anomaly classes and deterministic anomaly morphologies.
+//
+// The paper evaluates three neurological disorders: seizure,
+// encephalopathy, and stroke (Table I).  Each class is modelled as a small
+// family of *archetypes* — deterministic waveforms, functions of time
+// relative to the anomaly onset — so that two recordings of the same
+// archetype correlate strongly once aligned, mirroring the redundancy of
+// the paper's mega-database.  Clinical inspiration (synthetic proxies, not
+// diagnostic models):
+//   * seizure: pre-ictal rhythmic build-up with a slow downward frequency
+//     drift ("recruiting rhythm"), then 3 Hz spike-and-wave ictal activity;
+//   * encephalopathy: burst-suppression — packets of 13-16 Hz activity
+//     gated by a slow on/off envelope, plus low-rate triphasic discharges;
+//   * stroke: focal attenuation — declining amplitude, strong slow
+//     amplitude modulation, periodic sharp transients.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "emap/synth/oscillator.hpp"
+
+namespace emap::synth {
+
+/// The classes EMAP distinguishes: normal background and three anomalies.
+enum class AnomalyClass : std::uint8_t {
+  kNormal = 0,
+  kSeizure = 1,
+  kEncephalopathy = 2,
+  kStroke = 3,
+};
+
+/// Stable display name ("normal", "seizure", ...).
+const char* anomaly_name(AnomalyClass cls);
+
+/// Parses a display name back to the class; throws InvalidArgument on
+/// unknown names.
+AnomalyClass anomaly_from_name(std::string_view name);
+
+/// All three anomalous classes, in paper order.
+inline constexpr AnomalyClass kAnomalyClasses[] = {
+    AnomalyClass::kSeizure,
+    AnomalyClass::kEncephalopathy,
+    AnomalyClass::kStroke,
+};
+
+/// Number of distinct archetypes ("patient phenotypes") per class.
+inline constexpr std::uint32_t kArchetypesPerClass = 4;
+
+/// Deterministic anomaly waveform for one (class, archetype) pair.
+///
+/// All quantities are functions of t_rel, the time in seconds relative to
+/// the anomaly onset (negative during the prodrome).  Two recordings of the
+/// same archetype whose t_rel axes are aligned produce identical morphology
+/// values; instance-level differences (noise, small time dilation) are
+/// added by the RecordingGenerator.
+class Morphology {
+ public:
+  /// Seconds before onset at which the prodrome (pre-anomaly progression)
+  /// begins; intensity ramps from 0 to ~1 over this interval.
+  static constexpr double kProdromeSeconds = 180.0;
+
+  Morphology(AnomalyClass cls, std::uint32_t archetype_id);
+
+  AnomalyClass anomaly_class() const { return cls_; }
+  std::uint32_t archetype() const { return archetype_; }
+
+  /// Raw anomaly waveform value at t_rel (unit amplitude scale).
+  double value(double t_rel) const;
+
+  /// Blend weight of the anomaly process vs the normal background in
+  /// [0, 1]: 0 well before the prodrome, ramping to 1 at onset.
+  double intensity(double t_rel) const;
+
+  /// How much the normal background is suppressed as the anomaly takes
+  /// over, in [0, 1] (1 = background untouched).
+  double background_gain(double t_rel) const;
+
+ private:
+  double seizure_value(double t_rel) const;
+  double encephalopathy_value(double t_rel) const;
+  double stroke_value(double t_rel) const;
+
+  AnomalyClass cls_;
+  std::uint32_t archetype_ = 0;
+  std::vector<ToneSpec> tones_;   // class-specific rhythm bank
+  SpikeWaveSpec spike_wave_;      // ictal / discharge component
+  double gate_period_s_ = 2.5;    // encephalopathy burst-suppression period
+  double gate_duty_ = 0.5;
+};
+
+}  // namespace emap::synth

@@ -1,0 +1,107 @@
+#include "emap/synth/artifacts.hpp"
+
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::synth {
+namespace {
+
+// Adds a raised-cosine pulse centered at `center` (seconds).
+void add_blink(std::vector<double>& signal, double fs, double center,
+               double width_s, double amp) {
+  const auto begin = static_cast<std::ptrdiff_t>((center - width_s) * fs);
+  const auto end = static_cast<std::ptrdiff_t>((center + width_s) * fs);
+  for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(0, begin);
+       i < std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(signal.size()),
+                                    end);
+       ++i) {
+    const double t = static_cast<double>(i) / fs - center;
+    const double u = t / width_s;  // [-1, 1]
+    signal[static_cast<std::size_t>(i)] +=
+        amp * 0.5 * (1.0 + std::cos(std::numbers::pi * u));
+  }
+}
+
+}  // namespace
+
+ArtifactInjector::ArtifactInjector(ArtifactConfig config) : config_(config) {
+  require(config_.blink_rate_per_min >= 0.0 &&
+              config_.emg_rate_per_min >= 0.0 &&
+              config_.pop_rate_per_min >= 0.0,
+          "ArtifactInjector: rates must be >= 0");
+}
+
+std::vector<double> ArtifactInjector::render(std::size_t count,
+                                             double fs_hz) const {
+  require(fs_hz > 0.0, "ArtifactInjector: fs must be > 0");
+  std::vector<double> artifact(count, 0.0);
+  const double duration = static_cast<double>(count) / fs_hz;
+  Rng rng(config_.seed);
+
+  // Blinks: Poisson-ish arrivals via exponential gaps.
+  auto schedule = [&rng, duration](double rate_per_min,
+                                   std::vector<double>& times) {
+    if (rate_per_min <= 0.0) {
+      return;
+    }
+    const double mean_gap = 60.0 / rate_per_min;
+    double t = mean_gap * rng.uniform(0.0, 1.0);
+    while (t < duration) {
+      times.push_back(t);
+      t += -mean_gap * std::log(1.0 - rng.uniform());
+    }
+  };
+
+  std::vector<double> blink_times;
+  schedule(config_.blink_rate_per_min, blink_times);
+  for (double t : blink_times) {
+    add_blink(artifact, fs_hz, t,
+              config_.blink_width_s * rng.uniform(0.8, 1.3),
+              config_.blink_amp * rng.uniform(0.7, 1.2));
+  }
+
+  std::vector<double> emg_times;
+  schedule(config_.emg_rate_per_min, emg_times);
+  for (double t0 : emg_times) {
+    const auto begin = static_cast<std::size_t>(t0 * fs_hz);
+    const auto length =
+        static_cast<std::size_t>(config_.emg_duration_s * fs_hz *
+                                 rng.uniform(0.6, 1.5));
+    for (std::size_t i = begin; i < std::min(count, begin + length); ++i) {
+      // Broadband muscle noise with a tapered envelope.
+      const double u = static_cast<double>(i - begin) /
+                       static_cast<double>(std::max<std::size_t>(1, length));
+      const double envelope = std::sin(std::numbers::pi * u);
+      artifact[i] += config_.emg_amp * envelope * rng.normal();
+    }
+  }
+
+  std::vector<double> pop_times;
+  schedule(config_.pop_rate_per_min, pop_times);
+  for (double t0 : pop_times) {
+    const auto begin = static_cast<std::size_t>(t0 * fs_hz);
+    const double amp = config_.pop_amp * rng.uniform(0.5, 1.0) *
+                       (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    for (std::size_t i = begin; i < count; ++i) {
+      const double dt = static_cast<double>(i - begin) / fs_hz;
+      const double value = amp * std::exp(-dt / config_.pop_decay_s);
+      if (std::abs(value) < 0.01) {
+        break;
+      }
+      artifact[i] += value;
+    }
+  }
+  return artifact;
+}
+
+Recording ArtifactInjector::apply(const Recording& recording) const {
+  Recording contaminated = recording;
+  const auto artifact = render(recording.samples.size(), recording.fs());
+  for (std::size_t i = 0; i < contaminated.samples.size(); ++i) {
+    contaminated.samples[i] += artifact[i];
+  }
+  return contaminated;
+}
+
+}  // namespace emap::synth

@@ -1,0 +1,55 @@
+// EEG artifact injection.
+//
+// Scalp EEG is "highly susceptible to noise because of the location of
+// [the electrodes'] placement" (paper Section III) — this is the stated
+// motivation for the 11-40 Hz bandpass.  ArtifactInjector adds the three
+// classic contaminations to a clean recording so that robustness can be
+// tested end to end:
+//   * eye blinks — large slow (~0.5-4 Hz) frontal deflections,
+//   * EMG bursts — broadband muscle noise packets (20-100+ Hz),
+//   * electrode pops — step/exponential baseline jumps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emap/common/rng.hpp"
+#include "emap/synth/generator.hpp"
+
+namespace emap::synth {
+
+/// Rates and amplitudes of the injected artifacts.
+struct ArtifactConfig {
+  double blink_rate_per_min = 12.0;   ///< awake adult blink rate
+  double blink_amp = 40.0;            ///< large vs ~10-unit EEG
+  double blink_width_s = 0.2;
+
+  double emg_rate_per_min = 2.0;
+  double emg_amp = 8.0;
+  double emg_duration_s = 0.5;
+
+  double pop_rate_per_min = 0.3;
+  double pop_amp = 60.0;
+  double pop_decay_s = 1.5;
+
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic artifact generator.
+class ArtifactInjector {
+ public:
+  explicit ArtifactInjector(ArtifactConfig config = {});
+
+  /// Returns `recording` with artifacts added (annotations unchanged: the
+  /// artifacts are contamination, not anomalies).
+  Recording apply(const Recording& recording) const;
+
+  /// The artifact waveform alone (same length as the recording), useful
+  /// for spectral assertions.
+  std::vector<double> render(std::size_t count, double fs_hz) const;
+
+ private:
+  ArtifactConfig config_;
+};
+
+}  // namespace emap::synth

@@ -1,0 +1,53 @@
+#include "emap/synth/background.hpp"
+
+#include "emap/synth/noise.hpp"
+
+namespace emap::synth {
+
+BackgroundModel::BackgroundModel(std::uint32_t archetype_id,
+                                 const BandMix& mix)
+    : noise_stddev_(mix.noise_stddev) {
+  // Archetype-seeded generator: frequencies and phases are pure functions of
+  // the archetype id, giving each archetype a stable spectral fingerprint.
+  Rng archetype_rng(0xBADC0FFEE0DDF00DULL ^ archetype_id);
+  auto add_tone = [&](double lo_hz, double hi_hz, double amp,
+                      double am_lo = 0.0, double am_hi = 0.0) {
+    ToneSpec tone;
+    tone.freq_hz = archetype_rng.uniform(lo_hz, hi_hz);
+    tone.amp = amp;
+    tone.phase = archetype_rng.uniform(0.0, 6.283185307179586);
+    if (am_hi > 0.0) {
+      tone.am_freq_hz = archetype_rng.uniform(am_lo, am_hi);
+      tone.am_depth = archetype_rng.uniform(0.45, 0.75);
+    }
+    tones_.push_back(tone);
+  };
+  add_tone(1.0, 3.5, mix.delta_amp);
+  add_tone(4.5, 7.5, mix.theta_amp);
+  add_tone(9.0, 12.5, mix.alpha_amp, 0.08, 0.2);
+  // Two beta tones dominate what survives the 11-40 Hz bandpass; the
+  // waxing-waning AM envelope is what decorrelates two instances of the
+  // same archetype over a few seconds — the elimination clock of the edge
+  // tracker.
+  add_tone(14.0, 19.0, mix.beta_amp, 0.1, 0.3);
+  add_tone(20.0, 26.0, 0.45 * mix.beta_amp, 0.1, 0.3);
+}
+
+double BackgroundModel::rhythm_value(double t) const {
+  return tone_bank_value(tones_, t);
+}
+
+std::vector<double> BackgroundModel::render(double t0, double fs,
+                                            std::size_t count,
+                                            double amplitude_scale,
+                                            Rng& noise_rng) const {
+  std::vector<double> samples(count, 0.0);
+  PinkNoise noise(noise_stddev_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = t0 + static_cast<double>(i) / fs;
+    samples[i] = amplitude_scale * rhythm_value(t) + noise.next(noise_rng);
+  }
+  return samples;
+}
+
+}  // namespace emap::synth

@@ -1,0 +1,53 @@
+// Normal (inter-ictal) EEG background model.
+//
+// A band-mixture model: one or two rhythmic tones per classic EEG band plus
+// a pink-noise floor.  The rhythmic tones are deterministic archetype
+// functions of time (see oscillator.hpp) so that same-archetype recordings
+// correlate; the pink noise is per-instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emap/common/rng.hpp"
+#include "emap/synth/oscillator.hpp"
+
+namespace emap::synth {
+
+/// Per-band peak amplitudes of the background mixture, in scaled EEG units
+/// (the repo-wide calibration targets ~7 units RMS after the 11-40 Hz
+/// bandpass; see DESIGN.md Section 5).
+struct BandMix {
+  double delta_amp = 6.0;  ///< 1-4 Hz (mostly removed by the paper filter)
+  double theta_amp = 3.5;  ///< 4-8 Hz
+  double alpha_amp = 4.5;  ///< 8-13 Hz (upper alpha passes the filter)
+  double beta_amp = 12.0;  ///< 13-30 Hz (the band the filter keeps)
+  double noise_stddev = 1.4;
+};
+
+/// Deterministic rhythm bank of a background archetype.
+///
+/// Construction derives tone frequencies/phases from the archetype id alone,
+/// so every BackgroundModel with the same id produces the same underlying
+/// rhythms; instance-level variation comes from the noise stream and from
+/// the amplitude scale supplied at render time.
+class BackgroundModel {
+ public:
+  BackgroundModel(std::uint32_t archetype_id, const BandMix& mix);
+
+  /// Deterministic rhythmic part at absolute time t (no noise).
+  double rhythm_value(double t) const;
+
+  /// Renders `count` samples at `fs` starting at absolute time `t0`:
+  /// amplitude_scale * rhythm + pink noise drawn from `noise_rng`.
+  std::vector<double> render(double t0, double fs, std::size_t count,
+                             double amplitude_scale, Rng& noise_rng) const;
+
+  const std::vector<ToneSpec>& tones() const { return tones_; }
+
+ private:
+  std::vector<ToneSpec> tones_;
+  double noise_stddev_ = 0.0;
+};
+
+}  // namespace emap::synth

@@ -1,0 +1,156 @@
+#include "emap/synth/corpus.hpp"
+
+#include "emap/common/rng.hpp"
+
+namespace emap::synth {
+
+std::vector<CorpusSpec> standard_corpora(std::size_t recordings_per_corpus) {
+  std::vector<CorpusSpec> corpora;
+
+  // [21] PhysioNet (CHB-MIT style): 256 Hz, seizure-rich, finely annotated.
+  CorpusSpec physionet;
+  physionet.name = "physionet-chbmit";
+  physionet.native_fs_hz = 256.0;
+  physionet.recording_count = recordings_per_corpus;
+  physionet.seizure_fraction = 0.50;
+  physionet.precise_annotations = true;
+  physionet.seed = 101;
+  corpora.push_back(physionet);
+
+  // [22] TUH EEG corpus: 250 Hz, mixed pathology; encephalopathy material
+  // is only session-level ("whole signal") labeled.
+  CorpusSpec tuh;
+  tuh.name = "tuh-eeg";
+  tuh.native_fs_hz = 250.0;
+  tuh.recording_count = recordings_per_corpus;
+  tuh.seizure_fraction = 0.25;
+  tuh.encephalopathy_fraction = 0.30;
+  tuh.precise_annotations = false;
+  tuh.seed = 202;
+  corpora.push_back(tuh);
+
+  // [23] UCI epileptic seizure recognition set: 173.61 Hz (Bonn lineage).
+  CorpusSpec uci;
+  uci.name = "uci-epilepsy";
+  uci.native_fs_hz = 173.61;
+  uci.recording_count = recordings_per_corpus;
+  uci.seizure_fraction = 0.50;
+  uci.precise_annotations = true;
+  uci.amplitude_scale = 9.0;
+  uci.seed = 303;
+  corpora.push_back(uci);
+
+  // [24] BNCI Horizon 2020: 512 Hz, includes stroke rehabilitation
+  // recordings labeled per subject, not per segment.
+  CorpusSpec bnci;
+  bnci.name = "bnci-horizon";
+  bnci.native_fs_hz = 512.0;
+  bnci.recording_count = recordings_per_corpus;
+  bnci.stroke_fraction = 0.40;
+  bnci.precise_annotations = false;
+  bnci.amplitude_scale = 11.0;
+  bnci.seed = 404;
+  corpora.push_back(bnci);
+
+  // [25] Warsaw open epilepsy DB: 100 Hz clinical recordings; mixed
+  // encephalopathy/stroke with coarse labels.
+  CorpusSpec warsaw;
+  warsaw.name = "warsaw-epilepsy";
+  warsaw.native_fs_hz = 100.0;
+  warsaw.recording_count = recordings_per_corpus;
+  warsaw.encephalopathy_fraction = 0.25;
+  warsaw.stroke_fraction = 0.25;
+  warsaw.precise_annotations = false;
+  warsaw.noise_scale = 1.2;
+  warsaw.seed = 505;
+  corpora.push_back(warsaw);
+
+  return corpora;
+}
+
+ClassVariability class_variability(AnomalyClass cls) {
+  switch (cls) {
+    case AnomalyClass::kEncephalopathy:
+      return ClassVariability{3.5, 1.35, 3};
+    case AnomalyClass::kStroke:
+      return ClassVariability{3.5, 1.3, 3};
+    case AnomalyClass::kSeizure:
+    case AnomalyClass::kNormal:
+      break;
+  }
+  return ClassVariability{};
+}
+
+std::vector<Recording> generate_corpus(const CorpusSpec& spec) {
+  RecordingGenerator generator;
+  Rng rng(spec.seed);
+  std::vector<Recording> recordings;
+  recordings.reserve(spec.recording_count);
+
+  const auto seizure_count = static_cast<std::size_t>(
+      spec.seizure_fraction * static_cast<double>(spec.recording_count));
+  const auto enceph_count = static_cast<std::size_t>(
+      spec.encephalopathy_fraction * static_cast<double>(spec.recording_count));
+  const auto stroke_count = static_cast<std::size_t>(
+      spec.stroke_fraction * static_cast<double>(spec.recording_count));
+
+  for (std::size_t i = 0; i < spec.recording_count; ++i) {
+    RecordingSpec recording_spec;
+    if (i < seizure_count) {
+      recording_spec.cls = AnomalyClass::kSeizure;
+    } else if (i < seizure_count + enceph_count) {
+      recording_spec.cls = AnomalyClass::kEncephalopathy;
+    } else if (i < seizure_count + enceph_count + stroke_count) {
+      recording_spec.cls = AnomalyClass::kStroke;
+    } else {
+      recording_spec.cls = AnomalyClass::kNormal;
+    }
+    const std::uint32_t covered =
+        class_variability(recording_spec.cls).covered_archetypes;
+    recording_spec.archetype =
+        static_cast<std::uint32_t>(rng.uniform_index(covered));
+    recording_spec.fs = spec.native_fs_hz;
+    recording_spec.duration_sec = spec.recording_duration_sec;
+    // The onset sits late in the recording: a clean background stretch,
+    // then the full prodrome, then onset.  The clean stretch of anomalous
+    // recordings matters: under whole-signal labels it becomes
+    // anomalous-labeled normal-looking material — the source of the
+    // framework's ~15% false-positive rate (paper Section VI-B).
+    recording_spec.onset_sec =
+        spec.recording_duration_sec * rng.uniform(0.8, 0.92);
+    const ClassVariability variability =
+        class_variability(recording_spec.cls);
+    recording_spec.amplitude_scale = spec.amplitude_scale;
+    recording_spec.noise_scale =
+        spec.noise_scale * variability.noise_multiplier;
+    recording_spec.time_dilation_jitter *=
+        variability.dilation_jitter_multiplier;
+    recording_spec.seed = spec.seed * 1000003ULL + i;
+    recording_spec.whole_signal_label =
+        !spec.precise_annotations &&
+        recording_spec.cls != AnomalyClass::kNormal;
+    recordings.push_back(generator.generate(recording_spec));
+  }
+  return recordings;
+}
+
+Recording make_eval_input(const EvalInputSpec& spec) {
+  RecordingGenerator generator;
+  Rng rng(0xEE77AA11ULL ^ spec.seed);
+  RecordingSpec recording_spec;
+  recording_spec.cls = spec.cls;
+  recording_spec.archetype =
+      static_cast<std::uint32_t>(rng.uniform_index(kArchetypesPerClass));
+  recording_spec.fs = spec.fs;
+  recording_spec.duration_sec = spec.duration_sec;
+  recording_spec.onset_sec = spec.onset_sec;
+  const ClassVariability variability = class_variability(spec.cls);
+  recording_spec.noise_scale *= variability.noise_multiplier;
+  recording_spec.time_dilation_jitter *=
+      variability.dilation_jitter_multiplier;
+  recording_spec.seed = 0x5EEDBA5EULL + spec.seed * 7919ULL;
+  recording_spec.whole_signal_label = false;
+  return generator.generate(recording_spec);
+}
+
+}  // namespace emap::synth

@@ -1,0 +1,82 @@
+// Synthetic stand-ins for the paper's five source EEG corpora.
+//
+// The MDB combines five open-access datasets ([21]-[25]: PhysioNet, TUH EEG,
+// UCI, BNCI Horizon 2020, Warsaw epilepsy DB).  None is redistributable
+// inside this repo, so each is replaced by a synthetic corpus with the same
+// *structural* properties: native sampling rate, class mix, amplitude
+// scale, and — crucially for Table I — annotation quality (the seizure
+// corpora carry precise pre-ictal annotations; the encephalopathy/stroke
+// material is whole-signal labeled, as Section VI-B of the paper explains).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emap/synth/generator.hpp"
+
+namespace emap::synth {
+
+/// One synthetic corpus description.
+struct CorpusSpec {
+  std::string name;
+  double native_fs_hz = 256.0;
+  std::size_t recording_count = 20;
+  /// Long enough for a clean background stretch plus the full prodrome.
+  double recording_duration_sec = 250.0;
+  /// Class mix (fractions of recordings; remainder is normal).
+  double seizure_fraction = 0.0;
+  double encephalopathy_fraction = 0.0;
+  double stroke_fraction = 0.0;
+  /// Precise annotations mark the pre-ictal window; otherwise the whole
+  /// signal is labeled anomalous.
+  bool precise_annotations = true;
+  double amplitude_scale = 10.0;
+  double noise_scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Per-class instance-variability knobs: the encephalopathy/stroke material
+/// the paper draws on is scarcer and more heterogeneous than the seizure
+/// corpora, which (together with the whole-signal labels) is what drives
+/// their lower Table I accuracy.  Multipliers applied on top of the
+/// RecordingSpec defaults.
+struct ClassVariability {
+  double dilation_jitter_multiplier = 1.0;
+  double noise_multiplier = 1.0;
+  /// How many of the kArchetypesPerClass phenotypes the public corpora
+  /// actually cover.  Evaluation inputs draw from all archetypes, so a
+  /// partial covering caps the achievable sensitivity — the paper's
+  /// "unavailability of a substantially-labeled dataset" for
+  /// encephalopathy and stroke.
+  std::uint32_t covered_archetypes = kArchetypesPerClass;
+};
+
+/// Variability profile for a class.
+ClassVariability class_variability(AnomalyClass cls);
+
+/// The five standard corpora mirroring the paper's sources, with
+/// `recordings_per_corpus` recordings each.
+std::vector<CorpusSpec> standard_corpora(std::size_t recordings_per_corpus);
+
+/// Generates every recording of a corpus (deterministic in spec.seed).
+std::vector<Recording> generate_corpus(const CorpusSpec& spec);
+
+/// Parameters of an evaluation input stream (a "patient" being monitored).
+struct EvalInputSpec {
+  AnomalyClass cls = AnomalyClass::kSeizure;
+  std::uint64_t seed = 1;
+  double duration_sec = 300.0;
+  /// Onset of the anomaly within the recording; normal inputs ignore it.
+  /// Defaults leave room for the Fig. 10 lead-time sweep (up to 120 s
+  /// before onset) after a clean background stretch.
+  double onset_sec = 240.0;
+  double fs = 256.0;
+};
+
+/// Generates a monitoring input at the framework's base rate.  Evaluation
+/// inputs draw from the same archetype families as the corpora (the
+/// "patients" share physiology with the database) but use disjoint seeds.
+Recording make_eval_input(const EvalInputSpec& spec);
+
+}  // namespace emap::synth

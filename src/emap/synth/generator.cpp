@@ -1,0 +1,95 @@
+#include "emap/synth/generator.hpp"
+
+#include <cmath>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/synth/background.hpp"
+#include "emap/synth/noise.hpp"
+
+namespace emap::synth {
+
+bool Recording::anomalous_at(double t_sec) const {
+  for (const auto& annotation : annotations) {
+    if (t_sec >= annotation.start_sec && t_sec < annotation.end_sec) {
+      return annotation.anomalous;
+    }
+  }
+  return false;
+}
+
+Recording RecordingGenerator::generate(const RecordingSpec& spec) const {
+  require(spec.fs > 0.0, "RecordingGenerator: fs must be > 0");
+  require(spec.duration_sec > 0.0,
+          "RecordingGenerator: duration must be > 0");
+  const auto count =
+      static_cast<std::size_t>(std::llround(spec.duration_sec * spec.fs));
+  require(count > 0, "RecordingGenerator: empty recording");
+
+  Rng instance_rng(spec.seed);
+  // Instance-level variation: a small clock-rate error (slowly decorrelates
+  // same-archetype instances over seconds, which is what gives the edge
+  // tracker its elimination dynamics), an amplitude scale, and a random
+  // phase offset of the background rhythm bank.
+  const double dilation =
+      1.0 + instance_rng.normal(0.0, spec.time_dilation_jitter);
+  const double amp_jitter = instance_rng.uniform(0.9, 1.1);
+  const double background_phase_shift = instance_rng.uniform(0.0, 100.0);
+
+  const BandMix mix;  // calibrated defaults (DESIGN.md Section 5)
+  const BackgroundModel background(spec.archetype, mix);
+
+  Recording recording;
+  recording.spec = spec;
+  recording.samples.assign(count, 0.0);
+
+  Rng noise_rng = instance_rng.fork(1);
+  PinkNoise noise(mix.noise_stddev * spec.noise_scale);
+
+  // BandMix amplitudes are calibrated for the default amplitude_scale;
+  // morphology
+  // waveforms are unit amplitude and get the full scale.
+  const double bg_scale = spec.amplitude_scale * amp_jitter / 10.0;
+  const double anomaly_amp = spec.amplitude_scale * amp_jitter;
+  if (spec.cls == AnomalyClass::kNormal) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double t = static_cast<double>(i) / spec.fs * dilation;
+      recording.samples[i] =
+          bg_scale * background.rhythm_value(t + background_phase_shift) +
+          noise.next(noise_rng);
+    }
+    recording.annotations.push_back(
+        Annotation{0.0, spec.duration_sec, false});
+    return recording;
+  }
+
+  const Morphology morphology(spec.cls, spec.archetype);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / spec.fs;
+    // Time relative to onset, with the instance clock error applied to the
+    // *relative* axis so same-archetype recordings align on progression.
+    const double t_rel = (t - spec.onset_sec) * dilation;
+    const double weight = morphology.intensity(t_rel);
+    const double bg_gain = morphology.background_gain(t_rel);
+    recording.samples[i] =
+        bg_scale * bg_gain *
+            background.rhythm_value(t * dilation + background_phase_shift) +
+        anomaly_amp * weight * morphology.value(t_rel) +
+        noise.next(noise_rng);
+  }
+
+  if (spec.whole_signal_label) {
+    recording.annotations.push_back(Annotation{0.0, spec.duration_sec, true});
+  } else {
+    const double anomalous_from =
+        std::max(0.0, spec.onset_sec - spec.preictal_label_sec);
+    if (anomalous_from > 0.0) {
+      recording.annotations.push_back(Annotation{0.0, anomalous_from, false});
+    }
+    recording.annotations.push_back(
+        Annotation{anomalous_from, spec.duration_sec, true});
+  }
+  return recording;
+}
+
+}  // namespace emap::synth

@@ -1,0 +1,68 @@
+#include "emap/synth/noise.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "emap/common/error.hpp"
+
+namespace emap::synth {
+
+std::vector<double> white_noise(Rng& rng, std::size_t count, double stddev) {
+  require(stddev >= 0.0, "white_noise: stddev must be >= 0");
+  std::vector<double> noise(count, 0.0);
+  for (double& sample : noise) {
+    sample = rng.normal(0.0, stddev);
+  }
+  return noise;
+}
+
+PinkNoise::PinkNoise(double stddev) {
+  require(stddev >= 0.0, "PinkNoise: stddev must be >= 0");
+  // The sum of kRows independent unit-variance rows has variance kRows;
+  // scale so the output is ~N(0, stddev^2).
+  scale_ = stddev / std::sqrt(static_cast<double>(kRows));
+}
+
+double PinkNoise::next(Rng& rng) {
+  // Voss-McCartney: row k updates every 2^k samples; tracking the running
+  // sum keeps the update O(1) amortized.
+  const std::uint64_t previous = counter_;
+  ++counter_;
+  const std::uint64_t changed = previous ^ counter_;
+  for (std::size_t row = 0; row < kRows; ++row) {
+    if (changed & (1ULL << row)) {
+      running_sum_ -= rows_[row];
+      rows_[row] = rng.normal();
+      running_sum_ += rows_[row];
+    }
+  }
+  return scale_ * running_sum_;
+}
+
+std::vector<double> pink_noise(Rng& rng, std::size_t count, double stddev) {
+  PinkNoise generator(stddev);
+  std::vector<double> noise(count, 0.0);
+  for (double& sample : noise) {
+    sample = generator.next(rng);
+  }
+  return noise;
+}
+
+std::vector<double> brown_noise(Rng& rng, std::size_t count, double stddev,
+                                double leak) {
+  require(leak > 0.0 && leak <= 1.0, "brown_noise: leak must be in (0, 1]");
+  require(stddev >= 0.0, "brown_noise: stddev must be >= 0");
+  // Steady-state variance of x[n] = leak * x[n-1] + w[n] is
+  // sigma_w^2 / (1 - leak^2); solve for the driving noise.
+  const double denom = (leak < 1.0) ? std::sqrt(1.0 - leak * leak) : 1.0;
+  const double drive = stddev * denom;
+  std::vector<double> noise(count, 0.0);
+  double state = 0.0;
+  for (double& sample : noise) {
+    state = leak * state + rng.normal(0.0, drive);
+    sample = state;
+  }
+  return noise;
+}
+
+}  // namespace emap::synth

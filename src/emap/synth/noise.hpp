@@ -1,0 +1,44 @@
+// Noise generators for the synthetic EEG model.
+//
+// Scalp EEG background is well approximated by 1/f ("pink") noise plus
+// rhythmic band activity; the generators here provide the stochastic floor
+// under the deterministic morphologies in anomaly.hpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "emap/common/rng.hpp"
+
+namespace emap::synth {
+
+/// White Gaussian noise, N(0, stddev^2).
+std::vector<double> white_noise(Rng& rng, std::size_t count, double stddev);
+
+/// Streaming pink (1/f) noise via the Voss-McCartney algorithm with 16 rows.
+/// Output standard deviation is approximately `stddev`.
+class PinkNoise {
+ public:
+  explicit PinkNoise(double stddev = 1.0);
+
+  /// Next pink-noise sample using entropy from `rng`.
+  double next(Rng& rng);
+
+ private:
+  static constexpr std::size_t kRows = 16;
+  std::array<double, kRows> rows_{};
+  double running_sum_ = 0.0;
+  std::uint64_t counter_ = 0;
+  double scale_ = 1.0;
+};
+
+/// Block of pink noise with standard deviation approximately `stddev`.
+std::vector<double> pink_noise(Rng& rng, std::size_t count, double stddev);
+
+/// Brownian (integrated white) noise with a leak factor that bounds the
+/// variance; used for slow baseline wander.  leak in (0, 1].
+std::vector<double> brown_noise(Rng& rng, std::size_t count, double stddev,
+                                double leak = 0.99);
+
+}  // namespace emap::synth

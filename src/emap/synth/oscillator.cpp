@@ -1,0 +1,77 @@
+#include "emap/synth/oscillator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "emap/common/error.hpp"
+
+namespace emap::synth {
+
+double tone_value(const ToneSpec& tone, double t) {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  // Instantaneous phase of a linear chirp: 2*pi*(f0*t + 0.5*k*t^2) + phi.
+  const double phase =
+      two_pi * (tone.freq_hz * t + 0.5 * tone.drift_hz_per_s * t * t) +
+      tone.phase;
+  double amplitude = tone.amp;
+  if (tone.am_freq_hz > 0.0 && tone.am_depth > 0.0) {
+    amplitude *= 1.0 - tone.am_depth * 0.5 *
+                           (1.0 + std::sin(two_pi * tone.am_freq_hz * t));
+  }
+  return amplitude * std::sin(phase);
+}
+
+double tone_bank_value(std::span<const ToneSpec> tones, double t) {
+  double acc = 0.0;
+  for (const auto& tone : tones) {
+    acc += tone_value(tone, t);
+  }
+  return acc;
+}
+
+std::vector<double> render_tone_bank(std::span<const ToneSpec> tones,
+                                     double t0, double fs, std::size_t count) {
+  require(fs > 0.0, "render_tone_bank: fs must be > 0");
+  std::vector<double> samples(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    samples[i] = tone_bank_value(tones, t0 + static_cast<double>(i) / fs);
+  }
+  return samples;
+}
+
+double spike_wave_value(const SpikeWaveSpec& spec, double t) {
+  require(spec.rate_hz > 0.0, "spike_wave_value: rate must be > 0");
+  const double period = 1.0 / spec.rate_hz;
+  // Position within the current complex, in [0, period).
+  double local = std::fmod(t - spec.phase_s, period);
+  if (local < 0.0) {
+    local += period;
+  }
+  // Spike centered at 15% of the period.
+  const double spike_center = 0.15 * period;
+  const double dt = local - spike_center;
+  const double spike =
+      spec.spike_amp *
+      std::exp(-0.5 * (dt * dt) / (spec.spike_width_s * spec.spike_width_s));
+  // Slow wave occupies the remaining 70% of the period after the spike.
+  double wave = 0.0;
+  const double wave_start = 0.25 * period;
+  const double wave_len = 0.70 * period;
+  if (local >= wave_start && local < wave_start + wave_len) {
+    const double u = (local - wave_start) / wave_len;  // [0, 1)
+    wave = -spec.wave_amp * std::sin(std::numbers::pi * u);
+  }
+  return spike + wave;
+}
+
+std::vector<double> render_spike_wave(const SpikeWaveSpec& spec, double t0,
+                                      double fs, std::size_t count) {
+  require(fs > 0.0, "render_spike_wave: fs must be > 0");
+  std::vector<double> samples(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    samples[i] = spike_wave_value(spec, t0 + static_cast<double>(i) / fs);
+  }
+  return samples;
+}
+
+}  // namespace emap::synth

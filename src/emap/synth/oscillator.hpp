@@ -1,0 +1,55 @@
+// Deterministic oscillator primitives for EEG morphologies.
+//
+// EMAP's search works because real EEG is oscillatory and stereotyped:
+// signals of the same physiological state phase-align somewhere in a
+// 1000-sample signal-set.  These primitives are *deterministic functions of
+// continuous time* so that two recordings of the same archetype correlate
+// highly once Algorithm 1 finds the right alignment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace emap::synth {
+
+/// One rhythmic component: a sinusoid with optional linear frequency drift
+/// and sinusoidal amplitude modulation.
+struct ToneSpec {
+  double freq_hz = 10.0;        ///< base frequency
+  double amp = 1.0;             ///< peak amplitude
+  double phase = 0.0;           ///< phase at t = 0 (radians)
+  double drift_hz_per_s = 0.0;  ///< df/dt (chirp rate)
+  double am_freq_hz = 0.0;      ///< amplitude-modulation rate (0 = none)
+  double am_depth = 0.0;        ///< AM depth in [0, 1]
+};
+
+/// Value of a single tone at absolute time t (seconds).
+double tone_value(const ToneSpec& tone, double t);
+
+/// Sum of `tones` evaluated at absolute time t.
+double tone_bank_value(std::span<const ToneSpec> tones, double t);
+
+/// Renders `count` samples of the tone bank starting at `t0`, spaced 1/fs.
+std::vector<double> render_tone_bank(std::span<const ToneSpec> tones,
+                                     double t0, double fs, std::size_t count);
+
+/// Spike-and-wave complex train, the classic 3 Hz generalized
+/// seizure morphology: each period contains a sharp Gaussian spike followed
+/// by a half-sine slow wave.  Deterministic in absolute time.
+struct SpikeWaveSpec {
+  double rate_hz = 3.0;       ///< complexes per second
+  double spike_amp = 1.0;     ///< spike peak amplitude
+  double spike_width_s = 0.02;///< Gaussian sigma of the spike
+  double wave_amp = 0.5;      ///< slow-wave amplitude
+  double phase_s = 0.0;       ///< time offset of the first complex
+};
+
+/// Value of the spike-wave train at absolute time t (seconds).
+double spike_wave_value(const SpikeWaveSpec& spec, double t);
+
+/// Renders `count` samples of the spike-wave train starting at `t0`.
+std::vector<double> render_spike_wave(const SpikeWaveSpec& spec, double t0,
+                                      double fs, std::size_t count);
+
+}  // namespace emap::synth

@@ -1,0 +1,156 @@
+#include "emap/baselines/iot_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::baselines {
+namespace {
+
+std::vector<synth::Recording> training_set(std::size_t per_class,
+                                           std::uint64_t seed) {
+  synth::RecordingGenerator gen;
+  std::vector<synth::Recording> recordings;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    synth::RecordingSpec seizure;
+    seizure.cls = synth::AnomalyClass::kSeizure;
+    seizure.archetype = static_cast<std::uint32_t>(i % 4);
+    seizure.duration_sec = 120.0;
+    seizure.onset_sec = 100.0;
+    seizure.seed = seed + i;
+    recordings.push_back(gen.generate(seizure));
+
+    synth::RecordingSpec normal;
+    normal.cls = synth::AnomalyClass::kNormal;
+    normal.archetype = static_cast<std::uint32_t>(i % 4);
+    normal.duration_sec = 120.0;
+    normal.seed = seed + 100 + i;
+    recordings.push_back(gen.generate(normal));
+  }
+  return recordings;
+}
+
+TEST(IotPredictor, RejectsBadConfig) {
+  IotPredictorConfig config;
+  config.votes_needed = 10;
+  config.vote_window = 5;
+  EXPECT_THROW(IotPredictor{config}, InvalidArgument);
+}
+
+TEST(IotPredictor, ObserveBeforeTrainingThrows) {
+  IotPredictor predictor;
+  EXPECT_THROW(predictor.observe_window(testing::noise(1, 256)),
+               InvalidArgument);
+}
+
+TEST(IotPredictor, TrainRejectsEmpty) {
+  IotPredictor predictor;
+  EXPECT_THROW(predictor.train({}), InvalidArgument);
+}
+
+TEST(IotPredictor, DetectsPreictalStream) {
+  IotPredictor predictor;
+  predictor.train(training_set(4, 500));
+  ASSERT_TRUE(predictor.trained());
+
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.duration_sec = 120.0;
+  spec.onset_sec = 100.0;
+  spec.seed = 999;
+  const auto recording = gen.generate(spec);
+  bool alarmed_before_onset = false;
+  for (std::size_t w = 0; w * 256 + 256 <= recording.samples.size(); ++w) {
+    const double t = static_cast<double>(w);
+    if (t >= spec.onset_sec) {
+      break;
+    }
+    (void)predictor.observe_window(std::span<const double>(
+        recording.samples.data() + w * 256, 256));
+    if (predictor.alarm()) {
+      alarmed_before_onset = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(alarmed_before_onset);
+}
+
+TEST(IotPredictor, QuietOnNormalStream) {
+  IotPredictor predictor;
+  predictor.train(training_set(4, 600));
+
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec spec;
+  spec.cls = synth::AnomalyClass::kNormal;
+  spec.duration_sec = 120.0;
+  spec.seed = 1234;
+  const auto recording = gen.generate(spec);
+  for (std::size_t w = 0; w * 256 + 256 <= recording.samples.size(); ++w) {
+    (void)predictor.observe_window(std::span<const double>(
+        recording.samples.data() + w * 256, 256));
+  }
+  EXPECT_FALSE(predictor.alarm());
+}
+
+TEST(IotPredictor, ResetStreamClearsAlarm) {
+  IotPredictor predictor;
+  predictor.train(training_set(3, 700));
+  // Force votes through a pre-ictal stream until alarm, then reset.
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.duration_sec = 110.0;
+  spec.onset_sec = 100.0;
+  spec.seed = 42;
+  const auto recording = gen.generate(spec);
+  for (std::size_t w = 80; w < 100; ++w) {
+    (void)predictor.observe_window(std::span<const double>(
+        recording.samples.data() + w * 256, 256));
+  }
+  predictor.reset_stream();
+  EXPECT_FALSE(predictor.alarm());
+}
+
+TEST(IotPredictor, MlpBackendDetectsPreictalStream) {
+  // hidden_units > 0 swaps the logistic model for the MLP ("[11]-style"
+  // cloud DL stand-in); the streaming protocol is unchanged.
+  IotPredictorConfig config;
+  config.hidden_units = 12;
+  IotPredictor predictor(config);
+  predictor.train(training_set(4, 900));
+  ASSERT_TRUE(predictor.trained());
+
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.duration_sec = 120.0;
+  spec.onset_sec = 100.0;
+  spec.seed = 901;
+  const auto recording = gen.generate(spec);
+  bool alarmed = false;
+  for (std::size_t w = 0; w * 256 + 256 <= recording.samples.size(); ++w) {
+    if (static_cast<double>(w) >= spec.onset_sec) {
+      break;
+    }
+    (void)predictor.observe_window(std::span<const double>(
+        recording.samples.data() + w * 256, 256));
+    if (predictor.alarm()) {
+      alarmed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(IotPredictor, ProbabilityIsInUnitInterval) {
+  IotPredictor predictor;
+  predictor.train(training_set(2, 800));
+  const double p = predictor.observe_window(testing::noise(9, 256, 7.0));
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace emap::baselines

@@ -1,0 +1,41 @@
+#include "emap/common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace emap {
+namespace {
+
+TEST(Crc32, StandardCheckValue) {
+  const std::string message = "123456789";
+  EXPECT_EQ(crc32(message.data(), message.size()), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyMessage) {
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string message = "the quick brown fox jumps over the lazy dog";
+  Crc32 incremental;
+  incremental.update(message.data(), 10);
+  incremental.update(message.data() + 10, message.size() - 10);
+  EXPECT_EQ(incremental.value(), crc32(message.data(), message.size()));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::string a = "hello world";
+  std::string b = a;
+  b[4] ^= 0x01;
+  EXPECT_NE(crc32(a.data(), a.size()), crc32(b.data(), b.size()));
+}
+
+TEST(Crc32, SensitiveToReordering) {
+  const std::string a = "abcd";
+  const std::string b = "dcba";
+  EXPECT_NE(crc32(a.data(), a.size()), crc32(b.data(), b.size()));
+}
+
+}  // namespace
+}  // namespace emap

@@ -1,0 +1,36 @@
+#include "emap/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace emap {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(require(true, "should not throw"));
+}
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "boom"), InvalidArgument);
+}
+
+TEST(Error, RequireMessagePropagates) {
+  try {
+    require(false, "specific message");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& error) {
+    EXPECT_STREQ(error.what(), "specific message");
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsBase) {
+  EXPECT_THROW(throw IoError("io"), Error);
+  EXPECT_THROW(throw CorruptData("corrupt"), Error);
+  EXPECT_THROW(throw InvalidArgument("bad"), Error);
+}
+
+TEST(Error, HierarchyIsCatchableAsRuntimeError) {
+  EXPECT_THROW(throw CorruptData("corrupt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace emap

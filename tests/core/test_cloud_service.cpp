@@ -1,0 +1,136 @@
+#include "emap/core/cloud_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+net::SignalUploadMessage make_upload(std::uint32_t sequence,
+                                     std::uint64_t seed) {
+  net::SignalUploadMessage upload;
+  upload.sequence = sequence;
+  upload.samples = testing::sine(16.0 + static_cast<double>(seed % 5), 256.0,
+                                 256, 7.0);
+  return upload;
+}
+
+TEST(CloudService, RejectsZeroWorkers) {
+  EXPECT_THROW(CloudService(testing::small_mdb(1), EmapConfig{}, 0),
+               InvalidArgument);
+}
+
+TEST(CloudService, EmptyQueueProcessesToNothing) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  EXPECT_TRUE(service.process_all().empty());
+  EXPECT_EQ(service.stats().requests, 0u);
+}
+
+TEST(CloudService, SingleRequestHasNoWait) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  service.submit(ServiceRequest{7, make_upload(1, 1), 5.0});
+  const auto responses = service.process_all();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].patient, 7u);
+  EXPECT_DOUBLE_EQ(responses[0].arrival_sec, 5.0);
+  EXPECT_DOUBLE_EQ(responses[0].start_sec, 5.0);
+  EXPECT_GT(responses[0].completion_sec, 5.0);
+  EXPECT_DOUBLE_EQ(responses[0].wait_sec(), 0.0);
+}
+
+TEST(CloudService, SimultaneousArrivalsQueueOnOneWorker) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  service.submit(ServiceRequest{1, make_upload(1, 1), 0.0});
+  service.submit(ServiceRequest{2, make_upload(2, 2), 0.0});
+  const auto responses = service.process_all();
+  ASSERT_EQ(responses.size(), 2u);
+  // Second completion starts after the first finishes.
+  EXPECT_DOUBLE_EQ(responses[1].start_sec, responses[0].completion_sec);
+  EXPECT_GT(responses[1].wait_sec(), 0.0);
+}
+
+TEST(CloudService, TwoWorkersServeSimultaneousArrivalsInParallel) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 2);
+  service.submit(ServiceRequest{1, make_upload(1, 1), 0.0});
+  service.submit(ServiceRequest{2, make_upload(2, 2), 0.0});
+  const auto responses = service.process_all();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_DOUBLE_EQ(responses[0].wait_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(responses[1].wait_sec(), 0.0);
+}
+
+TEST(CloudService, FifoByArrivalRegardlessOfSubmissionOrder) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  service.submit(ServiceRequest{2, make_upload(2, 2), 10.0});
+  service.submit(ServiceRequest{1, make_upload(1, 1), 0.0});
+  const auto responses = service.process_all();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].patient, 1u);
+  EXPECT_EQ(responses[1].patient, 2u);
+}
+
+TEST(CloudService, LateArrivalDoesNotWaitOnIdleWorker) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  service.submit(ServiceRequest{1, make_upload(1, 1), 0.0});
+  service.submit(ServiceRequest{2, make_upload(2, 2), 1000.0});
+  const auto responses = service.process_all();
+  EXPECT_DOUBLE_EQ(responses[1].start_sec, 1000.0);
+  EXPECT_DOUBLE_EQ(responses[1].wait_sec(), 0.0);
+}
+
+TEST(CloudService, StatsAreConsistent) {
+  CloudService service(testing::small_mdb(1), EmapConfig{}, 1);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    service.submit(ServiceRequest{i, make_upload(i, i), 0.0});
+  }
+  (void)service.process_all();
+  const auto& stats = service.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_GT(stats.mean_service_sec, 0.0);
+  EXPECT_GE(stats.mean_response_sec, stats.mean_service_sec);
+  EXPECT_GE(stats.max_response_sec, stats.mean_response_sec);
+  // One worker saturated by simultaneous arrivals: near-full utilization.
+  EXPECT_GT(stats.utilization, 0.9);
+  EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+TEST(CloudService, MoreWorkersReduceResponseTime) {
+  auto store = testing::small_mdb(1);
+  CloudService narrow(mdb::MdbStore(store), EmapConfig{}, 1);
+  CloudService wide(mdb::MdbStore(store), EmapConfig{}, 4);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    narrow.submit(ServiceRequest{i, make_upload(i, i), 0.0});
+    wide.submit(ServiceRequest{i, make_upload(i, i), 0.0});
+  }
+  (void)narrow.process_all();
+  (void)wide.process_all();
+  EXPECT_LT(wide.stats().mean_response_sec,
+            narrow.stats().mean_response_sec);
+}
+
+TEST(CloudService, ResponsesCarrySearchResults) {
+  CloudService service(testing::small_mdb(2), EmapConfig{}, 1);
+  // A window drawn from a real synthetic patient must produce matches.
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = 4;
+  spec.duration_sec = 130.0;
+  spec.onset_sec = 120.0;
+  const auto input = synth::make_eval_input(spec);
+  dsp::FirFilter filter{EmapConfig{}.filter};
+  const auto filtered = filter.apply(input.samples);
+  net::SignalUploadMessage upload;
+  upload.sequence = 9;
+  upload.samples.assign(filtered.begin() + 110 * 256,
+                        filtered.begin() + 111 * 256);
+  service.submit(ServiceRequest{1, upload, 0.0});
+  const auto responses = service.process_all();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].sequence, 9u);
+  EXPECT_FALSE(responses[0].correlation_set.entries.empty());
+}
+
+}  // namespace
+}  // namespace emap::core

@@ -1,0 +1,62 @@
+#include "emap/core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::core {
+namespace {
+
+TEST(Config, PaperDefaultsMatchSectionV) {
+  const auto config = EmapConfig::paper_defaults();
+  EXPECT_DOUBLE_EQ(config.base_fs_hz, 256.0);
+  EXPECT_EQ(config.window_length, 256u);
+  EXPECT_DOUBLE_EQ(config.alpha, 0.004);
+  EXPECT_DOUBLE_EQ(config.delta, 0.8);
+  EXPECT_EQ(config.top_k, 100u);
+  EXPECT_DOUBLE_EQ(config.delta_area, 900.0);
+  EXPECT_EQ(config.filter.taps, 100u);
+  EXPECT_DOUBLE_EQ(config.filter.low_cut_hz, 11.0);
+  EXPECT_DOUBLE_EQ(config.filter.high_cut_hz, 40.0);
+}
+
+TEST(Config, DefaultsValidate) {
+  EXPECT_NO_THROW(EmapConfig::paper_defaults().validate());
+}
+
+TEST(Config, ValidateRejectsBadValues) {
+  auto config = EmapConfig::paper_defaults();
+  config.alpha = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.alpha = 1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.delta = 1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.top_k = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.delta_area = -1.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.window_length = 4;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.track_scan_stride = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = EmapConfig::paper_defaults();
+  config.predict_trend_window = 1;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace emap::core

@@ -1,0 +1,202 @@
+#include "emap/core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/xcorr.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+// A store with one planted match: the probe is embedded (scaled) at offset
+// 0 of set #3 — offset 0 is on every exponential-window probe grid, so
+// Algorithm 1 is guaranteed to evaluate it.  (At an arbitrary offset the
+// sliding window may legitimately skip a periodic pattern when a probe
+// lands anti-phase; the exhaustive baseline covers that case.)
+struct PlantedFixture {
+  mdb::MdbStore store;
+  std::vector<double> probe;
+  static constexpr std::size_t kPlantedIndex = 3;
+  static constexpr std::size_t kPlantedOffset = 0;
+
+  PlantedFixture() {
+    probe = testing::sine(19.0, 256.0, 256, 5.0);
+    for (double& v : probe) {
+      v += 0.1;
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      mdb::SignalSet set;
+      set.samples = testing::noise(1000 + i, mdb::kSignalSetLength, 5.0);
+      set.anomalous = (i % 2 == 1);
+      set.source = "fixture";
+      if (i == kPlantedIndex) {
+        for (std::size_t k = 0; k < probe.size(); ++k) {
+          set.samples[kPlantedOffset + k] = 1.3 * probe[k] + 0.7;
+        }
+      }
+      store.insert(std::move(set));
+    }
+  }
+};
+
+TEST(SkipForOmega, PaperValuesAtAlpha0004) {
+  const EmapConfig config;  // alpha = 0.004
+  CrossCorrelationSearch search(config);
+  // omega = 1 -> alpha^0 = 1 (finest step).
+  EXPECT_EQ(search.skip_for_omega(1.0), 1u);
+  // omega = 0 -> alpha^-1 = 250 (coarsest step).
+  EXPECT_EQ(search.skip_for_omega(0.0), 250u);
+  // Negative omegas are clamped to zero first (Algorithm 1 lines 9-11).
+  EXPECT_EQ(search.skip_for_omega(-0.7), 250u);
+  // Mid correlation: 0.004^(-0.2) ~ 3.
+  EXPECT_EQ(search.skip_for_omega(0.8), 3u);
+}
+
+TEST(SkipForOmega, MonotoneDecreasingInOmega) {
+  CrossCorrelationSearch search{EmapConfig{}};
+  std::size_t previous = SIZE_MAX;
+  for (double omega = 0.0; omega <= 1.0; omega += 0.05) {
+    const std::size_t skip = search.skip_for_omega(omega);
+    EXPECT_LE(skip, previous);
+    previous = skip;
+  }
+}
+
+TEST(SkipForOmega, RespectsMaxSkipClamp) {
+  EmapConfig config;
+  config.alpha = 0.0001;
+  config.max_skip = 100;
+  CrossCorrelationSearch search(config);
+  EXPECT_EQ(search.skip_for_omega(0.0), 100u);
+}
+
+TEST(Search, FindsPlantedMatchAtCorrectOffset) {
+  PlantedFixture fixture;
+  CrossCorrelationSearch search{EmapConfig{}};
+  const auto result = search.search(fixture.probe, fixture.store);
+  ASSERT_FALSE(result.matches.empty());
+  const auto& best = result.matches.front();
+  EXPECT_EQ(best.store_index, PlantedFixture::kPlantedIndex);
+  EXPECT_EQ(best.beta, PlantedFixture::kPlantedOffset);
+  EXPECT_GT(best.omega, 0.95);
+}
+
+TEST(Search, MatchCarriesLabelAndId) {
+  PlantedFixture fixture;
+  CrossCorrelationSearch search{EmapConfig{}};
+  const auto result = search.search(fixture.probe, fixture.store);
+  ASSERT_FALSE(result.matches.empty());
+  const auto& best = result.matches.front();
+  const auto& planted = fixture.store.at(PlantedFixture::kPlantedIndex);
+  EXPECT_EQ(best.set_id, planted.id);
+  EXPECT_EQ(best.anomalous, planted.anomalous);
+}
+
+TEST(Search, ResultsSortedDescendingByOmega) {
+  PlantedFixture fixture;
+  EmapConfig config;
+  config.delta = 0.0;  // accept everything to exercise ordering
+  CrossCorrelationSearch search(config);
+  const auto result = search.search(fixture.probe, fixture.store);
+  for (std::size_t i = 1; i < result.matches.size(); ++i) {
+    EXPECT_GE(result.matches[i - 1].omega, result.matches[i].omega);
+  }
+}
+
+TEST(Search, TopKLimitRespected) {
+  PlantedFixture fixture;
+  EmapConfig config;
+  config.delta = -0.99;
+  config.top_k = 5;
+  CrossCorrelationSearch search(config);
+  const auto result = search.search(fixture.probe, fixture.store);
+  EXPECT_LE(result.matches.size(), 5u);
+}
+
+TEST(Search, StatsAccountEvaluations) {
+  PlantedFixture fixture;
+  CrossCorrelationSearch search{EmapConfig{}};
+  const auto result = search.search(fixture.probe, fixture.store);
+  EXPECT_GT(result.stats.correlation_evals, 0u);
+  EXPECT_EQ(result.stats.mac_ops, result.stats.correlation_evals * 256u);
+  EXPECT_EQ(result.stats.sets_scanned, fixture.store.size());
+  EXPECT_GE(result.stats.candidates, result.matches.size());
+}
+
+TEST(Search, ParallelMatchesSerial) {
+  PlantedFixture fixture;
+  EmapConfig config;
+  config.delta = 0.3;
+  ThreadPool pool(4);
+  CrossCorrelationSearch serial(config, nullptr);
+  CrossCorrelationSearch parallel(config, &pool);
+  const auto a = serial.search(fixture.probe, fixture.store);
+  const auto b = parallel.search(fixture.probe, fixture.store);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (std::size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].set_id, b.matches[i].set_id);
+    EXPECT_EQ(a.matches[i].beta, b.matches[i].beta);
+    EXPECT_DOUBLE_EQ(a.matches[i].omega, b.matches[i].omega);
+  }
+  EXPECT_EQ(a.stats.correlation_evals, b.stats.correlation_evals);
+}
+
+TEST(Search, EmptyStoreGivesEmptyResult) {
+  mdb::MdbStore store;
+  CrossCorrelationSearch search{EmapConfig{}};
+  const auto probe = testing::noise(1, 256);
+  const auto result = search.search(probe, store);
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.stats.correlation_evals, 0u);
+}
+
+TEST(Search, RejectsWrongWindowLength) {
+  mdb::MdbStore store;
+  CrossCorrelationSearch search{EmapConfig{}};
+  EXPECT_THROW(search.search(testing::noise(1, 100), store),
+               InvalidArgument);
+}
+
+TEST(Search, HigherAlphaEvaluatesMoreOffsets) {
+  // Fig. 7a mechanism: larger alpha -> smaller skips -> more evaluations.
+  PlantedFixture fixture;
+  EmapConfig coarse;
+  coarse.alpha = 0.0008;
+  EmapConfig fine;
+  fine.alpha = 0.015;
+  const auto r_coarse =
+      CrossCorrelationSearch(coarse).search(fixture.probe, fixture.store);
+  const auto r_fine =
+      CrossCorrelationSearch(fine).search(fixture.probe, fixture.store);
+  EXPECT_GT(r_fine.stats.correlation_evals,
+            r_coarse.stats.correlation_evals);
+}
+
+TEST(SelectTopK, TieBreaksAreDeterministic) {
+  std::vector<SearchMatch> candidates;
+  for (std::uint64_t id : {5, 3, 9}) {
+    SearchMatch match;
+    match.omega = 0.9;
+    match.set_id = id;
+    candidates.push_back(match);
+  }
+  const auto top = select_top_k(candidates, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].set_id, 3u);
+  EXPECT_EQ(top[1].set_id, 5u);
+}
+
+TEST(Search, DegenerateConstantSetNeverMatches) {
+  mdb::MdbStore store;
+  mdb::SignalSet flat;
+  flat.samples.assign(mdb::kSignalSetLength, 3.0);
+  store.insert(std::move(flat));
+  CrossCorrelationSearch search{EmapConfig{}};
+  const auto probe = testing::noise(2, 256);
+  const auto result = search.search(probe, store);
+  EXPECT_TRUE(result.matches.empty());
+}
+
+}  // namespace
+}  // namespace emap::core

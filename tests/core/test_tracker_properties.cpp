@@ -1,0 +1,134 @@
+// Parameterized invariants of the edge tracker (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "emap/core/tracker.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+class TrackerProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // A mixed set: some signals embed the window (survivors), some are noise.
+  std::vector<TrackedSignal> make_set(const std::vector<double>& window,
+                                      std::size_t count) const {
+    std::vector<TrackedSignal> set;
+    for (std::size_t i = 0; i < count; ++i) {
+      TrackedSignal signal;
+      signal.set_id = i + 1;
+      signal.anomalous = (i % 3 == 0);
+      signal.beta = (i * 53) % 600;
+      signal.samples = testing::noise(GetParam() * 100 + i, 1000, 5.0);
+      if (i % 2 == 0) {
+        for (std::size_t k = 0; k < window.size(); ++k) {
+          signal.samples[signal.beta + k] = window[k];
+        }
+      }
+      set.push_back(std::move(signal));
+    }
+    return set;
+  }
+};
+
+TEST_P(TrackerProperty, SurvivorsAreSubsetOfLoaded) {
+  EmapConfig config;
+  config.tracking_threshold_h = 1;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam(), 256, 5.0);
+  const auto loaded = make_set(window, 20);
+  std::set<std::uint64_t> loaded_ids;
+  for (const auto& signal : loaded) {
+    loaded_ids.insert(signal.set_id);
+  }
+  tracker.load(loaded);
+  (void)tracker.step(window);
+  for (const auto& survivor : tracker.active()) {
+    EXPECT_TRUE(loaded_ids.count(survivor.set_id));
+  }
+}
+
+TEST_P(TrackerProperty, CountsAreConserved) {
+  EmapConfig config;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam() + 1, 256, 5.0);
+  tracker.load(make_set(window, 24));
+  const auto result = tracker.step(window);
+  EXPECT_EQ(result.tracked_before,
+            result.tracked_after + result.removed_dissimilar +
+                result.removed_exhausted);
+}
+
+TEST_P(TrackerProperty, BetaNeverMovesBackward) {
+  EmapConfig config;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam() + 2, 256, 5.0);
+  const auto loaded = make_set(window, 16);
+  std::map<std::uint64_t, std::size_t> initial_beta;
+  for (const auto& signal : loaded) {
+    initial_beta[signal.set_id] = signal.beta;
+  }
+  tracker.load(loaded);
+  (void)tracker.step(window);
+  for (const auto& survivor : tracker.active()) {
+    EXPECT_GE(survivor.beta, initial_beta[survivor.set_id]);
+  }
+}
+
+TEST_P(TrackerProperty, EmbeddedSignalsSurviveNoiseSignalsDie) {
+  EmapConfig config;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam() + 3, 256, 5.0);
+  tracker.load(make_set(window, 20));
+  (void)tracker.step(window);
+  for (const auto& survivor : tracker.active()) {
+    // Only the even-indexed (embedded) signals can match exactly.
+    EXPECT_EQ((survivor.set_id - 1) % 2, 0u) << "noise signal survived";
+  }
+  EXPECT_GT(tracker.active_count(), 0u);
+}
+
+TEST_P(TrackerProperty, ProbabilityMatchesSurvivorComposition) {
+  EmapConfig config;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam() + 4, 256, 5.0);
+  tracker.load(make_set(window, 20));
+  const auto result = tracker.step(window);
+  if (result.tracked_after > 0) {
+    std::size_t anomalous = 0;
+    for (const auto& survivor : tracker.active()) {
+      if (survivor.anomalous) {
+        ++anomalous;
+      }
+    }
+    EXPECT_DOUBLE_EQ(result.anomaly_probability,
+                     static_cast<double>(anomalous) /
+                         static_cast<double>(result.tracked_after));
+  }
+}
+
+TEST_P(TrackerProperty, StepIsIdempotentOnPerfectMatches) {
+  // A window that matches at the current offset leaves beta unchanged, so
+  // re-stepping with the same window keeps the same survivors.
+  EmapConfig config;
+  config.tracking_threshold_h = 1;
+  EdgeTracker tracker(config);
+  const auto window = testing::noise(GetParam() + 5, 256, 5.0);
+  tracker.load(make_set(window, 12));
+  (void)tracker.step(window);
+  const auto first_ids = tracker.active();
+  (void)tracker.step(window);
+  ASSERT_EQ(tracker.active_count(), first_ids.size());
+  for (std::size_t i = 0; i < first_ids.size(); ++i) {
+    EXPECT_EQ(tracker.active()[i].set_id, first_ids[i].set_id);
+    EXPECT_EQ(tracker.active()[i].beta, first_ids[i].beta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace emap::core

@@ -1,0 +1,100 @@
+#include "emap/dsp/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(AreaBetween, MatchesEq3) {
+  const std::vector<double> a = {1.0, -2.0, 3.0};
+  const std::vector<double> b = {0.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(area_between(a, b), 1.0 + 4.0 + 2.0);
+}
+
+TEST(AreaBetween, IdenticalCurvesGiveZero) {
+  const auto a = testing::noise(1, 256);
+  EXPECT_DOUBLE_EQ(area_between(a, a), 0.0);
+}
+
+TEST(AreaBetween, SymmetricInArguments) {
+  const auto a = testing::noise(2, 128);
+  const auto b = testing::noise(3, 128);
+  EXPECT_DOUBLE_EQ(area_between(a, b), area_between(b, a));
+}
+
+TEST(AreaBetween, TriangleInequality) {
+  const auto a = testing::noise(4, 128);
+  const auto b = testing::noise(5, 128);
+  const auto c = testing::noise(6, 128);
+  EXPECT_LE(area_between(a, c),
+            area_between(a, b) + area_between(b, c) + 1e-9);
+}
+
+TEST(AreaBetween, RejectsMismatchedOrEmpty) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(area_between(a, b), InvalidArgument);
+  EXPECT_THROW(area_between({}, {}), InvalidArgument);
+}
+
+TEST(AreaBetweenCapped, ExactWhenUnderThreshold) {
+  const auto a = testing::noise(7, 256);
+  const auto b = testing::noise(8, 256);
+  const double exact = area_between(a, b);
+  EXPECT_DOUBLE_EQ(area_between_capped(a, b, exact + 1.0), exact);
+}
+
+TEST(AreaBetweenCapped, ExceedsThresholdWhenOver) {
+  const auto a = testing::noise(9, 256);
+  const auto b = testing::noise(10, 256);
+  const double exact = area_between(a, b);
+  const double capped = area_between_capped(a, b, exact / 2.0);
+  EXPECT_GT(capped, exact / 2.0);
+}
+
+TEST(AreaBetweenCappedCounted, CountsConsumedSamples) {
+  const std::vector<double> a(100, 0.0);
+  std::vector<double> b(100, 0.0);
+  b[3] = 50.0;  // blows through any small threshold at index 3
+  std::size_t ops = 0;
+  const double area = area_between_capped_counted(a, b, 10.0, ops);
+  EXPECT_GT(area, 10.0);
+  EXPECT_EQ(ops, 4u);
+}
+
+TEST(AreaBetweenCappedCounted, FullConsumptionWhenUnder) {
+  const std::vector<double> a(100, 0.0);
+  const std::vector<double> b(100, 0.01);
+  std::size_t ops = 0;
+  const double area = area_between_capped_counted(a, b, 10.0, ops);
+  EXPECT_NEAR(area, 1.0, 1e-12);
+  EXPECT_EQ(ops, 100u);
+}
+
+TEST(SlidingArea, MinimumAtEmbeddedCopy) {
+  const auto probe = testing::sine(20.0, 256.0, 128, 3.0);
+  auto haystack = testing::noise(11, 800, 0.2);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    haystack[300 + i] += probe[i];
+  }
+  const auto area = sliding_area(probe, haystack);
+  ASSERT_EQ(area.size(), 800u - 128u + 1u);
+  std::size_t argmin = 0;
+  for (std::size_t k = 1; k < area.size(); ++k) {
+    if (area[k] < area[argmin]) {
+      argmin = k;
+    }
+  }
+  EXPECT_EQ(argmin, 300u);
+}
+
+TEST(SlidingArea, EmptyWhenProbeTooLong) {
+  EXPECT_TRUE(sliding_area(testing::noise(12, 64), testing::noise(13, 32))
+                  .empty());
+}
+
+}  // namespace
+}  // namespace emap::dsp

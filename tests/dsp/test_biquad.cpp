@@ -1,0 +1,111 @@
+#include "emap/dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/stats.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(Biquad, RejectsBadParameters) {
+  EXPECT_THROW(Biquad(1, 0, 0, 0.0, 0, 0), InvalidArgument);
+  EXPECT_THROW(Biquad::lowpass(0.0, 256.0), InvalidArgument);
+  EXPECT_THROW(Biquad::lowpass(200.0, 256.0), InvalidArgument);
+  EXPECT_THROW(Biquad::notch(50.0, 256.0, 0.0), InvalidArgument);
+}
+
+TEST(Biquad, LowpassPassesDcBlocksHigh) {
+  auto filter = Biquad::lowpass(20.0, 256.0);
+  EXPECT_NEAR(filter.magnitude_response(0.0, 256.0), 1.0, 1e-6);
+  EXPECT_NEAR(filter.magnitude_response(20.0, 256.0), 0.7071, 0.01);
+  EXPECT_LT(filter.magnitude_response(100.0, 256.0), 0.05);
+}
+
+TEST(Biquad, HighpassBlocksDcPassesHigh) {
+  auto filter = Biquad::highpass(1.0, 256.0);
+  EXPECT_LT(filter.magnitude_response(0.01, 256.0), 0.01);
+  EXPECT_NEAR(filter.magnitude_response(50.0, 256.0), 1.0, 0.01);
+}
+
+TEST(Biquad, NotchKillsTargetKeepsNeighbours) {
+  auto filter = Biquad::notch(50.0, 256.0, 30.0);
+  EXPECT_LT(filter.magnitude_response(50.0, 256.0), 0.01);
+  EXPECT_GT(filter.magnitude_response(40.0, 256.0), 0.95);
+  EXPECT_GT(filter.magnitude_response(60.0, 256.0), 0.95);
+}
+
+TEST(Biquad, PeakingBoostsTarget) {
+  auto filter = Biquad::peaking(20.0, 256.0, 6.0);
+  EXPECT_NEAR(filter.magnitude_response(20.0, 256.0),
+              std::pow(10.0, 6.0 / 20.0), 0.05);
+  EXPECT_NEAR(filter.magnitude_response(1.0, 256.0), 1.0, 0.05);
+}
+
+TEST(Biquad, TimeDomainMatchesMagnitudeResponse) {
+  auto filter = Biquad::lowpass(30.0, 256.0);
+  const double freq = 15.0;
+  const auto input = testing::sine(freq, 256.0, 4096);
+  const auto output = filter.process_block(input);
+  double peak = 0.0;
+  for (std::size_t i = 1024; i < output.size(); ++i) {
+    peak = std::max(peak, std::abs(output[i]));
+  }
+  EXPECT_NEAR(peak, filter.magnitude_response(freq, 256.0), 0.02);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto filter = Biquad::lowpass(30.0, 256.0);
+  (void)filter.process_sample(100.0);
+  filter.reset();
+  auto fresh = Biquad::lowpass(30.0, 256.0);
+  EXPECT_DOUBLE_EQ(filter.process_sample(1.0), fresh.process_sample(1.0));
+}
+
+TEST(BiquadCascade, MagnitudeIsProductOfSections) {
+  BiquadCascade cascade;
+  cascade.push_back(Biquad::lowpass(40.0, 256.0));
+  cascade.push_back(Biquad::highpass(5.0, 256.0));
+  const double expected =
+      Biquad::lowpass(40.0, 256.0).magnitude_response(20.0, 256.0) *
+      Biquad::highpass(5.0, 256.0).magnitude_response(20.0, 256.0);
+  EXPECT_NEAR(cascade.magnitude_response(20.0, 256.0), expected, 1e-9);
+}
+
+TEST(BiquadCascade, BlockMatchesSampleBySample) {
+  BiquadCascade a({Biquad::lowpass(30.0, 256.0), Biquad::notch(50.0, 256.0)});
+  BiquadCascade b({Biquad::lowpass(30.0, 256.0), Biquad::notch(50.0, 256.0)});
+  const auto input = testing::noise(3, 256);
+  const auto block = a.process_block(input);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(block[i], b.process_sample(input[i]), 1e-12);
+  }
+}
+
+TEST(AcquisitionFrontend, RemovesMainsAndDc) {
+  auto frontend = make_acquisition_frontend(256.0, 50.0);
+  // 50 Hz mains + DC offset + in-band EEG tone.
+  auto input = testing::sine(50.0, 256.0, 8192, 10.0);
+  const auto eeg = testing::sine(20.0, 256.0, 8192, 1.0);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] += eeg[i] + 25.0;
+  }
+  const auto output = frontend.process_block(input);
+  const std::span<const double> steady(output.data() + 4096, 4096);
+  EXPECT_LT(std::abs(mean(steady)), 0.5);        // DC gone
+  // The in-band tone survives; mains is crushed.
+  EXPECT_GT(frontend.magnitude_response(20.0, 256.0), 0.9);
+  EXPECT_LT(frontend.magnitude_response(50.0, 256.0), 0.01);
+  EXPECT_LT(frontend.magnitude_response(100.0, 256.0), 0.01);
+}
+
+TEST(AcquisitionFrontend, SkipsHarmonicAboveNyquist) {
+  // At fs=100 the 2*60=120 Hz harmonic is above Nyquist and must not be
+  // designed (would throw otherwise).
+  auto frontend = make_acquisition_frontend(100.0, 40.0);
+  EXPECT_EQ(frontend.size(), 2u);  // highpass + one notch
+}
+
+}  // namespace
+}  // namespace emap::dsp

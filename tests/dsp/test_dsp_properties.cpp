@@ -1,0 +1,101 @@
+// Property-style sweeps over randomized inputs (parameterized by seed).
+#include <gtest/gtest.h>
+
+#include "emap/dsp/area.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/dsp/stats.hpp"
+#include "emap/dsp/xcorr.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+class RandomSignalProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<double> make(std::uint64_t salt, std::size_t n) const {
+    return testing::noise(GetParam() * 1000003ULL + salt, n);
+  }
+};
+
+TEST_P(RandomSignalProperty, NccIsBoundedAndSymmetric) {
+  const auto a = make(1, 256);
+  const auto b = make(2, 256);
+  const double ab = normalized_correlation(a, b);
+  const double ba = normalized_correlation(b, a);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_NEAR(ab, ba, 1e-12);
+}
+
+TEST_P(RandomSignalProperty, NccInvariantUnderAffineTransform) {
+  const auto a = make(3, 256);
+  const auto b = make(4, 256);
+  auto transformed = b;
+  const double scale = 0.1 + static_cast<double>(GetParam() % 7);
+  for (double& v : transformed) {
+    v = scale * v + 42.0;
+  }
+  EXPECT_NEAR(normalized_correlation(a, b),
+              normalized_correlation(a, transformed), 1e-9);
+}
+
+TEST_P(RandomSignalProperty, AreaIsNonNegativeAndIdentityOfIndiscernibles) {
+  const auto a = make(5, 256);
+  const auto b = make(6, 256);
+  EXPECT_GE(area_between(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(area_between(a, a), 0.0);
+}
+
+TEST_P(RandomSignalProperty, AreaHomogeneity) {
+  // area(k*a, k*b) == |k| * area(a, b)
+  const auto a = make(7, 128);
+  const auto b = make(8, 128);
+  auto ka = a;
+  auto kb = b;
+  for (double& v : ka) v *= -3.0;
+  for (double& v : kb) v *= -3.0;
+  EXPECT_NEAR(area_between(ka, kb), 3.0 * area_between(a, b), 1e-9);
+}
+
+TEST_P(RandomSignalProperty, CappedAreaNeverExceedsTrueAreaWhenUnder) {
+  const auto a = make(9, 256);
+  const auto b = make(10, 256);
+  const double exact = area_between(a, b);
+  // With a threshold above the exact value, capped must equal exact.
+  EXPECT_DOUBLE_EQ(area_between_capped(a, b, exact * 1.01), exact);
+}
+
+TEST_P(RandomSignalProperty, FilterOutputEnergyBoundedByPassbandGain) {
+  FirFilter filter(FirDesign{});
+  const auto input = make(11, 2048);
+  const auto output = filter.apply(input);
+  // A bandpass keeping ~23% of the white-noise band cannot amplify RMS.
+  EXPECT_LT(rms(output), rms(input));
+}
+
+TEST_P(RandomSignalProperty, SlidingNccConsistentWithPointwise) {
+  const auto probe = make(12, 64);
+  const auto haystack = make(13, 256);
+  const auto series = sliding_ncc(probe, haystack);
+  const std::span<const double> hay(haystack);
+  for (std::size_t k = 0; k < series.size(); k += 37) {
+    EXPECT_NEAR(series[k],
+                normalized_correlation(probe, hay.subspan(k, probe.size())),
+                1e-12);
+  }
+}
+
+TEST_P(RandomSignalProperty, VarianceShiftInvariant) {
+  auto a = make(14, 512);
+  const double var = variance(a);
+  for (double& v : a) {
+    v += 1234.5;
+  }
+  EXPECT_NEAR(variance(a), var, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSignalProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace emap::dsp

@@ -1,0 +1,85 @@
+#include "emap/dsp/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(Spectral, EdgeOfPureToneIsToneFrequency) {
+  const auto tone = testing::sine(20.0, 256.0, 2048);
+  EXPECT_NEAR(spectral_edge_frequency(tone, 256.0, 0.95), 20.0, 0.5);
+  EXPECT_NEAR(median_frequency(tone, 256.0), 20.0, 0.5);
+}
+
+TEST(Spectral, EmptyAndZeroSignalsGiveZero) {
+  EXPECT_DOUBLE_EQ(spectral_edge_frequency({}, 256.0), 0.0);
+  const std::vector<double> zeros(256, 0.0);
+  EXPECT_DOUBLE_EQ(spectral_edge_frequency(zeros, 256.0), 0.0);
+}
+
+TEST(Spectral, RejectsBadArguments) {
+  const auto tone = testing::sine(10.0, 256.0, 256);
+  EXPECT_THROW(spectral_edge_frequency(tone, 0.0), InvalidArgument);
+  EXPECT_THROW(spectral_edge_frequency(tone, 256.0, 0.0), InvalidArgument);
+  EXPECT_THROW(spectral_edge_frequency(tone, 256.0, 1.5), InvalidArgument);
+}
+
+TEST(Spectral, EdgeIncreasesWithFraction) {
+  const auto signal = testing::noise(1, 8192);
+  const double sef50 = spectral_edge_frequency(signal, 256.0, 0.5);
+  const double sef95 = spectral_edge_frequency(signal, 256.0, 0.95);
+  EXPECT_LT(sef50, sef95);
+}
+
+TEST(Spectral, WhiteNoiseMedianNearQuarterOfRate) {
+  // Flat spectrum over [0, fs/2] -> median ~ fs/4.
+  const auto signal = testing::noise(2, 65536);
+  EXPECT_NEAR(median_frequency(signal, 256.0), 64.0, 4.0);
+}
+
+TEST(Spectral, TwoToneMedianSitsBetween) {
+  auto signal = testing::sine(10.0, 256.0, 4096, 1.0);
+  const auto high = testing::sine(50.0, 256.0, 4096, 1.0);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] += high[i];
+  }
+  const double median = median_frequency(signal, 256.0);
+  EXPECT_GT(median, 9.0);
+  EXPECT_LT(median, 51.0);
+}
+
+TEST(Spectral, BandRatioDetectsSlowing) {
+  // "Diffuse slowing": more low-frequency relative power.
+  auto slowed = testing::sine(3.0, 256.0, 4096, 3.0);
+  const auto fast_part = testing::sine(20.0, 256.0, 4096, 1.0);
+  for (std::size_t i = 0; i < slowed.size(); ++i) {
+    slowed[i] += fast_part[i];
+  }
+  auto awake = testing::sine(3.0, 256.0, 4096, 0.5);
+  for (std::size_t i = 0; i < awake.size(); ++i) {
+    awake[i] += 3.0 * fast_part[i] / 1.0;
+  }
+  const double slowed_ratio =
+      band_ratio(slowed, 256.0, 1.0, 8.0, 13.0, 30.0);
+  const double awake_ratio = band_ratio(awake, 256.0, 1.0, 8.0, 13.0, 30.0);
+  EXPECT_GT(slowed_ratio, 5.0 * awake_ratio);
+}
+
+TEST(Spectral, BandRatioZeroWhenSignalSilent) {
+  const std::vector<double> zeros(1024, 0.0);
+  EXPECT_DOUBLE_EQ(band_ratio(zeros, 256.0, 1.0, 8.0, 60.0, 100.0), 0.0);
+}
+
+TEST(Spectral, BandRatioExplodesWhenDenominatorIsOnlyLeakage) {
+  // A pure out-of-band tone leaves only spectral leakage in the
+  // denominator band; the ratio is finite but enormous — callers must
+  // pick denominator bands that carry real power.
+  const auto tone = testing::sine(5.0, 256.0, 2048);
+  EXPECT_GT(band_ratio(tone, 256.0, 1.0, 8.0, 60.0, 100.0), 1e6);
+}
+
+}  // namespace
+}  // namespace emap::dsp

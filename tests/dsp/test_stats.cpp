@@ -1,0 +1,119 @@
+#include "emap/dsp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  EXPECT_DOUBLE_EQ(line_length({}), 0.0);
+  EXPECT_EQ(zero_crossings({}), 0u);
+  EXPECT_DOUBLE_EQ(peak_abs({}), 0.0);
+}
+
+TEST(Stats, MeanAndVarianceKnownValues) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(variance(x), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(x), std::sqrt(1.25));
+}
+
+TEST(Stats, RmsOfSineIsAmpOverSqrt2) {
+  const auto x = testing::sine(16.0, 256.0, 4096, 2.0);
+  EXPECT_NEAR(rms(x), 2.0 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Stats, LineLengthOfConstantIsZero) {
+  const std::vector<double> x(100, 5.0);
+  EXPECT_DOUBLE_EQ(line_length(x), 0.0);
+}
+
+TEST(Stats, LineLengthScalesWithFrequency) {
+  const auto slow = testing::sine(5.0, 256.0, 1024);
+  const auto fast = testing::sine(40.0, 256.0, 1024);
+  EXPECT_GT(line_length(fast), 4.0 * line_length(slow));
+}
+
+TEST(Stats, ZeroCrossingsOfSine) {
+  // 16 Hz over 1 s -> 32 crossings.
+  const auto x = testing::sine(16.0, 256.0, 256);
+  const auto crossings = zero_crossings(x);
+  EXPECT_NEAR(static_cast<double>(crossings), 32.0, 2.0);
+}
+
+TEST(Stats, ZeroCrossingsIgnoresDcOffset) {
+  auto x = testing::sine(16.0, 256.0, 256);
+  for (double& v : x) {
+    v += 10.0;  // mean-removed crossing count must not change
+  }
+  EXPECT_NEAR(static_cast<double>(zero_crossings(x)), 32.0, 2.0);
+}
+
+TEST(Stats, HjorthMobilityOfSineMatchesTheory) {
+  // mobility of a sinusoid ~ 2 sin(pi f / fs) ~ omega/fs for small f.
+  const double fs = 256.0;
+  const double freq = 16.0;
+  const auto x = testing::sine(freq, fs, 8192);
+  const double expected = 2.0 * std::sin(std::numbers::pi * freq / fs);
+  EXPECT_NEAR(hjorth_mobility(x), expected, 0.01);
+}
+
+TEST(Stats, HjorthMobilityOfConstantIsZero) {
+  const std::vector<double> x(64, 3.0);
+  EXPECT_DOUBLE_EQ(hjorth_mobility(x), 0.0);
+  EXPECT_DOUBLE_EQ(hjorth_complexity(x), 0.0);
+}
+
+TEST(Stats, HjorthComplexityOfPureSineIsNearOne) {
+  const auto x = testing::sine(16.0, 256.0, 8192);
+  EXPECT_NEAR(hjorth_complexity(x), 1.0, 0.05);
+}
+
+TEST(Stats, HjorthComplexityOfNoiseExceedsSine) {
+  const auto tone = testing::sine(16.0, 256.0, 4096);
+  const auto white = testing::noise(1, 4096);
+  EXPECT_GT(hjorth_complexity(white), hjorth_complexity(tone));
+}
+
+TEST(Stats, PeakAbsFindsNegativePeak) {
+  const std::vector<double> x = {1.0, -7.0, 3.0};
+  EXPECT_DOUBLE_EQ(peak_abs(x), 7.0);
+}
+
+TEST(Stats, SkewnessOfSymmetricIsZero) {
+  const auto x = testing::noise(2, 100000);
+  EXPECT_NEAR(skewness(x), 0.0, 0.05);
+}
+
+TEST(Stats, SkewnessDetectsAsymmetry) {
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(i % 10 == 0 ? 20.0 : -0.5);  // long right tail
+  }
+  EXPECT_GT(skewness(x), 1.0);
+}
+
+TEST(Stats, KurtosisOfGaussianNearZero) {
+  const auto x = testing::noise(3, 200000);
+  EXPECT_NEAR(kurtosis_excess(x), 0.0, 0.1);
+}
+
+TEST(Stats, KurtosisOfSpikyIsPositive) {
+  std::vector<double> x(1000, 0.01);
+  x[500] = 100.0;
+  EXPECT_GT(kurtosis_excess(x), 10.0);
+}
+
+TEST(Stats, DegenerateConstantHigherMomentsAreZero) {
+  const std::vector<double> x(32, 2.0);
+  EXPECT_DOUBLE_EQ(skewness(x), 0.0);
+  EXPECT_DOUBLE_EQ(kurtosis_excess(x), 0.0);
+}
+
+}  // namespace
+}  // namespace emap::dsp

@@ -1,0 +1,80 @@
+#include "emap/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(Window, RejectsZeroLength) {
+  EXPECT_THROW(make_window(WindowKind::kHamming, 0), InvalidArgument);
+}
+
+TEST(Window, LengthOneIsUnity) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHamming,
+                    WindowKind::kHann, WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 64);
+  for (double v : w) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+class WindowSymmetryTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowSymmetryTest, IsSymmetric) {
+  for (std::size_t length : {2u, 3u, 64u, 100u, 101u}) {
+    const auto w = make_window(GetParam(), length);
+    ASSERT_EQ(w.size(), length);
+    for (std::size_t n = 0; n < length; ++n) {
+      EXPECT_NEAR(w[n], w[length - 1 - n], 1e-12)
+          << window_name(GetParam()) << " length " << length << " at " << n;
+    }
+  }
+}
+
+TEST_P(WindowSymmetryTest, PeaksAtCenterAndBounded) {
+  const auto w = make_window(GetParam(), 101);
+  const double center = w[50];
+  for (double v : w) {
+    EXPECT_LE(v, center + 1e-12);
+    EXPECT_GE(v, -1e-12);
+  }
+  EXPECT_NEAR(center, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowSymmetryTest,
+                         ::testing::Values(WindowKind::kRectangular,
+                                           WindowKind::kHamming,
+                                           WindowKind::kHann,
+                                           WindowKind::kBlackman),
+                         [](const auto& info) {
+                           return window_name(info.param);
+                         });
+
+TEST(Window, HammingEndpointValue) {
+  const auto w = make_window(WindowKind::kHamming, 100);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+  EXPECT_NEAR(w.back(), 0.08, 1e-12);
+}
+
+TEST(Window, HannEndpointsAreZero) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(Window, NamesAreStable) {
+  EXPECT_STREQ(window_name(WindowKind::kHamming), "hamming");
+  EXPECT_STREQ(window_name(WindowKind::kRectangular), "rectangular");
+}
+
+}  // namespace
+}  // namespace emap::dsp

@@ -1,0 +1,128 @@
+#include "emap/dsp/xcorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::dsp {
+namespace {
+
+TEST(DotCorrelation, MatchesEq2) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot_correlation(a, b), 4.0 + 10.0 + 18.0);
+}
+
+TEST(DotCorrelation, RejectsMismatchedOrEmpty) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(dot_correlation(a, b), InvalidArgument);
+  EXPECT_THROW(dot_correlation({}, {}), InvalidArgument);
+}
+
+TEST(NormalizedCorrelation, SelfCorrelationIsOne) {
+  const auto signal = testing::noise(1, 256);
+  EXPECT_NEAR(normalized_correlation(signal, signal), 1.0, 1e-12);
+}
+
+TEST(NormalizedCorrelation, NegatedSignalIsMinusOne) {
+  const auto signal = testing::noise(2, 256);
+  auto negated = signal;
+  for (double& v : negated) {
+    v = -v;
+  }
+  EXPECT_NEAR(normalized_correlation(signal, negated), -1.0, 1e-12);
+}
+
+TEST(NormalizedCorrelation, ScaleInvariant) {
+  const auto a = testing::noise(3, 128);
+  auto scaled = a;
+  for (double& v : scaled) {
+    v = 7.5 * v;
+  }
+  EXPECT_NEAR(normalized_correlation(a, scaled), 1.0, 1e-12);
+}
+
+TEST(NormalizedCorrelation, OffsetInvariant) {
+  const auto a = testing::noise(4, 128);
+  auto shifted = a;
+  for (double& v : shifted) {
+    v += 100.0;
+  }
+  EXPECT_NEAR(normalized_correlation(a, shifted), 1.0, 1e-9);
+}
+
+TEST(NormalizedCorrelation, IndependentSignalsNearZero) {
+  const auto a = testing::noise(5, 4096);
+  const auto b = testing::noise(6, 4096);
+  EXPECT_LT(std::abs(normalized_correlation(a, b)), 0.1);
+}
+
+TEST(NormalizedCorrelation, DegenerateVsSignalIsZero) {
+  const std::vector<double> flat(64, 3.0);
+  const auto signal = testing::noise(7, 64);
+  EXPECT_DOUBLE_EQ(normalized_correlation(flat, signal), 0.0);
+}
+
+TEST(NormalizedCorrelation, TwoDegeneratesAreOne) {
+  const std::vector<double> flat_a(64, 3.0);
+  const std::vector<double> flat_b(64, -1.0);
+  EXPECT_DOUBLE_EQ(normalized_correlation(flat_a, flat_b), 1.0);
+}
+
+TEST(NormalizedWindow, PrecomputedMatchesDirect) {
+  const auto a = testing::sine(17.0, 256.0, 256);
+  const auto b = testing::noise(8, 256);
+  const NormalizedWindow probe(a);
+  EXPECT_NEAR(probe.correlate(b), normalized_correlation(a, b), 1e-12);
+}
+
+TEST(NormalizedWindow, WindowPairCorrelateMatches) {
+  const auto a = testing::sine(17.0, 256.0, 256);
+  const auto b = testing::sine(17.0, 256.0, 256, 1.0, 0.5);
+  const NormalizedWindow na(a);
+  const NormalizedWindow nb(b);
+  EXPECT_NEAR(na.correlate(nb), normalized_correlation(a, b), 1e-12);
+}
+
+TEST(NormalizedWindow, RejectsLengthMismatch) {
+  const NormalizedWindow probe(testing::noise(9, 64));
+  EXPECT_THROW(probe.correlate(testing::noise(10, 32)), InvalidArgument);
+}
+
+TEST(SlidingNcc, FindsEmbeddedCopy) {
+  const auto probe = testing::sine(20.0, 256.0, 128);
+  auto haystack = testing::noise(11, 1000, 0.1);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    haystack[400 + i] += probe[i];
+  }
+  const auto ncc = sliding_ncc(probe, haystack);
+  ASSERT_EQ(ncc.size(), 1000u - 128u + 1u);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < ncc.size(); ++k) {
+    if (ncc[k] > ncc[argmax]) {
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, 400u);
+  EXPECT_GT(ncc[400], 0.95);
+}
+
+TEST(SlidingNcc, EmptyWhenProbeTooLong) {
+  const auto probe = testing::noise(12, 64);
+  const auto haystack = testing::noise(13, 32);
+  EXPECT_TRUE(sliding_ncc(probe, haystack).empty());
+}
+
+TEST(SlidingNcc, AllValuesWithinBounds) {
+  const auto probe = testing::noise(14, 64);
+  const auto haystack = testing::noise(15, 512);
+  for (double v : sliding_ncc(probe, haystack)) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace emap::dsp

@@ -1,0 +1,149 @@
+#include "emap/edf/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::edf {
+namespace {
+
+EdfFile make_file(std::size_t samples = 512, double fs = 256.0) {
+  EdfFile file;
+  file.sample_rate_hz = fs;
+  EdfChannel channel;
+  channel.label = "EEG Fp1";
+  channel.physical_min = -200.0;
+  channel.physical_max = 200.0;
+  channel.samples = testing::sine(16.0, fs, samples, 150.0);
+  file.channels.push_back(channel);
+  return file;
+}
+
+TEST(Edf, HeaderSizeIsCanonical) {
+  const auto bytes = encode_edf(make_file());
+  // 256 main + 256 per signal.
+  ASSERT_GE(bytes.size(), 512u);
+  // Version field is "0" padded to 8 chars.
+  EXPECT_EQ(bytes[0], '0');
+  EXPECT_EQ(bytes[1], ' ');
+}
+
+TEST(Edf, RoundTripPreservesMetadata) {
+  auto file = make_file();
+  file.patient_id = "P001 M 01-JAN-1980 Doe";
+  file.start_date = "02.03.21";
+  file.start_time = "11.22.33";
+  const auto decoded = decode_edf(encode_edf(file));
+  EXPECT_EQ(decoded.patient_id, file.patient_id);
+  EXPECT_EQ(decoded.start_date, file.start_date);
+  EXPECT_EQ(decoded.start_time, file.start_time);
+  ASSERT_EQ(decoded.channels.size(), 1u);
+  EXPECT_EQ(decoded.channels[0].label, "EEG Fp1");
+  EXPECT_DOUBLE_EQ(decoded.sample_rate_hz, 256.0);
+}
+
+TEST(Edf, RoundTripPreservesSamplesWithin16BitQuantization) {
+  const auto file = make_file(1024);
+  const auto decoded = decode_edf(encode_edf(file));
+  ASSERT_EQ(decoded.channels[0].samples.size(), 1024u);
+  // Quantization step = range / 2^16.
+  const double step = 400.0 / 65535.0;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    EXPECT_NEAR(decoded.channels[0].samples[i],
+                file.channels[0].samples[i], step);
+  }
+}
+
+TEST(Edf, MultiChannelRoundTrip) {
+  EdfFile file = make_file(512);
+  EdfChannel second = file.channels[0];
+  second.label = "EEG Fp2";
+  for (double& v : second.samples) {
+    v = -v;
+  }
+  file.channels.push_back(second);
+  const auto decoded = decode_edf(encode_edf(file));
+  ASSERT_EQ(decoded.channels.size(), 2u);
+  EXPECT_EQ(decoded.channels[1].label, "EEG Fp2");
+  EXPECT_NEAR(decoded.channels[0].samples[10],
+              -decoded.channels[1].samples[10], 0.02);
+}
+
+TEST(Edf, PartialFinalRecordIsZeroPadded) {
+  const auto file = make_file(300);  // 1.17 records at 256/record
+  const auto decoded = decode_edf(encode_edf(file));
+  ASSERT_EQ(decoded.channels[0].samples.size(), 512u);  // 2 whole records
+  EXPECT_NEAR(decoded.channels[0].samples[400], 0.0, 0.01);
+}
+
+TEST(Edf, OutOfRangeSamplesAreClamped) {
+  EdfFile file = make_file(256);
+  file.channels[0].samples[0] = 1e6;
+  file.channels[0].samples[1] = -1e6;
+  const auto decoded = decode_edf(encode_edf(file));
+  EXPECT_NEAR(decoded.channels[0].samples[0], 200.0, 0.01);
+  EXPECT_NEAR(decoded.channels[0].samples[1], -200.0, 0.01);
+}
+
+TEST(Edf, WriteReadDiskRoundTrip) {
+  testing::TempDir dir("edf");
+  const auto path = dir.path() / "test.edf";
+  const auto file = make_file();
+  write_edf(path, file);
+  const auto loaded = read_edf(path);
+  EXPECT_EQ(loaded.channels[0].samples.size(), 512u);
+}
+
+TEST(Edf, ReadMissingFileThrowsIoError) {
+  EXPECT_THROW(read_edf("/nonexistent/path/file.edf"), IoError);
+}
+
+TEST(Edf, EncodeRejectsInvalidInput) {
+  EdfFile empty;
+  EXPECT_THROW(encode_edf(empty), InvalidArgument);
+
+  auto file = make_file();
+  file.channels[0].physical_max = file.channels[0].physical_min;
+  EXPECT_THROW(encode_edf(file), InvalidArgument);
+
+  file = make_file();
+  EdfChannel short_channel = file.channels[0];
+  short_channel.samples.resize(10);
+  file.channels.push_back(short_channel);
+  EXPECT_THROW(encode_edf(file), InvalidArgument);
+
+  file = make_file();
+  file.record_duration_sec = 0.7;  // 179.2 samples per record
+  EXPECT_THROW(encode_edf(file), InvalidArgument);
+}
+
+TEST(Edf, DecodeRejectsTruncatedHeader) {
+  auto bytes = encode_edf(make_file());
+  bytes.resize(100);
+  EXPECT_THROW(decode_edf(bytes), CorruptData);
+}
+
+TEST(Edf, DecodeRejectsTruncatedPayload) {
+  auto bytes = encode_edf(make_file());
+  bytes.resize(bytes.size() - 64);
+  EXPECT_THROW(decode_edf(bytes), CorruptData);
+}
+
+TEST(Edf, DecodeRejectsBadVersion) {
+  auto bytes = encode_edf(make_file());
+  bytes[0] = 'X';
+  EXPECT_THROW(decode_edf(bytes), CorruptData);
+}
+
+TEST(Edf, DecodeRejectsGarbageNumericField) {
+  auto bytes = encode_edf(make_file());
+  // Record-count field sits at offset 236 (8+80+80+8+8+8+44).
+  for (int i = 0; i < 8; ++i) {
+    bytes[236 + i] = '?';
+  }
+  EXPECT_THROW(decode_edf(bytes), CorruptData);
+}
+
+}  // namespace
+}  // namespace emap::edf

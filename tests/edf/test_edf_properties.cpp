@@ -1,0 +1,81 @@
+// Parameterized EDF properties across the corpus-native sampling rates and
+// randomized content.
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/edf/edf.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::edf {
+namespace {
+
+struct EdfCase {
+  double fs;
+  double record_duration;
+  std::size_t seconds;
+};
+
+class EdfRateProperty : public ::testing::TestWithParam<EdfCase> {};
+
+TEST_P(EdfRateProperty, RoundTripAtCorpusRates) {
+  const auto& param = GetParam();
+  EdfFile file;
+  file.sample_rate_hz = param.fs;
+  file.record_duration_sec = param.record_duration;
+  EdfChannel channel;
+  channel.physical_min = -350.0;
+  channel.physical_max = 350.0;
+  const auto count =
+      static_cast<std::size_t>(param.fs * static_cast<double>(param.seconds));
+  channel.samples = testing::noise(param.seconds, count, 40.0);
+  file.channels.push_back(std::move(channel));
+
+  const auto decoded = decode_edf(encode_edf(file));
+  EXPECT_DOUBLE_EQ(decoded.sample_rate_hz, param.fs);
+  ASSERT_GE(decoded.channels[0].samples.size(), count);
+  const double quantum = 700.0 / 65535.0;
+  for (std::size_t i = 0; i < count; i += 17) {
+    EXPECT_NEAR(decoded.channels[0].samples[i], file.channels[0].samples[i],
+                quantum * 1.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorpusRates, EdfRateProperty,
+    ::testing::Values(EdfCase{100.0, 1.0, 4}, EdfCase{173.61, 100.0, 100},
+                      EdfCase{250.0, 1.0, 3}, EdfCase{256.0, 1.0, 3},
+                      EdfCase{512.0, 0.5, 3}));
+
+class EdfMutationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfMutationProperty, HeaderMutationsNeverCrash) {
+  EdfFile file;
+  EdfChannel channel;
+  channel.samples = testing::noise(GetParam(), 512, 30.0);
+  file.channels.push_back(std::move(channel));
+  auto bytes = encode_edf(file);
+
+  Rng rng(GetParam());
+  // Mutate a handful of header bytes; decoding must either succeed or
+  // throw CorruptData — never crash or hang.
+  for (int trial = 0; trial < 50; ++trial) {
+    auto mutated = bytes;
+    const std::size_t header_span = 512;
+    for (int flips = 0; flips < 3; ++flips) {
+      const auto at = rng.uniform_index(header_span);
+      mutated[at] = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    try {
+      const auto decoded = decode_edf(mutated);
+      EXPECT_FALSE(decoded.channels.empty());
+    } catch (const CorruptData&) {
+      // expected for most mutations
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfMutationProperty,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace emap::edf

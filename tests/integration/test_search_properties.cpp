@@ -1,0 +1,108 @@
+// Property tests relating Algorithm 1 to the exhaustive baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "emap/baselines/exhaustive.hpp"
+#include "emap/core/search.hpp"
+#include "support/test_util.hpp"
+
+namespace emap {
+namespace {
+
+class SearchPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const mdb::MdbStore& store() {
+    static const mdb::MdbStore s = testing::small_mdb(2);
+    return s;
+  }
+
+  std::vector<double> probe() const {
+    // Window drawn from a synthetic recording, filtered like the edge does.
+    synth::EvalInputSpec spec;
+    spec.cls = (GetParam() % 2 == 0) ? synth::AnomalyClass::kSeizure
+                                     : synth::AnomalyClass::kNormal;
+    spec.seed = GetParam();
+    spec.duration_sec = 130.0;
+    spec.onset_sec = 120.0;
+    const auto input = synth::make_eval_input(spec);
+    dsp::FirFilter filter{core::EmapConfig{}.filter};
+    const auto filtered = filter.apply(input.samples);
+    return {filtered.begin() + 110 * 256, filtered.begin() + 111 * 256};
+  }
+};
+
+TEST_P(SearchPropertyTest, Algorithm1CandidatesSubsetOfExhaustive) {
+  core::EmapConfig config;
+  config.top_k = 1000000;  // disable truncation: compare full candidate sets
+  const auto window = probe();
+  const auto fast = core::CrossCorrelationSearch(config).search(window,
+                                                                store());
+  const auto full =
+      baselines::ExhaustiveSearch(config).search(window, store());
+  std::set<std::pair<std::uint64_t, std::size_t>> exhaustive_keys;
+  for (const auto& match : full.matches) {
+    exhaustive_keys.insert({match.set_id, match.beta});
+  }
+  for (const auto& match : fast.matches) {
+    EXPECT_TRUE(exhaustive_keys.count({match.set_id, match.beta}))
+        << "Algorithm 1 produced a candidate the exhaustive search missed";
+  }
+}
+
+TEST_P(SearchPropertyTest, Algorithm1EvaluatesFarFewerOffsets) {
+  core::EmapConfig config;
+  const auto window = probe();
+  const auto fast = core::CrossCorrelationSearch(config).search(window,
+                                                                store());
+  const auto full =
+      baselines::ExhaustiveSearch(config).search(window, store());
+  ASSERT_GT(full.stats.correlation_evals, 0u);
+  EXPECT_LT(fast.stats.correlation_evals,
+            full.stats.correlation_evals / 3);
+}
+
+TEST_P(SearchPropertyTest, BestExhaustiveOmegaIsUpperBound) {
+  core::EmapConfig config;
+  const auto window = probe();
+  const auto fast = core::CrossCorrelationSearch(config).search(window,
+                                                                store());
+  const auto full =
+      baselines::ExhaustiveSearch(config).search(window, store());
+  if (!fast.matches.empty()) {
+    ASSERT_FALSE(full.matches.empty());
+    EXPECT_LE(fast.matches.front().omega,
+              full.matches.front().omega + 1e-12);
+  }
+}
+
+TEST_P(SearchPropertyTest, LowerDeltaNeverShrinksCandidateCount) {
+  const auto window = probe();
+  core::EmapConfig strict;
+  strict.delta = 0.9;
+  core::EmapConfig loose;
+  loose.delta = 0.6;
+  const auto strict_result =
+      core::CrossCorrelationSearch(strict).search(window, store());
+  const auto loose_result =
+      core::CrossCorrelationSearch(loose).search(window, store());
+  EXPECT_GE(loose_result.stats.candidates, strict_result.stats.candidates);
+}
+
+TEST_P(SearchPropertyTest, AllMatchesExceedDelta) {
+  core::EmapConfig config;
+  const auto window = probe();
+  const auto result =
+      core::CrossCorrelationSearch(config).search(window, store());
+  for (const auto& match : result.matches) {
+    EXPECT_GT(match.omega, config.delta);
+    EXPECT_LE(match.omega, 1.0);
+    EXPECT_LT(match.beta, mdb::kSignalSetLength - config.window_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace emap

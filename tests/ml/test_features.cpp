@@ -1,0 +1,84 @@
+#include "emap/ml/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/dsp/stats.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::ml {
+namespace {
+
+TEST(Features, NamesAlignWithCount) {
+  EXPECT_EQ(feature_names().size(), kFeatureCount);
+}
+
+TEST(Features, ShortWindowYieldsZeros) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  const auto features = extract_features(tiny, 256.0);
+  for (double f : features) {
+    EXPECT_DOUBLE_EQ(f, 0.0);
+  }
+}
+
+TEST(Features, AlphaToneLandsInAlphaBand) {
+  const auto window = testing::sine(10.0, 256.0, 256, 2.0);
+  const auto features = extract_features(window, 256.0);
+  EXPECT_GT(features[1], 5.0 * features[0]);  // alpha >> delta/theta
+  EXPECT_GT(features[1], 5.0 * features[3]);  // alpha >> high beta
+}
+
+TEST(Features, BetaToneLandsInBetaBands) {
+  const auto window = testing::sine(20.0, 256.0, 256, 2.0);
+  const auto features = extract_features(window, 256.0);
+  EXPECT_GT(features[2], 5.0 * features[1]);
+}
+
+TEST(Features, StatisticalFeaturesMatchDspHelpers) {
+  const auto window = testing::noise(1, 256, 3.0);
+  const auto features = extract_features(window, 256.0);
+  EXPECT_DOUBLE_EQ(features[4], dsp::line_length(window));
+  EXPECT_DOUBLE_EQ(features[5], dsp::variance(window));
+  EXPECT_DOUBLE_EQ(features[6], dsp::hjorth_mobility(window));
+  EXPECT_DOUBLE_EQ(features[7], dsp::hjorth_complexity(window));
+  EXPECT_DOUBLE_EQ(features[8],
+                   static_cast<double>(dsp::zero_crossings(window)));
+  EXPECT_DOUBLE_EQ(features[9], dsp::rms(window));
+}
+
+TEST(Features, LineLengthTracksFrequency) {
+  const auto slow = extract_features(testing::sine(5.0, 256.0, 256), 256.0);
+  const auto fast = extract_features(testing::sine(40.0, 256.0, 256), 256.0);
+  EXPECT_GT(fast[4], 2.0 * slow[4]);
+}
+
+TEST(Features, BatchMatchesSingle) {
+  std::vector<std::vector<double>> windows = {
+      testing::sine(10.0, 256.0, 256),
+      testing::noise(2, 256),
+  };
+  const auto batch = extract_features_batch(windows, 256.0);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], extract_features(windows[0], 256.0));
+  EXPECT_EQ(batch[1], extract_features(windows[1], 256.0));
+}
+
+TEST(Features, IctalWindowSeparableFromBackground) {
+  // A crude separability check: ictal seizure content has higher line
+  // length and variance than calm background at the same amplitude scale.
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.duration_sec = 220.0;
+  spec.onset_sec = 200.0;
+  spec.seed = 5;
+  const auto recording = gen.generate(spec);
+  const std::span<const double> calm(recording.samples.data() + 256 * 5, 256);
+  const std::span<const double> ictal(
+      recording.samples.data() + 256 * 210, 256);
+  const auto calm_features = extract_features(calm, 256.0);
+  const auto ictal_features = extract_features(ictal, 256.0);
+  EXPECT_GT(ictal_features[5], calm_features[5]);  // variance
+}
+
+}  // namespace
+}  // namespace emap::ml

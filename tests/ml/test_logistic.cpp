@@ -1,0 +1,131 @@
+#include "emap/ml/logistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/ml/metrics.hpp"
+
+namespace emap::ml {
+namespace {
+
+// Linearly separable blobs on features 0 and 1.
+void make_blobs(std::size_t n, std::uint64_t seed,
+                std::vector<FeatureVector>& rows, std::vector<int>& labels,
+                double separation = 4.0) {
+  Rng rng(seed);
+  rows.assign(n, FeatureVector{});
+  labels.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = (i % 2 == 0) ? 1 : 0;
+    labels[i] = label;
+    const double center = label == 1 ? separation / 2.0 : -separation / 2.0;
+    rows[i][0] = rng.normal(center, 1.0);
+    rows[i][1] = rng.normal(-center, 1.0);
+  }
+}
+
+TEST(Logistic, RejectsBadConfig) {
+  LogisticConfig config;
+  config.learning_rate = 0.0;
+  EXPECT_THROW(LogisticRegression{config}, InvalidArgument);
+}
+
+TEST(Logistic, FitRejectsEmptyOrMismatched) {
+  LogisticRegression model;
+  EXPECT_THROW(model.fit({}, {}), InvalidArgument);
+  std::vector<FeatureVector> rows(2);
+  std::vector<int> labels(3, 0);
+  EXPECT_THROW(model.fit(rows, labels), InvalidArgument);
+}
+
+TEST(Logistic, PredictBeforeTrainingThrows) {
+  LogisticRegression model;
+  EXPECT_THROW(model.predict_proba(FeatureVector{}), InvalidArgument);
+}
+
+TEST(Logistic, SeparatesLinearlySeparableData) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  make_blobs(400, 3, rows, labels);
+  LogisticRegression model;
+  model.fit(rows, labels);
+
+  std::vector<FeatureVector> test_rows;
+  std::vector<int> test_labels;
+  make_blobs(200, 99, test_rows, test_labels);
+  std::vector<int> predicted;
+  for (const auto& row : test_rows) {
+    predicted.push_back(model.predict(row));
+  }
+  const auto confusion = confusion_matrix(test_labels, predicted);
+  EXPECT_GT(confusion.accuracy(), 0.95);
+}
+
+TEST(Logistic, ProbabilitiesAreCalibratedDirectionally) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  make_blobs(400, 5, rows, labels);
+  LogisticRegression model;
+  model.fit(rows, labels);
+  FeatureVector strongly_positive{};
+  strongly_positive[0] = 5.0;
+  strongly_positive[1] = -5.0;
+  FeatureVector strongly_negative{};
+  strongly_negative[0] = -5.0;
+  strongly_negative[1] = 5.0;
+  EXPECT_GT(model.predict_proba(strongly_positive), 0.9);
+  EXPECT_LT(model.predict_proba(strongly_negative), 0.1);
+}
+
+TEST(Logistic, DeterministicGivenSeed) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  make_blobs(100, 7, rows, labels);
+  LogisticRegression a;
+  LogisticRegression b;
+  a.fit(rows, labels);
+  b.fit(rows, labels);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(Logistic, L2ShrinksWeights) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  make_blobs(200, 9, rows, labels);
+  LogisticConfig weak;
+  weak.l2 = 1e-6;
+  LogisticConfig strong;
+  strong.l2 = 1.0;
+  LogisticRegression a{weak};
+  LogisticRegression b{strong};
+  a.fit(rows, labels);
+  b.fit(rows, labels);
+  EXPECT_GT(std::abs(a.weights()[0]), std::abs(b.weights()[0]));
+}
+
+TEST(Logistic, HandlesSingleClassGracefully) {
+  std::vector<FeatureVector> rows(50, FeatureVector{});
+  std::vector<int> labels(50, 1);
+  LogisticRegression model;
+  model.fit(rows, labels);
+  EXPECT_GT(model.predict_proba(FeatureVector{}), 0.5);
+}
+
+TEST(Logistic, OverlappingClassesStayNearChanceButBounded) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  make_blobs(400, 11, rows, labels, /*separation=*/0.2);
+  LogisticRegression model;
+  model.fit(rows, labels);
+  std::vector<int> predicted;
+  for (const auto& row : rows) {
+    predicted.push_back(model.predict(row));
+  }
+  const auto confusion = confusion_matrix(labels, predicted);
+  EXPECT_GT(confusion.accuracy(), 0.4);
+}
+
+}  // namespace
+}  // namespace emap::ml

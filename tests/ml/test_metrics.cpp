@@ -1,0 +1,61 @@
+#include "emap/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::ml {
+namespace {
+
+TEST(Metrics, ConfusionCountsAreCorrect) {
+  const std::vector<int> truth = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> predicted = {1, 0, 0, 1, 1, 0};
+  const auto c = confusion_matrix(truth, predicted);
+  EXPECT_EQ(c.true_positive, 2u);
+  EXPECT_EQ(c.false_negative, 1u);
+  EXPECT_EQ(c.false_positive, 1u);
+  EXPECT_EQ(c.true_negative, 2u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(Metrics, AccuracySensitivitySpecificity) {
+  Confusion c;
+  c.true_positive = 8;
+  c.false_negative = 2;
+  c.true_negative = 6;
+  c.false_positive = 4;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 0.8);
+  EXPECT_DOUBLE_EQ(c.specificity(), 0.6);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.4);
+}
+
+TEST(Metrics, EmptyConfusionIsZero) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(c.specificity(), 0.0);
+}
+
+TEST(Metrics, NoPositivesSensitivityIsZero) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> predicted = {0, 1, 0};
+  const auto c = confusion_matrix(truth, predicted);
+  EXPECT_DOUBLE_EQ(c.sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 1.0 / 3.0);
+}
+
+TEST(Metrics, RejectsSizeMismatch) {
+  EXPECT_THROW(confusion_matrix({1, 0}, {1}), InvalidArgument);
+}
+
+TEST(Metrics, NonBinaryValuesTreatedAsTruthy) {
+  const std::vector<int> truth = {2, 0};
+  const std::vector<int> predicted = {5, 0};
+  const auto c = confusion_matrix(truth, predicted);
+  EXPECT_EQ(c.true_positive, 1u);
+  EXPECT_EQ(c.true_negative, 1u);
+}
+
+}  // namespace
+}  // namespace emap::ml

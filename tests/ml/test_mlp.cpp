@@ -1,0 +1,126 @@
+#include "emap/ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/ml/logistic.hpp"
+#include "emap/ml/metrics.hpp"
+
+namespace emap::ml {
+namespace {
+
+TEST(Mlp, RejectsBadConfig) {
+  MlpConfig config;
+  config.hidden_units = 0;
+  EXPECT_THROW(Mlp{config}, InvalidArgument);
+  config = MlpConfig{};
+  config.learning_rate = 0.0;
+  EXPECT_THROW(Mlp{config}, InvalidArgument);
+}
+
+TEST(Mlp, FitRejectsEmptyOrMismatched) {
+  Mlp model;
+  EXPECT_THROW(model.fit({}, {}), InvalidArgument);
+  std::vector<FeatureVector> rows(2);
+  std::vector<int> labels(1, 0);
+  EXPECT_THROW(model.fit(rows, labels), InvalidArgument);
+}
+
+TEST(Mlp, PredictBeforeTrainingThrows) {
+  Mlp model;
+  EXPECT_THROW(model.predict_proba(FeatureVector{}), InvalidArgument);
+}
+
+TEST(Mlp, SolvesXorUnlikeLogistic) {
+  // XOR on features 0/1: the canonical problem a linear model cannot
+  // solve and a one-hidden-layer net can.
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    FeatureVector row{};
+    const int a = static_cast<int>(rng.bernoulli(0.5));
+    const int b = static_cast<int>(rng.bernoulli(0.5));
+    row[0] = a ? 1.0 : -1.0;
+    row[1] = b ? 1.0 : -1.0;
+    // tiny jitter so the dataset isn't 4 exact points
+    row[0] += rng.normal(0.0, 0.1);
+    row[1] += rng.normal(0.0, 0.1);
+    rows.push_back(row);
+    labels.push_back(a ^ b);
+  }
+  MlpConfig config;
+  config.hidden_units = 8;
+  config.epochs = 800;
+  Mlp mlp(config);
+  mlp.fit(rows, labels);
+  std::vector<int> mlp_pred;
+  for (const auto& row : rows) {
+    mlp_pred.push_back(mlp.predict(row));
+  }
+  EXPECT_GT(confusion_matrix(labels, mlp_pred).accuracy(), 0.95);
+
+  LogisticRegression logistic;
+  logistic.fit(rows, labels);
+  std::vector<int> lin_pred;
+  for (const auto& row : rows) {
+    lin_pred.push_back(logistic.predict(row));
+  }
+  EXPECT_LT(confusion_matrix(labels, lin_pred).accuracy(), 0.7);
+}
+
+TEST(Mlp, SeparatesLinearBlobsToo) {
+  std::vector<FeatureVector> rows;
+  std::vector<int> labels;
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    FeatureVector row{};
+    const int label = i % 2;
+    row[0] = rng.normal(label ? 2.0 : -2.0, 1.0);
+    row[1] = rng.normal(label ? -2.0 : 2.0, 1.0);
+    rows.push_back(row);
+    labels.push_back(label);
+  }
+  Mlp model;
+  model.fit(rows, labels);
+  std::vector<int> predicted;
+  for (const auto& row : rows) {
+    predicted.push_back(model.predict(row));
+  }
+  EXPECT_GT(confusion_matrix(labels, predicted).accuracy(), 0.95);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  std::vector<FeatureVector> rows(50, FeatureVector{});
+  std::vector<int> labels(50);
+  Rng rng(9);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i][0] = rng.normal();
+    labels[i] = static_cast<int>(rng.bernoulli(0.5));
+  }
+  Mlp a;
+  Mlp b;
+  a.fit(rows, labels);
+  b.fit(rows, labels);
+  FeatureVector probe{};
+  probe[0] = 0.3;
+  EXPECT_DOUBLE_EQ(a.predict_proba(probe), b.predict_proba(probe));
+}
+
+TEST(Mlp, ProbabilitiesAreBounded) {
+  std::vector<FeatureVector> rows(20, FeatureVector{});
+  std::vector<int> labels(20, 1);
+  labels[0] = 0;
+  rows[0][0] = -5.0;
+  Mlp model;
+  model.fit(rows, labels);
+  FeatureVector probe{};
+  probe.fill(100.0);
+  const double p = model.predict_proba(probe);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace emap::ml

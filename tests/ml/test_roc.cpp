@@ -1,0 +1,92 @@
+#include "emap/ml/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+
+namespace emap::ml {
+namespace {
+
+TEST(Roc, RejectsDegenerateInputs) {
+  EXPECT_THROW(roc_curve({}, {}), InvalidArgument);
+  EXPECT_THROW(roc_curve({0.5}, {1, 0}), InvalidArgument);
+  EXPECT_THROW(roc_curve({0.5, 0.6}, {1, 1}), InvalidArgument);
+}
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(Roc, InvertedSeparationGivesAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(Roc, RandomScoresGiveAucHalf) {
+  Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Roc, AucMatchesMannWhitney) {
+  // Small example computed by hand: positives {0.8, 0.4}, negatives
+  // {0.6, 0.2}.  Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2)
+  // -> 3/4.
+  const std::vector<double> scores = {0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.75);
+}
+
+TEST(Roc, TiesCountHalf) {
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<int> labels = {1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  Rng rng(2);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.bernoulli(0.4) ? 1 : 0;
+    scores.push_back(rng.normal(label == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(label);
+  }
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate,
+              curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(Roc, SeparatedGaussiansGiveExpectedAuc) {
+  // d' = 1 -> AUC = Phi(1/sqrt(2)) ~ 0.760.
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 50000; ++i) {
+    const int label = (i % 2);
+    scores.push_back(rng.normal(label == 1 ? 1.0 : 0.0, 1.0));
+    labels.push_back(label);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.760, 0.01);
+}
+
+}  // namespace
+}  // namespace emap::ml

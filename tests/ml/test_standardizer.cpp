@@ -1,0 +1,76 @@
+#include "emap/ml/standardizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+
+namespace emap::ml {
+namespace {
+
+std::vector<FeatureVector> random_rows(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> rows(n);
+  for (auto& row : rows) {
+    for (std::size_t j = 0; j < kFeatureCount; ++j) {
+      row[j] = rng.normal(5.0 * static_cast<double>(j), 2.0);
+    }
+  }
+  return rows;
+}
+
+TEST(Standardizer, FitRejectsEmpty) {
+  Standardizer standardizer;
+  EXPECT_THROW(standardizer.fit({}), InvalidArgument);
+}
+
+TEST(Standardizer, TransformBeforeFitThrows) {
+  Standardizer standardizer;
+  EXPECT_THROW(standardizer.transform(FeatureVector{}), InvalidArgument);
+}
+
+TEST(Standardizer, TransformedColumnsAreStandard) {
+  const auto rows = random_rows(5000, 1);
+  Standardizer standardizer;
+  standardizer.fit(rows);
+  const auto transformed = standardizer.transform(rows);
+  for (std::size_t j = 0; j < kFeatureCount; ++j) {
+    double mean = 0.0;
+    for (const auto& row : transformed) {
+      mean += row[j];
+    }
+    mean /= static_cast<double>(transformed.size());
+    double var = 0.0;
+    for (const auto& row : transformed) {
+      var += (row[j] - mean) * (row[j] - mean);
+    }
+    var /= static_cast<double>(transformed.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "column " << j;
+    EXPECT_NEAR(var, 1.0, 1e-9) << "column " << j;
+  }
+}
+
+TEST(Standardizer, ConstantColumnMapsToZero) {
+  std::vector<FeatureVector> rows(10);
+  for (auto& row : rows) {
+    row.fill(7.0);
+  }
+  Standardizer standardizer;
+  standardizer.fit(rows);
+  const auto transformed = standardizer.transform(rows[0]);
+  for (double v : transformed) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Standardizer, ExposesFittedMoments) {
+  const auto rows = random_rows(10000, 2);
+  Standardizer standardizer;
+  standardizer.fit(rows);
+  EXPECT_TRUE(standardizer.fitted());
+  EXPECT_NEAR(standardizer.means()[2], 10.0, 0.2);
+  EXPECT_NEAR(standardizer.stddevs()[2], 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace emap::ml

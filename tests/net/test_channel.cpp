@@ -1,0 +1,102 @@
+#include "emap/net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::net {
+namespace {
+
+TEST(Channel, LineSecondsIsBitsOverRate) {
+  // 1250 bytes = 10000 bits at 10 Mbps -> 1 ms.
+  EXPECT_NEAR(Channel::line_seconds(1250, 10.0), 1e-3, 1e-12);
+}
+
+TEST(Channel, LineSecondsRejectsZeroRate) {
+  EXPECT_THROW(Channel::line_seconds(100, 0.0), InvalidArgument);
+}
+
+TEST(Channel, UploadIncludesLatencyByDefault) {
+  Channel channel(CommPlatform::kLte);
+  const double latency =
+      platform_params(CommPlatform::kLte).latency_ms * 1e-3;
+  EXPECT_GT(channel.upload_seconds(100), latency);
+}
+
+TEST(Channel, SerializationOnlyModeExcludesLatency) {
+  ChannelOptions options;
+  options.include_latency = false;
+  options.framing_overhead_bytes = 0;
+  Channel channel(CommPlatform::kLte, options);
+  const double expected = Channel::line_seconds(
+      512, platform_params(CommPlatform::kLte).uplink_mbps);
+  EXPECT_NEAR(channel.upload_seconds(512), expected, 1e-12);
+}
+
+TEST(Channel, PaperUploadConstraintHolds) {
+  // 256 samples (512 bytes + framing) must go up in < 1 ms on 4G-era
+  // links (paper Fig. 4a).
+  ChannelOptions options;
+  options.include_latency = false;
+  for (CommPlatform platform :
+       {CommPlatform::kLte, CommPlatform::kLteAdvanced,
+        CommPlatform::kWimaxR2}) {
+    Channel channel(platform, options);
+    EXPECT_LT(channel.upload_seconds(512 + 16), 1e-3)
+        << platform_name(platform);
+  }
+}
+
+TEST(Channel, PaperDownloadConstraintHolds) {
+  // 100 signal-sets (~100 x 2 kB) must come down in < 200 ms on 4G-era
+  // links (paper Fig. 4b).
+  ChannelOptions options;
+  options.include_latency = false;
+  const std::size_t payload = 100 * (1000 * 2 + 18);
+  for (CommPlatform platform :
+       {CommPlatform::kLte, CommPlatform::kLteAdvanced,
+        CommPlatform::kWimaxR2}) {
+    Channel channel(platform, options);
+    EXPECT_LT(channel.download_seconds(payload), 0.2)
+        << platform_name(platform);
+  }
+}
+
+TEST(Channel, DownloadFasterThanUploadForSamePayload) {
+  ChannelOptions options;
+  options.include_latency = false;
+  for (CommPlatform platform : kAllPlatforms) {
+    Channel channel(platform, options);
+    EXPECT_LT(channel.download_seconds(10000),
+              channel.upload_seconds(10000));
+  }
+}
+
+TEST(Channel, TransferTimeMonotoneInPayload) {
+  Channel channel(CommPlatform::kHspa);
+  EXPECT_LT(channel.upload_seconds(100), channel.upload_seconds(10000));
+}
+
+TEST(Channel, JitterStaysWithinFraction) {
+  ChannelOptions options;
+  options.include_latency = false;
+  options.framing_overhead_bytes = 0;
+  options.jitter_fraction = 0.2;
+  Channel channel(CommPlatform::kLte, options, /*jitter_seed=*/9);
+  const double nominal = Channel::line_seconds(
+      10000, platform_params(CommPlatform::kLte).uplink_mbps);
+  for (int i = 0; i < 100; ++i) {
+    const double t = channel.upload_seconds(10000);
+    EXPECT_GE(t, nominal * 0.8 - 1e-15);
+    EXPECT_LE(t, nominal * 1.2 + 1e-15);
+  }
+}
+
+TEST(Channel, RejectsBadJitter) {
+  ChannelOptions options;
+  options.jitter_fraction = 1.5;
+  EXPECT_THROW(Channel(CommPlatform::kLte, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace emap::net

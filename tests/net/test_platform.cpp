@@ -1,0 +1,55 @@
+#include "emap/net/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace emap::net {
+namespace {
+
+TEST(Platform, SixPlatformsWithDistinctNames) {
+  std::set<std::string> names;
+  for (CommPlatform platform : kAllPlatforms) {
+    names.insert(platform_name(platform));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Platform, RatesArePositive) {
+  for (CommPlatform platform : kAllPlatforms) {
+    const auto& params = platform_params(platform);
+    EXPECT_GT(params.uplink_mbps, 0.0) << params.name;
+    EXPECT_GT(params.downlink_mbps, 0.0) << params.name;
+    EXPECT_GT(params.latency_ms, 0.0) << params.name;
+  }
+}
+
+TEST(Platform, GenerationalOrderingHolds) {
+  // Each generation uplinks faster than its predecessor (the Fig. 4 curve
+  // ordering).
+  EXPECT_LT(platform_params(CommPlatform::kHspa).uplink_mbps,
+            platform_params(CommPlatform::kHspaPlus).uplink_mbps);
+  EXPECT_LT(platform_params(CommPlatform::kHspaPlus).uplink_mbps,
+            platform_params(CommPlatform::kLte).uplink_mbps);
+  EXPECT_LT(platform_params(CommPlatform::kLte).uplink_mbps,
+            platform_params(CommPlatform::kLteAdvanced).uplink_mbps);
+  EXPECT_LT(platform_params(CommPlatform::kWimaxR1).uplink_mbps,
+            platform_params(CommPlatform::kWimaxR2).uplink_mbps);
+}
+
+TEST(Platform, DownlinkFasterThanUplink) {
+  for (CommPlatform platform : kAllPlatforms) {
+    const auto& params = platform_params(platform);
+    EXPECT_GT(params.downlink_mbps, params.uplink_mbps) << params.name;
+  }
+}
+
+TEST(Platform, NamesMatchPaperLegend) {
+  EXPECT_STREQ(platform_name(CommPlatform::kHspa), "HSPA");
+  EXPECT_STREQ(platform_name(CommPlatform::kLteAdvanced), "LTE-A");
+  EXPECT_STREQ(platform_name(CommPlatform::kWimaxR2), "WiMax R2");
+}
+
+}  // namespace
+}  // namespace emap::net

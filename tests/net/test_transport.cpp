@@ -1,0 +1,135 @@
+#include "emap/net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::net {
+namespace {
+
+TEST(Transport, UploadRoundTripWithin16BitPrecision) {
+  SignalUploadMessage message;
+  message.sequence = 42;
+  message.samples = testing::noise(1, 256, 7.0);
+  const auto decoded = decode_upload(encode_upload(message));
+  EXPECT_EQ(decoded.sequence, 42u);
+  ASSERT_EQ(decoded.samples.size(), 256u);
+  double peak = 0.0;
+  for (double s : message.samples) {
+    peak = std::max(peak, std::abs(s));
+  }
+  const double quantum = peak / 32767.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_NEAR(decoded.samples[i], message.samples[i], quantum);
+  }
+}
+
+TEST(Transport, UploadWireSizeMatchesEncoding) {
+  SignalUploadMessage message;
+  message.samples = testing::noise(2, 256);
+  EXPECT_EQ(encode_upload(message).size(), wire_size(message));
+}
+
+TEST(Transport, PaperUploadPayloadIsCompact) {
+  // One second of 16-bit samples ~= 512 bytes + small header; this is what
+  // makes the < 1 ms upload of Fig. 4a possible.
+  SignalUploadMessage message;
+  message.samples.assign(256, 1.0);
+  EXPECT_LT(wire_size(message), 600u);
+}
+
+TEST(Transport, CorrelationSetRoundTrip) {
+  CorrelationSetMessage message;
+  message.request_sequence = 7;
+  for (int i = 0; i < 3; ++i) {
+    CorrelationEntry entry;
+    entry.set_id = 100 + static_cast<std::uint64_t>(i);
+    entry.omega = 0.9f - 0.01f * static_cast<float>(i);
+    entry.beta = 12 * static_cast<std::uint32_t>(i);
+    entry.anomalous = (i % 2 == 0) ? 1 : 0;
+    entry.class_tag = static_cast<std::uint8_t>(i);
+    entry.samples = testing::noise(static_cast<std::uint64_t>(i) + 5, 1000,
+                                   6.0);
+    message.entries.push_back(std::move(entry));
+  }
+  const auto decoded = decode_correlation_set(encode_correlation_set(message));
+  EXPECT_EQ(decoded.request_sequence, 7u);
+  ASSERT_EQ(decoded.entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.entries[i].set_id, message.entries[i].set_id);
+    EXPECT_FLOAT_EQ(decoded.entries[i].omega, message.entries[i].omega);
+    EXPECT_EQ(decoded.entries[i].beta, message.entries[i].beta);
+    EXPECT_EQ(decoded.entries[i].anomalous, message.entries[i].anomalous);
+    ASSERT_EQ(decoded.entries[i].samples.size(), 1000u);
+  }
+}
+
+TEST(Transport, CorrelationSetWireSizeMatchesEncoding) {
+  CorrelationSetMessage message;
+  CorrelationEntry entry;
+  entry.samples = testing::noise(3, 1000);
+  message.entries.push_back(entry);
+  EXPECT_EQ(encode_correlation_set(message).size(), wire_size(message));
+}
+
+TEST(Transport, Top100DownloadPayloadNearPaperScale) {
+  // 100 x 1000-sample signal-sets at 16 bits ~= 200 kB.
+  CorrelationSetMessage message;
+  for (int i = 0; i < 100; ++i) {
+    CorrelationEntry entry;
+    entry.samples.assign(1000, 1.0);
+    message.entries.push_back(std::move(entry));
+  }
+  const std::size_t size = wire_size(message);
+  EXPECT_GT(size, 190'000u);
+  EXPECT_LT(size, 220'000u);
+}
+
+TEST(Transport, DecodeUploadRejectsBadMagic) {
+  SignalUploadMessage message;
+  message.samples = testing::noise(4, 16);
+  auto bytes = encode_upload(message);
+  bytes[0] ^= 0xff;
+  EXPECT_THROW(decode_upload(bytes), CorruptData);
+}
+
+TEST(Transport, DecodeUploadRejectsTruncation) {
+  SignalUploadMessage message;
+  message.samples = testing::noise(5, 64);
+  auto bytes = encode_upload(message);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_upload(bytes), CorruptData);
+}
+
+TEST(Transport, DecodeUploadRejectsTrailingBytes) {
+  SignalUploadMessage message;
+  message.samples = testing::noise(6, 64);
+  auto bytes = encode_upload(message);
+  bytes.push_back(0);
+  EXPECT_THROW(decode_upload(bytes), CorruptData);
+}
+
+TEST(Transport, DecodeCorrelationSetRejectsCorruptScale) {
+  CorrelationSetMessage message;
+  CorrelationEntry entry;
+  entry.samples = testing::noise(7, 100);
+  message.entries.push_back(entry);
+  auto bytes = encode_correlation_set(message);
+  // Scale field of the first entry sits after magic(4)+seq(4)+count(4)+
+  // id(8)+omega(4)+beta(4)+anomalous(1)+class(1) = 30.
+  bytes[30] = 0xff;
+  bytes[31] = 0xff;
+  bytes[32] = 0xff;
+  bytes[33] = 0xff;  // NaN scale
+  EXPECT_THROW(decode_correlation_set(bytes), CorruptData);
+}
+
+TEST(Transport, EmptyCorrelationSetIsValid) {
+  CorrelationSetMessage message;
+  const auto decoded = decode_correlation_set(encode_correlation_set(message));
+  EXPECT_TRUE(decoded.entries.empty());
+}
+
+}  // namespace
+}  // namespace emap::net

@@ -1,0 +1,57 @@
+#include "emap/sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::sim {
+namespace {
+
+TEST(Device, SecondsScaleLinearly) {
+  const auto edge = edge_raspberry_pi();
+  EXPECT_NEAR(edge.seconds_for_abs(2.0e5), 2.0 * edge.seconds_for_abs(1.0e5),
+              1e-12);
+  EXPECT_DOUBLE_EQ(edge.seconds_for_macs(0.0), 0.0);
+}
+
+TEST(Device, RejectsNegativeCounts) {
+  const auto edge = edge_raspberry_pi();
+  EXPECT_THROW(edge.seconds_for_macs(-1.0), InvalidArgument);
+  EXPECT_THROW(edge.seconds_for_abs(-1.0), InvalidArgument);
+}
+
+TEST(Device, CloudIsOrdersOfMagnitudeFasterThanEdge) {
+  const auto edge = edge_raspberry_pi();
+  const auto cloud = cloud_i7();
+  EXPECT_GT(cloud.mac_ops_per_sec, 100.0 * edge.mac_ops_per_sec);
+}
+
+TEST(Device, EdgeAreaOpsFasterThanMacs) {
+  // Per-op, an ABS accumulate is ~2x cheaper than a MAC + normalization on
+  // the Python edge runtime; combined with the early-exit advantage this
+  // yields the paper's ~4.3x end-to-end tracking speedup (asserted by
+  // bench_fig8b, which counts the actual ops).
+  const auto edge = edge_raspberry_pi();
+  const double ratio = edge.abs_ops_per_sec / edge.mac_ops_per_sec;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Device, ExhaustiveSearchCalibrationMatchesFig7b) {
+  // 8000 signal-sets x 744 offsets x 256 MACs on the cloud ~ 12 s
+  // (plus per-set overhead).
+  const auto cloud = cloud_i7();
+  const double macs = 8000.0 * 744.0 * 256.0;
+  const double seconds = cloud.seconds_for_macs(macs) +
+                         8000.0 * cloud.per_signal_overhead_sec;
+  EXPECT_GT(seconds, 9.0);
+  EXPECT_LT(seconds, 18.0);
+}
+
+TEST(Device, NamesIdentifyTestbed) {
+  EXPECT_NE(edge_raspberry_pi().name.find("raspberry"), std::string::npos);
+  EXPECT_NE(cloud_i7().name.find("i7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emap::sim

@@ -1,0 +1,88 @@
+#include "emap/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emap/common/error.hpp"
+
+namespace emap::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueue, EventsFireInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(3.0, [&] { order.push_back(3); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsFifoOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.schedule_at(2.0, [&] {
+    queue.schedule_in(1.5, [&] { fired_at = queue.now(); });
+  });
+  queue.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue queue;
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(1.0, [] {}), InvalidArgument);
+  EXPECT_THROW(queue.schedule_in(-0.1, [] {}), InvalidArgument);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.step());
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  std::vector<double> fired;
+  queue.schedule_at(1.0, [&] { fired.push_back(1.0); });
+  queue.schedule_at(5.0, [&] { fired.push_back(5.0); });
+  queue.run_until(3.0);
+  EXPECT_EQ(fired, std::vector<double>{1.0});
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue queue;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      queue.schedule_in(1.0, recurse);
+    }
+  };
+  queue.schedule_at(0.0, recurse);
+  queue.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(queue.now(), 9.0);
+}
+
+}  // namespace
+}  // namespace emap::sim

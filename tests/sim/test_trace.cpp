@@ -1,0 +1,69 @@
+#include "emap/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+
+namespace emap::sim {
+namespace {
+
+TEST(Trace, RecordsAndTotals) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kCloudSearch, 1.0, 3.5);
+  trace.record(ActivityKind::kCloudSearch, 5.0, 6.0);
+  trace.record(ActivityKind::kEdgeTrack, 4.0, 4.9);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(ActivityKind::kCloudSearch), 3.5);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(ActivityKind::kEdgeTrack), 0.9);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(ActivityKind::kUpload), 0.0);
+}
+
+TEST(Trace, FirstFindsEarliestInserted) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kUpload, 1.0, 1.1, "first");
+  trace.record(ActivityKind::kUpload, 2.0, 2.1, "second");
+  const Activity* first = trace.first(ActivityKind::kUpload);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->label, "first");
+  EXPECT_EQ(trace.first(ActivityKind::kDownload), nullptr);
+}
+
+TEST(Trace, RejectsInvertedInterval) {
+  TimelineTrace trace;
+  EXPECT_THROW(trace.record(ActivityKind::kSample, 2.0, 1.0), InvalidArgument);
+}
+
+TEST(Trace, AsciiRenderContainsAllRows) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kSample, 0.0, 1.0);
+  trace.record(ActivityKind::kCloudSearch, 1.0, 4.0);
+  const std::string art = trace.render_ascii(10.0, 50);
+  EXPECT_NE(art.find("sample"), std::string::npos);
+  EXPECT_NE(art.find("cloud-search"), std::string::npos);
+  EXPECT_NE(art.find("prediction"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Trace, AsciiRenderClipsToHorizon) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kSample, 100.0, 200.0);  // beyond horizon
+  const std::string art = trace.render_ascii(10.0, 40);
+  // The sample row must contain no marks.
+  const auto row_start = art.find("sample");
+  const auto row_end = art.find('\n', row_start);
+  EXPECT_EQ(art.substr(row_start, row_end - row_start).find('#'),
+            std::string::npos);
+}
+
+TEST(Trace, AsciiRenderRejectsBadArguments) {
+  TimelineTrace trace;
+  EXPECT_THROW(trace.render_ascii(0.0), InvalidArgument);
+  EXPECT_THROW(trace.render_ascii(10.0, 2), InvalidArgument);
+}
+
+TEST(Trace, ActivityNamesAreStable) {
+  EXPECT_STREQ(activity_name(ActivityKind::kCloudSearch), "cloud-search");
+  EXPECT_STREQ(activity_name(ActivityKind::kPrediction), "prediction");
+}
+
+}  // namespace
+}  // namespace emap::sim

@@ -1,0 +1,139 @@
+#include "emap/synth/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/stats.hpp"
+
+namespace emap::synth {
+namespace {
+
+TEST(AnomalyNames, RoundTrip) {
+  for (AnomalyClass cls :
+       {AnomalyClass::kNormal, AnomalyClass::kSeizure,
+        AnomalyClass::kEncephalopathy, AnomalyClass::kStroke}) {
+    EXPECT_EQ(anomaly_from_name(anomaly_name(cls)), cls);
+  }
+}
+
+TEST(AnomalyNames, RejectsUnknown) {
+  EXPECT_THROW(anomaly_from_name("migraine"), InvalidArgument);
+}
+
+TEST(Morphology, RejectsNormalClass) {
+  EXPECT_THROW(Morphology(AnomalyClass::kNormal, 0), InvalidArgument);
+}
+
+TEST(Morphology, ArchetypeWrapsAround) {
+  Morphology m(AnomalyClass::kSeizure, kArchetypesPerClass + 1);
+  EXPECT_EQ(m.archetype(), 1u);
+}
+
+class MorphologyClassTest : public ::testing::TestWithParam<AnomalyClass> {};
+
+TEST_P(MorphologyClassTest, IntensityIsMonotoneRampTo1) {
+  Morphology m(GetParam(), 0);
+  EXPECT_DOUBLE_EQ(m.intensity(-Morphology::kProdromeSeconds - 1.0), 0.0);
+  double previous = -1.0;
+  for (double t = -Morphology::kProdromeSeconds; t <= 5.0; t += 5.0) {
+    const double value = m.intensity(t);
+    EXPECT_GE(value, previous - 1e-12);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(m.intensity(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.intensity(100.0), 1.0);
+}
+
+TEST_P(MorphologyClassTest, EarlySignatureVisibleAt120sLead) {
+  // The Fig. 10 lead-time sweep needs a detectable signature 120 s before
+  // onset; the two-phase ramp puts intensity well above 0.4 there.
+  Morphology m(GetParam(), 0);
+  EXPECT_GT(m.intensity(-120.0), 0.4);
+}
+
+TEST_P(MorphologyClassTest, BackgroundGainDecreasesWithProgression) {
+  Morphology m(GetParam(), 0);
+  EXPECT_GT(m.background_gain(-Morphology::kProdromeSeconds),
+            m.background_gain(0.0));
+  EXPECT_GE(m.background_gain(0.0), 0.1);
+}
+
+TEST_P(MorphologyClassTest, ValueIsDeterministic) {
+  Morphology a(GetParam(), 2);
+  Morphology b(GetParam(), 2);
+  for (double t : {-100.0, -10.0, 0.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(a.value(t), b.value(t));
+  }
+}
+
+TEST_P(MorphologyClassTest, ArchetypesProduceDistinctWaveforms) {
+  Morphology a(GetParam(), 0);
+  Morphology b(GetParam(), 1);
+  double max_diff = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    const double t = -20.0 + i / 256.0;
+    max_diff = std::max(max_diff, std::abs(a.value(t) - b.value(t)));
+  }
+  EXPECT_GT(max_diff, 0.3);
+}
+
+TEST_P(MorphologyClassTest, WaveformIsBounded) {
+  Morphology m(GetParam(), 0);
+  for (int i = 0; i < 4096; ++i) {
+    const double t = -180.0 + i * 0.05;
+    EXPECT_LT(std::abs(m.value(t)), 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, MorphologyClassTest,
+                         ::testing::ValuesIn(kAnomalyClasses),
+                         [](const auto& info) {
+                           return anomaly_name(info.param);
+                         });
+
+TEST(Morphology, SeizureIctalContainsSpikes) {
+  Morphology m(AnomalyClass::kSeizure, 0);
+  // Post-onset peak (spike-wave) clearly exceeds pre-onset rhythm peak.
+  double pre_peak = 0.0;
+  double post_peak = 0.0;
+  for (int i = 0; i < 2048; ++i) {
+    pre_peak = std::max(pre_peak, std::abs(m.value(-30.0 + i / 256.0)));
+    post_peak = std::max(post_peak, std::abs(m.value(10.0 + i / 256.0)));
+  }
+  EXPECT_GT(post_peak, 1.5 * pre_peak);
+}
+
+TEST(Morphology, EncephalopathyHasBurstSuppression) {
+  Morphology m(AnomalyClass::kEncephalopathy, 0);
+  // RMS over sliding 0.5 s windows should alternate strongly (gating).
+  std::vector<double> window_rms;
+  for (int w = 0; w < 20; ++w) {
+    std::vector<double> window;
+    for (int i = 0; i < 128; ++i) {
+      window.push_back(m.value(w * 0.5 + i / 256.0));
+    }
+    window_rms.push_back(dsp::rms(window));
+  }
+  const double max_rms = *std::max_element(window_rms.begin(),
+                                           window_rms.end());
+  const double min_rms = *std::min_element(window_rms.begin(),
+                                           window_rms.end());
+  EXPECT_GT(max_rms, 2.0 * min_rms);
+}
+
+TEST(Morphology, StrokeAttenuatesAfterOnset) {
+  Morphology m(AnomalyClass::kStroke, 0);
+  auto rms_at = [&m](double t0) {
+    std::vector<double> window;
+    for (int i = 0; i < 1024; ++i) {
+      window.push_back(m.value(t0 + i / 256.0));
+    }
+    return dsp::rms(window);
+  };
+  EXPECT_GT(rms_at(-10.0), rms_at(60.0));
+}
+
+}  // namespace
+}  // namespace emap::synth

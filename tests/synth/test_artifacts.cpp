@@ -1,0 +1,103 @@
+#include "emap/synth/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/fft.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/dsp/stats.hpp"
+
+namespace emap::synth {
+namespace {
+
+Recording clean_recording(std::uint64_t seed, double duration = 60.0) {
+  RecordingGenerator gen;
+  RecordingSpec spec;
+  spec.cls = AnomalyClass::kNormal;
+  spec.duration_sec = duration;
+  spec.seed = seed;
+  return gen.generate(spec);
+}
+
+TEST(Artifacts, DeterministicGivenConfig) {
+  ArtifactInjector injector;
+  const auto a = injector.render(1000, 256.0);
+  const auto b = injector.render(1000, 256.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Artifacts, ZeroRatesProduceSilence) {
+  ArtifactConfig config;
+  config.blink_rate_per_min = 0.0;
+  config.emg_rate_per_min = 0.0;
+  config.pop_rate_per_min = 0.0;
+  ArtifactInjector injector(config);
+  for (double v : injector.render(1000, 256.0)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Artifacts, RejectsNegativeRates) {
+  ArtifactConfig config;
+  config.blink_rate_per_min = -1.0;
+  EXPECT_THROW(ArtifactInjector{config}, InvalidArgument);
+}
+
+TEST(Artifacts, BlinksAreLowFrequencyAndLarge) {
+  ArtifactConfig config;
+  config.emg_rate_per_min = 0.0;
+  config.pop_rate_per_min = 0.0;
+  config.blink_rate_per_min = 20.0;
+  ArtifactInjector injector(config);
+  const auto artifact = injector.render(256 * 60, 256.0);
+  EXPECT_GT(dsp::peak_abs(artifact), 20.0);
+  const double low = dsp::band_power(artifact, 256.0, 0.2, 6.0);
+  const double inband = dsp::band_power(artifact, 256.0, 11.0, 40.0);
+  EXPECT_GT(low, 20.0 * inband);
+}
+
+TEST(Artifacts, EmgIsBroadbandReachingHighFrequencies) {
+  ArtifactConfig config;
+  config.blink_rate_per_min = 0.0;
+  config.pop_rate_per_min = 0.0;
+  config.emg_rate_per_min = 30.0;
+  ArtifactInjector injector(config);
+  const auto artifact = injector.render(256 * 60, 256.0);
+  EXPECT_GT(dsp::band_power(artifact, 256.0, 60.0, 120.0), 0.1);
+}
+
+TEST(Artifacts, ApplyPreservesAnnotationsAndLength) {
+  const auto clean = clean_recording(5);
+  ArtifactInjector injector;
+  const auto dirty = injector.apply(clean);
+  EXPECT_EQ(dirty.samples.size(), clean.samples.size());
+  ASSERT_EQ(dirty.annotations.size(), clean.annotations.size());
+  EXPECT_NE(dirty.samples, clean.samples);
+}
+
+TEST(Artifacts, PaperBandpassSuppressesBlinksAndPops) {
+  // The stated purpose of the 11-40 Hz filter: the out-of-band artifact
+  // energy must be strongly attenuated, leaving the in-band EEG usable.
+  ArtifactConfig config;
+  config.emg_rate_per_min = 0.0;  // EMG is partially in-band by nature
+  ArtifactInjector injector(config);
+  const auto clean = clean_recording(7);
+  const auto dirty = injector.apply(clean);
+
+  auto filter = dsp::FirFilter::paper_bandpass();
+  const auto filtered_dirty = filter.apply(dirty.samples);
+  auto filter2 = dsp::FirFilter::paper_bandpass();
+  const auto filtered_clean = filter2.apply(clean.samples);
+
+  // After filtering, contaminated and clean differ far less than before.
+  double raw_diff = 0.0;
+  double filtered_diff = 0.0;
+  for (std::size_t i = 500; i < clean.samples.size(); ++i) {
+    raw_diff += std::abs(dirty.samples[i] - clean.samples[i]);
+    filtered_diff += std::abs(filtered_dirty[i] - filtered_clean[i]);
+  }
+  EXPECT_LT(filtered_diff, 0.25 * raw_diff);
+}
+
+}  // namespace
+}  // namespace emap::synth

@@ -1,0 +1,91 @@
+#include "emap/synth/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/dsp/fft.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/dsp/stats.hpp"
+#include "emap/dsp/xcorr.hpp"
+
+namespace emap::synth {
+namespace {
+
+TEST(Background, SameArchetypeSameRhythm) {
+  const BandMix mix;
+  BackgroundModel a(3, mix);
+  BackgroundModel b(3, mix);
+  for (double t : {0.0, 1.5, 10.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.rhythm_value(t), b.rhythm_value(t));
+  }
+}
+
+TEST(Background, DifferentArchetypesDiffer) {
+  const BandMix mix;
+  BackgroundModel a(0, mix);
+  BackgroundModel b(1, mix);
+  double max_diff = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(a.rhythm_value(i / 256.0) -
+                                 b.rhythm_value(i / 256.0)));
+  }
+  EXPECT_GT(max_diff, 1.0);
+}
+
+TEST(Background, HasFiveTones) {
+  BackgroundModel model(0, BandMix{});
+  EXPECT_EQ(model.tones().size(), 5u);
+}
+
+TEST(Background, BetaBandDominatesAfterPaperFilter) {
+  BackgroundModel model(2, BandMix{});
+  Rng rng(1);
+  const auto raw = model.render(0.0, 256.0, 8192, 1.0, rng);
+  auto filter = dsp::FirFilter::paper_bandpass();
+  const auto filtered = filter.apply(raw);
+  const std::span<const double> steady(filtered.data() + 512,
+                                       filtered.size() - 512);
+  const double beta = dsp::band_power(steady, 256.0, 13.0, 30.0);
+  const double delta = dsp::band_power(steady, 256.0, 0.5, 4.0);
+  EXPECT_GT(beta, 5.0 * delta);
+}
+
+TEST(Background, FilteredRmsNearCalibrationTarget) {
+  // DESIGN.md Section 5: filtered RMS ~7 scaled units so that
+  // delta_A = 900 corresponds to NCC ~0.8.
+  BackgroundModel model(1, BandMix{});
+  Rng rng(2);
+  const auto raw = model.render(0.0, 256.0, 8192, 1.0, rng);
+  auto filter = dsp::FirFilter::paper_bandpass();
+  const auto filtered = filter.apply(raw);
+  const std::span<const double> steady(filtered.data() + 512,
+                                       filtered.size() - 512);
+  const double rms = dsp::rms(steady);
+  EXPECT_GT(rms, 4.5);
+  EXPECT_LT(rms, 10.0);
+}
+
+TEST(Background, RenderAddsInstanceNoise) {
+  BackgroundModel model(0, BandMix{});
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const auto a = model.render(0.0, 256.0, 256, 1.0, rng_a);
+  const auto b = model.render(0.0, 256.0, 256, 1.0, rng_b);
+  // Same rhythm, different noise: highly correlated but not identical.
+  EXPECT_GT(dsp::normalized_correlation(a, b), 0.8);
+  EXPECT_NE(a, b);
+}
+
+TEST(Background, AmplitudeScaleIsLinearOnRhythm) {
+  BackgroundModel model(0, BandMix{.noise_stddev = 0.0});
+  Rng rng(3);
+  Rng rng2(3);
+  const auto x1 = model.render(0.0, 256.0, 128, 1.0, rng);
+  const auto x2 = model.render(0.0, 256.0, 128, 2.0, rng2);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(x2[i], 2.0 * x1[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace emap::synth

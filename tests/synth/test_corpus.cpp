@@ -1,0 +1,153 @@
+#include "emap/synth/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace emap::synth {
+namespace {
+
+TEST(Corpus, FiveStandardCorpora) {
+  const auto corpora = standard_corpora(10);
+  ASSERT_EQ(corpora.size(), 5u);
+  std::set<std::string> names;
+  std::set<double> rates;
+  for (const auto& corpus : corpora) {
+    names.insert(corpus.name);
+    rates.insert(corpus.native_fs_hz);
+    EXPECT_EQ(corpus.recording_count, 10u);
+  }
+  EXPECT_EQ(names.size(), 5u) << "corpus names must be distinct";
+  EXPECT_EQ(rates.size(), 5u) << "native rates must be distinct (the paper "
+                                 "resamples five different rates)";
+}
+
+TEST(Corpus, SeizureCorporaArePreciselyAnnotated) {
+  for (const auto& corpus : standard_corpora(10)) {
+    if (corpus.name == "physionet-chbmit" || corpus.name == "uci-epilepsy") {
+      EXPECT_TRUE(corpus.precise_annotations);
+      EXPECT_GT(corpus.seizure_fraction, 0.0);
+    }
+  }
+}
+
+TEST(Corpus, GenerateRespectsClassMix) {
+  CorpusSpec spec;
+  spec.name = "test";
+  spec.recording_count = 20;
+  spec.recording_duration_sec = 10.0;
+  spec.seizure_fraction = 0.25;
+  spec.stroke_fraction = 0.25;
+  spec.seed = 5;
+  const auto recordings = generate_corpus(spec);
+  ASSERT_EQ(recordings.size(), 20u);
+  std::size_t seizures = 0;
+  std::size_t strokes = 0;
+  std::size_t normals = 0;
+  for (const auto& r : recordings) {
+    switch (r.spec.cls) {
+      case AnomalyClass::kSeizure: ++seizures; break;
+      case AnomalyClass::kStroke: ++strokes; break;
+      case AnomalyClass::kNormal: ++normals; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(seizures, 5u);
+  EXPECT_EQ(strokes, 5u);
+  EXPECT_EQ(normals, 10u);
+}
+
+TEST(Corpus, GenerateIsDeterministic) {
+  const auto corpora = standard_corpora(3);
+  const auto a = generate_corpus(corpora[0]);
+  const auto b = generate_corpus(corpora[0]);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].samples, b[i].samples);
+  }
+}
+
+TEST(Corpus, WholeSignalLabelsOnlyOnImpreciseCorpora) {
+  for (const auto& corpus : standard_corpora(8)) {
+    for (const auto& recording : generate_corpus(corpus)) {
+      if (recording.spec.cls == AnomalyClass::kNormal) {
+        EXPECT_FALSE(recording.spec.whole_signal_label);
+      } else {
+        EXPECT_EQ(recording.spec.whole_signal_label,
+                  !corpus.precise_annotations);
+      }
+    }
+  }
+}
+
+TEST(Corpus, NativeRatesPropagate) {
+  for (const auto& corpus : standard_corpora(2)) {
+    for (const auto& recording : generate_corpus(corpus)) {
+      EXPECT_DOUBLE_EQ(recording.fs(), corpus.native_fs_hz);
+    }
+  }
+}
+
+TEST(Corpus, ClassVariabilityDegradesEncephalopathyAndStroke) {
+  const auto seizure = class_variability(AnomalyClass::kSeizure);
+  const auto enceph = class_variability(AnomalyClass::kEncephalopathy);
+  const auto stroke = class_variability(AnomalyClass::kStroke);
+  EXPECT_GT(enceph.dilation_jitter_multiplier,
+            seizure.dilation_jitter_multiplier);
+  EXPECT_GT(stroke.dilation_jitter_multiplier,
+            seizure.dilation_jitter_multiplier);
+  EXPECT_LT(enceph.covered_archetypes, kArchetypesPerClass);
+  EXPECT_LT(stroke.covered_archetypes, kArchetypesPerClass);
+  EXPECT_EQ(seizure.covered_archetypes, kArchetypesPerClass);
+}
+
+TEST(Corpus, AnomalousRecordingsOnlyUseCoveredArchetypes) {
+  for (const auto& corpus : standard_corpora(16)) {
+    for (const auto& recording : generate_corpus(corpus)) {
+      if (recording.spec.cls == AnomalyClass::kNormal) {
+        continue;
+      }
+      const auto covered =
+          class_variability(recording.spec.cls).covered_archetypes;
+      EXPECT_LT(recording.spec.archetype, covered);
+    }
+  }
+}
+
+TEST(Corpus, EvalInputIsDeterministicPerSeed) {
+  EvalInputSpec spec;
+  spec.cls = AnomalyClass::kSeizure;
+  spec.seed = 3;
+  spec.duration_sec = 20.0;
+  spec.onset_sec = 15.0;
+  const auto a = make_eval_input(spec);
+  const auto b = make_eval_input(spec);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(Corpus, EvalInputsAtBaseRate) {
+  EvalInputSpec spec;
+  spec.duration_sec = 10.0;
+  spec.onset_sec = 8.0;
+  const auto input = make_eval_input(spec);
+  EXPECT_DOUBLE_EQ(input.fs(), 256.0);
+  EXPECT_EQ(input.samples.size(), 2560u);
+}
+
+TEST(Corpus, EvalInputsDrawFromAllArchetypes) {
+  std::set<std::uint32_t> archetypes;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    EvalInputSpec spec;
+    spec.cls = AnomalyClass::kEncephalopathy;
+    spec.seed = seed;
+    spec.duration_sec = 2.0;
+    spec.onset_sec = 1.0;
+    archetypes.insert(make_eval_input(spec).spec.archetype);
+  }
+  // Evaluation draws from the full phenotype space, including archetypes
+  // the corpora do not cover (the Table I degradation mechanism).
+  EXPECT_EQ(archetypes.size(), kArchetypesPerClass);
+}
+
+}  // namespace
+}  // namespace emap::synth

@@ -1,0 +1,154 @@
+#include "emap/synth/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/dsp/stats.hpp"
+#include "emap/dsp/xcorr.hpp"
+
+namespace emap::synth {
+namespace {
+
+RecordingSpec base_spec(AnomalyClass cls) {
+  RecordingSpec spec;
+  spec.cls = cls;
+  spec.duration_sec = 30.0;
+  spec.onset_sec = 25.0;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(Generator, DeterministicForSameSpec) {
+  RecordingGenerator gen;
+  const auto spec = base_spec(AnomalyClass::kSeizure);
+  const auto a = gen.generate(spec);
+  const auto b = gen.generate(spec);
+  EXPECT_EQ(a.samples, b.samples);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  RecordingGenerator gen;
+  auto spec = base_spec(AnomalyClass::kNormal);
+  const auto a = gen.generate(spec);
+  spec.seed = 8;
+  const auto b = gen.generate(spec);
+  EXPECT_NE(a.samples, b.samples);
+}
+
+TEST(Generator, SampleCountMatchesDurationAndRate) {
+  RecordingGenerator gen;
+  auto spec = base_spec(AnomalyClass::kNormal);
+  spec.fs = 173.61;
+  const auto recording = gen.generate(spec);
+  EXPECT_EQ(recording.samples.size(),
+            static_cast<std::size_t>(std::llround(30.0 * 173.61)));
+  EXPECT_DOUBLE_EQ(recording.fs(), 173.61);
+  EXPECT_NEAR(recording.duration_sec(), 30.0, 0.01);
+}
+
+TEST(Generator, RejectsBadSpecs) {
+  RecordingGenerator gen;
+  auto spec = base_spec(AnomalyClass::kNormal);
+  spec.fs = 0.0;
+  EXPECT_THROW(gen.generate(spec), InvalidArgument);
+  spec = base_spec(AnomalyClass::kNormal);
+  spec.duration_sec = 0.0;
+  EXPECT_THROW(gen.generate(spec), InvalidArgument);
+}
+
+TEST(Generator, NormalRecordingIsFullyNormal) {
+  RecordingGenerator gen;
+  const auto recording = gen.generate(base_spec(AnomalyClass::kNormal));
+  EXPECT_FALSE(recording.anomalous_at(0.0));
+  EXPECT_FALSE(recording.anomalous_at(15.0));
+  EXPECT_FALSE(recording.anomalous_at(29.9));
+  ASSERT_EQ(recording.annotations.size(), 1u);
+  EXPECT_FALSE(recording.annotations[0].anomalous);
+}
+
+TEST(Generator, PreciseAnnotationsCoverPreictalWindow) {
+  RecordingGenerator gen;
+  RecordingSpec spec = base_spec(AnomalyClass::kSeizure);
+  spec.duration_sec = 300.0;
+  spec.onset_sec = 250.0;
+  spec.preictal_label_sec = 60.0;
+  const auto recording = gen.generate(spec);
+  EXPECT_FALSE(recording.anomalous_at(100.0));
+  EXPECT_TRUE(recording.anomalous_at(195.0));   // inside pre-ictal window
+  EXPECT_TRUE(recording.anomalous_at(270.0));   // ictal
+}
+
+TEST(Generator, WholeSignalLabelCoversEverything) {
+  RecordingGenerator gen;
+  RecordingSpec spec = base_spec(AnomalyClass::kStroke);
+  spec.whole_signal_label = true;
+  const auto recording = gen.generate(spec);
+  EXPECT_TRUE(recording.anomalous_at(0.0));
+  EXPECT_TRUE(recording.anomalous_at(29.0));
+}
+
+TEST(Generator, ProdromeDisplacesNormalBackground) {
+  // Early in an anomalous recording the waveform is normal background and
+  // matches a same-archetype normal recording; near onset the morphology
+  // has displaced the background and the match disappears.
+  RecordingGenerator gen;
+  RecordingSpec anomalous = base_spec(AnomalyClass::kSeizure);
+  anomalous.duration_sec = 260.0;
+  anomalous.onset_sec = 250.0;
+  anomalous.archetype = 2;
+  anomalous.noise_scale = 0.3;
+  RecordingSpec normal = anomalous;
+  normal.cls = AnomalyClass::kNormal;
+  normal.seed = 1234;
+  const auto sick = gen.generate(anomalous);
+  const auto healthy = gen.generate(normal);
+
+  auto best_match = [&](double t0) {
+    const auto begin = static_cast<std::size_t>(t0 * 256.0);
+    const std::span<const double> probe(sick.samples.data() + begin, 256);
+    const std::span<const double> hay(healthy.samples.data() + begin - 1280,
+                                      2560);
+    const auto ncc = dsp::sliding_ncc(probe, hay);
+    return *std::max_element(ncc.begin(), ncc.end());
+  };
+  // 20 s in: pure background (prodrome starts at 250 - 180 = 70 s).
+  // 245 s in: intensity ~1, background suppressed.
+  EXPECT_GT(best_match(20.0), best_match(245.0));
+}
+
+TEST(Generator, SameArchetypeInstancesCorrelateAfterBandpass) {
+  // The load-bearing property of the whole reproduction: two instances of
+  // the same archetype must exceed the paper's delta = 0.8 somewhere.
+  RecordingGenerator gen;
+  RecordingSpec spec_a = base_spec(AnomalyClass::kSeizure);
+  spec_a.duration_sec = 250.0;
+  spec_a.onset_sec = 230.0;
+  spec_a.archetype = 1;
+  RecordingSpec spec_b = spec_a;
+  spec_b.seed = 99;
+  const auto ra = gen.generate(spec_a);
+  const auto rb = gen.generate(spec_b);
+  auto fa = dsp::FirFilter::paper_bandpass();
+  auto fb = dsp::FirFilter::paper_bandpass();
+  const auto sa = fa.apply(ra.samples);
+  const auto sb = fb.apply(rb.samples);
+  // Window of a at 10 s before onset vs a +/-5 s region of b.
+  const std::span<const double> probe(sa.data() + 220 * 256, 256);
+  const std::span<const double> hay(sb.data() + 215 * 256, 10 * 256);
+  const auto ncc = dsp::sliding_ncc(probe, hay);
+  const double best = *std::max_element(ncc.begin(), ncc.end());
+  EXPECT_GT(best, 0.8);
+}
+
+TEST(Generator, LabelOutsideRecordingIsFalse) {
+  RecordingGenerator gen;
+  const auto recording = gen.generate(base_spec(AnomalyClass::kNormal));
+  EXPECT_FALSE(recording.anomalous_at(-1.0));
+  EXPECT_FALSE(recording.anomalous_at(1000.0));
+}
+
+}  // namespace
+}  // namespace emap::synth

@@ -1,0 +1,76 @@
+#include "emap/synth/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/fft.hpp"
+#include "emap/dsp/stats.hpp"
+
+namespace emap::synth {
+namespace {
+
+TEST(WhiteNoise, MomentsMatch) {
+  Rng rng(1);
+  const auto x = white_noise(rng, 100000, 2.0);
+  EXPECT_NEAR(dsp::mean(x), 0.0, 0.05);
+  EXPECT_NEAR(dsp::stddev(x), 2.0, 0.05);
+}
+
+TEST(WhiteNoise, ZeroStddevIsSilence) {
+  Rng rng(2);
+  for (double v : white_noise(rng, 100, 0.0)) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(WhiteNoise, RejectsNegativeStddev) {
+  Rng rng(3);
+  EXPECT_THROW(white_noise(rng, 10, -1.0), InvalidArgument);
+}
+
+TEST(PinkNoise, StddevApproximatelyRequested) {
+  Rng rng(4);
+  const auto x = pink_noise(rng, 100000, 1.5);
+  EXPECT_NEAR(dsp::stddev(x), 1.5, 0.4);
+}
+
+TEST(PinkNoise, LowFrequenciesDominate) {
+  Rng rng(5);
+  const auto x = pink_noise(rng, 65536, 1.0);
+  const double low = dsp::band_power(x, 256.0, 0.5, 8.0);
+  const double high = dsp::band_power(x, 256.0, 64.0, 128.0);
+  EXPECT_GT(low, 2.0 * high);
+}
+
+TEST(PinkNoise, DeterministicGivenRng) {
+  Rng a(6);
+  Rng b(6);
+  const auto xa = pink_noise(a, 100, 1.0);
+  const auto xb = pink_noise(b, 100, 1.0);
+  EXPECT_EQ(xa, xb);
+}
+
+TEST(BrownNoise, BoundedVarianceWithLeak) {
+  Rng rng(7);
+  const auto x = brown_noise(rng, 200000, 3.0, 0.99);
+  EXPECT_NEAR(dsp::stddev(x), 3.0, 0.5);
+}
+
+TEST(BrownNoise, RejectsBadLeak) {
+  Rng rng(8);
+  EXPECT_THROW(brown_noise(rng, 10, 1.0, 0.0), InvalidArgument);
+  EXPECT_THROW(brown_noise(rng, 10, 1.0, 1.5), InvalidArgument);
+}
+
+TEST(BrownNoise, SmootherThanWhite) {
+  Rng rng(9);
+  const auto brown = brown_noise(rng, 8192, 1.0, 0.99);
+  Rng rng2(10);
+  const auto white = white_noise(rng2, 8192, 1.0);
+  // Brown noise has much lower line length per unit variance.
+  EXPECT_LT(dsp::line_length(brown) / dsp::stddev(brown),
+            0.5 * dsp::line_length(white) / dsp::stddev(white));
+}
+
+}  // namespace
+}  // namespace emap::synth

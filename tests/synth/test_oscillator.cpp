@@ -1,0 +1,126 @@
+#include "emap/synth/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/fft.hpp"
+#include "emap/dsp/stats.hpp"
+
+namespace emap::synth {
+namespace {
+
+TEST(Tone, PureSineValue) {
+  ToneSpec tone;
+  tone.freq_hz = 1.0;
+  tone.amp = 2.0;
+  tone.phase = 0.0;
+  EXPECT_NEAR(tone_value(tone, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(tone_value(tone, 0.25), 2.0, 1e-12);
+}
+
+TEST(Tone, DeterministicInAbsoluteTime) {
+  ToneSpec tone;
+  tone.freq_hz = 13.7;
+  tone.drift_hz_per_s = 0.01;
+  tone.am_freq_hz = 0.2;
+  tone.am_depth = 0.5;
+  EXPECT_DOUBLE_EQ(tone_value(tone, 12.345), tone_value(tone, 12.345));
+}
+
+TEST(Tone, ChirpFrequencyDrifts) {
+  ToneSpec tone;
+  tone.freq_hz = 20.0;
+  tone.drift_hz_per_s = 1.0;
+  // Render two windows 10 s apart; dominant frequency should shift ~10 Hz.
+  const auto early = render_tone_bank(std::vector<ToneSpec>{tone}, 0.0,
+                                      256.0, 1024);
+  const auto late = render_tone_bank(std::vector<ToneSpec>{tone}, 10.0,
+                                     256.0, 1024);
+  auto dominant = [](const std::vector<double>& x) {
+    const auto p = dsp::power_spectrum(x);
+    std::size_t argmax = 1;
+    for (std::size_t k = 1; k < p.size(); ++k) {
+      if (p[k] > p[argmax]) argmax = k;
+    }
+    return static_cast<double>(argmax) * 256.0 / 1024.0;
+  };
+  EXPECT_NEAR(dominant(early), 22.0, 1.5);   // f0 + k*t across the window
+  EXPECT_NEAR(dominant(late), 32.0, 1.5);
+}
+
+TEST(Tone, AmplitudeModulationBoundsEnvelope) {
+  ToneSpec tone;
+  tone.freq_hz = 16.0;
+  tone.amp = 1.0;
+  tone.am_freq_hz = 0.5;
+  tone.am_depth = 0.6;
+  const auto x = render_tone_bank(std::vector<ToneSpec>{tone}, 0.0, 256.0,
+                                  2048);
+  EXPECT_LE(dsp::peak_abs(x), 1.0 + 1e-9);
+  EXPECT_GT(dsp::peak_abs(x), 0.9);
+}
+
+TEST(ToneBank, SumsComponents) {
+  ToneSpec a;
+  a.freq_hz = 5.0;
+  ToneSpec b;
+  b.freq_hz = 11.0;
+  const std::vector<ToneSpec> bank = {a, b};
+  const double t = 0.123;
+  EXPECT_NEAR(tone_bank_value(bank, t),
+              tone_value(a, t) + tone_value(b, t), 1e-12);
+}
+
+TEST(RenderToneBank, RejectsBadRate) {
+  EXPECT_THROW(render_tone_bank({}, 0.0, 0.0, 10), InvalidArgument);
+}
+
+TEST(SpikeWave, PeriodicInRate) {
+  SpikeWaveSpec spec;
+  spec.rate_hz = 3.0;
+  const double period = 1.0 / 3.0;
+  for (double t : {0.05, 0.11, 0.21, 0.3}) {
+    EXPECT_NEAR(spike_wave_value(spec, t),
+                spike_wave_value(spec, t + 5.0 * period), 1e-9);
+  }
+}
+
+TEST(SpikeWave, SpikeDominatesPeak) {
+  SpikeWaveSpec spec;
+  spec.rate_hz = 3.0;
+  spec.spike_amp = 3.0;
+  spec.wave_amp = 1.0;
+  const auto x = render_spike_wave(spec, 0.0, 256.0, 512);
+  EXPECT_NEAR(dsp::peak_abs(x), 3.0, 0.2);
+}
+
+TEST(SpikeWave, SlowWaveIsNegativeLobe) {
+  SpikeWaveSpec spec;
+  spec.rate_hz = 2.0;
+  spec.spike_amp = 1.0;
+  spec.wave_amp = 0.8;
+  double min_value = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    min_value = std::min(min_value,
+                         spike_wave_value(spec, static_cast<double>(i) / 256.0));
+  }
+  EXPECT_NEAR(min_value, -0.8, 0.05);
+}
+
+TEST(SpikeWave, HasEnergyInsidePaperBand) {
+  // The 3 Hz fundamental is filtered out by 11-40 Hz, but the sharp spike
+  // harmonics must leak into the band — that is why ictal activity remains
+  // visible after the paper's bandpass.
+  SpikeWaveSpec spec;
+  const auto x = render_spike_wave(spec, 0.0, 256.0, 4096);
+  EXPECT_GT(dsp::band_power(x, 256.0, 11.0, 40.0), 0.001);
+}
+
+TEST(SpikeWave, RejectsNonPositiveRate) {
+  SpikeWaveSpec spec;
+  spec.rate_hz = 0.0;
+  EXPECT_THROW(spike_wave_value(spec, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace emap::synth

@@ -1,0 +1,109 @@
+// Calibration probe for the synthetic-EEG / search / tracker stack.
+//
+// Not part of the CMake build: this is the development utility used to
+// calibrate the generator amplitudes, class-variability profiles, and
+// predictor thresholds against the paper's headline numbers.  Build by
+// hand when re-calibrating:
+//   g++ -std=c++20 -O2 -Isrc tools/probe.cpp build/src/libemap_*.a \
+//       -lpthread -o build/probe
+#include <cstdio>
+#include <span>
+
+#include "emap/core/pipeline.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/dsp/stats.hpp"
+#include "emap/mdb/builder.hpp"
+#include "emap/synth/corpus.hpp"
+
+using namespace emap;
+
+int main() {
+  synth::RecordingGenerator gen;
+  synth::RecordingSpec normal_spec;
+  normal_spec.cls = synth::AnomalyClass::kNormal;
+  normal_spec.duration_sec = 30.0;
+  normal_spec.seed = 11;
+  auto normal = gen.generate(normal_spec);
+  auto filter = dsp::FirFilter::paper_bandpass();
+  auto filtered = filter.apply(normal.samples);
+  std::span<const double> tail(filtered.data() + 2000, filtered.size() - 2000);
+  std::printf("normal filtered RMS = %.3f (target ~7)\n", dsp::rms(tail));
+
+  auto corpora = synth::standard_corpora(24);
+  mdb::MdbBuilder builder;
+  for (const auto& corpus : corpora) {
+    auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+    }
+  }
+  auto store = builder.take_store();
+  std::printf("MDB: %zu sets, %zu anomalous (%.2f)\n", store.size(),
+              store.count_anomalous(),
+              double(store.count_anomalous()) / double(store.size()));
+
+  core::EmapConfig config;
+  core::PipelineOptions opt;
+  opt.stop_on_alarm = true;
+  core::EmapPipeline pipeline(std::move(store), config, opt);
+
+  // One seizure trajectory in detail.
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = 5;
+  auto input = synth::make_eval_input(spec);
+  auto res = pipeline.run(input);
+  std::printf("seizure run: calls=%zu predicted=%d alarm=%.0f s (onset %.0f)\n",
+              res.cloud_calls, res.anomaly_predicted ? 1 : 0,
+              res.first_alarm_sec, spec.onset_sec);
+  std::printf("delta_initial=%.2f (CS %.2f) track mean %.2f max %.2f\n",
+              res.timings.delta_initial_sec, res.timings.delta_cs_sec,
+              res.timings.mean_track_sec, res.timings.max_track_sec);
+  std::printf("PA trajectory (every 10 s): ");
+  for (std::size_t i = 9; i < res.iterations.size(); i += 10) {
+    std::printf("%.2f ", res.iterations[i].anomaly_probability);
+  }
+  std::printf("\n");
+
+  // Lead-time sensitivity per class + FPR: one full run per input; the
+  // alarm latches so "predicted at lead L" == first_alarm <= onset - L.
+  const double leads[] = {15, 30, 45, 60, 120};
+  for (auto cls : {synth::AnomalyClass::kSeizure,
+                   synth::AnomalyClass::kEncephalopathy,
+                   synth::AnomalyClass::kStroke}) {
+    std::printf("%-15s", synth::anomaly_name(cls));
+    const int n = 20;
+    std::vector<double> alarms;
+    double onset = 0.0;
+    for (int s = 0; s < n; ++s) {
+      synth::EvalInputSpec e;
+      e.cls = cls;
+      e.seed = 1000 + static_cast<std::uint64_t>(s);
+      onset = e.onset_sec;
+      auto in = synth::make_eval_input(e);
+      auto r = pipeline.run(in, onset);  // monitor up to onset
+      alarms.push_back(r.anomaly_predicted ? r.first_alarm_sec : 1e18);
+    }
+    for (double lead : leads) {
+      int hits = 0;
+      for (double a : alarms) {
+        if (a <= onset - lead) ++hits;
+      }
+      std::printf(" lead%3.0f=%.2f", lead, double(hits) / n);
+    }
+    std::printf("\n");
+  }
+  int fp = 0;
+  const int nn = 40;
+  for (int s = 0; s < nn; ++s) {
+    synth::EvalInputSpec e;
+    e.cls = synth::AnomalyClass::kNormal;
+    e.seed = 2000 + static_cast<std::uint64_t>(s);
+    auto in = synth::make_eval_input(e);
+    auto r = pipeline.run(in);
+    if (r.anomaly_predicted) ++fp;
+  }
+  std::printf("normal FPR = %.2f (target ~0.15)\n", double(fp) / nn);
+  return 0;
+}
