@@ -16,6 +16,16 @@
 //   emapctl monitor     <store.mdb> <input.edf> [onset_sec]
 //       Runs the full pipeline on channel 0 of the EDF input and reports
 //       the P_A trace and alarm.
+//   emapctl synth-run   [duration_sec] [recordings-per-corpus]
+//       Builds an in-memory MDB, monitors a synthetic seizure input, and
+//       exercises the telemetry surface end to end (CI smoke path).
+//
+// Telemetry flags (monitor and synth-run):
+//   --metrics-out <file>   write Prometheus text exposition at end of run
+//   --trace-out <file>     write Chrome trace_event JSON (open in
+//                          chrome://tracing or ui.perfetto.dev)
+//   --summary-out <file>   append one JSONL record of headline numbers
+//   --metrics-dump         print the metrics table to stdout at end of run
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +43,8 @@
 #include "emap/dsp/resample.hpp"
 #include "emap/edf/edf.hpp"
 #include "emap/mdb/builder.hpp"
+#include "emap/obs/export.hpp"
+#include "emap/obs/metrics.hpp"
 #include "emap/synth/corpus.hpp"
 
 namespace {
@@ -40,13 +52,100 @@ namespace {
 using namespace emap;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  emapctl gen-corpus <out-dir> [recordings-per-corpus]\n"
-               "  emapctl build-mdb  <corpus-dir> <out.mdb>\n"
-               "  emapctl info       <store.mdb>\n"
-               "  emapctl monitor    <store.mdb> <input.edf> [onset_sec]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  emapctl gen-corpus <out-dir> [recordings-per-corpus]\n"
+      "  emapctl build-mdb  <corpus-dir> <out.mdb>\n"
+      "  emapctl info       <store.mdb>\n"
+      "  emapctl monitor    <store.mdb> <input.edf> [onset_sec] "
+      "[telemetry flags]\n"
+      "  emapctl synth-run  [duration_sec] [recordings-per-corpus] "
+      "[telemetry flags]\n"
+      "telemetry flags: --metrics-out <file> --trace-out <file> "
+      "--summary-out <file> --metrics-dump\n");
   return 2;
+}
+
+/// Output switches of the telemetry surface, shared by `monitor` and
+/// `synth-run`.
+struct TelemetryOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  std::string summary_out;
+  bool metrics_dump = false;
+};
+
+/// Extracts telemetry flags from (argc, argv), leaving only positional
+/// arguments behind.  Returns false on a malformed flag.
+bool extract_telemetry_flags(int& argc, char** argv,
+                             TelemetryOptions& telemetry) {
+  int kept = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_value = [&](std::string& slot) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      slot = argv[++i];
+      return true;
+    };
+    if (arg == "--metrics-out") {
+      if (!take_value(telemetry.metrics_out)) return false;
+    } else if (arg == "--trace-out") {
+      if (!take_value(telemetry.trace_out)) return false;
+    } else if (arg == "--summary-out") {
+      if (!take_value(telemetry.summary_out)) return false;
+    } else if (arg == "--metrics-dump") {
+      telemetry.metrics_dump = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return true;
+}
+
+/// Writes the requested telemetry outputs after a monitored run.
+void emit_telemetry(const TelemetryOptions& telemetry,
+                    const obs::MetricsRegistry& registry,
+                    const core::RunResult& result) {
+  if (!telemetry.metrics_out.empty()) {
+    obs::write_prometheus(telemetry.metrics_out, registry);
+    std::printf("metrics -> %s\n", telemetry.metrics_out.c_str());
+  }
+  if (!telemetry.trace_out.empty() && result.tracer != nullptr) {
+    obs::write_chrome_trace(telemetry.trace_out, *result.tracer);
+    std::printf("trace   -> %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                telemetry.trace_out.c_str());
+  }
+  if (telemetry.metrics_dump) {
+    std::printf("\n%s", obs::metrics_table(registry).c_str());
+  }
+}
+
+/// One JSONL record of the run's headline numbers.
+std::string run_summary_line(const std::string& run_name,
+                             const core::RunResult& result,
+                             double duration_sec) {
+  obs::JsonWriter json;
+  json.field("run", run_name)
+      .field("duration_sec", duration_sec)
+      .field("windows", static_cast<std::uint64_t>(result.iterations.size()))
+      .field("cloud_calls", static_cast<std::uint64_t>(result.cloud_calls))
+      .field("delta_ec_sec", result.timings.delta_ec_sec)
+      .field("delta_cs_sec", result.timings.delta_cs_sec)
+      .field("delta_ce_sec", result.timings.delta_ce_sec)
+      .field("delta_initial_sec", result.timings.delta_initial_sec)
+      .field("mean_track_sec", result.timings.mean_track_sec)
+      .field("max_track_sec", result.timings.max_track_sec)
+      .field("anomaly_predicted", result.anomaly_predicted)
+      .field("first_alarm_sec", result.first_alarm_sec);
+  return json.str();
 }
 
 edf::EdfFile to_edf(const synth::Recording& recording) {
@@ -214,6 +313,10 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_monitor(int argc, char** argv) {
+  TelemetryOptions telemetry;
+  if (!extract_telemetry_flags(argc, argv, telemetry)) {
+    return usage();
+  }
   if (argc < 2) {
     return usage();
   }
@@ -243,8 +346,12 @@ int cmd_monitor(int argc, char** argv) {
   input.samples = dsp::resample(file.channels[picked].samples,
                                 file.sample_rate_hz, 256.0);
 
+  obs::MetricsRegistry registry;
+  core::PipelineOptions pipeline_options;
+  pipeline_options.metrics = &registry;
   core::EmapPipeline pipeline(std::move(store),
-                              core::EmapConfig::paper_defaults());
+                              core::EmapConfig::paper_defaults(),
+                              pipeline_options);
   const auto result =
       pipeline.run(input, onset > 0.0 ? onset : -1.0);
 
@@ -264,6 +371,72 @@ int cmd_monitor(int argc, char** argv) {
   } else {
     std::printf("no anomaly predicted\n");
   }
+  if (!telemetry.summary_out.empty()) {
+    obs::append_jsonl_line(
+        telemetry.summary_out,
+        run_summary_line("monitor", result, input.spec.duration_sec));
+    std::printf("summary -> %s\n", telemetry.summary_out.c_str());
+  }
+  emit_telemetry(telemetry, registry, result);
+  return 0;
+}
+
+int cmd_synth_run(int argc, char** argv) {
+  TelemetryOptions telemetry;
+  if (!extract_telemetry_flags(argc, argv, telemetry)) {
+    return usage();
+  }
+  const double duration_sec =
+      argc > 0 ? std::atof(argv[0]) : 30.0;
+  const std::size_t per_corpus =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  require(duration_sec >= 2.0, "synth-run: duration must be >= 2 s");
+  require(per_corpus >= 1, "synth-run: need >= 1 recording per corpus");
+
+  std::printf("building in-memory MDB (%zu recordings/corpus)...\n",
+              per_corpus);
+  mdb::MdbBuilder builder;
+  for (const auto& corpus : synth::standard_corpora(per_corpus)) {
+    const auto recordings = synth::generate_corpus(corpus);
+    for (std::size_t i = 0; i < recordings.size(); ++i) {
+      builder.add_recording(recordings[i], corpus.name,
+                            static_cast<std::uint32_t>(i));
+    }
+  }
+  auto store = builder.take_store();
+  std::printf("MDB ready: %zu signal-sets (%zu anomalous)\n", store.size(),
+              store.count_anomalous());
+
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = 11;
+  spec.duration_sec = duration_sec;
+  spec.onset_sec = duration_sec * 0.75;
+  const auto input = synth::make_eval_input(spec);
+
+  obs::MetricsRegistry registry;
+  core::PipelineOptions options;
+  options.metrics = &registry;
+  core::EmapPipeline pipeline(std::move(store),
+                              core::EmapConfig::paper_defaults(), options);
+  const auto result = pipeline.run(input);
+
+  std::printf("monitored %.0f s; cloud calls: %zu; Delta_initial %.3f s; "
+              "mean edge iteration %.3f s\n",
+              duration_sec, result.cloud_calls,
+              result.timings.delta_initial_sec,
+              result.timings.mean_track_sec);
+  std::printf(result.anomaly_predicted ? "ANOMALY PREDICTED at t=%.0f s\n"
+                                       : "no alarm (t=%.0f)\n",
+              result.first_alarm_sec);
+
+  if (!telemetry.summary_out.empty()) {
+    obs::append_jsonl_line(telemetry.summary_out,
+                           run_summary_line("synth-run", result,
+                                            duration_sec));
+    std::printf("summary -> %s\n", telemetry.summary_out.c_str());
+  }
+  emit_telemetry(telemetry, registry, result);
   return 0;
 }
 
@@ -285,6 +458,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "monitor") == 0) {
       return cmd_monitor(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "synth-run") == 0) {
+      return cmd_synth_run(argc - 2, argv + 2);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "emapctl: %s\n", error.what());

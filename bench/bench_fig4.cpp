@@ -6,6 +6,7 @@
 //     top-100 set in < 200 ms.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "emap/net/channel.hpp"
 #include "emap/net/transport.hpp"
 
@@ -89,6 +90,23 @@ int main() {
     }
     std::printf("constraint: 100 signals < 200 ms on 4G-era links -> %s\n",
                 all_fast ? "HOLDS" : "VIOLATED");
+  }
+  {
+    net::SignalUploadMessage upload;
+    upload.samples.assign(256, 1.0);
+    net::CorrelationSetMessage download;
+    for (int i = 0; i < 100; ++i) {
+      net::CorrelationEntry entry;
+      entry.samples.assign(1000, 1.0);
+      download.entries.push_back(std::move(entry));
+    }
+    net::Channel lte(net::CommPlatform::kLte, serialization_only);
+    bench::write_headline(
+        "fig4",
+        {{"upload_256_lte_us",
+          lte.upload_seconds(net::wire_size(upload)) * 1e6},
+         {"download_100_lte_ms",
+          lte.download_seconds(net::wire_size(download)) * 1e3}});
   }
   return 0;
 }

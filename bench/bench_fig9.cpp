@@ -64,6 +64,14 @@ int main() {
               "(#: busy; tracking overlaps the background cloud call):\n");
   std::printf("%s", result.trace.render_ascii(20.0, 100).c_str());
 
+  bench::write_headline(
+      "fig9", {{"delta_ec_sec", result.timings.delta_ec_sec},
+               {"delta_cs_sec", result.timings.delta_cs_sec},
+               {"delta_ce_sec", result.timings.delta_ce_sec},
+               {"delta_initial_sec", result.timings.delta_initial_sec},
+               {"mean_track_sec", result.timings.mean_track_sec},
+               {"max_track_sec", result.timings.max_track_sec}});
+
   const bool latency_band = result.timings.delta_initial_sec > 1.5 &&
                             result.timings.delta_initial_sec < 5.0;
   const bool real_time = result.timings.mean_track_sec < 1.0;

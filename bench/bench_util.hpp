@@ -2,16 +2,45 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "emap/core/config.hpp"
 #include "emap/dsp/fir.hpp"
 #include "emap/mdb/builder.hpp"
+#include "emap/obs/export.hpp"
 #include "emap/synth/corpus.hpp"
 
 namespace emap::bench {
+
+/// Appends one JSONL record of a bench's headline numbers to
+/// `BENCH_<name>.jsonl` (in $EMAP_BENCH_OUT when set, else the working
+/// directory).  Every bench trajectory file goes through this one code
+/// path — the obs JSONL exporter — so records stay uniformly parseable.
+inline void write_headline(
+    const std::string& bench,
+    std::initializer_list<std::pair<const char*, double>> values) {
+  obs::JsonWriter json;
+  json.field("bench", bench);
+  for (const auto& [key, value] : values) {
+    json.field(key, value);
+  }
+  const char* out_dir = std::getenv("EMAP_BENCH_OUT");
+  const std::filesystem::path path =
+      std::filesystem::path(out_dir != nullptr ? out_dir : ".") /
+      ("BENCH_" + bench + ".jsonl");
+  try {
+    obs::append_jsonl_line(path, json.str());
+    std::fprintf(stderr, "[bench] headline -> %s\n", path.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "[bench] could not write headline: %s\n",
+                 error.what());
+  }
+}
 
 /// Builds (or loads from the per-user temp cache) a mega-database with
 /// `per_corpus` recordings from each of the five standard corpora.  The

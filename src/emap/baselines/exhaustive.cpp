@@ -66,6 +66,8 @@ core::SearchResult ExhaustiveSearch::search(
   result.stats.mac_ops = total_evals.load() * window;
   result.stats.candidates = total_hits.load();
   result.stats.sets_scanned = store.size();
+  // Exhaustive coverage: every offset evaluated, so the skip ratio is 0.
+  result.stats.offsets_total = total_evals.load();
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)

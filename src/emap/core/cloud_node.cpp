@@ -13,9 +13,41 @@ CloudNode::CloudNode(mdb::MdbStore store, const EmapConfig& config,
   config_.validate();
 }
 
+void CloudNode::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = SearchMetrics{};
+    return;
+  }
+  metrics_.requests = &registry->counter(
+      "emap_search_requests_total", {}, "Cloud MDB searches served");
+  metrics_.sets_scanned = &registry->counter(
+      "emap_search_sets_scanned_total", {},
+      "Signal-sets scanned across all searches");
+  metrics_.correlation_evals = &registry->counter(
+      "emap_search_correlation_evals_total", {},
+      "Cross-correlation windows evaluated (Algorithm 1)");
+  metrics_.candidates = &registry->counter(
+      "emap_search_candidates_total", {},
+      "Offsets exceeding the correlation threshold delta");
+  metrics_.skip_ratio = &registry->histogram(
+      "emap_search_skip_ratio", {}, obs::Histogram::linear_bounds(0.0, 1.0, 50),
+      "Fraction of offsets skipped by the exponential window per search");
+  metrics_.wall_seconds = &registry->histogram(
+      "emap_search_wall_seconds", {}, obs::Histogram::default_latency_bounds(),
+      "Measured host time of one MDB search");
+}
+
 SearchResult CloudNode::search(std::span<const double> input_window) const {
   SearchResult result = searcher_.search(input_window, store_);
   last_stats_ = result.stats;
+  if (metrics_.requests != nullptr) {
+    metrics_.requests->increment();
+    metrics_.sets_scanned->increment(result.stats.sets_scanned);
+    metrics_.correlation_evals->increment(result.stats.correlation_evals);
+    metrics_.candidates->increment(result.stats.candidates);
+    metrics_.skip_ratio->observe(result.stats.skip_ratio());
+    metrics_.wall_seconds->observe(result.stats.wall_seconds);
+  }
   return result;
 }
 

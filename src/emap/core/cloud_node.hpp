@@ -10,6 +10,7 @@
 #include "emap/core/search.hpp"
 #include "emap/mdb/store.hpp"
 #include "emap/net/transport.hpp"
+#include "emap/obs/metrics.hpp"
 
 namespace emap::core {
 
@@ -35,12 +36,29 @@ class CloudNode {
   /// Stats of the most recent search (for timing accounting).
   const SearchStats& last_stats() const { return last_stats_; }
 
+  /// Attaches a telemetry registry (borrowed; nullptr disables).  Every
+  /// search then records scan counters, the exponential-window skip ratio,
+  /// and wall-time into `emap_search_*` metrics.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   EmapConfig config_;
   mdb::MdbStore store_;
   std::unique_ptr<ThreadPool> pool_;
   CrossCorrelationSearch searcher_;
   mutable SearchStats last_stats_{};
+
+  /// Cached instrument handles (registry lookups happen once, in
+  /// set_metrics, keeping the search hot path lock-free).
+  struct SearchMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* sets_scanned = nullptr;
+    obs::Counter* correlation_evals = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Histogram* skip_ratio = nullptr;
+    obs::Histogram* wall_seconds = nullptr;
+  };
+  SearchMetrics metrics_{};
 };
 
 }  // namespace emap::core

@@ -1,6 +1,7 @@
 #include "emap/core/cloud_service.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "emap/common/error.hpp"
 
@@ -14,8 +15,36 @@ CloudService::CloudService(mdb::MdbStore store, const EmapConfig& config,
   require(virtual_workers_ >= 1, "CloudService: need at least one worker");
 }
 
+void CloudService::set_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  node_.set_metrics(registry);
+  if (registry == nullptr) {
+    metrics_ = ServiceMetrics{};
+    return;
+  }
+  metrics_.queue_depth = &registry->gauge(
+      "emap_cloud_queue_depth", {}, "Requests waiting in the service queue");
+  metrics_.wait = &registry->histogram(
+      "emap_cloud_wait_seconds", {}, obs::Histogram::default_latency_bounds(),
+      "Queueing delay before a worker picks a request up");
+  metrics_.service = &registry->histogram(
+      "emap_cloud_service_seconds", {},
+      obs::Histogram::default_latency_bounds(),
+      "Device-model search time per request");
+  metrics_.response = &registry->histogram(
+      "emap_cloud_response_seconds", {},
+      obs::Histogram::default_latency_bounds(),
+      "Arrival-to-completion time per request");
+  metrics_.utilization = &registry->gauge(
+      "emap_cloud_utilization", {},
+      "Busy worker-time over workers * makespan of the last batch");
+}
+
 void CloudService::submit(ServiceRequest request) {
   queue_.push_back(std::move(request));
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->set(static_cast<double>(queue_.size()));
+  }
 }
 
 std::vector<ServiceResponse> CloudService::process_all() {
@@ -27,6 +56,7 @@ std::vector<ServiceResponse> CloudService::process_all() {
                    });
 
   std::vector<double> worker_free(virtual_workers_, 0.0);
+  std::vector<double> worker_busy(virtual_workers_, 0.0);
   std::vector<ServiceResponse> responses;
   responses.reserve(queue_.size());
 
@@ -55,6 +85,8 @@ std::vector<ServiceResponse> CloudService::process_all() {
             static_cast<double>(stats.sets_scanned);
     response.completion_sec = response.start_sec + service;
     *worker = response.completion_sec;
+    worker_busy[static_cast<std::size_t>(worker - worker_free.begin())] +=
+        service;
 
     busy_time += service;
     total_wait += response.wait_sec();
@@ -62,6 +94,11 @@ std::vector<ServiceResponse> CloudService::process_all() {
     total_response += response.response_sec();
     max_response = std::max(max_response, response.response_sec());
     last_completion = std::max(last_completion, response.completion_sec);
+    if (metrics_.wait != nullptr) {
+      metrics_.wait->observe(response.wait_sec());
+      metrics_.service->observe(service);
+      metrics_.response->observe(response.response_sec());
+    }
     responses.push_back(std::move(response));
   }
 
@@ -74,9 +111,23 @@ std::vector<ServiceResponse> CloudService::process_all() {
     stats_.mean_response_sec = total_response / count;
     stats_.max_response_sec = max_response;
     stats_.makespan_sec = last_completion - first_arrival;
+    // A zero makespan (single instantaneous request, or an empty store
+    // whose searches cost nothing) must not divide: utilization stays 0.
     if (stats_.makespan_sec > 0.0) {
       stats_.utilization = busy_time / (static_cast<double>(virtual_workers_) *
                                         stats_.makespan_sec);
+    }
+  }
+  if (registry_ != nullptr) {
+    metrics_.queue_depth->set(0.0);
+    metrics_.utilization->set(stats_.utilization);
+    for (std::size_t i = 0; i < virtual_workers_; ++i) {
+      registry_
+          ->gauge("emap_cloud_worker_utilization",
+                  {{"worker", std::to_string(i)}},
+                  "Per-worker busy fraction of the last batch's makespan")
+          .set(stats_.makespan_sec > 0.0 ? worker_busy[i] / stats_.makespan_sec
+                                         : 0.0);
     }
   }
   queue_.clear();

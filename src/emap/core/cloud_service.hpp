@@ -45,7 +45,10 @@ struct CloudServiceStats {
   double mean_response_sec = 0.0;
   double max_response_sec = 0.0;
   double makespan_sec = 0.0;    ///< last completion - first arrival
-  double utilization = 0.0;     ///< busy worker-time / (workers * makespan)
+  /// Busy worker-time / (workers * makespan).  A run whose makespan is 0
+  /// (e.g. a single instantaneous request against an empty store) reports
+  /// 0 rather than NaN/inf.
+  double utilization = 0.0;
 };
 
 /// FIFO multi-worker search service over one mega-database.
@@ -69,12 +72,28 @@ class CloudService {
   const CloudServiceStats& stats() const { return stats_; }
   const CloudNode& node() const { return node_; }
 
+  /// Attaches a telemetry registry (borrowed; nullptr disables): queue
+  /// depth gauge, wait/service/response histograms, and per-worker
+  /// utilization gauges under `emap_cloud_*`.  Also propagated to the
+  /// underlying CloudNode's search metrics.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   CloudNode node_;
   sim::DeviceProfile device_;
   std::size_t virtual_workers_;
   std::vector<ServiceRequest> queue_;
   CloudServiceStats stats_{};
+  obs::MetricsRegistry* registry_ = nullptr;
+
+  struct ServiceMetrics {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* wait = nullptr;
+    obs::Histogram* service = nullptr;
+    obs::Histogram* response = nullptr;
+    obs::Gauge* utilization = nullptr;
+  };
+  ServiceMetrics metrics_{};
 };
 
 }  // namespace emap::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
 
 namespace emap::core {
 
@@ -25,11 +26,44 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
       edge_device_(sim::edge_raspberry_pi()),
       cloud_device_(sim::cloud_i7()) {
   config_.validate();
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics;
+    cloud_.set_metrics(&registry);
+    metrics_.windows = &registry.counter(
+        "emap_pipeline_windows_total", {}, "One-second windows processed");
+    metrics_.cloud_calls = &registry.counter(
+        "emap_pipeline_cloud_calls_total", {}, "Cloud searches issued");
+    metrics_.delta_ec = &registry.histogram(
+        "emap_delta_ec_seconds", {}, obs::Histogram::default_latency_bounds(),
+        "Edge-to-cloud upload time per cloud call (Eq. 4)");
+    metrics_.delta_cs = &registry.histogram(
+        "emap_delta_cs_seconds", {}, obs::Histogram::default_latency_bounds(),
+        "Cloud search time per cloud call (Eq. 4)");
+    metrics_.delta_ce = &registry.histogram(
+        "emap_delta_ce_seconds", {}, obs::Histogram::default_latency_bounds(),
+        "Cloud-to-edge download time per cloud call (Eq. 4)");
+    metrics_.delta_initial = &registry.histogram(
+        "emap_delta_initial_seconds", {},
+        obs::Histogram::default_latency_bounds(),
+        "Full round-trip overhead per cloud call (Eq. 4 sum)");
+    metrics_.track_step = &registry.histogram(
+        "emap_track_step_seconds", {},
+        obs::Histogram::default_latency_bounds(),
+        "Edge-device-model time of one Algorithm 2 iteration");
+    metrics_.encode = &registry.histogram(
+        "emap_codec_encode_seconds", {},
+        obs::Histogram::default_latency_bounds(),
+        "Wire-message encode wall time");
+    metrics_.decode = &registry.histogram(
+        "emap_codec_decode_seconds", {},
+        obs::Histogram::default_latency_bounds(),
+        "Wire-message decode wall time");
+  }
 }
 
 EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     std::uint32_t sequence, const std::vector<double>& filtered_window,
-    double now_sec, net::Channel& channel, sim::TimelineTrace& trace) const {
+    double now_sec, net::Channel& channel, obs::Tracer* tracer) const {
   net::SignalUploadMessage upload;
   upload.sequence = sequence;
   upload.samples = filtered_window;
@@ -41,11 +75,22 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
   if (options_.use_transport) {
     // Full wire path: the cloud sees the 16-bit quantized window and the
     // edge receives 16-bit quantized signal-sets.
-    const auto upload_bytes = net::encode_upload(upload);
+    std::vector<std::uint8_t> upload_bytes;
+    if (metrics_.encode != nullptr) {
+      obs::ScopedTimer timer(*metrics_.encode);
+      upload_bytes = net::encode_upload(upload);
+    } else {
+      upload_bytes = net::encode_upload(upload);
+    }
     const auto decoded = net::decode_upload(upload_bytes);
     response = cloud_.respond(decoded);
     const auto download_bytes = net::encode_correlation_set(response);
-    response = net::decode_correlation_set(download_bytes);
+    if (metrics_.decode != nullptr) {
+      obs::ScopedTimer timer(*metrics_.decode);
+      response = net::decode_correlation_set(download_bytes);
+    } else {
+      response = net::decode_correlation_set(download_bytes);
+    }
   } else {
     response = cloud_.respond(upload);
   }
@@ -70,14 +115,27 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     pending.correlation_set.push_back(std::move(signal));
   }
 
-  if (options_.collect_trace) {
-    trace.record(sim::ActivityKind::kUpload, now_sec,
-                 now_sec + pending.delta_ec, "delta_EC");
-    trace.record(sim::ActivityKind::kCloudSearch, now_sec + pending.delta_ec,
-                 now_sec + pending.delta_ec + pending.delta_cs, "delta_CS");
-    trace.record(sim::ActivityKind::kDownload,
-                 now_sec + pending.delta_ec + pending.delta_cs,
-                 pending.ready_at_sec, "delta_CE");
+  if (metrics_.cloud_calls != nullptr) {
+    metrics_.cloud_calls->increment();
+    metrics_.delta_ec->observe(pending.delta_ec);
+    metrics_.delta_cs->observe(pending.delta_cs);
+    metrics_.delta_ce->observe(pending.delta_ce);
+    metrics_.delta_initial->observe(pending.delta_ec + pending.delta_cs +
+                                    pending.delta_ce);
+  }
+
+  if (tracer != nullptr) {
+    // One parent span per round trip; the Eq. 4 legs nest under it.
+    const std::uint64_t call = tracer->record_sim(
+        "cloud_call_" + std::to_string(sequence), "cloud-call", now_sec,
+        pending.ready_at_sec);
+    tracer->record_sim("delta_EC", "upload", now_sec,
+                       now_sec + pending.delta_ec, call);
+    tracer->record_sim("delta_CS", "cloud-search", now_sec + pending.delta_ec,
+                       now_sec + pending.delta_ec + pending.delta_cs, call);
+    tracer->record_sim("delta_CE", "download",
+                       now_sec + pending.delta_ec + pending.delta_cs,
+                       pending.ready_at_sec, call);
   }
   return pending;
 }
@@ -100,8 +158,17 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
 
   EdgeNode edge(config_);
   net::Channel channel(options_.platform, options_.channel);
+  if (options_.metrics != nullptr) {
+    channel.set_metrics(options_.metrics);
+    edge.tracker().set_metrics(options_.metrics);
+  }
 
   RunResult result;
+  obs::Tracer* tracer = nullptr;
+  if (options_.collect_trace) {
+    result.tracer = std::make_shared<obs::Tracer>();
+    tracer = result.tracer.get();
+  }
   std::optional<PendingSearch> pending;
   bool first_round_trip_recorded = false;
   double total_track_sec = 0.0;
@@ -119,16 +186,19 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     }
     const std::span<const double> raw(input.samples.data() + w * window,
                                       window);
-    if (options_.collect_trace) {
-      result.trace.record(sim::ActivityKind::kSample, t_end - 1.0, t_end);
-      result.trace.record(sim::ActivityKind::kFilter, t_end,
-                          t_end + options_.filter_accelerator_sec);
+    if (tracer != nullptr) {
+      tracer->record_sim("sample", "sample", t_end - 1.0, t_end);
+      tracer->record_sim("filter", "filter", t_end,
+                         t_end + options_.filter_accelerator_sec);
     }
     const auto filtered = edge.acquire_window(raw);
 
     IterationRecord record;
     record.window_index = w;
     record.t_sec = t_end;
+    if (metrics_.windows != nullptr) {
+      metrics_.windows->increment();
+    }
 
     // Deliver a completed cloud search (the paper reloads T wholesale; the
     // edge kept tracking the old set in the meantime).
@@ -165,12 +235,15 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       result.timings.max_track_sec =
           std::max(result.timings.max_track_sec, record.track_device_sec);
       ++track_steps;
-      if (options_.collect_trace) {
-        result.trace.record(sim::ActivityKind::kEdgeTrack, t_end,
-                            t_end + record.track_device_sec);
-        result.trace.record(sim::ActivityKind::kPrediction,
-                            t_end + record.track_device_sec,
-                            t_end + record.track_device_sec + 1e-3);
+      if (metrics_.track_step != nullptr) {
+        metrics_.track_step->observe(record.track_device_sec);
+      }
+      if (tracer != nullptr) {
+        tracer->record_sim("edge-track", "edge-track", t_end,
+                           t_end + record.track_device_sec);
+        tracer->record_sim("prediction", "prediction",
+                           t_end + record.track_device_sec,
+                           t_end + record.track_device_sec + 1e-3);
       }
       if (step.tracked_after >= config_.predict_min_support) {
         edge.predictor().observe(step.anomaly_probability, t_end);
@@ -180,13 +253,13 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       // ... while doing real-time signal tracking at the edge in parallel."
       if (step.cloud_call_needed && !pending) {
         pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                   t_end, channel, result.trace);
+                                   t_end, channel, tracer);
         record.cloud_call_issued = true;
       }
     } else if (!pending) {
       // Cold start: the very first window triggers the initial MDB search.
       pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                 t_end, channel, result.trace);
+                                 t_end, channel, tracer);
       record.cloud_call_issued = true;
     }
 
@@ -202,6 +275,10 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   }
   result.anomaly_predicted = edge.predictor().anomaly_predicted();
   result.first_alarm_sec = edge.predictor().first_alarm_sec();
+  if (tracer != nullptr) {
+    // The legacy Fig. 9 timeline is a projection of the span log.
+    result.trace = obs::timeline_view(*tracer);
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "emap/core/edge_node.hpp"
 #include "emap/mdb/store.hpp"
 #include "emap/net/channel.hpp"
+#include "emap/obs/metrics.hpp"
+#include "emap/obs/span.hpp"
 #include "emap/sim/device.hpp"
 #include "emap/sim/trace.hpp"
 #include "emap/synth/generator.hpp"
@@ -41,10 +44,14 @@ struct PipelineOptions {
   bool stop_on_alarm = false;
   /// Number of cloud worker threads (0 = hardware concurrency).
   std::size_t cloud_threads = 0;
-  /// Collect the Fig. 9 activity trace.
+  /// Collect the Fig. 9 activity trace (span log + TimelineTrace view).
   bool collect_trace = true;
   /// Fixed latency of the edge's hard-coded filter accelerator.
   double filter_accelerator_sec = 0.002;
+  /// Telemetry registry (borrowed; nullptr disables).  When set, the
+  /// pipeline and every layer it drives (search, tracker, channel, codec)
+  /// record `emap_*` metrics into it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-iteration record of the run.
@@ -81,7 +88,12 @@ struct RunResult {
   double first_alarm_sec = -1.0;
   std::size_t cloud_calls = 0;
   RunTimings timings;
+  /// Fig. 9 view of the span log below (kept for the ASCII renderer and
+  /// existing callers; both are projections of the same spans).
   sim::TimelineTrace trace;
+  /// Full span log of the run (null when options.collect_trace is false);
+  /// export with obs::to_chrome_trace / obs::write_chrome_trace.
+  std::shared_ptr<obs::Tracer> tracer;
 
   /// P_A sequence across tracked iterations.
   std::vector<double> pa_history() const;
@@ -121,13 +133,28 @@ class EmapPipeline {
   PendingSearch issue_cloud_call(std::uint32_t sequence,
                                  const std::vector<double>& filtered_window,
                                  double now_sec, net::Channel& channel,
-                                 sim::TimelineTrace& trace) const;
+                                 obs::Tracer* tracer) const;
 
   EmapConfig config_;
   PipelineOptions options_;
   CloudNode cloud_;
   sim::DeviceProfile edge_device_;
   sim::DeviceProfile cloud_device_;
+
+  /// Cached telemetry handles (resolved once in the constructor; all null
+  /// when options.metrics is null).
+  struct PipelineMetrics {
+    obs::Counter* windows = nullptr;
+    obs::Counter* cloud_calls = nullptr;
+    obs::Histogram* delta_ec = nullptr;
+    obs::Histogram* delta_cs = nullptr;
+    obs::Histogram* delta_ce = nullptr;
+    obs::Histogram* delta_initial = nullptr;
+    obs::Histogram* track_step = nullptr;
+    obs::Histogram* encode = nullptr;
+    obs::Histogram* decode = nullptr;
+  };
+  PipelineMetrics metrics_{};
 };
 
 }  // namespace emap::core

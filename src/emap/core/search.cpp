@@ -62,10 +62,12 @@ SearchResult CrossCorrelationSearch::search(
   std::vector<SearchMatch> candidates;
   std::atomic<std::uint64_t> total_evals{0};
   std::atomic<std::uint64_t> total_hits{0};
+  std::atomic<std::uint64_t> total_offsets{0};
 
   auto scan_range = [&](std::size_t begin, std::size_t end) {
     std::vector<SearchMatch> local;
     std::uint64_t evals = 0;
+    std::uint64_t offsets = 0;
     for (std::size_t index = begin; index < end; ++index) {
       const auto& set = store.at(index);
       if (set.samples.size() < window) {
@@ -74,6 +76,7 @@ SearchResult CrossCorrelationSearch::search(
       const std::span<const double> samples(set.samples);
       // Paper line 4: while β < Length(S) - Length(I_N).
       const std::size_t limit = set.samples.size() - window;
+      offsets += limit;
       std::size_t beta = 0;
       while (beta < limit) {
         const double omega = probe.correlate(samples.subspan(beta, window));
@@ -87,6 +90,7 @@ SearchResult CrossCorrelationSearch::search(
     }
     total_evals.fetch_add(evals, std::memory_order_relaxed);
     total_hits.fetch_add(local.size(), std::memory_order_relaxed);
+    total_offsets.fetch_add(offsets, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(merge_mutex);
     candidates.insert(candidates.end(), local.begin(), local.end());
   };
@@ -103,6 +107,7 @@ SearchResult CrossCorrelationSearch::search(
   result.stats.mac_ops = total_evals.load() * window;
   result.stats.candidates = total_hits.load();
   result.stats.sets_scanned = store.size();
+  result.stats.offsets_total = total_offsets.load();
   result.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)

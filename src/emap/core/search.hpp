@@ -40,7 +40,21 @@ struct SearchStats {
   std::uint64_t mac_ops = 0;            ///< correlation_evals * window length
   std::uint64_t candidates = 0;         ///< evaluations with ω > δ
   std::uint64_t sets_scanned = 0;
+  /// Offsets an exhaustive scan would have evaluated (Σ per-set positions);
+  /// the exponential window's savings are offsets_total - correlation_evals.
+  std::uint64_t offsets_total = 0;
   double wall_seconds = 0.0;            ///< measured host time
+
+  /// Fraction of candidate offsets the exponential window skipped
+  /// (0 = exhaustive coverage, → 1 as the skip grows); 0 when nothing was
+  /// scannable.
+  double skip_ratio() const {
+    if (offsets_total == 0) {
+      return 0.0;
+    }
+    return 1.0 - static_cast<double>(correlation_evals) /
+                     static_cast<double>(offsets_total);
+  }
 };
 
 /// Search outcome: T plus its statistics.

@@ -51,6 +51,29 @@ void EdgeTracker::load_from_message(
   load(std::move(set));
 }
 
+void EdgeTracker::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = TrackMetrics{};
+    return;
+  }
+  metrics_.steps = &registry->counter("emap_tracker_steps_total", {},
+                                      "Algorithm 2 iterations executed");
+  metrics_.removed_dissimilar = &registry->counter(
+      "emap_tracker_removed_total", {{"reason", "dissimilar"}},
+      "Tracked signals removed per cause");
+  metrics_.removed_exhausted = &registry->counter(
+      "emap_tracker_removed_total", {{"reason", "exhausted"}},
+      "Tracked signals removed per cause");
+  metrics_.abs_ops = &registry->counter(
+      "emap_tracker_abs_ops_total", {},
+      "Early-exit ABS operations spent across all steps");
+  metrics_.set_size = &registry->gauge(
+      "emap_tracker_set_size", {}, "Signals tracked after the latest step");
+  metrics_.pa = &registry->histogram(
+      "emap_tracker_pa", {}, obs::Histogram::linear_bounds(0.0, 1.0, 20),
+      "Anomaly probability P_A per tracked step (Eq. 5)");
+}
+
 double EdgeTracker::anomaly_probability() const {
   if (tracked_.empty()) {
     return 0.0;
@@ -115,6 +138,14 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)
           .count();
+  if (metrics_.steps != nullptr) {
+    metrics_.steps->increment();
+    metrics_.removed_dissimilar->increment(result.removed_dissimilar);
+    metrics_.removed_exhausted->increment(result.removed_exhausted);
+    metrics_.abs_ops->increment(result.abs_ops);
+    metrics_.set_size->set(static_cast<double>(result.tracked_after));
+    metrics_.pa->observe(result.anomaly_probability);
+  }
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "emap/core/search.hpp"
 #include "emap/mdb/store.hpp"
 #include "emap/net/transport.hpp"
+#include "emap/obs/metrics.hpp"
 
 namespace emap::core {
 
@@ -79,10 +80,24 @@ class EdgeTracker {
   /// P_A over the currently tracked set (Eq. 5); 0 when empty.
   double anomaly_probability() const;
 
+  /// Attaches a telemetry registry (borrowed; nullptr disables): tracked
+  /// set size, removal counters, P_A, and ABS-op cost per step.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   EmapConfig config_;
   std::vector<TrackedSignal> tracked_;
   bool loaded_ = false;
+
+  struct TrackMetrics {
+    obs::Counter* steps = nullptr;
+    obs::Counter* removed_dissimilar = nullptr;
+    obs::Counter* removed_exhausted = nullptr;
+    obs::Counter* abs_ops = nullptr;
+    obs::Gauge* set_size = nullptr;
+    obs::Histogram* pa = nullptr;
+  };
+  TrackMetrics metrics_{};
 };
 
 }  // namespace emap::core

@@ -1,6 +1,7 @@
 #include "emap/net/channel.hpp"
 
 #include "emap/common/error.hpp"
+#include "emap/obs/metrics.hpp"
 
 namespace emap::net {
 
@@ -32,14 +33,52 @@ double Channel::transfer_seconds(std::size_t payload_bytes,
   return seconds;
 }
 
+void Channel::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    up_metrics_ = DirectionMetrics{};
+    down_metrics_ = DirectionMetrics{};
+    return;
+  }
+  auto direction = [registry](const char* name) {
+    DirectionMetrics metrics;
+    metrics.messages = &registry->counter(
+        "emap_net_messages_total", {{"direction", name}},
+        "Messages moved over the edge-cloud channel");
+    metrics.bytes = &registry->counter(
+        "emap_net_bytes_total", {{"direction", name}},
+        "Payload plus framing bytes moved over the channel");
+    metrics.seconds = &registry->histogram(
+        "emap_net_transfer_seconds", {{"direction", name}},
+        obs::Histogram::default_latency_bounds(),
+        "Modelled transfer time per message");
+    return metrics;
+  };
+  up_metrics_ = direction("up");
+  down_metrics_ = direction("down");
+}
+
+void Channel::record(DirectionMetrics& metrics, std::size_t payload_bytes,
+                     double seconds) const {
+  if (metrics.messages == nullptr) {
+    return;
+  }
+  metrics.messages->increment();
+  metrics.bytes->increment(payload_bytes + options_.framing_overhead_bytes);
+  metrics.seconds->observe(seconds);
+}
+
 double Channel::upload_seconds(std::size_t payload_bytes) {
-  return transfer_seconds(payload_bytes,
-                          platform_params(platform_).uplink_mbps);
+  const double seconds = transfer_seconds(
+      payload_bytes, platform_params(platform_).uplink_mbps);
+  record(up_metrics_, payload_bytes, seconds);
+  return seconds;
 }
 
 double Channel::download_seconds(std::size_t payload_bytes) {
-  return transfer_seconds(payload_bytes,
-                          platform_params(platform_).downlink_mbps);
+  const double seconds = transfer_seconds(
+      payload_bytes, platform_params(platform_).downlink_mbps);
+  record(down_metrics_, payload_bytes, seconds);
+  return seconds;
 }
 
 }  // namespace emap::net

@@ -11,6 +11,12 @@
 #include "emap/common/rng.hpp"
 #include "emap/net/platform.hpp"
 
+namespace emap::obs {
+class MetricsRegistry;
+class Counter;
+class Histogram;
+}  // namespace emap::obs
+
 namespace emap::net {
 
 /// Channel behaviour switches.
@@ -39,12 +45,27 @@ class Channel {
   /// quantity Fig. 4 plots.
   static double line_seconds(std::size_t payload_bytes, double rate_mbps);
 
+  /// Attaches a telemetry registry (borrowed; nullptr disables): per
+  /// direction message/byte counters and transfer-time histograms under
+  /// `emap_net_*`.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   double transfer_seconds(std::size_t payload_bytes, double rate_mbps);
+
+  struct DirectionMetrics {
+    obs::Counter* messages = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* seconds = nullptr;
+  };
+  void record(DirectionMetrics& metrics, std::size_t payload_bytes,
+              double seconds) const;
 
   CommPlatform platform_;
   ChannelOptions options_;
   Rng rng_;
+  DirectionMetrics up_metrics_{};
+  DirectionMetrics down_metrics_{};
 };
 
 }  // namespace emap::net

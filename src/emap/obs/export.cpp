@@ -1,0 +1,373 @@
+#include "emap/obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "emap/common/error.hpp"
+
+namespace emap::obs {
+namespace {
+
+/// Shortest round-trippable decimal form of a double (JSON-safe: non-finite
+/// values become null at the JsonWriter layer, "+Inf" at Prometheus).
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string prometheus_value(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  return format_double(value);
+}
+
+std::string prometheus_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\' || c == '"') {
+      escaped += '\\';
+      escaped += c;
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) {
+    return {};
+  }
+  std::string block = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      block += ',';
+    }
+    first = false;
+    block += key + "=\"" + prometheus_escape(value) + "\"";
+  }
+  block += '}';
+  return block;
+}
+
+/// `labels` plus one extra pair (for histogram `le` bounds).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const MetricEntry* entry : registry.entries()) {
+    if (entry->name != last_family) {
+      if (!entry->help.empty()) {
+        out << "# HELP " << entry->name << ' ' << entry->help << '\n';
+      }
+      out << "# TYPE " << entry->name << ' ' << kind_name(entry->kind)
+          << '\n';
+      last_family = entry->name;
+    }
+    const std::string labels = label_block(entry->labels);
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        out << entry->name << labels << ' ' << entry->counter->value()
+            << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << entry->name << labels << ' '
+            << prometheus_value(entry->gauge->value()) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *entry->histogram;
+        // Cumulative buckets; only populated bounds are emitted (a sparse
+        // but valid exposition — `le` bounds stay cumulative).
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+          const std::uint64_t in_bucket = histogram.bucket_count(i);
+          if (in_bucket == 0) {
+            continue;
+          }
+          cumulative += in_bucket;
+          out << entry->name << "_bucket"
+              << label_block_with(entry->labels, "le",
+                                  format_double(histogram.bounds()[i]))
+              << ' ' << cumulative << '\n';
+        }
+        out << entry->name << "_bucket"
+            << label_block_with(entry->labels, "le", "+Inf") << ' '
+            << histogram.count() << '\n';
+        out << entry->name << "_sum" << labels << ' '
+            << prometheus_value(histogram.sum()) << '\n';
+        out << entry->name << "_count" << labels << ' ' << histogram.count()
+            << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void write_prometheus(const std::filesystem::path& path,
+                      const MetricsRegistry& registry) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  require(static_cast<bool>(stream),
+          ("write_prometheus: cannot open " + path.string()).c_str());
+  stream << to_prometheus(registry);
+}
+
+std::string metrics_table(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-38s %-28s %-9s %12s %12s %12s %12s\n",
+                "metric", "labels", "type", "count/value", "mean", "p50",
+                "p95");
+  out << line;
+  out << std::string(129, '-') << '\n';
+  for (const MetricEntry* entry : registry.entries()) {
+    std::string labels;
+    for (const auto& [key, value] : entry->labels) {
+      if (!labels.empty()) {
+        labels += ',';
+      }
+      labels += key + "=" + value;
+    }
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line),
+                      "%-38s %-28s %-9s %12llu %12s %12s %12s\n",
+                      entry->name.c_str(), labels.c_str(), "counter",
+                      static_cast<unsigned long long>(
+                          entry->counter->value()),
+                      "-", "-", "-");
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line),
+                      "%-38s %-28s %-9s %12.6g %12s %12s %12s\n",
+                      entry->name.c_str(), labels.c_str(), "gauge",
+                      entry->gauge->value(), "-", "-", "-");
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *entry->histogram;
+        std::snprintf(line, sizeof(line),
+                      "%-38s %-28s %-9s %12llu %12.6g %12.6g %12.6g\n",
+                      entry->name.c_str(), labels.c_str(), "histogram",
+                      static_cast<unsigned long long>(histogram.count()),
+                      histogram.mean(), histogram.quantile(0.5),
+                      histogram.quantile(0.95));
+        break;
+      }
+    }
+    out << line;
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Stable track order: the Fig. 9 rows first, then first-seen categories.
+std::vector<std::string> trace_tracks(const std::vector<SpanRecord>& spans) {
+  std::vector<std::string> tracks = {
+      "sample",   "filter",     "upload",     "cloud-search",
+      "download", "edge-track", "prediction",
+  };
+  for (const auto& span : spans) {
+    if (std::find(tracks.begin(), tracks.end(), span.category) ==
+        tracks.end()) {
+      tracks.push_back(span.category);
+    }
+  }
+  return tracks;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  const auto spans = tracer.spans();
+  const auto tracks = trace_tracks(spans);
+  auto tid_of = [&tracks](const std::string& category) {
+    const auto it = std::find(tracks.begin(), tracks.end(), category);
+    return static_cast<std::size_t>(it - tracks.begin()) + 1;
+  };
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << (i + 1) << ",\"args\":{\"name\":\"" << json_escape(tracks[i])
+        << "\"}}";
+    out << ",{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":"
+        << (i + 1) << ",\"args\":{\"sort_index\":" << (i + 1) << "}}";
+  }
+  for (const auto& span : spans) {
+    const bool simulated = span.sim_start_sec >= 0.0;
+    const double ts_us =
+        simulated ? span.sim_start_sec * 1e6 : span.wall_start_us;
+    const double dur_us =
+        simulated ? span.sim_dur_sec * 1e6 : span.wall_dur_us;
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    out << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+        << json_escape(span.category) << "\",\"ph\":\"X\",\"pid\":1,"
+        << "\"tid\":" << tid_of(span.category) << ",\"ts\":"
+        << format_double(ts_us) << ",\"dur\":" << format_double(dur_us)
+        << ",\"args\":{\"span_id\":" << span.id << ",\"parent\":"
+        << span.parent << ",\"clock\":\"" << (simulated ? "sim" : "wall")
+        << "\"}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+void write_chrome_trace(const std::filesystem::path& path,
+                        const Tracer& tracer) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  require(static_cast<bool>(stream),
+          ("write_chrome_trace: cannot open " + path.string()).c_str());
+  stream << to_chrome_trace(tracer) << '\n';
+}
+
+sim::TimelineTrace timeline_view(const Tracer& tracer) {
+  sim::TimelineTrace trace;
+  for (const auto& span : tracer.spans()) {
+    if (span.sim_start_sec < 0.0) {
+      continue;  // wall-only span: no place on the virtual timeline
+    }
+    for (sim::ActivityKind kind :
+         {sim::ActivityKind::kSample, sim::ActivityKind::kFilter,
+          sim::ActivityKind::kUpload, sim::ActivityKind::kCloudSearch,
+          sim::ActivityKind::kDownload, sim::ActivityKind::kEdgeTrack,
+          sim::ActivityKind::kPrediction}) {
+      if (span.category == sim::activity_name(kind)) {
+        trace.record(kind, span.sim_start_sec,
+                     span.sim_start_sec + span.sim_dur_sec,
+                     span.name == span.category ? std::string{} : span.name);
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += static_cast<char>(c);
+        }
+    }
+  }
+  return escaped;
+}
+
+void JsonWriter::begin_field(const std::string& key) {
+  if (!body_.empty()) {
+    body_ += ',';
+  }
+  body_ += '"' + json_escape(key) + "\":";
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  begin_field(key);
+  body_ += std::isfinite(value) ? format_double(value) : "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key,
+                              const std::string& value) {
+  begin_field(key);
+  body_ += '"' + json_escape(value) + '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+  begin_field(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return '{' + body_ + '}'; }
+
+void append_jsonl_line(const std::filesystem::path& path,
+                       const std::string& line) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path, std::ios::app);
+  require(static_cast<bool>(stream),
+          ("append_jsonl_line: cannot open " + path.string()).c_str());
+  stream << line << '\n';
+}
+
+}  // namespace emap::obs

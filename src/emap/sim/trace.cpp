@@ -68,12 +68,17 @@ std::string TimelineTrace::render_ascii(double horizon_sec,
   for (ActivityKind kind : kRows) {
     std::string row(columns, '.');
     for (const auto& activity : activities_) {
-      if (activity.kind != kind || activity.start >= horizon_sec) {
-        continue;
+      if (activity.kind != kind || activity.start >= horizon_sec ||
+          activity.end <= 0.0) {
+        continue;  // entirely outside [0, horizon): nothing to draw
       }
-      auto first_col = static_cast<std::size_t>(activity.start / bucket);
-      auto last_col = static_cast<std::size_t>(
-          std::min(horizon_sec, activity.end) / bucket);
+      // Clamp the visible part to [0, horizon] before bucketing, so an
+      // activity straddling the horizon fills up to the last bucket
+      // instead of being dropped or indexing past the row.
+      const double visible_start = std::max(0.0, activity.start);
+      const double visible_end = std::min(horizon_sec, activity.end);
+      auto first_col = static_cast<std::size_t>(visible_start / bucket);
+      auto last_col = static_cast<std::size_t>(visible_end / bucket);
       first_col = std::min(first_col, columns - 1);
       last_col = std::min(last_col, columns - 1);
       for (std::size_t c = first_col; c <= last_col; ++c) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "emap/common/error.hpp"
+#include "emap/mdb/builder.hpp"
 #include "support/test_util.hpp"
 
 namespace emap::core {
@@ -94,6 +97,20 @@ TEST(CloudService, StatsAreConsistent) {
   // One worker saturated by simultaneous arrivals: near-full utilization.
   EXPECT_GT(stats.utilization, 0.9);
   EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+TEST(CloudService, ZeroMakespanYieldsZeroUtilization) {
+  // An empty store makes every search free under the device model, so the
+  // batch completes with zero makespan.  Utilization must stay a finite 0
+  // instead of dividing by zero.
+  CloudService service(mdb::MdbBuilder().take_store(), EmapConfig{}, 1);
+  service.submit(ServiceRequest{1, make_upload(1, 1), 3.0});
+  (void)service.process_all();
+  const auto& stats = service.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_DOUBLE_EQ(stats.makespan_sec, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.utilization));
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.0);
 }
 
 TEST(CloudService, MoreWorkersReduceResponseTime) {

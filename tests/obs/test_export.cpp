@@ -1,0 +1,206 @@
+#include "emap/obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::obs {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream stream(path);
+  std::ostringstream out;
+  out << stream.rdbuf();
+  return out.str();
+}
+
+TEST(Tracer, ScopesNestParentIds) {
+  Tracer tracer;
+  {
+    auto outer = tracer.scope("outer", "test");
+    auto inner = tracer.scope("inner", "test");
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner scope closes (and records) first, chained to the outer span.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_GE(spans[0].wall_dur_us, 0.0);
+  // Wall-only spans carry no virtual-clock stamp.
+  EXPECT_LT(spans[0].sim_start_sec, 0.0);
+}
+
+TEST(Tracer, RecordSimStampsVirtualTime) {
+  Tracer tracer;
+  const auto parent = tracer.record_sim("call", "cloud-call", 1.0, 4.0);
+  tracer.record_sim("delta_CS", "cloud-search", 1.5, 3.0, parent);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[0].sim_start_sec, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].sim_dur_sec, 3.0);
+  EXPECT_EQ(spans[1].parent, parent);
+  EXPECT_DOUBLE_EQ(tracer.sim_total_seconds("cloud-search"), 1.5);
+  EXPECT_DOUBLE_EQ(tracer.sim_total_seconds("absent"), 0.0);
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+  Histogram sink;
+  { ScopedTimer timer(sink); }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.sum(), 0.0);
+}
+
+TEST(TimelineView, ProjectsSimSpansOntoActivityRows) {
+  Tracer tracer;
+  tracer.record_sim("upload", "upload", 0.0, 0.25);
+  tracer.record_sim("delta_CS", "cloud-search", 0.25, 2.25);
+  tracer.record_sim("wall-only", "cloud-search", -1.0, 0.0);  // no sim stamp
+  tracer.record_sim("aux", "not-a-row", 0.0, 1.0);
+  const auto trace = timeline_view(tracer);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(sim::ActivityKind::kUpload), 0.25);
+  EXPECT_DOUBLE_EQ(trace.total_seconds(sim::ActivityKind::kCloudSearch), 2.0);
+  const auto* search = trace.first(sim::ActivityKind::kCloudSearch);
+  ASSERT_NE(search, nullptr);
+  // Span name becomes the label; a name equal to the category collapses.
+  EXPECT_EQ(search->label, "delta_CS");
+  EXPECT_EQ(trace.first(sim::ActivityKind::kUpload)->label, "");
+}
+
+TEST(ChromeTrace, EmitsNamedTracksAndCompleteEvents) {
+  Tracer tracer;
+  tracer.record_sim("delta_EC", "upload", 0.5, 0.75);
+  const std::string json = to_chrome_trace(tracer);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Track metadata for the Fig. 9 rows plus the span itself.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"upload\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"delta_EC\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // SimTime seconds become microseconds.
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"sim\""), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFileToDisk) {
+  testing::TempDir dir("chrome_trace");
+  Tracer tracer;
+  tracer.record_sim("x", "upload", 0.0, 1.0);
+  const auto path = dir.path() / "nested" / "trace.json";
+  write_chrome_trace(path, tracer);
+  const std::string json = slurp(path);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(Prometheus, FormatsCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  registry.counter("emap_events_total", {{"kind", "seizure"}}, "Event count")
+      .increment(7);
+  registry.gauge("emap_depth", {}, "Queue depth").set(1.5);
+  Histogram& histogram = registry.histogram(
+      "emap_latency_seconds", {}, Histogram::linear_bounds(0.0, 4.0, 4));
+  histogram.observe(0.5);
+  histogram.observe(1.5);
+  histogram.observe(999.0);  // overflow: only visible via +Inf
+
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("# HELP emap_events_total Event count"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE emap_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("emap_events_total{kind=\"seizure\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE emap_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("emap_depth 1.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE emap_latency_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative; empty bounds are skipped but +Inf always counts
+  // everything.
+  EXPECT_NE(text.find("emap_latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("emap_latency_seconds_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_EQ(text.find("le=\"3\""), std::string::npos);
+  EXPECT_NE(text.find("emap_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("emap_latency_seconds_sum 1001"), std::string::npos);
+  EXPECT_NE(text.find("emap_latency_seconds_count 3"), std::string::npos);
+}
+
+TEST(Prometheus, EmitsTypeHeaderOncePerFamily) {
+  MetricsRegistry registry;
+  registry.counter("emap_msgs_total", {{"direction", "up"}}).increment();
+  registry.counter("emap_msgs_total", {{"direction", "down"}}).increment();
+  const std::string text = to_prometheus(registry);
+  std::size_t headers = 0;
+  for (std::size_t pos = text.find("# TYPE emap_msgs_total");
+       pos != std::string::npos;
+       pos = text.find("# TYPE emap_msgs_total", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+}
+
+TEST(Prometheus, WritesFileToDisk) {
+  testing::TempDir dir("prometheus");
+  MetricsRegistry registry;
+  registry.counter("emap_total").increment();
+  const auto path = dir.path() / "metrics.prom";
+  write_prometheus(path, registry);
+  EXPECT_NE(slurp(path).find("emap_total 1"), std::string::npos);
+}
+
+TEST(MetricsTable, ListsEveryRegisteredSeries) {
+  MetricsRegistry registry;
+  registry.counter("emap_calls_total").increment(3);
+  registry.histogram("emap_wait_seconds").observe(0.25);
+  const std::string table = metrics_table(registry);
+  EXPECT_NE(table.find("emap_calls_total"), std::string::npos);
+  EXPECT_NE(table.find("emap_wait_seconds"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+TEST(JsonWriter, BuildsFlatObjectsOfEveryFieldType) {
+  JsonWriter json;
+  json.field("run", std::string("monitor"))
+      .field("windows", std::uint64_t{12})
+      .field("delta", 0.5)
+      .field("alarm", true);
+  EXPECT_EQ(json.str(),
+            "{\"run\":\"monitor\",\"windows\":12,\"delta\":0.5,"
+            "\"alarm\":true}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.field("x", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json.str(), "{\"x\":null}");
+}
+
+TEST(JsonEscape, HandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(AppendJsonl, AppendsOneLinePerCall) {
+  testing::TempDir dir("jsonl");
+  const auto path = dir.path() / "deep" / "run.jsonl";
+  append_jsonl_line(path, "{\"a\":1}");
+  append_jsonl_line(path, "{\"b\":2}");
+  EXPECT_EQ(slurp(path), "{\"a\":1}\n{\"b\":2}\n");
+}
+
+}  // namespace
+}  // namespace emap::obs

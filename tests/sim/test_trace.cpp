@@ -54,6 +54,34 @@ TEST(Trace, AsciiRenderClipsToHorizon) {
             std::string::npos);
 }
 
+TEST(Trace, AsciiRenderClampsActivityStraddlingHorizon) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kEdgeTrack, 8.0, 15.0);  // straddles horizon
+  const std::string art = trace.render_ascii(10.0, 40);
+  const auto row_start = art.find("edge-track");
+  const auto row_end = art.find('\n', row_start);
+  const std::string row = art.substr(row_start, row_end - row_start);
+  const auto open = row.find('|');
+  // Marks start at 8 s (column 32 of 40) and run through the final column
+  // without indexing past the row.
+  EXPECT_EQ(row.find('#'), open + 1 + 32);
+  EXPECT_EQ(row.rfind('#'), row.rfind('|') - 1);
+}
+
+TEST(Trace, AsciiRenderClampsActivityStraddlingTimeZero) {
+  TimelineTrace trace;
+  trace.record(ActivityKind::kFilter, -5.0, -1.0);  // entirely before zero
+  trace.record(ActivityKind::kFilter, -1.0, 2.0);   // straddles zero
+  const std::string art = trace.render_ascii(10.0, 40);
+  const auto row_start = art.find("filter");
+  const auto row_end = art.find('\n', row_start);
+  const std::string row = art.substr(row_start, row_end - row_start);
+  const auto open = row.find('|');
+  // Only the visible [0, 2] part is drawn, starting at the first column.
+  EXPECT_EQ(row.find('#'), open + 1);
+  EXPECT_EQ(row.rfind('#'), open + 1 + 8);
+}
+
 TEST(Trace, AsciiRenderRejectsBadArguments) {
   TimelineTrace trace;
   EXPECT_THROW(trace.render_ascii(0.0), InvalidArgument);
