@@ -26,6 +26,16 @@
 //                          chrome://tracing or ui.perfetto.dev)
 //   --summary-out <file>   append one JSONL record of headline numbers
 //   --metrics-dump         print the metrics table to stdout at end of run
+//
+// Fault/retry flags (monitor and synth-run) — exercise the lossy-link
+// recovery path (docs/fault_injection.md):
+//   --fault-drop <p>       drop probability per message, both directions
+//   --fault-corrupt <p>    bit-flip probability per message
+//   --fault-duplicate <p>  duplicate-delivery probability
+//   --fault-delay <p>      extra-delay probability
+//   --fault-seed <n>       fault schedule seed (default 0x600dcafe)
+//   --retry-attempts <n>   max attempts per cloud call (default 3)
+//   --retry-deadline <s>   per-call cumulative wait cap (default 20 s)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -63,21 +73,26 @@ int usage() {
       "  emapctl synth-run  [duration_sec] [recordings-per-corpus] "
       "[telemetry flags]\n"
       "telemetry flags: --metrics-out <file> --trace-out <file> "
-      "--summary-out <file> --metrics-dump\n");
+      "--summary-out <file> --metrics-dump\n"
+      "fault flags:     --fault-drop <p> --fault-corrupt <p> "
+      "--fault-duplicate <p> --fault-delay <p> --fault-seed <n>\n"
+      "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n");
   return 2;
 }
 
-/// Output switches of the telemetry surface, shared by `monitor` and
-/// `synth-run`.
+/// Output switches of the telemetry surface plus the fault/retry model,
+/// shared by `monitor` and `synth-run`.
 struct TelemetryOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string summary_out;
   bool metrics_dump = false;
+  net::FaultOptions fault;
+  net::RetryOptions retry;
 };
 
-/// Extracts telemetry flags from (argc, argv), leaving only positional
-/// arguments behind.  Returns false on a malformed flag.
+/// Extracts telemetry and fault/retry flags from (argc, argv), leaving only
+/// positional arguments behind.  Returns false on a malformed flag.
 bool extract_telemetry_flags(int& argc, char** argv,
                              TelemetryOptions& telemetry) {
   int kept = 0;
@@ -90,6 +105,13 @@ bool extract_telemetry_flags(int& argc, char** argv,
       slot = argv[++i];
       return true;
     };
+    auto take_double = [&](auto setter) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      setter(std::atof(argv[++i]));
+      return true;
+    };
     if (arg == "--metrics-out") {
       if (!take_value(telemetry.metrics_out)) return false;
     } else if (arg == "--trace-out") {
@@ -98,6 +120,40 @@ bool extract_telemetry_flags(int& argc, char** argv,
       if (!take_value(telemetry.summary_out)) return false;
     } else if (arg == "--metrics-dump") {
       telemetry.metrics_dump = true;
+    } else if (arg == "--fault-drop") {
+      if (!take_double([&](double p) {
+            telemetry.fault.up.drop = telemetry.fault.down.drop = p;
+          }))
+        return false;
+    } else if (arg == "--fault-corrupt") {
+      if (!take_double([&](double p) {
+            telemetry.fault.up.corrupt = telemetry.fault.down.corrupt = p;
+          }))
+        return false;
+    } else if (arg == "--fault-duplicate") {
+      if (!take_double([&](double p) {
+            telemetry.fault.up.duplicate = telemetry.fault.down.duplicate = p;
+          }))
+        return false;
+    } else if (arg == "--fault-delay") {
+      if (!take_double([&](double p) {
+            telemetry.fault.up.delay = telemetry.fault.down.delay = p;
+          }))
+        return false;
+    } else if (arg == "--fault-seed") {
+      if (!take_double([&](double seed) {
+            telemetry.fault.seed = static_cast<std::uint64_t>(seed);
+          }))
+        return false;
+    } else if (arg == "--retry-attempts") {
+      if (!take_double([&](double n) {
+            telemetry.retry.max_attempts = static_cast<std::size_t>(n);
+          }))
+        return false;
+    } else if (arg == "--retry-deadline") {
+      if (!take_double(
+              [&](double sec) { telemetry.retry.deadline_sec = sec; }))
+        return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
       return false;
@@ -144,7 +200,14 @@ std::string run_summary_line(const std::string& run_name,
       .field("mean_track_sec", result.timings.mean_track_sec)
       .field("max_track_sec", result.timings.max_track_sec)
       .field("anomaly_predicted", result.anomaly_predicted)
-      .field("first_alarm_sec", result.first_alarm_sec);
+      .field("first_alarm_sec", result.first_alarm_sec)
+      .field("failed_cloud_calls",
+             static_cast<std::uint64_t>(result.failed_cloud_calls))
+      .field("retry_attempts",
+             static_cast<std::uint64_t>(result.retry_attempts))
+      .field("duplicates_discarded",
+             static_cast<std::uint64_t>(result.duplicates_discarded))
+      .field("degraded", result.degraded);
   return json.str();
 }
 
@@ -349,6 +412,8 @@ int cmd_monitor(int argc, char** argv) {
   obs::MetricsRegistry registry;
   core::PipelineOptions pipeline_options;
   pipeline_options.metrics = &registry;
+  pipeline_options.fault = telemetry.fault;
+  pipeline_options.retry = telemetry.retry;
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(),
                               pipeline_options);
@@ -358,6 +423,10 @@ int cmd_monitor(int argc, char** argv) {
   std::printf("monitored %.0f s; cloud calls: %zu; Delta_initial %.2f s\n",
               input.spec.duration_sec, result.cloud_calls,
               result.timings.delta_initial_sec);
+  if (result.degraded) {
+    std::printf("link degraded: %zu cloud calls failed after %zu retries\n",
+                result.failed_cloud_calls, result.retry_attempts);
+  }
   for (std::size_t i = 0; i < result.iterations.size(); i += 15) {
     const auto& record = result.iterations[i];
     if (record.tracked) {
@@ -417,6 +486,8 @@ int cmd_synth_run(int argc, char** argv) {
   obs::MetricsRegistry registry;
   core::PipelineOptions options;
   options.metrics = &registry;
+  options.fault = telemetry.fault;
+  options.retry = telemetry.retry;
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(), options);
   const auto result = pipeline.run(input);
@@ -426,6 +497,10 @@ int cmd_synth_run(int argc, char** argv) {
               duration_sec, result.cloud_calls,
               result.timings.delta_initial_sec,
               result.timings.mean_track_sec);
+  if (result.degraded) {
+    std::printf("link degraded: %zu cloud calls failed after %zu retries\n",
+                result.failed_cloud_calls, result.retry_attempts);
+  }
   std::printf(result.anomaly_predicted ? "ANOMALY PREDICTED at t=%.0f s\n"
                                        : "no alarm (t=%.0f)\n",
               result.first_alarm_sec);

@@ -68,7 +68,15 @@ std::vector<ServiceResponse> CloudService::process_all() {
   double total_response = 0.0;
   double max_response = 0.0;
 
+  std::size_t lost_requests = 0;
   for (auto& request : queue_) {
+    if (injector_ != nullptr &&
+        injector_->apply(net::Direction::kUpload, {}).lost()) {
+      // The uplink ate this request; no worker ever sees it, the patient's
+      // edge times out and retries on its own schedule.
+      ++lost_requests;
+      continue;
+    }
     // Earliest-free worker serves next (FIFO dispatch).
     auto worker = std::min_element(worker_free.begin(), worker_free.end());
     ServiceResponse response;
@@ -104,6 +112,7 @@ std::vector<ServiceResponse> CloudService::process_all() {
 
   stats_ = CloudServiceStats{};
   stats_.requests = responses.size();
+  stats_.lost_requests = lost_requests;
   if (!responses.empty()) {
     const auto count = static_cast<double>(responses.size());
     stats_.mean_wait_sec = total_wait / count;

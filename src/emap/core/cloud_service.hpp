@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "emap/core/cloud_node.hpp"
+#include "emap/net/fault.hpp"
 #include "emap/sim/device.hpp"
 
 namespace emap::core {
@@ -40,6 +41,8 @@ struct ServiceResponse {
 /// Aggregate service statistics over one process_all() run.
 struct CloudServiceStats {
   std::size_t requests = 0;
+  /// Requests lost on the (faulty) uplink before reaching a worker.
+  std::size_t lost_requests = 0;
   double mean_wait_sec = 0.0;
   double mean_service_sec = 0.0;
   double mean_response_sec = 0.0;
@@ -78,6 +81,14 @@ class CloudService {
   /// underlying CloudNode's search metrics.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a fault injector to the fleet's shared uplink (borrowed;
+  /// nullptr restores the perfect link).  process_all() consults it once
+  /// per request; a dropped request never reaches a worker and is counted
+  /// in stats().lost_requests — the fleet-capacity question under loss.
+  void set_fault_injector(net::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   CloudNode node_;
   sim::DeviceProfile device_;
@@ -85,6 +96,7 @@ class CloudService {
   std::vector<ServiceRequest> queue_;
   CloudServiceStats stats_{};
   obs::MetricsRegistry* registry_ = nullptr;
+  net::FaultInjector* injector_ = nullptr;
 
   struct ServiceMetrics {
     obs::Gauge* queue_depth = nullptr;

@@ -26,6 +26,8 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
       edge_device_(sim::edge_raspberry_pi()),
       cloud_device_(sim::cloud_i7()) {
   config_.validate();
+  options_.fault.validate();
+  options_.retry.validate();
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *options_.metrics;
     cloud_.set_metrics(&registry);
@@ -33,6 +35,25 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
         "emap_pipeline_windows_total", {}, "One-second windows processed");
     metrics_.cloud_calls = &registry.counter(
         "emap_pipeline_cloud_calls_total", {}, "Cloud searches issued");
+    metrics_.retries = &registry.counter(
+        "emap_edge_retries_total", {},
+        "Cloud-call attempts beyond the first (RetryPolicy re-sends)");
+    metrics_.retry_timeouts = &registry.counter(
+        "emap_edge_retry_timeouts_total", {},
+        "Cloud-call attempts that timed out (message lost or corrupt)");
+    metrics_.call_failures = &registry.counter(
+        "emap_edge_cloud_call_failures_total", {},
+        "Cloud calls that exhausted every retry and degraded");
+    metrics_.degraded_windows = &registry.counter(
+        "emap_edge_degraded_windows_total", {},
+        "Windows at which the edge kept a stale set after a failed call");
+    metrics_.duplicates_discarded = &registry.counter(
+        "emap_edge_duplicates_discarded_total", {},
+        "Duplicate correlation-set downloads dropped by sequence dedup");
+    metrics_.retry_backoff = &registry.histogram(
+        "emap_edge_retry_backoff_seconds", {},
+        obs::Histogram::default_latency_bounds(),
+        "Backoff waited before each cloud-call retry");
     metrics_.delta_ec = &registry.histogram(
         "emap_delta_ec_seconds", {}, obs::Histogram::default_latency_bounds(),
         "Edge-to-cloud upload time per cloud call (Eq. 4)");
@@ -63,59 +84,205 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
 
 EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     std::uint32_t sequence, const std::vector<double>& filtered_window,
-    double now_sec, net::Channel& channel, obs::Tracer* tracer) const {
+    double now_sec, net::Channel& channel, const net::RetryPolicy& retry,
+    obs::Tracer* tracer) const {
   net::SignalUploadMessage upload;
   upload.sequence = sequence;
   upload.samples = filtered_window;
+  const std::size_t upload_bytes_size = net::wire_size(upload);
 
   PendingSearch pending;
-  pending.delta_ec = channel.upload_seconds(net::wire_size(upload));
+  pending.sequence = sequence;
 
-  net::CorrelationSetMessage response;
-  if (options_.use_transport) {
-    // Full wire path: the cloud sees the 16-bit quantized window and the
-    // edge receives 16-bit quantized signal-sets.
-    std::vector<std::uint8_t> upload_bytes;
-    if (metrics_.encode != nullptr) {
-      obs::ScopedTimer timer(*metrics_.encode);
-      upload_bytes = net::encode_upload(upload);
-    } else {
-      upload_bytes = net::encode_upload(upload);
+  // Timeout derives from the channel's expected transfer times: the upload
+  // plus a full top-k response (the edge knows the set size it asked for).
+  // The response size is extrapolated from a one-entry message so the
+  // per-message latency/framing terms are counted once, not top_k times.
+  net::CorrelationSetMessage response_shape;
+  response_shape.entries.emplace_back().samples.resize(
+      cloud_.store().info().slice_length);
+  const std::size_t empty_response_bytes =
+      net::wire_size(net::CorrelationSetMessage{});
+  const std::size_t per_entry_bytes =
+      net::wire_size(response_shape) - empty_response_bytes;
+  const std::size_t response_bytes =
+      empty_response_bytes + config_.top_k * per_entry_bytes;
+  const double expected_transfer =
+      channel.expected_seconds(net::Direction::kUpload, upload_bytes_size) +
+      channel.expected_seconds(net::Direction::kDownload, response_bytes);
+  const double timeout = retry.timeout_for(expected_transfer);
+
+  // Children of the per-call parent span, recorded after the loop once the
+  // parent's full (retries included) extent is known.
+  struct Leg {
+    std::string name;
+    std::string category;
+    double start_sec;
+    double end_sec;
+  };
+  std::vector<Leg> legs;
+
+  double elapsed = 0.0;
+  auto fail_attempt = [&](std::size_t attempt) {
+    if (tracer != nullptr) {
+      legs.push_back({"attempt_" + std::to_string(attempt) + "_timeout",
+                      "retry", now_sec + elapsed,
+                      now_sec + elapsed + timeout});
     }
-    const auto decoded = net::decode_upload(upload_bytes);
-    response = cloud_.respond(decoded);
-    const auto download_bytes = net::encode_correlation_set(response);
-    if (metrics_.decode != nullptr) {
-      obs::ScopedTimer timer(*metrics_.decode);
-      response = net::decode_correlation_set(download_bytes);
-    } else {
-      response = net::decode_correlation_set(download_bytes);
+    elapsed += timeout;
+    if (metrics_.retry_timeouts != nullptr) {
+      metrics_.retry_timeouts->increment();
     }
-  } else {
-    response = cloud_.respond(upload);
-  }
-  const SearchStats& stats = cloud_.last_stats();
-  pending.delta_cs =
-      cloud_device_.seconds_for_macs(static_cast<double>(stats.mac_ops)) +
-      cloud_device_.per_signal_overhead_sec *
-          static_cast<double>(stats.sets_scanned);
-  pending.delta_ce = channel.download_seconds(net::wire_size(response));
-  pending.ready_at_sec =
-      now_sec + pending.delta_ec + pending.delta_cs + pending.delta_ce;
+  };
 
-  pending.correlation_set.reserve(response.entries.size());
-  for (const auto& entry : response.entries) {
-    TrackedSignal signal;
-    signal.set_id = entry.set_id;
-    signal.omega = static_cast<double>(entry.omega);
-    signal.beta = entry.beta;
-    signal.anomalous = entry.anomalous != 0;
-    signal.class_tag = entry.class_tag;
-    signal.samples = entry.samples;
-    pending.correlation_set.push_back(std::move(signal));
-  }
+  for (std::size_t attempt = 0;
+       retry.allow_attempt(attempt, elapsed, timeout); ++attempt) {
+    const double backoff = retry.backoff_before(attempt);
+    if (attempt > 0) {
+      if (tracer != nullptr && backoff > 0.0) {
+        legs.push_back({"backoff_" + std::to_string(attempt), "retry",
+                        now_sec + elapsed, now_sec + elapsed + backoff});
+      }
+      elapsed += backoff;
+      if (metrics_.retries != nullptr) {
+        metrics_.retries->increment();
+        metrics_.retry_backoff->observe(backoff);
+      }
+    }
+    ++pending.attempts;
 
-  if (metrics_.cloud_calls != nullptr) {
+    // ---- Upload leg (edge -> cloud). ----
+    double up_sec = 0.0;
+    bool leg_ok = true;
+    std::optional<net::SignalUploadMessage> at_cloud;
+    if (options_.use_transport) {
+      // Full wire path: the cloud sees the 16-bit quantized window and the
+      // edge receives 16-bit quantized signal-sets.
+      std::vector<std::uint8_t> upload_bytes;
+      if (metrics_.encode != nullptr) {
+        obs::ScopedTimer timer(*metrics_.encode);
+        upload_bytes = net::encode_upload(upload);
+      } else {
+        upload_bytes = net::encode_upload(upload);
+      }
+      const net::TransferOutcome out =
+          channel.transfer(net::Direction::kUpload, upload_bytes);
+      up_sec = out.seconds;
+      if (!out.delivered()) {
+        leg_ok = false;
+      } else {
+        try {
+          at_cloud = net::decode_upload(upload_bytes);
+        } catch (const CorruptData&) {
+          // The cloud cannot answer a request it cannot read; the edge
+          // sees silence and times out.
+          leg_ok = false;
+        }
+      }
+    } else {
+      up_sec = channel.upload_seconds(upload_bytes_size);
+      if (net::FaultInjector* injector = channel.fault_injector()) {
+        const net::FaultPlan plan =
+            injector->apply(net::Direction::kUpload, {});
+        up_sec += plan.extra_delay_sec;
+        leg_ok = !plan.dropped;
+      }
+      at_cloud = upload;
+    }
+    if (!leg_ok) {
+      fail_attempt(attempt);
+      continue;
+    }
+
+    // ---- Cloud search. ----
+    net::CorrelationSetMessage response = cloud_.respond(*at_cloud);
+    const SearchStats& stats = cloud_.last_stats();
+    const double cs_sec =
+        cloud_device_.seconds_for_macs(static_cast<double>(stats.mac_ops)) +
+        cloud_device_.per_signal_overhead_sec *
+            static_cast<double>(stats.sets_scanned);
+
+    // ---- Download leg (cloud -> edge). ----
+    double down_sec = 0.0;
+    bool duplicated = false;
+    if (options_.use_transport) {
+      auto download_bytes = net::encode_correlation_set(response);
+      const net::TransferOutcome out =
+          channel.transfer(net::Direction::kDownload, download_bytes);
+      down_sec = out.seconds;
+      duplicated = out.fault.duplicated;
+      if (!out.delivered()) {
+        leg_ok = false;
+      } else {
+        try {
+          if (metrics_.decode != nullptr) {
+            obs::ScopedTimer timer(*metrics_.decode);
+            response = net::decode_correlation_set(download_bytes);
+          } else {
+            response = net::decode_correlation_set(download_bytes);
+          }
+          // Monotone sequence handling: a response must answer the request
+          // the edge has outstanding; anything else is discarded.
+          if (response.request_sequence != sequence) {
+            leg_ok = false;
+          }
+        } catch (const CorruptData&) {
+          leg_ok = false;
+        }
+      }
+    } else {
+      down_sec = channel.download_seconds(net::wire_size(response));
+      if (net::FaultInjector* injector = channel.fault_injector()) {
+        const net::FaultPlan plan =
+            injector->apply(net::Direction::kDownload, {});
+        down_sec += plan.extra_delay_sec;
+        duplicated = plan.duplicated;
+        leg_ok = !plan.dropped;
+      }
+    }
+    if (!leg_ok) {
+      fail_attempt(attempt);
+      continue;
+    }
+    if (duplicated) {
+      // The link delivered the response twice; the edge's sequence dedup
+      // keeps the first copy and drops the echo.
+      ++pending.duplicates;
+      if (metrics_.duplicates_discarded != nullptr) {
+        metrics_.duplicates_discarded->increment();
+      }
+    }
+    pending.succeeded = true;
+    pending.delta_ec = up_sec;
+    pending.delta_cs = cs_sec;
+    pending.delta_ce = down_sec;
+
+    if (tracer != nullptr) {
+      const double t0 = now_sec + elapsed;
+      legs.push_back({"delta_EC", "upload", t0, t0 + up_sec});
+      legs.push_back({"delta_CS", "cloud-search", t0 + up_sec,
+                      t0 + up_sec + cs_sec});
+      legs.push_back({"delta_CE", "download", t0 + up_sec + cs_sec,
+                      t0 + up_sec + cs_sec + down_sec});
+    }
+    elapsed += up_sec + cs_sec + down_sec;
+
+    pending.correlation_set.reserve(response.entries.size());
+    for (const auto& entry : response.entries) {
+      TrackedSignal signal;
+      signal.set_id = entry.set_id;
+      signal.omega = static_cast<double>(entry.omega);
+      signal.beta = entry.beta;
+      signal.anomalous = entry.anomalous != 0;
+      signal.class_tag = entry.class_tag;
+      signal.samples = entry.samples;
+      pending.correlation_set.push_back(std::move(signal));
+    }
+    break;
+  }
+  pending.ready_at_sec = now_sec + elapsed;
+
+  if (pending.succeeded && metrics_.cloud_calls != nullptr) {
     metrics_.cloud_calls->increment();
     metrics_.delta_ec->observe(pending.delta_ec);
     metrics_.delta_cs->observe(pending.delta_cs);
@@ -123,19 +290,20 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     metrics_.delta_initial->observe(pending.delta_ec + pending.delta_cs +
                                     pending.delta_ce);
   }
+  if (!pending.succeeded && metrics_.call_failures != nullptr) {
+    metrics_.call_failures->increment();
+  }
 
   if (tracer != nullptr) {
-    // One parent span per round trip; the Eq. 4 legs nest under it.
+    // One parent span per round trip, spanning retries and all; the Eq. 4
+    // legs and any timeout/backoff intervals nest under it.
     const std::uint64_t call = tracer->record_sim(
         "cloud_call_" + std::to_string(sequence), "cloud-call", now_sec,
         pending.ready_at_sec);
-    tracer->record_sim("delta_EC", "upload", now_sec,
-                       now_sec + pending.delta_ec, call);
-    tracer->record_sim("delta_CS", "cloud-search", now_sec + pending.delta_ec,
-                       now_sec + pending.delta_ec + pending.delta_cs, call);
-    tracer->record_sim("delta_CE", "download",
-                       now_sec + pending.delta_ec + pending.delta_cs,
-                       pending.ready_at_sec, call);
+    for (const Leg& leg : legs) {
+      tracer->record_sim(leg.name, leg.category, leg.start_sec, leg.end_sec,
+                         call);
+    }
   }
   return pending;
 }
@@ -158,8 +326,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
 
   EdgeNode edge(config_);
   net::Channel channel(options_.platform, options_.channel);
+  net::FaultInjector injector(options_.fault);
+  channel.set_fault_injector(&injector);
+  const net::RetryPolicy retry(options_.retry);
   if (options_.metrics != nullptr) {
     channel.set_metrics(options_.metrics);
+    injector.set_metrics(options_.metrics);
     edge.tracker().set_metrics(options_.metrics);
   }
 
@@ -171,6 +343,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   }
   std::optional<PendingSearch> pending;
   bool first_round_trip_recorded = false;
+  std::int64_t last_loaded_sequence = -1;
   double total_track_sec = 0.0;
   std::size_t track_steps = 0;
 
@@ -203,18 +376,37 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     // Deliver a completed cloud search (the paper reloads T wholesale; the
     // edge kept tracking the old set in the meantime).
     if (pending && pending->ready_at_sec <= t_end) {
-      edge.tracker().load(std::move(pending->correlation_set));
-      record.set_loaded = true;
-      record.pa_on_load = edge.tracker().anomaly_probability();
-      if (!first_round_trip_recorded) {
-        result.timings.delta_ec_sec = pending->delta_ec;
-        result.timings.delta_cs_sec = pending->delta_cs;
-        result.timings.delta_ce_sec = pending->delta_ce;
-        result.timings.delta_initial_sec =
-            pending->delta_ec + pending->delta_cs + pending->delta_ce;
-        first_round_trip_recorded = true;
+      result.retry_attempts +=
+          pending->attempts > 0 ? pending->attempts - 1 : 0;
+      result.duplicates_discarded += pending->duplicates;
+      if (pending->succeeded &&
+          static_cast<std::int64_t>(pending->sequence) >
+              last_loaded_sequence) {
+        last_loaded_sequence =
+            static_cast<std::int64_t>(pending->sequence);
+        edge.tracker().load(std::move(pending->correlation_set));
+        record.set_loaded = true;
+        record.pa_on_load = edge.tracker().anomaly_probability();
+        if (!first_round_trip_recorded) {
+          result.timings.delta_ec_sec = pending->delta_ec;
+          result.timings.delta_cs_sec = pending->delta_cs;
+          result.timings.delta_ce_sec = pending->delta_ce;
+          result.timings.delta_initial_sec =
+              pending->delta_ec + pending->delta_cs + pending->delta_ce;
+          first_round_trip_recorded = true;
+        }
+        ++result.cloud_calls;
+      } else {
+        // Retries exhausted (or the response was stale): degrade — keep
+        // tracking whatever set is loaded and re-attempt on the next
+        // iteration that wants a cloud call.
+        record.degraded = true;
+        result.degraded = true;
+        ++result.failed_cloud_calls;
+        if (metrics_.degraded_windows != nullptr) {
+          metrics_.degraded_windows->increment();
+        }
       }
-      ++result.cloud_calls;
       pending.reset();
     }
 
@@ -253,13 +445,13 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       // ... while doing real-time signal tracking at the edge in parallel."
       if (step.cloud_call_needed && !pending) {
         pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                   t_end, channel, tracer);
+                                   t_end, channel, retry, tracer);
         record.cloud_call_issued = true;
       }
     } else if (!pending) {
       // Cold start: the very first window triggers the initial MDB search.
       pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                 t_end, channel, tracer);
+                                 t_end, channel, retry, tracer);
       record.cloud_call_issued = true;
     }
 

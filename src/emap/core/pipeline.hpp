@@ -6,6 +6,15 @@
 // simulated time, transfers take Channel time, and compute takes
 // DeviceProfile time, so the Fig. 9 timeline and Eq. 4's Δ_initial fall out
 // of the run.
+//
+// Failure semantics: every cloud call runs under the edge's RetryPolicy.
+// A message lost or corrupted in flight (net::FaultInjector) costs the
+// edge one timeout, then a backoff, then a retry; when the policy's
+// attempts or deadline are exhausted the pipeline degrades gracefully —
+// it keeps tracking the stale correlation set (flagged `degraded` in the
+// RunResult and report), and re-attempts the cloud call on the next
+// iteration that wants one.  Timeouts guard message *loss*; a message
+// that is merely delayed still arrives and is accepted late.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,8 @@
 #include "emap/core/edge_node.hpp"
 #include "emap/mdb/store.hpp"
 #include "emap/net/channel.hpp"
+#include "emap/net/fault.hpp"
+#include "emap/net/retry.hpp"
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/span.hpp"
 #include "emap/sim/device.hpp"
@@ -30,6 +41,11 @@ namespace emap::core {
 struct PipelineOptions {
   net::CommPlatform platform = net::CommPlatform::kLte;
   net::ChannelOptions channel{};
+  /// Link fault model.  All probabilities default to zero, in which case
+  /// the run is bit-identical to a fault-free pipeline.
+  net::FaultOptions fault{};
+  /// Edge-side retry/timeout/backoff policy for cloud calls.
+  net::RetryOptions retry{};
   /// Route messages through encode/decode (includes the 16-bit wire
   /// quantization in the signal path, as the real system would).
   bool use_transport = true;
@@ -49,8 +65,8 @@ struct PipelineOptions {
   /// Fixed latency of the edge's hard-coded filter accelerator.
   double filter_accelerator_sec = 0.002;
   /// Telemetry registry (borrowed; nullptr disables).  When set, the
-  /// pipeline and every layer it drives (search, tracker, channel, codec)
-  /// record `emap_*` metrics into it.
+  /// pipeline and every layer it drives (search, tracker, channel, codec,
+  /// fault injector) record `emap_*` metrics into it.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -67,6 +83,9 @@ struct IterationRecord {
   std::size_t removed_dissimilar = 0;
   std::size_t removed_exhausted = 0;
   bool cloud_call_issued = false;
+  /// A cloud call exhausted its retries at this window; the edge kept the
+  /// stale correlation set instead of loading a fresh one.
+  bool degraded = false;
   double track_device_sec = 0.0;     ///< edge-device-model time of the step
   std::uint64_t abs_ops = 0;
 };
@@ -86,7 +105,16 @@ struct RunResult {
   std::vector<IterationRecord> iterations;
   bool anomaly_predicted = false;
   double first_alarm_sec = -1.0;
-  std::size_t cloud_calls = 0;
+  std::size_t cloud_calls = 0;       ///< correlation sets delivered
+  /// Cloud calls that exhausted every retry; the edge degraded to its
+  /// stale set for those rounds.
+  std::size_t failed_cloud_calls = 0;
+  /// Retry attempts beyond the first, summed over all cloud calls.
+  std::size_t retry_attempts = 0;
+  /// Duplicate downloads discarded by the edge's sequence dedup.
+  std::size_t duplicates_discarded = 0;
+  /// True when any cloud call exhausted its retries during the run.
+  bool degraded = false;
   RunTimings timings;
   /// Fig. 9 view of the span log below (kept for the ASCII renderer and
   /// existing callers; both are projections of the same spans).
@@ -128,11 +156,16 @@ class EmapPipeline {
     double delta_ec = 0.0;
     double delta_cs = 0.0;
     double delta_ce = 0.0;
+    std::uint32_t sequence = 0;
+    std::size_t attempts = 0;    ///< attempts actually started
+    std::size_t duplicates = 0;  ///< duplicate deliveries deduped away
+    bool succeeded = false;      ///< false = retries/deadline exhausted
   };
 
   PendingSearch issue_cloud_call(std::uint32_t sequence,
                                  const std::vector<double>& filtered_window,
                                  double now_sec, net::Channel& channel,
+                                 const net::RetryPolicy& retry,
                                  obs::Tracer* tracer) const;
 
   EmapConfig config_;
@@ -146,6 +179,12 @@ class EmapPipeline {
   struct PipelineMetrics {
     obs::Counter* windows = nullptr;
     obs::Counter* cloud_calls = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* retry_timeouts = nullptr;
+    obs::Counter* call_failures = nullptr;
+    obs::Counter* degraded_windows = nullptr;
+    obs::Counter* duplicates_discarded = nullptr;
+    obs::Histogram* retry_backoff = nullptr;
     obs::Histogram* delta_ec = nullptr;
     obs::Histogram* delta_cs = nullptr;
     obs::Histogram* delta_ce = nullptr;

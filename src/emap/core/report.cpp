@@ -24,7 +24,7 @@ void write_iterations_csv(const RunResult& result,
   stream << "window,t_sec,tracked,set_loaded,pa_on_load,"
             "anomaly_probability,tracked_before,tracked_after,"
             "removed_dissimilar,removed_exhausted,cloud_call_issued,"
-            "track_device_sec\n";
+            "degraded,track_device_sec\n";
   for (const auto& record : result.iterations) {
     stream << record.window_index << ',' << record.t_sec << ','
            << (record.tracked ? 1 : 0) << ',' << (record.set_loaded ? 1 : 0)
@@ -33,6 +33,7 @@ void write_iterations_csv(const RunResult& result,
            << ',' << record.removed_dissimilar << ','
            << record.removed_exhausted << ','
            << (record.cloud_call_issued ? 1 : 0) << ','
+           << (record.degraded ? 1 : 0) << ','
            << record.track_device_sec << '\n';
   }
   if (!stream) {
@@ -58,6 +59,10 @@ std::string run_summary_json(const RunResult& result) {
   json << "{";
   json << "\"iterations\":" << result.iterations.size() << ",";
   json << "\"cloud_calls\":" << result.cloud_calls << ",";
+  json << "\"failed_cloud_calls\":" << result.failed_cloud_calls << ",";
+  json << "\"retry_attempts\":" << result.retry_attempts << ",";
+  json << "\"duplicates_discarded\":" << result.duplicates_discarded << ",";
+  json << "\"degraded\":" << (result.degraded ? "true" : "false") << ",";
   json << "\"anomaly_predicted\":"
        << (result.anomaly_predicted ? "true" : "false") << ",";
   json << "\"first_alarm_sec\":" << result.first_alarm_sec << ",";

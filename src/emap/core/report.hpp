@@ -16,7 +16,7 @@ namespace emap::core {
 /// Writes one CSV row per iteration:
 ///   window,t_sec,tracked,set_loaded,pa_on_load,anomaly_probability,
 ///   tracked_before,tracked_after,removed_dissimilar,removed_exhausted,
-///   cloud_call_issued,track_device_sec
+///   cloud_call_issued,degraded,track_device_sec
 /// Throws IoError on filesystem failure.
 void write_iterations_csv(const RunResult& result,
                           const std::filesystem::path& path);

@@ -15,6 +15,10 @@ EdgeTracker::EdgeTracker(const EmapConfig& config) : config_(config) {
 void EdgeTracker::load(std::vector<TrackedSignal> correlation_set) {
   tracked_ = std::move(correlation_set);
   loaded_ = true;
+  steps_since_load_ = 0;
+  if (metrics_.staleness != nullptr) {
+    metrics_.staleness->set(0.0);
+  }
 }
 
 void EdgeTracker::load_from_search(const SearchResult& result,
@@ -69,6 +73,9 @@ void EdgeTracker::set_metrics(obs::MetricsRegistry* registry) {
       "Early-exit ABS operations spent across all steps");
   metrics_.set_size = &registry->gauge(
       "emap_tracker_set_size", {}, "Signals tracked after the latest step");
+  metrics_.staleness = &registry->gauge(
+      "emap_tracker_staleness", {},
+      "Tracking steps run since the last correlation-set load");
   metrics_.pa = &registry->histogram(
       "emap_tracker_pa", {}, obs::Histogram::linear_bounds(0.0, 1.0, 20),
       "Anomaly probability P_A per tracked step (Eq. 5)");
@@ -95,6 +102,7 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
 
   const std::size_t window = config_.window_length;
   result.tracked_before = tracked_.size();
+  ++steps_since_load_;
 
   std::vector<TrackedSignal> survivors;
   survivors.reserve(tracked_.size());
@@ -144,6 +152,7 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
     metrics_.removed_exhausted->increment(result.removed_exhausted);
     metrics_.abs_ops->increment(result.abs_ops);
     metrics_.set_size->set(static_cast<double>(result.tracked_after));
+    metrics_.staleness->set(static_cast<double>(steps_since_load_));
     metrics_.pa->observe(result.anomaly_probability);
   }
   return result;

@@ -77,6 +77,11 @@ class EdgeTracker {
   std::size_t active_count() const { return tracked_.size(); }
   const std::vector<TrackedSignal>& active() const { return tracked_; }
 
+  /// Tracking steps run since the last load().  Grows while the cloud is
+  /// unreachable and the edge degrades to its stale correlation set; the
+  /// paper's fault-free cadence reloads roughly every 5 steps.
+  std::size_t steps_since_load() const { return steps_since_load_; }
+
   /// P_A over the currently tracked set (Eq. 5); 0 when empty.
   double anomaly_probability() const;
 
@@ -88,6 +93,7 @@ class EdgeTracker {
   EmapConfig config_;
   std::vector<TrackedSignal> tracked_;
   bool loaded_ = false;
+  std::size_t steps_since_load_ = 0;
 
   struct TrackMetrics {
     obs::Counter* steps = nullptr;
@@ -95,6 +101,7 @@ class EdgeTracker {
     obs::Counter* removed_exhausted = nullptr;
     obs::Counter* abs_ops = nullptr;
     obs::Gauge* set_size = nullptr;
+    obs::Gauge* staleness = nullptr;
     obs::Histogram* pa = nullptr;
   };
   TrackMetrics metrics_{};

@@ -33,6 +33,23 @@ double Channel::transfer_seconds(std::size_t payload_bytes,
   return seconds;
 }
 
+double Channel::direction_rate_mbps(Direction direction) const {
+  return direction == Direction::kUpload
+             ? platform_params(platform_).uplink_mbps
+             : platform_params(platform_).downlink_mbps;
+}
+
+double Channel::expected_seconds(Direction direction,
+                                 std::size_t payload_bytes) const {
+  double seconds =
+      line_seconds(payload_bytes + options_.framing_overhead_bytes,
+                   direction_rate_mbps(direction));
+  if (options_.include_latency) {
+    seconds += platform_params(platform_).latency_ms * 1e-3;
+  }
+  return seconds;
+}
+
 void Channel::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     up_metrics_ = DirectionMetrics{};
@@ -79,6 +96,20 @@ double Channel::download_seconds(std::size_t payload_bytes) {
       payload_bytes, platform_params(platform_).downlink_mbps);
   record(down_metrics_, payload_bytes, seconds);
   return seconds;
+}
+
+TransferOutcome Channel::transfer(Direction direction,
+                                  std::span<std::uint8_t> bytes) {
+  TransferOutcome outcome;
+  outcome.seconds =
+      transfer_seconds(bytes.size(), direction_rate_mbps(direction));
+  if (injector_ != nullptr) {
+    outcome.fault = injector_->apply(direction, bytes);
+    outcome.seconds += outcome.fault.extra_delay_sec;
+  }
+  record(direction == Direction::kUpload ? up_metrics_ : down_metrics_,
+         bytes.size(), outcome.seconds);
+  return outcome;
 }
 
 }  // namespace emap::net

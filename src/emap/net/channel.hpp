@@ -4,11 +4,18 @@
 // Fig. 4 serialization analysis uses pure line-rate time; the end-to-end
 // pipeline (Eq. 4's Δ_EC and Δ_CE) additionally includes the access
 // latency and an optional jitter term.
+//
+// An optional FaultInjector (fault.hpp) can be attached; the transfer()
+// path then consults it once per message, so drops, in-place corruption,
+// duplication, reordering, and extra delay ride the same calibrated link
+// model the fault-free path uses.
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "emap/common/rng.hpp"
+#include "emap/net/fault.hpp"
 #include "emap/net/platform.hpp"
 
 namespace emap::obs {
@@ -26,6 +33,16 @@ struct ChannelOptions {
   std::size_t framing_overhead_bytes = 60;  ///< L2/L3/L4 headers per message
 };
 
+/// One message's trip over the link: the modelled wire time plus whatever
+/// the attached fault injector decided (nothing, when none is attached).
+struct TransferOutcome {
+  double seconds = 0.0;  ///< wire time including any injected extra delay
+  FaultPlan fault;       ///< what the injector did to this message
+
+  /// The receiver gets a (possibly corrupted) copy of the message.
+  bool delivered() const { return !fault.dropped; }
+};
+
 /// A point-to-point edge<->cloud link over one platform.
 class Channel {
  public:
@@ -41,6 +58,19 @@ class Channel {
   /// Seconds to move `payload_bytes` down (cloud -> edge).
   double download_seconds(std::size_t payload_bytes);
 
+  /// Moves one encoded message across the link, consulting the attached
+  /// fault injector (corruption mutates `bytes` in place).  The time and
+  /// byte metrics are recorded whether or not the message survives — a
+  /// dropped message still occupied the link.
+  TransferOutcome transfer(Direction direction,
+                           std::span<std::uint8_t> bytes);
+
+  /// Expected (jitter-free, fault-free) transfer time for a payload —
+  /// what the RetryPolicy derives its timeout from.  Consumes no
+  /// randomness and records no metrics.
+  double expected_seconds(Direction direction,
+                          std::size_t payload_bytes) const;
+
   /// Pure serialization time (no latency, no jitter, no framing) — the
   /// quantity Fig. 4 plots.
   static double line_seconds(std::size_t payload_bytes, double rate_mbps);
@@ -50,8 +80,14 @@ class Channel {
   /// `emap_net_*`.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a fault injector (borrowed; nullptr restores the perfect
+  /// link).  Only the transfer() path consults it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   double transfer_seconds(std::size_t payload_bytes, double rate_mbps);
+  double direction_rate_mbps(Direction direction) const;
 
   struct DirectionMetrics {
     obs::Counter* messages = nullptr;
@@ -64,6 +100,7 @@ class Channel {
   CommPlatform platform_;
   ChannelOptions options_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
   DirectionMetrics up_metrics_{};
   DirectionMetrics down_metrics_{};
 };

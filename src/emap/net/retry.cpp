@@ -1,0 +1,91 @@
+#include "emap/net/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+
+namespace emap::net {
+
+void RetryOptions::validate() const {
+  require(max_attempts >= 1, "RetryOptions: max_attempts must be >= 1");
+  require(timeout_multiplier > 0.0,
+          "RetryOptions: timeout_multiplier must be > 0");
+  require(min_timeout_sec > 0.0 && min_timeout_sec <= max_timeout_sec,
+          "RetryOptions: need 0 < min_timeout_sec <= max_timeout_sec");
+  require(base_backoff_sec >= 0.0,
+          "RetryOptions: base_backoff_sec must be >= 0");
+  require(backoff_cap_sec >= base_backoff_sec,
+          "RetryOptions: backoff_cap_sec must be >= base_backoff_sec");
+  require(jitter_fraction >= 0.0 && jitter_fraction < 1.0,
+          "RetryOptions: jitter_fraction must be in [0, 1)");
+  require(deadline_sec >= max_timeout_sec,
+          "RetryOptions: deadline_sec must fit at least one attempt");
+}
+
+RetryPolicy::RetryPolicy(RetryOptions options) : options_(options) {
+  options_.validate();
+}
+
+double RetryPolicy::timeout_for(double expected_transfer_sec) const {
+  const double scaled =
+      options_.timeout_multiplier * std::max(expected_transfer_sec, 0.0);
+  return std::clamp(scaled, options_.min_timeout_sec,
+                    options_.max_timeout_sec);
+}
+
+double RetryPolicy::backoff_before(std::size_t attempt) const {
+  if (attempt == 0 || options_.base_backoff_sec == 0.0) {
+    return 0.0;
+  }
+  const double raw =
+      options_.base_backoff_sec *
+      std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(attempt, 60)) -
+                          1);
+  // Jitter is a pure function of (seed, attempt): forked streams make the
+  // k-th backoff identical across replays regardless of what happened on
+  // earlier attempts.  The factor lives in [1, 1 + f) with f < 1, so the
+  // sequence stays non-decreasing (each uncapped step doubles).
+  const double u = Rng(options_.seed).fork(attempt).uniform();
+  const double jittered = raw * (1.0 + options_.jitter_fraction * u);
+  return std::min(options_.backoff_cap_sec, jittered);
+}
+
+bool RetryPolicy::allow_attempt(std::size_t attempt, double elapsed_sec,
+                                double timeout_sec) const {
+  if (attempt >= options_.max_attempts) {
+    return false;
+  }
+  if (attempt == 0) {
+    return true;
+  }
+  // A retry must be able to run to its timeout without blowing the
+  // per-call deadline; otherwise the edge gives up and degrades instead.
+  return elapsed_sec + backoff_before(attempt) + timeout_sec <=
+         options_.deadline_sec;
+}
+
+double RetryPolicy::worst_case_wait(double expected_transfer_sec) const {
+  const double timeout = timeout_for(expected_transfer_sec);
+  // Upper-bound the jitter at its supremum and assume every attempt runs
+  // to its timeout; the deadline check in allow_attempt() additionally
+  // guarantees the real cumulative wait never exceeds deadline_sec, so the
+  // bound is the smaller of the two.
+  double total = 0.0;
+  for (std::size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    const double backoff_ub =
+        attempt == 0
+            ? 0.0
+            : std::min(options_.backoff_cap_sec,
+                       options_.base_backoff_sec *
+                           std::ldexp(1.0, static_cast<int>(std::min<
+                                               std::size_t>(attempt, 60)) -
+                                               1) *
+                           (1.0 + options_.jitter_fraction));
+    total += backoff_ub + timeout;
+  }
+  return std::min(total, options_.deadline_sec);
+}
+
+}  // namespace emap::net

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 
 namespace emap::net {
@@ -11,6 +12,11 @@ namespace {
 
 constexpr std::uint32_t kUploadMagic = 0x55504d45u;   // "EMPU"
 constexpr std::uint32_t kDownloadMagic = 0x44504d45u; // "EMPD"
+constexpr std::size_t kCrcBytes = 4;
+/// Fixed bytes per correlation entry before its samples:
+/// id(8) + omega(4) + beta(4) + anomalous(1) + class(1) + scale(4) +
+/// count(4).
+constexpr std::size_t kEntryHeaderBytes = 26;
 
 void write_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -35,9 +41,31 @@ void write_f32(std::vector<std::uint8_t>& out, float v) {
   write_u32(out, raw);
 }
 
+/// Appends the CRC-32 of everything encoded so far.
+void seal(std::vector<std::uint8_t>& out) {
+  write_u32(out, crc32(out.data(), out.size()));
+}
+
+/// Verifies the CRC-32 trailer and returns the protected payload view.
+std::span<const std::uint8_t> check_seal(std::span<const std::uint8_t> bytes,
+                                         const char* what) {
+  if (bytes.size() < kCrcBytes) {
+    throw CorruptData(std::string(what) + ": message shorter than its CRC");
+  }
+  const std::size_t payload_size = bytes.size() - kCrcBytes;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[payload_size + i]) << (8 * i);
+  }
+  if (stored != crc32(bytes.data(), payload_size)) {
+    throw CorruptData(std::string(what) + ": CRC mismatch");
+  }
+  return bytes.first(payload_size);
+}
+
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   std::uint8_t u8() {
     need(1);
@@ -75,6 +103,7 @@ class Reader {
     return v;
   }
   bool at_end() const { return cursor_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
 
  private:
   void need(std::size_t n) const {
@@ -82,7 +111,7 @@ class Reader {
       throw CorruptData("transport: truncated message");
     }
   }
-  const std::vector<std::uint8_t>& bytes_;
+  std::span<const std::uint8_t> bytes_;
   std::size_t cursor_ = 0;
 };
 
@@ -110,6 +139,11 @@ std::vector<double> dequantize(Reader& reader) {
     throw CorruptData("transport: bad quantization scale");
   }
   const std::uint32_t count = reader.u32();
+  // Validate the declared count against the bytes actually present before
+  // allocating: a corrupted count field must throw, not request gigabytes.
+  if (count > reader.remaining() / 2) {
+    throw CorruptData("transport: sample count exceeds message size");
+  }
   std::vector<double> samples(count, 0.0);
   for (std::uint32_t i = 0; i < count; ++i) {
     samples[i] =
@@ -121,15 +155,14 @@ std::vector<double> dequantize(Reader& reader) {
 }  // namespace
 
 std::size_t wire_size(const SignalUploadMessage& message) {
-  // magic + sequence + scale + count + int16 samples
-  return 4 + 4 + 4 + 4 + 2 * message.samples.size();
+  // magic + sequence + scale + count + int16 samples + crc
+  return 4 + 4 + 4 + 4 + 2 * message.samples.size() + kCrcBytes;
 }
 
 std::size_t wire_size(const CorrelationSetMessage& message) {
-  std::size_t size = 4 + 4 + 4;  // magic + sequence + entry count
+  std::size_t size = 4 + 4 + 4 + kCrcBytes;  // magic, sequence, count, crc
   for (const auto& entry : message.entries) {
-    size += 8 + 4 + 4 + 1 + 1;            // id, omega, beta, labels
-    size += 4 + 4 + 2 * entry.samples.size();  // scale, count, samples
+    size += kEntryHeaderBytes + 2 * entry.samples.size();
   }
   return size;
 }
@@ -140,11 +173,12 @@ std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message) {
   write_u32(out, kUploadMagic);
   write_u32(out, message.sequence);
   quantize(message.samples, out);
+  seal(out);
   return out;
 }
 
-SignalUploadMessage decode_upload(const std::vector<std::uint8_t>& bytes) {
-  Reader reader(bytes);
+SignalUploadMessage decode_upload(std::span<const std::uint8_t> bytes) {
+  Reader reader(check_seal(bytes, "decode_upload"));
   if (reader.u32() != kUploadMagic) {
     throw CorruptData("decode_upload: bad magic");
   }
@@ -172,18 +206,22 @@ std::vector<std::uint8_t> encode_correlation_set(
     out.push_back(entry.class_tag);
     quantize(entry.samples, out);
   }
+  seal(out);
   return out;
 }
 
 CorrelationSetMessage decode_correlation_set(
-    const std::vector<std::uint8_t>& bytes) {
-  Reader reader(bytes);
+    std::span<const std::uint8_t> bytes) {
+  Reader reader(check_seal(bytes, "decode_correlation_set"));
   if (reader.u32() != kDownloadMagic) {
     throw CorruptData("decode_correlation_set: bad magic");
   }
   CorrelationSetMessage message;
   message.request_sequence = reader.u32();
   const std::uint32_t count = reader.u32();
+  if (count > reader.remaining() / kEntryHeaderBytes) {
+    throw CorruptData("decode_correlation_set: entry count exceeds message");
+  }
   message.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     CorrelationEntry entry;

@@ -5,9 +5,20 @@
 // of these encodings is what the Channel converts to transfer time; the
 // encode/decode pair is also exercised end-to-end by the pipeline so the
 // quantization loss is part of the reproduced system.
+//
+// Every encoding carries a CRC-32 trailer over the preceding bytes.  The
+// link model can flip bits in flight (net::FaultInjector's corrupt fault);
+// without end-to-end integrity a flipped sample byte would silently load a
+// damaged correlation set.  decode_* verifies the checksum before parsing,
+// so any in-flight mutation — truncation, bit-flips, garbage — surfaces as
+// CorruptData for the retry layer to handle.
+//
+// decode_* takes std::span so the injector can corrupt an encoded buffer
+// in place and the decoder can reject it without an intermediate copy.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace emap::net {
@@ -34,18 +45,20 @@ struct CorrelationSetMessage {
   std::vector<CorrelationEntry> entries;
 };
 
-/// Serialized sizes in bytes (pre-framing).
+/// Serialized sizes in bytes (pre-framing, including the CRC trailer).
 std::size_t wire_size(const SignalUploadMessage& message);
 std::size_t wire_size(const CorrelationSetMessage& message);
 
-/// Encode/decode with 16-bit sample quantization.  decode_* throws
-/// CorruptData on malformed input.
+/// Encode/decode with 16-bit sample quantization and a CRC-32 trailer.
+/// decode_* throws CorruptData on malformed or mutated input; declared
+/// counts are validated against the bytes actually present before any
+/// allocation, so corrupt length fields cannot trigger OOM.
 std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message);
-SignalUploadMessage decode_upload(const std::vector<std::uint8_t>& bytes);
+SignalUploadMessage decode_upload(std::span<const std::uint8_t> bytes);
 
 std::vector<std::uint8_t> encode_correlation_set(
     const CorrelationSetMessage& message);
 CorrelationSetMessage decode_correlation_set(
-    const std::vector<std::uint8_t>& bytes);
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace emap::net

@@ -103,6 +103,27 @@ TEST(Tracker, TooShortSignalSetCountsExhausted) {
   EXPECT_EQ(result.removed_exhausted, 1u);
 }
 
+TEST(Tracker, StalenessCountsStepsAndResetsOnLoad) {
+  EdgeTracker tracker(small_config());
+  EXPECT_EQ(tracker.steps_since_load(), 0u);
+  // A self-matching signal survives arbitrarily many steps.
+  const auto window = testing::noise(40, 256, 5.0);
+  auto samples = testing::noise(41, 1000, 5.0);
+  for (std::size_t i = 0; i < 256; ++i) {
+    samples[i] = window[i];
+  }
+  tracker.load({make_signal(1, false, samples)});
+  EXPECT_EQ(tracker.steps_since_load(), 0u);
+  for (std::size_t step = 1; step <= 7; ++step) {
+    tracker.step(window);
+    EXPECT_EQ(tracker.steps_since_load(), step);
+  }
+  // A fresh correlation set (the degraded edge finally reaching the cloud)
+  // resets the staleness count.
+  tracker.load({make_signal(2, false, samples)});
+  EXPECT_EQ(tracker.steps_since_load(), 0u);
+}
+
 TEST(Tracker, AnomalyProbabilityIsEq5) {
   EdgeTracker tracker(small_config());
   const auto window = testing::noise(14, 256, 5.0);

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "emap/common/error.hpp"
+#include "emap/obs/metrics.hpp"
 
 namespace emap::net {
 namespace {
@@ -96,6 +100,134 @@ TEST(Channel, RejectsBadJitter) {
   ChannelOptions options;
   options.jitter_fraction = 1.5;
   EXPECT_THROW(Channel(CommPlatform::kLte, options), InvalidArgument);
+}
+
+TEST(Channel, ExpectedSecondsMatchesJitterFreeTransfer) {
+  ChannelOptions options;
+  options.jitter_fraction = 0.0;
+  Channel channel(CommPlatform::kLte, options);
+  std::vector<std::uint8_t> bytes(1000);
+  const auto outcome = channel.transfer(Direction::kUpload, bytes);
+  EXPECT_TRUE(outcome.delivered());
+  EXPECT_NEAR(outcome.seconds,
+              channel.expected_seconds(Direction::kUpload, bytes.size()),
+              1e-12);
+  // expected_seconds is const and consumes no randomness: asking twice
+  // gives the same answer.
+  EXPECT_DOUBLE_EQ(channel.expected_seconds(Direction::kDownload, 5000),
+                   channel.expected_seconds(Direction::kDownload, 5000));
+}
+
+TEST(Channel, TransferWithoutInjectorIsFaultFree) {
+  Channel channel(CommPlatform::kHspa);
+  std::vector<std::uint8_t> bytes(64, 0xab);
+  const auto original = bytes;
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = channel.transfer(Direction::kDownload, bytes);
+    EXPECT_TRUE(outcome.delivered());
+    EXPECT_FALSE(outcome.fault.any());
+  }
+  EXPECT_EQ(bytes, original);
+}
+
+TEST(Channel, TransferConsultsAttachedInjector) {
+  FaultOptions fault;
+  fault.up.drop = 1.0;
+  FaultInjector injector(fault);
+  Channel channel(CommPlatform::kLte);
+  channel.set_fault_injector(&injector);
+  std::vector<std::uint8_t> bytes(32);
+  const auto outcome = channel.transfer(Direction::kUpload, bytes);
+  EXPECT_FALSE(outcome.delivered());
+  EXPECT_TRUE(outcome.fault.dropped);
+  EXPECT_EQ(injector.counts(Direction::kUpload).dropped, 1u);
+
+  channel.set_fault_injector(nullptr);
+  EXPECT_TRUE(channel.transfer(Direction::kUpload, bytes).delivered());
+  EXPECT_EQ(injector.counts(Direction::kUpload).messages, 1u);
+}
+
+TEST(Channel, InjectedDelayExtendsTransferTime) {
+  FaultOptions fault;
+  fault.down.delay = 1.0;
+  fault.down.delay_min_sec = 1.0;
+  fault.down.delay_max_sec = 2.0;
+  FaultInjector injector(fault);
+  ChannelOptions options;
+  options.jitter_fraction = 0.0;
+  Channel channel(CommPlatform::kLte, options);
+  channel.set_fault_injector(&injector);
+  std::vector<std::uint8_t> bytes(100);
+  const double baseline =
+      channel.expected_seconds(Direction::kDownload, bytes.size());
+  const auto outcome = channel.transfer(Direction::kDownload, bytes);
+  EXPECT_GE(outcome.seconds, baseline + 1.0);
+  EXPECT_LE(outcome.seconds, baseline + 2.0 + 1e-12);
+  EXPECT_NEAR(outcome.seconds, baseline + outcome.fault.extra_delay_sec,
+              1e-12);
+}
+
+TEST(Channel, InjectedFaultsAllLandInMetrics) {
+  // Every fault the injector reports through the channel must be visible
+  // in the exported counters: injected == counted.
+  FaultOptions fault;
+  fault.up.drop = 0.3;
+  fault.up.corrupt = 0.3;
+  fault.down.drop = 0.2;
+  fault.down.delay = 0.4;
+  fault.seed = 77;
+  FaultInjector injector(fault);
+  obs::MetricsRegistry registry;
+  injector.set_metrics(&registry);
+  Channel channel(CommPlatform::kLte);
+  channel.set_metrics(&registry);
+  channel.set_fault_injector(&injector);
+
+  std::uint64_t observed_up_faults = 0;
+  std::uint64_t observed_down_faults = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::uint8_t> up(64, 0x5a);
+    std::vector<std::uint8_t> down(256, 0xa5);
+    const auto up_outcome = channel.transfer(Direction::kUpload, up);
+    const auto down_outcome = channel.transfer(Direction::kDownload, down);
+    observed_up_faults += up_outcome.fault.any() ? 1 : 0;
+    observed_down_faults += down_outcome.fault.any() ? 1 : 0;
+  }
+  ASSERT_GT(observed_up_faults, 0u);
+  ASSERT_GT(observed_down_faults, 0u);
+
+  for (Direction direction : {Direction::kUpload, Direction::kDownload}) {
+    const FaultCounts& counts = injector.counts(direction);
+    const char* dir = direction_name(direction);
+    const std::uint64_t counted =
+        registry
+            .counter("emap_net_faults_total",
+                     {{"direction", dir}, {"kind", "drop"}})
+            .value() +
+        registry
+            .counter("emap_net_faults_total",
+                     {{"direction", dir}, {"kind", "corrupt"}})
+            .value() +
+        registry
+            .counter("emap_net_faults_total",
+                     {{"direction", dir}, {"kind", "duplicate"}})
+            .value() +
+        registry
+            .counter("emap_net_faults_total",
+                     {{"direction", dir}, {"kind", "reorder"}})
+            .value() +
+        registry
+            .counter("emap_net_faults_total",
+                     {{"direction", dir}, {"kind", "delay"}})
+            .value();
+    EXPECT_EQ(counted, counts.total_faults());
+    // Dropped messages still occupied the link, so the channel's message
+    // counter covers every send.
+    EXPECT_EQ(registry
+                  .counter("emap_net_messages_total", {{"direction", dir}})
+                  .value(),
+              counts.messages);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
+#include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 #include "support/test_util.hpp"
 
@@ -129,6 +133,79 @@ TEST(Transport, EmptyCorrelationSetIsValid) {
   CorrelationSetMessage message;
   const auto decoded = decode_correlation_set(encode_correlation_set(message));
   EXPECT_TRUE(decoded.entries.empty());
+}
+
+TEST(Transport, ZeroEntrySetRejectsEveryTruncation) {
+  // The minimal valid message (header + CRC only): every strict prefix
+  // must be rejected, and an intact one must round-trip.
+  CorrelationSetMessage message;
+  message.request_sequence = 3;
+  const auto bytes = encode_correlation_set(message);
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + length);
+    EXPECT_THROW(decode_correlation_set(prefix), CorruptData)
+        << "prefix length " << length;
+  }
+  EXPECT_EQ(decode_correlation_set(bytes).request_sequence, 3u);
+}
+
+TEST(Transport, DecodeAcceptsSpanOverSubrange) {
+  // decode_* takes std::span: decoding from a view into a larger buffer
+  // (the receive path after framing removal) must work without a copy.
+  SignalUploadMessage message;
+  message.sequence = 9;
+  message.samples = testing::noise(8, 32);
+  const auto encoded = encode_upload(message);
+  std::vector<std::uint8_t> framed;
+  framed.insert(framed.end(), 7, 0xee);  // fake frame header
+  framed.insert(framed.end(), encoded.begin(), encoded.end());
+  framed.insert(framed.end(), 5, 0xdd);  // fake frame trailer
+  const std::span<const std::uint8_t> view(framed.data() + 7,
+                                           encoded.size());
+  EXPECT_EQ(decode_upload(view).sequence, 9u);
+}
+
+TEST(Transport, PaperScaleSetRoundTripsAndGuardsItsBounds) {
+  // Top-100 download at full 1000-sample entries (the paper's maximum):
+  // round-trips intact, and dropping even the final byte is rejected.
+  CorrelationSetMessage message;
+  for (int i = 0; i < 100; ++i) {
+    CorrelationEntry entry;
+    entry.set_id = static_cast<std::uint64_t>(i);
+    entry.samples = testing::noise(static_cast<std::uint64_t>(i), 1000, 4.0);
+    message.entries.push_back(std::move(entry));
+  }
+  auto bytes = encode_correlation_set(message);
+  EXPECT_EQ(bytes.size(), wire_size(message));
+  const auto decoded = decode_correlation_set(bytes);
+  ASSERT_EQ(decoded.entries.size(), 100u);
+  EXPECT_EQ(decoded.entries.back().set_id, 99u);
+  bytes.pop_back();
+  EXPECT_THROW(decode_correlation_set(bytes), CorruptData);
+}
+
+TEST(Transport, EntryCountBeyondPayloadIsRejectedBeforeAllocation) {
+  // An in-range CRC-valid message can still lie about its entry count if
+  // an attacker recomputes the checksum; the decoder's count guard must
+  // reject it from the byte budget alone.
+  CorrelationSetMessage message;
+  CorrelationEntry entry;
+  entry.samples = testing::noise(9, 10);
+  message.entries.push_back(entry);
+  auto bytes = encode_correlation_set(message);
+  // Rewrite the entry count (offset 8) to 2^31 and re-seal a valid CRC so
+  // only the count guard can catch it.
+  bytes[8] = 0x00;
+  bytes[9] = 0x00;
+  bytes[10] = 0x00;
+  bytes[11] = 0x80;
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t crc = emap::crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  EXPECT_THROW(decode_correlation_set(bytes), CorruptData);
 }
 
 }  // namespace
