@@ -26,6 +26,12 @@
 //                          chrome://tracing or ui.perfetto.dev)
 //   --summary-out <file>   append one JSONL record of headline numbers
 //   --metrics-dump         print the metrics table to stdout at end of run
+//   --profile-out <file>   enable the stage profiler; write the JSON
+//                          profile (per-stage call/total/self-time table)
+//   --flame-out <file>     enable the stage profiler; write collapsed
+//                          stacks for flamegraph.pl / speedscope
+//   --slo-report <file>    write the SLO summary (".csv" extension selects
+//                          CSV, anything else JSON)
 //
 // Fault/retry flags (monitor and synth-run) — exercise the lossy-link
 // recovery path (docs/fault_injection.md):
@@ -47,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "emap/common/build_info.hpp"
 #include "emap/common/error.hpp"
 #include "emap/core/pipeline.hpp"
 #include "emap/dsp/montage.hpp"
@@ -55,6 +62,8 @@
 #include "emap/mdb/builder.hpp"
 #include "emap/obs/export.hpp"
 #include "emap/obs/metrics.hpp"
+#include "emap/obs/profiler.hpp"
+#include "emap/obs/slo.hpp"
 #include "emap/synth/corpus.hpp"
 
 namespace {
@@ -74,6 +83,8 @@ int usage() {
       "[telemetry flags]\n"
       "telemetry flags: --metrics-out <file> --trace-out <file> "
       "--summary-out <file> --metrics-dump\n"
+      "profiling flags: --profile-out <file> --flame-out <file> "
+      "--slo-report <file>\n"
       "fault flags:     --fault-drop <p> --fault-corrupt <p> "
       "--fault-duplicate <p> --fault-delay <p> --fault-seed <n>\n"
       "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n");
@@ -86,6 +97,9 @@ struct TelemetryOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string summary_out;
+  std::string profile_out;
+  std::string flame_out;
+  std::string slo_report;
   bool metrics_dump = false;
   net::FaultOptions fault;
   net::RetryOptions retry;
@@ -118,6 +132,12 @@ bool extract_telemetry_flags(int& argc, char** argv,
       if (!take_value(telemetry.trace_out)) return false;
     } else if (arg == "--summary-out") {
       if (!take_value(telemetry.summary_out)) return false;
+    } else if (arg == "--profile-out") {
+      if (!take_value(telemetry.profile_out)) return false;
+    } else if (arg == "--flame-out") {
+      if (!take_value(telemetry.flame_out)) return false;
+    } else if (arg == "--slo-report") {
+      if (!take_value(telemetry.slo_report)) return false;
     } else if (arg == "--metrics-dump") {
       telemetry.metrics_dump = true;
     } else if (arg == "--fault-drop") {
@@ -165,6 +185,14 @@ bool extract_telemetry_flags(int& argc, char** argv,
   return true;
 }
 
+/// Turns on the global stage profiler when any profiling output was
+/// requested.  Must run before the pipeline so the hot-path hooks record.
+void maybe_enable_profiler(const TelemetryOptions& telemetry) {
+  if (!telemetry.profile_out.empty() || !telemetry.flame_out.empty()) {
+    obs::Profiler::set_enabled(true);
+  }
+}
+
 /// Writes the requested telemetry outputs after a monitored run.
 void emit_telemetry(const TelemetryOptions& telemetry,
                     const obs::MetricsRegistry& registry,
@@ -172,6 +200,21 @@ void emit_telemetry(const TelemetryOptions& telemetry,
   if (!telemetry.metrics_out.empty()) {
     obs::write_prometheus(telemetry.metrics_out, registry);
     std::printf("metrics -> %s\n", telemetry.metrics_out.c_str());
+  }
+  if (!telemetry.profile_out.empty()) {
+    obs::write_profile_json(telemetry.profile_out,
+                            obs::Profiler::instance());
+    std::printf("profile -> %s\n", telemetry.profile_out.c_str());
+  }
+  if (!telemetry.flame_out.empty()) {
+    obs::write_collapsed_stacks(telemetry.flame_out,
+                                obs::Profiler::instance());
+    std::printf("flame   -> %s (feed to flamegraph.pl or speedscope)\n",
+                telemetry.flame_out.c_str());
+  }
+  if (!telemetry.slo_report.empty()) {
+    obs::write_slo_report(telemetry.slo_report, result.slo);
+    std::printf("slo     -> %s\n", telemetry.slo_report.c_str());
   }
   if (!telemetry.trace_out.empty() && result.tracer != nullptr) {
     obs::write_chrome_trace(telemetry.trace_out, *result.tracer);
@@ -190,6 +233,8 @@ std::string run_summary_line(const std::string& run_name,
                              double duration_sec) {
   obs::JsonWriter json;
   json.field("run", run_name)
+      .field("git_sha", std::string(build_info::kGitSha))
+      .field("build_type", std::string(build_info::kBuildType))
       .field("duration_sec", duration_sec)
       .field("windows", static_cast<std::uint64_t>(result.iterations.size()))
       .field("cloud_calls", static_cast<std::uint64_t>(result.cloud_calls))
@@ -208,6 +253,10 @@ std::string run_summary_line(const std::string& run_name,
       .field("duplicates_discarded",
              static_cast<std::uint64_t>(result.duplicates_discarded))
       .field("degraded", result.degraded);
+  for (const auto& slo : result.slo) {
+    json.field("slo_" + slo.name + "_deadline_misses",
+               static_cast<std::uint64_t>(slo.deadline_misses));
+  }
   return json.str();
 }
 
@@ -409,6 +458,7 @@ int cmd_monitor(int argc, char** argv) {
   input.samples = dsp::resample(file.channels[picked].samples,
                                 file.sample_rate_hz, 256.0);
 
+  maybe_enable_profiler(telemetry);
   obs::MetricsRegistry registry;
   core::PipelineOptions pipeline_options;
   pipeline_options.metrics = &registry;
@@ -483,6 +533,7 @@ int cmd_synth_run(int argc, char** argv) {
   spec.onset_sec = duration_sec * 0.75;
   const auto input = synth::make_eval_input(spec);
 
+  maybe_enable_profiler(telemetry);
   obs::MetricsRegistry registry;
   core::PipelineOptions options;
   options.metrics = &registry;

@@ -10,6 +10,7 @@
 //       lead react.
 //   A4  16-bit wire quantization on/off (transport path fidelity).
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -61,12 +62,17 @@ Outcome evaluate(const mdb::MdbStore& store, const core::EmapConfig& config,
 }  // namespace
 
 int main() {
-  auto store = bench::load_or_build_mdb(26);
-  const int patients = 10;
+  auto store = bench::load_or_build_mdb(bench::per_corpus(26));
+  const int patients = bench::quick_mode() ? 3 : 10;
   const core::EmapConfig base = core::EmapConfig::paper_defaults();
 
   std::printf("=== Ablation studies (seizure, %d patients each) ===\n\n",
               patients);
+
+  double a1_corr_gain = 0.0;
+  double a2_default_detect = 0.0;
+  double a4_wire_detect = 0.0;
+  double a5_mac_reduction = 0.0;
 
   // --- A1: skip policy. ---
   std::printf("A1. sliding-window skip policy (search cost at equal "
@@ -114,6 +120,7 @@ int main() {
                 static_cast<unsigned long long>(
                     lin_result.stats.correlation_evals),
                 top_mean(lin_result));
+    a1_corr_gain = top_mean(exp_result) - top_mean(lin_result);
     std::printf("  -> at matched cost the exponential window %s the fixed "
                 "stride on match quality\n\n",
                 top_mean(exp_result) >= top_mean(lin_result) ? "beats"
@@ -124,10 +131,18 @@ int main() {
   std::printf("A2. tracker re-match scan budget (track_max_scan_offsets)\n");
   std::printf("  %-22s %12s %12s %14s\n", "budget", "detect", "lead[s]",
               "calls/100s");
-  for (std::size_t budget : {1u, 8u, 32u, 186u}) {
+  const std::size_t a2_full[] = {1u, 8u, 32u, 186u};
+  const std::size_t a2_quick[] = {32u};
+  const std::span<const std::size_t> a2_budgets =
+      bench::quick_mode() ? std::span<const std::size_t>(a2_quick)
+                          : std::span<const std::size_t>(a2_full);
+  for (std::size_t budget : a2_budgets) {
     core::EmapConfig config = base;
     config.track_max_scan_offsets = budget;
     const auto outcome = evaluate(store, config, {}, patients);
+    if (budget == 32) {
+      a2_default_detect = outcome.detect_rate;
+    }
     std::printf("  %-22zu %12.2f %12.1f %14.1f%s\n", budget,
                 outcome.detect_rate, outcome.mean_lead,
                 outcome.calls_per_100s,
@@ -139,7 +154,12 @@ int main() {
   std::printf("A3. cloud re-call threshold H\n");
   std::printf("  %-22s %12s %12s %14s\n", "H", "detect", "lead[s]",
               "calls/100s");
-  for (std::size_t h : {5u, 15u, 30u, 60u}) {
+  const std::size_t a3_full[] = {5u, 15u, 30u, 60u};
+  const std::size_t a3_quick[] = {30u};
+  const std::span<const std::size_t> a3_thresholds =
+      bench::quick_mode() ? std::span<const std::size_t>(a3_quick)
+                          : std::span<const std::size_t>(a3_full);
+  for (std::size_t h : a3_thresholds) {
     core::EmapConfig config = base;
     config.tracking_threshold_h = h;
     const auto outcome = evaluate(store, config, {}, patients);
@@ -156,6 +176,9 @@ int main() {
     core::PipelineOptions options;
     options.use_transport = use_transport;
     const auto outcome = evaluate(store, base, options, patients);
+    if (use_transport) {
+      a4_wire_detect = outcome.detect_rate;
+    }
     std::printf("  %-22s %12.2f %12.1f\n",
                 use_transport ? "16-bit wire" : "lossless", outcome.detect_rate,
                 outcome.mean_lead);
@@ -196,11 +219,17 @@ int main() {
                 fft.stats.wall_seconds * 1e3,
                 static_cast<unsigned long long>(fft.stats.mac_ops),
                 top_mean(fft));
+    a5_mac_reduction = static_cast<double>(exhaustive.stats.mac_ops) /
+                       static_cast<double>(
+                           std::max<std::uint64_t>(1, fft.stats.mac_ops));
     std::printf("  -> the FFT engine delivers exhaustive-quality matches at "
                 "~%.0fx fewer multiplies than the direct exhaustive scan\n",
-                static_cast<double>(exhaustive.stats.mac_ops) /
-                    static_cast<double>(std::max<std::uint64_t>(
-                        1, fft.stats.mac_ops)));
+                a5_mac_reduction);
   }
+  bench::write_headline(
+      "ablation", {{"a1_exp_skip_corr_gain", a1_corr_gain},
+                   {"a2_default_detect_accuracy", a2_default_detect},
+                   {"a4_wire_detect_accuracy", a4_wire_detect},
+                   {"a5_fft_mac_reduction_ratio", a5_mac_reduction}});
   return 0;
 }

@@ -12,7 +12,7 @@
 
 int main() {
   using namespace emap;
-  auto store = bench::load_or_build_mdb(26);
+  auto store = bench::load_or_build_mdb(bench::per_corpus(26));
   const core::EmapConfig config = core::EmapConfig::paper_defaults();
 
   std::printf("=== Fig. 2: anomaly probability across tracking iterations "
@@ -24,7 +24,7 @@ int main() {
   // normal/anomalous mixture like the paper's Iter.0 snapshot.
   double pa_sum[6] = {0};
   int pa_count[6] = {0};
-  const int inputs = 10;
+  const int inputs = bench::quick_mode() ? 3 : 10;
   for (int i = 0; i < inputs; ++i) {
     synth::EvalInputSpec spec;
     spec.cls = synth::AnomalyClass::kSeizure;
@@ -75,5 +75,8 @@ int main() {
   std::printf("\nshape check: PA rises substantially across iterations -> "
               "%s (paper: 0.22 -> 0.66)\n",
               pa5 - pa0 > 0.2 ? "REPRODUCED" : "NOT reproduced");
+  bench::write_headline("fig2", {{"pa_iter0", pa0},
+                                 {"pa_iter5_score", pa5},
+                                 {"pa_rise_score", pa5 - pa0}});
   return 0;
 }

@@ -11,11 +11,13 @@
 //    C++ scan has no per-set interpreter overhead).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "emap/baselines/exhaustive.hpp"
 #include "emap/core/search.hpp"
+#include "emap/obs/profiler.hpp"
 #include "emap/sim/device.hpp"
 
 namespace {
@@ -23,7 +25,8 @@ namespace {
 using namespace emap;
 
 mdb::MdbStore& full_store() {
-  static mdb::MdbStore store = bench::load_or_build_mdb(26);
+  static mdb::MdbStore store =
+      bench::load_or_build_mdb(bench::per_corpus(26));
   return store;
 }
 
@@ -72,7 +75,7 @@ BENCHMARK(BM_Exhaustive)->Arg(1000)->Arg(2000)->Arg(4000)
 BENCHMARK(BM_Algorithm1)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
-void print_device_model_table() {
+double print_device_model_table() {
   const auto cloud = sim::cloud_i7();
   const auto probe = probe_window();
   std::printf("\n=== Fig. 7(b): exploration time on the calibrated cloud "
@@ -99,8 +102,42 @@ void print_device_model_table() {
     std::printf("%-8zu %18.2f %18.2f %9.1fx\n", store.size(), t_full,
                 t_fast, t_full / t_fast);
   }
-  std::printf("mean speedup: %.1fx (paper: ~6.8x)\n",
-              ratio_sum / ratio_count);
+  const double mean_speedup = ratio_sum / ratio_count;
+  std::printf("mean speedup: %.1fx (paper: ~6.8x)\n", mean_speedup);
+  return mean_speedup;
+}
+
+// Profiler tax on the instrumented Algorithm 1 scan: the same search with
+// the stage hooks disabled vs enabled.  The hooks sit at scan-range
+// granularity, so the enabled overhead should stay well under the 5 %
+// acceptance bar; the measured number is reported as a headline metric so
+// the perf gate tracks it.
+double measure_profiler_overhead_pct() {
+  const auto store = subset(bench::quick_mode() ? 500 : 2000);
+  const auto probe = probe_window();
+  core::CrossCorrelationSearch search{core::EmapConfig{}};
+  benchmark::DoNotOptimize(search.search(probe, store));  // warm caches
+  const int reps = bench::quick_mode() ? 3 : 6;
+  auto time_runs = [&]() {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      benchmark::DoNotOptimize(search.search(probe, store));
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  obs::Profiler::set_enabled(false);
+  const double disabled_sec = time_runs();
+  obs::Profiler::set_enabled(true);
+  const double enabled_sec = time_runs();
+  obs::Profiler::set_enabled(false);
+  const double overhead_pct = (enabled_sec / disabled_sec - 1.0) * 100.0;
+  std::printf("\nprofiler overhead on the Algorithm 1 scan: %.2f%% "
+              "(disabled %.3fs, enabled %.3fs over %d reps) -> %s\n",
+              overhead_pct, disabled_sec, enabled_sec, reps,
+              overhead_pct < 5.0 ? "within 5% budget" : "OVER 5% budget");
+  return overhead_pct;
 }
 
 }  // namespace
@@ -111,6 +148,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_device_model_table();
+  const double mean_speedup = print_device_model_table();
+  const double overhead_pct = measure_profiler_overhead_pct();
+  bench::write_headline("fig7b",
+                        {{"mean_search_speedup", mean_speedup},
+                         {"profiler_overhead_pct", overhead_pct}});
   return 0;
 }

@@ -14,11 +14,11 @@
 
 int main() {
   using namespace emap;
-  auto store = bench::load_or_build_mdb(26);
+  auto store = bench::load_or_build_mdb(bench::per_corpus(26));
 
   // Sample input windows from monitored patients.
   std::vector<std::vector<double>> probes;
-  for (int i = 0; i < 8; ++i) {
+  for (int i = 0; i < (bench::quick_mode() ? 4 : 8); ++i) {
     synth::EvalInputSpec spec;
     spec.cls = (i % 2 == 0) ? synth::AnomalyClass::kSeizure
                             : synth::AnomalyClass::kNormal;
@@ -30,7 +30,8 @@ int main() {
 
   // One exhaustive pass computing both metrics per (probe, set, offset),
   // restricted to a store subset to bound runtime.
-  const std::size_t set_limit = std::min<std::size_t>(600, store.size());
+  const std::size_t set_limit =
+      std::min<std::size_t>(bench::quick_mode() ? 150 : 600, store.size());
   const std::size_t offset_stride = 4;
   const double deltas[] = {0.7, 0.8, 0.9, 0.95, 0.97};
   const double delta_areas[] = {400, 600, 800, 900, 1000, 1200};
@@ -89,5 +90,8 @@ int main() {
   std::printf("\nequivalence: delta = 0.8 (%.0f matches) ~ delta_A = %.0f "
               "sq. units (paper: ~900)\n",
               matches_at_08, best_delta_a);
+  bench::write_headline("fig8a",
+                        {{"matches_at_delta08", matches_at_08},
+                         {"equivalent_delta_area", best_delta_a}});
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "emap/common/build_info.hpp"
 #include "emap/core/config.hpp"
 #include "emap/dsp/fir.hpp"
 #include "emap/mdb/builder.hpp"
@@ -17,15 +18,62 @@
 
 namespace emap::bench {
 
+/// Provenance stamped onto every bench headline record: which binary
+/// produced the number (git SHA, compiler, flags) and which EmapConfig it
+/// ran (CRC fingerprint).  tools/perfdiff refuses to compare records whose
+/// config fingerprints differ.
+struct RunStamp {
+  std::string git_sha = build_info::kGitSha;
+  std::string build_type = build_info::kBuildType;
+  std::string compiler = build_info::kCompiler;
+  std::string flags = build_info::kFlags;
+  std::string config = core::EmapConfig::paper_defaults().fingerprint();
+
+  void apply(obs::JsonWriter& json) const {
+    json.field("git_sha", git_sha)
+        .field("build_type", build_type)
+        .field("compiler", compiler)
+        .field("flags", flags)
+        .field("config", config);
+  }
+};
+
+/// True when $EMAP_BENCH_QUICK is set: benches shrink their sweeps to a
+/// CI-smoke-sized workload (fewer inputs, smaller parameter grids) while
+/// keeping every headline metric defined.
+inline bool quick_mode() { return std::getenv("EMAP_BENCH_QUICK") != nullptr; }
+
+/// Recordings per corpus for the shared MDB: $EMAP_BENCH_PER_CORPUS
+/// overrides the bench's default (CI perf-smoke uses a small value so the
+/// suite runs in seconds; the committed baselines are recorded at that
+/// same size).
+inline std::size_t per_corpus(std::size_t default_count) {
+  const char* env = std::getenv("EMAP_BENCH_PER_CORPUS");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return default_count;
+}
+
 /// Appends one JSONL record of a bench's headline numbers to
 /// `BENCH_<name>.jsonl` (in $EMAP_BENCH_OUT when set, else the working
 /// directory).  Every bench trajectory file goes through this one code
-/// path — the obs JSONL exporter — so records stay uniformly parseable.
+/// path — the obs JSONL exporter — so records stay uniformly parseable,
+/// and every record carries the RunStamp provenance fields.
+///
+/// Failure handling: with $EMAP_BENCH_OUT set the caller asked for the
+/// file (CI collecting trajectory points), so a write failure propagates
+/// and fails the bench run; without it the record is best-effort and
+/// failure only logs.
 inline void write_headline(
     const std::string& bench,
     std::initializer_list<std::pair<const char*, double>> values) {
   obs::JsonWriter json;
   json.field("bench", bench);
+  RunStamp{}.apply(json);
   for (const auto& [key, value] : values) {
     json.field(key, value);
   }
@@ -39,6 +87,9 @@ inline void write_headline(
   } catch (const std::exception& error) {
     std::fprintf(stderr, "[bench] could not write headline: %s\n",
                  error.what());
+    if (out_dir != nullptr) {
+      throw;
+    }
   }
 }
 

@@ -1,5 +1,8 @@
 #include "emap/core/config.hpp"
 
+#include <cstdio>
+
+#include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 
 namespace emap::core {
@@ -24,6 +27,26 @@ void EmapConfig::validate() const {
           "EmapConfig: predict_trend_window must be >= 2");
   require(predict_persistence >= 1,
           "EmapConfig: predict_persistence must be >= 1");
+}
+
+std::string EmapConfig::fingerprint() const {
+  char canonical[512];
+  const int written = std::snprintf(
+      canonical, sizeof(canonical),
+      "fs=%.9g;win=%zu;taps=%zu;lo=%.9g;hi=%.9g;alpha=%.9g;delta=%.9g;"
+      "topk=%zu;skip=%zu;darea=%.9g;h=%zu;stride=%zu;scan=%zu;"
+      "phigh=%.9g;rise=%.9g;pbase=%.9g;trend=%zu;support=%zu;persist=%zu",
+      base_fs_hz, window_length, filter.taps, filter.low_cut_hz,
+      filter.high_cut_hz, alpha, delta, top_k, max_skip, delta_area,
+      tracking_threshold_h, track_scan_stride, track_max_scan_offsets,
+      predict_high_probability, predict_rise_threshold,
+      predict_base_probability, predict_trend_window, predict_min_support,
+      predict_persistence);
+  const std::uint32_t digest =
+      crc32(canonical, static_cast<std::size_t>(written));
+  char hex[9];
+  std::snprintf(hex, sizeof(hex), "%08x", digest);
+  return hex;
 }
 
 }  // namespace emap::core

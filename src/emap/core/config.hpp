@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "emap/dsp/fir.hpp"
 
@@ -52,6 +53,12 @@ struct EmapConfig {
 
   /// Throws InvalidArgument when any parameter is out of range.
   void validate() const;
+
+  /// Eight-hex-digit CRC-32 over the canonical parameter text.  Two runs
+  /// are perf-comparable only when their fingerprints match; bench and
+  /// telemetry exports stamp it so tools/perfdiff can refuse apples-to-
+  /// oranges comparisons.
+  std::string fingerprint() const;
 
   /// The configuration used throughout the paper's evaluation.
   static EmapConfig paper_defaults() { return EmapConfig{}; }

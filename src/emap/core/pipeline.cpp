@@ -5,6 +5,8 @@
 
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
+#include "emap/obs/profiler.hpp"
+#include "emap/obs/slo.hpp"
 
 namespace emap::core {
 
@@ -23,8 +25,8 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
     : config_(config),
       options_(options),
       cloud_(std::move(store), config_, options.cloud_threads),
-      edge_device_(sim::edge_raspberry_pi()),
-      cloud_device_(sim::cloud_i7()) {
+      edge_device_(options.edge_device.value_or(sim::edge_raspberry_pi())),
+      cloud_device_(options.cloud_device.value_or(sim::cloud_i7())) {
   config_.validate();
   options_.fault.validate();
   options_.retry.validate();
@@ -86,6 +88,7 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     std::uint32_t sequence, const std::vector<double>& filtered_window,
     double now_sec, net::Channel& channel, const net::RetryPolicy& retry,
     obs::Tracer* tracer) const {
+  EMAP_PROFILE_SCOPE("cloud_call");
   net::SignalUploadMessage upload;
   upload.sequence = sequence;
   upload.samples = filtered_window;
@@ -341,6 +344,11 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     result.tracer = std::make_shared<obs::Tracer>();
     tracer = result.tracer.get();
   }
+
+  // Fresh per run (runs are independent); the registry-side emap_slo_*
+  // counters accumulate across runs like every other pipeline metric.
+  obs::SloMonitor edge_slo(obs::edge_iteration_slo(), options_.metrics);
+  obs::SloMonitor initial_slo(obs::initial_response_slo(), options_.metrics);
   std::optional<PendingSearch> pending;
   bool first_round_trip_recorded = false;
   std::int64_t last_loaded_sequence = -1;
@@ -357,6 +365,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     if (options_.stop_at_sec >= 0.0 && t_end > options_.stop_at_sec) {
       break;
     }
+    EMAP_PROFILE_SCOPE("pipeline_window");
     const std::span<const double> raw(input.samples.data() + w * window,
                                       window);
     if (tracer != nullptr) {
@@ -387,6 +396,8 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         edge.tracker().load(std::move(pending->correlation_set));
         record.set_loaded = true;
         record.pa_on_load = edge.tracker().anomaly_probability();
+        initial_slo.observe(pending->delta_ec + pending->delta_cs +
+                            pending->delta_ce);
         if (!first_round_trip_recorded) {
           result.timings.delta_ec_sec = pending->delta_ec;
           result.timings.delta_cs_sec = pending->delta_cs;
@@ -424,6 +435,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
           edge_device_.per_signal_overhead_sec *
               static_cast<double>(step.tracked_before);
       total_track_sec += record.track_device_sec;
+      edge_slo.observe(record.track_device_sec);
       result.timings.max_track_sec =
           std::max(result.timings.max_track_sec, record.track_device_sec);
       ++track_steps;
@@ -467,6 +479,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   }
   result.anomaly_predicted = edge.predictor().anomaly_predicted();
   result.first_alarm_sec = edge.predictor().first_alarm_sec();
+  result.slo = {edge_slo.summary(), initial_slo.summary()};
   if (tracer != nullptr) {
     // The legacy Fig. 9 timeline is a projection of the span log.
     result.trace = obs::timeline_view(*tracer);

@@ -30,6 +30,7 @@
 #include "emap/net/fault.hpp"
 #include "emap/net/retry.hpp"
 #include "emap/obs/metrics.hpp"
+#include "emap/obs/slo.hpp"
 #include "emap/obs/span.hpp"
 #include "emap/sim/device.hpp"
 #include "emap/sim/trace.hpp"
@@ -66,8 +67,14 @@ struct PipelineOptions {
   double filter_accelerator_sec = 0.002;
   /// Telemetry registry (borrowed; nullptr disables).  When set, the
   /// pipeline and every layer it drives (search, tracker, channel, codec,
-  /// fault injector) record `emap_*` metrics into it.
+  /// fault injector) record `emap_*` metrics into it, including the
+  /// `emap_slo_*` families of the two paper budgets.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Device-model overrides (default: Raspberry Pi edge, i7 cloud).  A
+  /// slower edge profile pushes track steps past the 1 s budget — which is
+  /// how the SLO integration test provokes deadline misses on demand.
+  std::optional<sim::DeviceProfile> edge_device;
+  std::optional<sim::DeviceProfile> cloud_device;
 };
 
 /// Per-iteration record of the run.
@@ -122,6 +129,10 @@ struct RunResult {
   /// Full span log of the run (null when options.collect_trace is false);
   /// export with obs::to_chrome_trace / obs::write_chrome_trace.
   std::shared_ptr<obs::Tracer> tracer;
+  /// Verdicts of the paper's two latency budgets over this run
+  /// (edge_iteration, initial_response); export with
+  /// obs::write_slo_report.
+  std::vector<obs::SloSummary> slo;
 
   /// P_A sequence across tracked iterations.
   std::vector<double> pa_history() const;

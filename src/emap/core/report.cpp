@@ -73,6 +73,12 @@ std::string run_summary_json(const RunResult& result) {
        << ",";
   json << "\"mean_track_sec\":" << result.timings.mean_track_sec << ",";
   json << "\"max_track_sec\":" << result.timings.max_track_sec;
+  for (const auto& slo : result.slo) {
+    json << ",\"slo_" << slo.name
+         << "_deadline_misses\":" << slo.deadline_misses;
+    json << ",\"slo_" << slo.name << "_near_misses\":" << slo.near_misses;
+    json << ",\"slo_" << slo.name << "_burn_rate\":" << slo.burn_rate;
+  }
   json << "}";
   return json.str();
 }

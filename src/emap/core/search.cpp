@@ -8,6 +8,7 @@
 
 #include "emap/common/error.hpp"
 #include "emap/dsp/xcorr.hpp"
+#include "emap/obs/profiler.hpp"
 
 namespace emap::core {
 namespace {
@@ -65,6 +66,10 @@ SearchResult CrossCorrelationSearch::search(
   std::atomic<std::uint64_t> total_offsets{0};
 
   auto scan_range = [&](std::size_t begin, std::size_t end) {
+    // The work counter records offsets leapt over by the exponential
+    // window (offsets covered minus correlations evaluated) — the quantity
+    // Algorithm 1's speedup claim rides on.
+    obs::ProfileScope profile_scope("search_scan");
     std::vector<SearchMatch> local;
     std::uint64_t evals = 0;
     std::uint64_t offsets = 0;
@@ -91,6 +96,7 @@ SearchResult CrossCorrelationSearch::search(
     total_evals.fetch_add(evals, std::memory_order_relaxed);
     total_hits.fetch_add(local.size(), std::memory_order_relaxed);
     total_offsets.fetch_add(offsets, std::memory_order_relaxed);
+    profile_scope.add_work(offsets > evals ? offsets - evals : 0);
     std::lock_guard<std::mutex> lock(merge_mutex);
     candidates.insert(candidates.end(), local.begin(), local.end());
   };

@@ -5,6 +5,7 @@
 
 #include "emap/common/error.hpp"
 #include "emap/dsp/area.hpp"
+#include "emap/obs/profiler.hpp"
 
 namespace emap::core {
 
@@ -98,6 +99,8 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
   }
   require(filtered_window.size() == config_.window_length,
           "EdgeTracker::step: window length mismatch");
+  // Work = early-exit ABS ops, the unit the edge device model charges for.
+  obs::ProfileScope profile_scope("track_step");
   const auto start_time = std::chrono::steady_clock::now();
 
   const std::size_t window = config_.window_length;
@@ -139,6 +142,7 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
   }
   tracked_ = std::move(survivors);
 
+  profile_scope.add_work(result.abs_ops);
   result.tracked_after = tracked_.size();
   result.anomaly_probability = anomaly_probability();
   result.cloud_call_needed = tracked_.size() < config_.tracking_threshold_h;

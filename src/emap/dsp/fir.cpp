@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "emap/common/error.hpp"
+#include "emap/obs/profiler.hpp"
 
 namespace emap::dsp {
 namespace {
@@ -113,6 +114,9 @@ FirFilter FirFilter::paper_bandpass() {
 }
 
 std::vector<double> FirFilter::apply(std::span<const double> input) const {
+  // Work = samples filtered (the convolution is taps * samples MACs).
+  obs::ProfileScope profile_scope("fir_apply");
+  profile_scope.add_work(input.size());
   std::vector<double> output(input.size(), 0.0);
   const std::size_t taps = coefficients_.size();
   for (std::size_t k = 0; k < input.size(); ++k) {

@@ -2,6 +2,7 @@
 
 #include "emap/common/error.hpp"
 #include "emap/obs/metrics.hpp"
+#include "emap/obs/profiler.hpp"
 
 namespace emap::net {
 
@@ -100,6 +101,9 @@ double Channel::download_seconds(std::size_t payload_bytes) {
 
 TransferOutcome Channel::transfer(Direction direction,
                                   std::span<std::uint8_t> bytes) {
+  // Work = payload bytes moved through the channel model.
+  obs::ProfileScope profile_scope("channel_transfer");
+  profile_scope.add_work(bytes.size());
   TransferOutcome outcome;
   outcome.seconds =
       transfer_seconds(bytes.size(), direction_rate_mbps(direction));

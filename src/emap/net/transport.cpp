@@ -6,6 +6,7 @@
 
 #include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
+#include "emap/obs/profiler.hpp"
 
 namespace emap::net {
 namespace {
@@ -168,6 +169,7 @@ std::size_t wire_size(const CorrelationSetMessage& message) {
 }
 
 std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message) {
+  EMAP_PROFILE_SCOPE("codec_encode");
   std::vector<std::uint8_t> out;
   out.reserve(wire_size(message));
   write_u32(out, kUploadMagic);
@@ -178,6 +180,7 @@ std::vector<std::uint8_t> encode_upload(const SignalUploadMessage& message) {
 }
 
 SignalUploadMessage decode_upload(std::span<const std::uint8_t> bytes) {
+  EMAP_PROFILE_SCOPE("codec_decode");
   Reader reader(check_seal(bytes, "decode_upload"));
   if (reader.u32() != kUploadMagic) {
     throw CorruptData("decode_upload: bad magic");
@@ -193,6 +196,7 @@ SignalUploadMessage decode_upload(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> encode_correlation_set(
     const CorrelationSetMessage& message) {
+  EMAP_PROFILE_SCOPE("codec_encode");
   std::vector<std::uint8_t> out;
   out.reserve(wire_size(message));
   write_u32(out, kDownloadMagic);
@@ -212,6 +216,7 @@ std::vector<std::uint8_t> encode_correlation_set(
 
 CorrelationSetMessage decode_correlation_set(
     std::span<const std::uint8_t> bytes) {
+  EMAP_PROFILE_SCOPE("codec_decode");
   Reader reader(check_seal(bytes, "decode_correlation_set"));
   if (reader.u32() != kDownloadMagic) {
     throw CorruptData("decode_correlation_set: bad magic");

@@ -47,19 +47,20 @@ std::string prometheus_escape(const std::string& text) {
 }
 
 std::string label_block(const Labels& labels) {
-  if (labels.empty()) {
-    return {};
-  }
-  std::string block = "{";
+  std::string block;
   bool first = true;
   for (const auto& [key, value] : labels) {
-    if (!first) {
-      block += ',';
+    if (key.empty()) {
+      continue;  // a nameless label cannot be represented; drop it
     }
+    block += first ? '{' : ',';
     first = false;
-    block += key + "=\"" + prometheus_escape(value) + "\"";
+    block += prometheus_sanitize_name(key, /*is_label=*/true) + "=\"" +
+             prometheus_escape(value) + "\"";
   }
-  block += '}';
+  if (!block.empty()) {
+    block += '}';
+  }
   return block;
 }
 
@@ -85,26 +86,45 @@ const char* kind_name(MetricKind kind) {
 
 }  // namespace
 
+std::string prometheus_sanitize_name(const std::string& name,
+                                     bool is_label) {
+  if (name.empty()) {
+    return "_";
+  }
+  std::string sanitized;
+  sanitized.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    const bool legal =
+        alpha || digit || c == '_' || (c == ':' && !is_label);
+    sanitized += legal ? c : '_';
+  }
+  if (sanitized.front() >= '0' && sanitized.front() <= '9') {
+    sanitized.insert(sanitized.begin(), '_');
+  }
+  return sanitized;
+}
+
 std::string to_prometheus(const MetricsRegistry& registry) {
   std::ostringstream out;
   std::string last_family;
   for (const MetricEntry* entry : registry.entries()) {
+    const std::string name = prometheus_sanitize_name(entry->name);
     if (entry->name != last_family) {
       if (!entry->help.empty()) {
-        out << "# HELP " << entry->name << ' ' << entry->help << '\n';
+        out << "# HELP " << name << ' ' << entry->help << '\n';
       }
-      out << "# TYPE " << entry->name << ' ' << kind_name(entry->kind)
-          << '\n';
+      out << "# TYPE " << name << ' ' << kind_name(entry->kind) << '\n';
       last_family = entry->name;
     }
     const std::string labels = label_block(entry->labels);
     switch (entry->kind) {
       case MetricKind::kCounter:
-        out << entry->name << labels << ' ' << entry->counter->value()
-            << '\n';
+        out << name << labels << ' ' << entry->counter->value() << '\n';
         break;
       case MetricKind::kGauge:
-        out << entry->name << labels << ' '
+        out << name << labels << ' '
             << prometheus_value(entry->gauge->value()) << '\n';
         break;
       case MetricKind::kHistogram: {
@@ -118,17 +138,17 @@ std::string to_prometheus(const MetricsRegistry& registry) {
             continue;
           }
           cumulative += in_bucket;
-          out << entry->name << "_bucket"
+          out << name << "_bucket"
               << label_block_with(entry->labels, "le",
                                   format_double(histogram.bounds()[i]))
               << ' ' << cumulative << '\n';
         }
-        out << entry->name << "_bucket"
+        out << name << "_bucket"
             << label_block_with(entry->labels, "le", "+Inf") << ' '
             << histogram.count() << '\n';
-        out << entry->name << "_sum" << labels << ' '
+        out << name << "_sum" << labels << ' '
             << prometheus_value(histogram.sum()) << '\n';
-        out << entry->name << "_count" << labels << ' ' << histogram.count()
+        out << name << "_count" << labels << ' ' << histogram.count()
             << '\n';
         break;
       }

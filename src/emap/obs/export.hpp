@@ -28,7 +28,16 @@ std::string to_chrome_trace(const Tracer& tracer);
 void write_chrome_trace(const std::filesystem::path& path,
                         const Tracer& tracer);
 
+/// Coerces `name` into a legal Prometheus identifier: metric names match
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, label names the same minus the colons.
+/// Illegal characters are replaced with '_', a leading digit gains a '_'
+/// prefix, and an empty name collapses to "_".
+std::string prometheus_sanitize_name(const std::string& name,
+                                     bool is_label = false);
+
 /// Prometheus text-exposition format (version 0.0.4) of the registry.
+/// Metric and label names are sanitized via prometheus_sanitize_name;
+/// labels whose key is empty are dropped rather than emitted.
 std::string to_prometheus(const MetricsRegistry& registry);
 void write_prometheus(const std::filesystem::path& path,
                       const MetricsRegistry& registry);

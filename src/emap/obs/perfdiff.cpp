@@ -1,0 +1,288 @@
+#include "emap/obs/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "emap/common/error.hpp"
+
+namespace emap::obs {
+
+namespace {
+
+[[noreturn]] void bad_record(const std::string& line, const char* what) {
+  throw CorruptData("parse_bench_record: " + std::string(what) + " in: " +
+                    (line.size() > 120 ? line.substr(0, 120) + "..." : line));
+}
+
+void skip_spaces(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+    ++pos;
+  }
+}
+
+std::string parse_string(const std::string& line, std::size_t& pos) {
+  // pos is at the opening quote.
+  ++pos;
+  std::string out;
+  while (pos < line.size() && line[pos] != '"') {
+    char c = line[pos];
+    if (c == '\\') {
+      ++pos;
+      if (pos >= line.size()) {
+        bad_record(line, "truncated escape");
+      }
+      switch (line[pos]) {
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        case 'u': {
+          // Flat bench records never emit non-ASCII; decode the escape's
+          // low byte so parsing at least stays lossless for ASCII.
+          if (pos + 4 >= line.size()) {
+            bad_record(line, "truncated \\u escape");
+          }
+          const std::string hex = line.substr(pos + 1, 4);
+          c = static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16) & 0xff);
+          pos += 4;
+          break;
+        }
+        default: bad_record(line, "unknown escape");
+      }
+    }
+    out.push_back(c);
+    ++pos;
+  }
+  if (pos >= line.size()) {
+    bad_record(line, "unterminated string");
+  }
+  ++pos;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+BenchRecord parse_bench_record(const std::string& line) {
+  BenchRecord record;
+  std::size_t pos = 0;
+  skip_spaces(line, pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    bad_record(line, "expected '{'");
+  }
+  ++pos;
+  skip_spaces(line, pos);
+  bool first = true;
+  while (pos < line.size() && line[pos] != '}') {
+    if (!first) {
+      if (line[pos] != ',') {
+        bad_record(line, "expected ','");
+      }
+      ++pos;
+      skip_spaces(line, pos);
+    }
+    first = false;
+    if (pos >= line.size() || line[pos] != '"') {
+      bad_record(line, "expected key");
+    }
+    const std::string key = parse_string(line, pos);
+    skip_spaces(line, pos);
+    if (pos >= line.size() || line[pos] != ':') {
+      bad_record(line, "expected ':'");
+    }
+    ++pos;
+    skip_spaces(line, pos);
+    if (pos >= line.size()) {
+      bad_record(line, "truncated value");
+    }
+    if (line[pos] == '"') {
+      const std::string value = parse_string(line, pos);
+      if (key == "bench") {
+        record.bench = value;
+      } else {
+        record.tags[key] = value;
+      }
+    } else if (line.compare(pos, 4, "true") == 0) {
+      record.metrics[key] = 1.0;
+      pos += 4;
+    } else if (line.compare(pos, 5, "false") == 0) {
+      record.metrics[key] = 0.0;
+      pos += 5;
+    } else if (line.compare(pos, 4, "null") == 0) {
+      pos += 4;
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + pos, &end);
+      if (end == line.c_str() + pos) {
+        bad_record(line, "expected value");
+      }
+      record.metrics[key] = value;
+      pos = static_cast<std::size_t>(end - line.c_str());
+    }
+    skip_spaces(line, pos);
+  }
+  if (pos >= line.size() || line[pos] != '}') {
+    bad_record(line, "expected '}'");
+  }
+  return record;
+}
+
+std::vector<BenchRecord> load_bench_records(
+    const std::filesystem::path& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    throw IoError("load_bench_records: cannot open " + path.string());
+  }
+  std::vector<BenchRecord> records;
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::size_t pos = 0;
+    skip_spaces(line, pos);
+    if (pos >= line.size()) {
+      continue;
+    }
+    records.push_back(parse_bench_record(line));
+  }
+  return records;
+}
+
+bool metric_higher_is_better(const std::string& name) {
+  static const char* const kHigherBetter[] = {
+      "speedup", "accuracy", "ratio",     "corr", "auc",
+      "recall",  "precision", "score",    "throughput"};
+  for (const char* marker : kHigherBetter) {
+    if (name.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Last record per bench name (appended JSONL: newest wins).
+std::map<std::string, const BenchRecord*> latest_by_bench(
+    const std::vector<BenchRecord>& records) {
+  std::map<std::string, const BenchRecord*> out;
+  for (const BenchRecord& record : records) {
+    out[record.bench] = &record;
+  }
+  return out;
+}
+
+}  // namespace
+
+PerfDiffResult perf_diff(const std::vector<BenchRecord>& baseline,
+                         const std::vector<BenchRecord>& current,
+                         const PerfDiffOptions& options) {
+  PerfDiffResult result;
+  const auto base_map = latest_by_bench(baseline);
+  const auto cur_map = latest_by_bench(current);
+
+  for (const auto& [bench, base] : base_map) {
+    const auto found = cur_map.find(bench);
+    if (found == cur_map.end()) {
+      result.notes.push_back("bench '" + bench +
+                             "' present only in baseline; skipped");
+      continue;
+    }
+    const BenchRecord& cur = *found->second;
+    if (options.check_fingerprint) {
+      const auto base_fp = base->tags.find("config");
+      const auto cur_fp = cur.tags.find("config");
+      if (base_fp != base->tags.end() && cur_fp != cur.tags.end() &&
+          base_fp->second != cur_fp->second) {
+        result.notes.push_back(
+            "bench '" + bench + "' config fingerprint mismatch (baseline " +
+            base_fp->second + ", current " + cur_fp->second +
+            "); not comparable, skipped");
+        continue;
+      }
+    }
+    for (const auto& [metric, base_value] : base->metrics) {
+      const auto cur_metric = cur.metrics.find(metric);
+      if (cur_metric == cur.metrics.end()) {
+        result.notes.push_back("bench '" + bench + "' metric '" + metric +
+                               "' missing from current run");
+        continue;
+      }
+      PerfDelta delta;
+      delta.bench = bench;
+      delta.metric = metric;
+      delta.baseline = base_value;
+      delta.current = cur_metric->second;
+      delta.higher_is_better = metric_higher_is_better(metric);
+      if (base_value != 0.0) {
+        delta.change_frac =
+            (delta.current - delta.baseline) / std::fabs(delta.baseline);
+      } else if (delta.current != 0.0) {
+        delta.change_frac = delta.current > 0.0
+                                ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity();
+      }
+      const double bad_move =
+          delta.higher_is_better ? -delta.change_frac : delta.change_frac;
+      delta.regressed = bad_move > options.threshold;
+      if (delta.regressed) {
+        result.regressions += 1;
+      }
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [bench, record] : cur_map) {
+    (void)record;
+    if (base_map.find(bench) == base_map.end()) {
+      result.notes.push_back("bench '" + bench +
+                             "' has no baseline yet; passes by default");
+    }
+  }
+  return result;
+}
+
+std::string format_perf_diff(const PerfDiffResult& result,
+                             const PerfDiffOptions& options) {
+  std::ostringstream out;
+  std::size_t bench_width = 5;
+  std::size_t metric_width = 6;
+  for (const PerfDelta& delta : result.deltas) {
+    bench_width = std::max(bench_width, delta.bench.size());
+    metric_width = std::max(metric_width, delta.metric.size());
+  }
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s %-*s %14s %14s %9s %4s %s\n",
+                static_cast<int>(bench_width), "bench",
+                static_cast<int>(metric_width), "metric", "baseline",
+                "current", "change", "dir", "verdict");
+  out << line;
+  for (const PerfDelta& delta : result.deltas) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s %-*s %14.6g %14.6g %+8.2f%% %4s %s\n",
+                  static_cast<int>(bench_width), delta.bench.c_str(),
+                  static_cast<int>(metric_width), delta.metric.c_str(),
+                  delta.baseline, delta.current, delta.change_frac * 100.0,
+                  delta.higher_is_better ? "up" : "down",
+                  delta.regressed ? "REGRESSED" : "ok");
+    out << line;
+  }
+  for (const std::string& note : result.notes) {
+    out << "note: " << note << "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu metric(s) compared, %zu regression(s) past %.0f%% "
+                "threshold -> %s\n",
+                result.deltas.size(), result.regressions,
+                options.threshold * 100.0, result.ok() ? "PASS" : "FAIL");
+  out << line;
+  return out.str();
+}
+
+}  // namespace emap::obs

@@ -1,0 +1,89 @@
+// Perf-regression diffing over bench headline records.
+//
+// Every bench appends one flat-JSON record of its headline numbers to
+// BENCH_<name>.jsonl (bench/bench_util.hpp).  This module parses those
+// records, pairs a current run against a committed baseline under
+// bench/baselines/, classifies each metric's delta by an inferred
+// direction (latencies regress upward, speedups/accuracies regress
+// downward), and reports which metrics moved past a threshold.  The
+// tools/perfdiff CLI is a thin shell around perf_diff(): the library keeps
+// the logic unit-testable and the CLI's exit code honest.
+//
+// Comparisons are refused (per bench, with a note) when the two records
+// carry different config fingerprints — a changed EmapConfig makes every
+// latency apples-to-oranges, and a silent pass on mismatched configs is
+// exactly the failure mode a perf gate exists to prevent.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emap::obs {
+
+/// One bench headline record: the flat JSON object split into numeric
+/// metrics and string tags (git_sha, config, flags, bench).
+struct BenchRecord {
+  std::string bench;
+  std::map<std::string, double> metrics;
+  std::map<std::string, std::string> tags;
+};
+
+/// Parses one flat JSON object line (string / number / bool values; no
+/// nesting).  Throws CorruptData on malformed input.
+BenchRecord parse_bench_record(const std::string& line);
+
+/// Loads every record of a BENCH_*.jsonl file (blank lines skipped).
+/// Throws IoError when the file cannot be read, CorruptData on a bad line.
+std::vector<BenchRecord> load_bench_records(const std::filesystem::path& path);
+
+/// Direction inference by metric name: substrings speedup / accuracy /
+/// ratio / corr / auc / recall / precision / score / throughput mark
+/// higher-is-better; everything else (latencies, times, ops, misses)
+/// regresses upward.
+bool metric_higher_is_better(const std::string& name);
+
+/// One metric compared across baseline and current.
+struct PerfDelta {
+  std::string bench;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// Signed relative change (current - baseline) / |baseline|; 0 when the
+  /// baseline is 0 and current matches, +/-inf otherwise.
+  double change_frac = 0.0;
+  bool higher_is_better = false;
+  bool regressed = false;  ///< moved in the bad direction past threshold
+};
+
+struct PerfDiffOptions {
+  /// Relative change in the bad direction that fails the gate.
+  double threshold = 0.10;
+  /// Refuse per-bench comparison when `config` fingerprints differ.
+  bool check_fingerprint = true;
+};
+
+struct PerfDiffResult {
+  std::vector<PerfDelta> deltas;
+  /// Human-readable skips: benches only in one side, fingerprint
+  /// mismatches, metrics missing from the current run.
+  std::vector<std::string> notes;
+  std::size_t regressions = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+/// Compares current against baseline.  When a bench appears multiple times
+/// on one side (appended JSONL runs), the last record wins.  Metrics
+/// present only in the baseline are noted, not failed; metrics new in the
+/// current run pass silently (they have no baseline yet).
+PerfDiffResult perf_diff(const std::vector<BenchRecord>& baseline,
+                         const std::vector<BenchRecord>& current,
+                         const PerfDiffOptions& options = {});
+
+/// Aligned per-metric delta table plus the notes and a verdict line.
+std::string format_perf_diff(const PerfDiffResult& result,
+                             const PerfDiffOptions& options = {});
+
+}  // namespace emap::obs

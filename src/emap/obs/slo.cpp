@@ -1,0 +1,199 @@
+#include "emap/obs/slo.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "emap/common/build_info.hpp"
+#include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
+
+namespace emap::obs {
+
+SloSpec edge_iteration_slo() {
+  SloSpec spec;
+  spec.name = "edge_iteration";
+  spec.budget_sec = 1.0;  // one 256-sample window at 256 Hz
+  return spec;
+}
+
+SloSpec initial_response_slo() {
+  SloSpec spec;
+  spec.name = "initial_response";
+  spec.budget_sec = 3.0;  // Eq. 4: Delta_EC + Delta_CS + Delta_CE
+  return spec;
+}
+
+SloMonitor::SloMonitor(SloSpec spec, MetricsRegistry* registry)
+    : spec_(std::move(spec)),
+      latency_(Histogram::default_latency_bounds()),
+      recent_miss_(spec_.burn_window > 0 ? spec_.burn_window : 1, false) {
+  if (registry != nullptr) {
+    const Labels labels = {{"slo", spec_.name}};
+    observations_metric_ =
+        &registry->counter("emap_slo_observations_total", labels,
+                           "Latency observations classified against the SLO");
+    miss_metric_ =
+        &registry->counter("emap_slo_deadline_miss_total", labels,
+                           "Observations that exceeded the SLO budget");
+    near_miss_metric_ = &registry->counter(
+        "emap_slo_near_miss_total", labels,
+        "Observations within budget but above the near-miss band");
+    burn_metric_ =
+        &registry->gauge("emap_slo_burn_rate", labels,
+                         "Rolling miss rate over the error budget (1=at "
+                         "target, >1=violating)");
+    budget_metric_ = &registry->gauge("emap_slo_budget_seconds", labels,
+                                      "SLO latency budget");
+    budget_metric_->set(spec_.budget_sec);
+    latency_metric_ = &registry->histogram(
+        "emap_slo_latency_seconds", labels,
+        Histogram::default_latency_bounds(),
+        "Latency observations measured against the SLO");
+  }
+}
+
+void SloMonitor::observe(double latency_sec) {
+  observations_ += 1;
+  latency_.observe(latency_sec);
+  if (latency_sec > max_latency_sec_) {
+    max_latency_sec_ = latency_sec;
+  }
+  const bool miss = latency_sec > spec_.budget_sec;
+  const bool near =
+      !miss && latency_sec > spec_.near_miss_fraction * spec_.budget_sec;
+  if (miss) {
+    deadline_misses_ += 1;
+  }
+  if (near) {
+    near_misses_ += 1;
+  }
+
+  // Rolling window: replace the oldest flag with this one.
+  if (recent_count_ == recent_miss_.size()) {
+    recent_misses_ -= recent_miss_[recent_next_] ? 1u : 0u;
+  } else {
+    recent_count_ += 1;
+  }
+  recent_miss_[recent_next_] = miss;
+  recent_misses_ += miss ? 1u : 0u;
+  recent_next_ = (recent_next_ + 1) % recent_miss_.size();
+
+  if (observations_metric_ != nullptr) {
+    observations_metric_->increment();
+    if (miss) {
+      miss_metric_->increment();
+    }
+    if (near) {
+      near_miss_metric_->increment();
+    }
+    latency_metric_->observe(latency_sec);
+    burn_metric_->set(burn_rate());
+  }
+}
+
+double SloMonitor::burn_rate() const {
+  if (recent_count_ == 0) {
+    return 0.0;
+  }
+  const double error_budget = 1.0 - spec_.target;
+  const double rolling_miss_rate =
+      static_cast<double>(recent_misses_) / static_cast<double>(recent_count_);
+  if (error_budget <= 0.0) {
+    // target == 1: any miss is an infinite burn; report misses directly
+    // scaled so healthy() still reads "no miss in the window".
+    return rolling_miss_rate > 0.0 ? std::numeric_limits<double>::infinity()
+                                   : 0.0;
+  }
+  return rolling_miss_rate / error_budget;
+}
+
+SloSummary SloMonitor::summary() const {
+  SloSummary out;
+  out.name = spec_.name;
+  out.budget_sec = spec_.budget_sec;
+  out.target = spec_.target;
+  out.observations = observations_;
+  out.deadline_misses = deadline_misses_;
+  out.near_misses = near_misses_;
+  out.miss_rate = observations_ > 0 ? static_cast<double>(deadline_misses_) /
+                                          static_cast<double>(observations_)
+                                    : 0.0;
+  out.burn_rate = burn_rate();
+  out.max_latency_sec = max_latency_sec_;
+  out.p50_latency_sec = latency_.quantile(0.50);
+  out.p99_latency_sec = latency_.quantile(0.99);
+  return out;
+}
+
+std::string slo_report_json(const std::vector<SloSummary>& summaries) {
+  std::ostringstream out;
+  out << "{\"build\":{\"git_sha\":\"" << json_escape(build_info::kGitSha)
+      << "\",\"build_type\":\"" << json_escape(build_info::kBuildType)
+      << "\",\"compiler\":\"" << json_escape(build_info::kCompiler)
+      << "\"},\"slos\":[";
+  bool first = true;
+  for (const SloSummary& slo : summaries) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    JsonWriter json;
+    json.field("slo", slo.name)
+        .field("budget_sec", slo.budget_sec)
+        .field("target", slo.target)
+        .field("observations", slo.observations)
+        .field("deadline_misses", slo.deadline_misses)
+        .field("near_misses", slo.near_misses)
+        .field("miss_rate", slo.miss_rate)
+        .field("burn_rate", slo.burn_rate)
+        .field("max_latency_sec", slo.max_latency_sec)
+        .field("p50_latency_sec", slo.p50_latency_sec)
+        .field("p99_latency_sec", slo.p99_latency_sec);
+    out << json.str();
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string slo_report_csv(const std::vector<SloSummary>& summaries) {
+  std::ostringstream out;
+  out << "slo,budget_sec,target,observations,deadline_misses,near_misses,"
+         "miss_rate,burn_rate,max_latency_sec,p50_latency_sec,"
+         "p99_latency_sec\n";
+  for (const SloSummary& slo : summaries) {
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "%s,%.9g,%.9g,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                  slo.name.c_str(), slo.budget_sec, slo.target,
+                  static_cast<unsigned long long>(slo.observations),
+                  static_cast<unsigned long long>(slo.deadline_misses),
+                  static_cast<unsigned long long>(slo.near_misses),
+                  slo.miss_rate, slo.burn_rate, slo.max_latency_sec,
+                  slo.p50_latency_sec, slo.p99_latency_sec);
+    out << row;
+  }
+  return out.str();
+}
+
+void write_slo_report(const std::filesystem::path& path,
+                      const std::vector<SloSummary>& summaries) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  if (!stream) {
+    throw IoError("write_slo_report: cannot open " + path.string());
+  }
+  if (path.extension() == ".csv") {
+    stream << slo_report_csv(summaries);
+  } else {
+    stream << slo_report_json(summaries) << "\n";
+  }
+  if (!stream) {
+    throw IoError("write_slo_report: write failed for " + path.string());
+  }
+}
+
+}  // namespace emap::obs

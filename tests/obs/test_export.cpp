@@ -150,6 +150,76 @@ TEST(Prometheus, EmitsTypeHeaderOncePerFamily) {
   EXPECT_EQ(headers, 1u);
 }
 
+TEST(PrometheusSanitize, PassesLegalNamesThrough) {
+  EXPECT_EQ(prometheus_sanitize_name("emap_slo_burn_rate"),
+            "emap_slo_burn_rate");
+  EXPECT_EQ(prometheus_sanitize_name("ns:metric_total"), "ns:metric_total");
+  EXPECT_EQ(prometheus_sanitize_name("_private"), "_private");
+}
+
+TEST(PrometheusSanitize, ReplacesReservedCharacters) {
+  EXPECT_EQ(prometheus_sanitize_name("emap.latency-seconds"),
+            "emap_latency_seconds");
+  EXPECT_EQ(prometheus_sanitize_name("per cent %"), "per_cent__");
+  EXPECT_EQ(prometheus_sanitize_name("a{b}c\"d"), "a_b_c_d");
+}
+
+TEST(PrometheusSanitize, LabelNamesRejectColons) {
+  EXPECT_EQ(prometheus_sanitize_name("ns:label", /*is_label=*/true),
+            "ns_label");
+  EXPECT_EQ(prometheus_sanitize_name("ns:metric", /*is_label=*/false),
+            "ns:metric");
+}
+
+TEST(PrometheusSanitize, LeadingDigitGainsUnderscore) {
+  EXPECT_EQ(prometheus_sanitize_name("95th_percentile"), "_95th_percentile");
+  EXPECT_EQ(prometheus_sanitize_name(""), "_");
+}
+
+TEST(Prometheus, SanitizesMetricAndLabelNamesInExposition) {
+  MetricsRegistry registry;
+  registry.counter("emap.bad-name", {{"label-key", "value"}}).increment(2);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("emap_bad_name{label_key=\"value\"} 2"),
+            std::string::npos);
+  EXPECT_EQ(text.find("emap.bad-name"), std::string::npos);
+}
+
+TEST(Prometheus, DropsEmptyLabelKeys) {
+  MetricsRegistry registry;
+  registry.counter("emap_total", {{"", "orphan"}, {"kept", "yes"}})
+      .increment();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("emap_total{kept=\"yes\"} 1"), std::string::npos);
+  EXPECT_EQ(text.find("orphan"), std::string::npos);
+}
+
+TEST(Prometheus, AllEmptyLabelsCollapseToBareSeries) {
+  MetricsRegistry registry;
+  registry.counter("emap_total", {{"", "x"}}).increment();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("emap_total 1"), std::string::npos);
+  EXPECT_EQ(text.find('{'), std::string::npos);
+}
+
+TEST(Prometheus, NonFiniteGaugeValuesUseExpositionSpelling) {
+  MetricsRegistry registry;
+  registry.gauge("emap_nan").set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("emap_inf").set(std::numeric_limits<double>::infinity());
+  registry.gauge("emap_ninf").set(-std::numeric_limits<double>::infinity());
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("emap_nan NaN"), std::string::npos);
+  EXPECT_NE(text.find("emap_inf +Inf"), std::string::npos);
+  EXPECT_NE(text.find("emap_ninf -Inf"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("emap_total", {{"path", "a\"b\\c\nd"}}).increment();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
 TEST(Prometheus, WritesFileToDisk) {
   testing::TempDir dir("prometheus");
   MetricsRegistry registry;
@@ -192,6 +262,26 @@ TEST(JsonEscape, HandlesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonEscape, EscapesEveryC0ControlCharacter) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped = json_escape(std::string(1, char(c)));
+    ASSERT_GE(escaped.size(), 2u) << "control char " << c;
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c;
+  }
+}
+
+TEST(JsonEscape, PassesHighBytesThroughUnchanged) {
+  // UTF-8 multi-byte sequences must survive verbatim.
+  const std::string utf8 = "\xc3\xa9\xe2\x82\xac";  // "é€"
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(JsonWriter, EscapesKeysAndStringValues) {
+  JsonWriter json;
+  json.field("ke\"y", std::string("va\\lue\n"));
+  EXPECT_EQ(json.str(), "{\"ke\\\"y\":\"va\\\\lue\\n\"}");
 }
 
 TEST(AppendJsonl, AppendsOneLinePerCall) {

@@ -1,0 +1,190 @@
+#include "emap/obs/perfdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "emap/common/error.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::obs {
+namespace {
+
+BenchRecord make_record(const std::string& bench,
+                        std::map<std::string, double> metrics,
+                        std::map<std::string, std::string> tags = {}) {
+  BenchRecord record;
+  record.bench = bench;
+  record.metrics = std::move(metrics);
+  record.tags = std::move(tags);
+  return record;
+}
+
+TEST(ParseBenchRecord, SplitsMetricsAndTags) {
+  const auto record = parse_bench_record(
+      "{\"bench\":\"fig4\",\"git_sha\":\"abc123\",\"upload_us\":1250.5,"
+      "\"ok\":true,\"skipped\":null}");
+  EXPECT_EQ(record.bench, "fig4");
+  EXPECT_EQ(record.tags.at("git_sha"), "abc123");
+  EXPECT_DOUBLE_EQ(record.metrics.at("upload_us"), 1250.5);
+  EXPECT_DOUBLE_EQ(record.metrics.at("ok"), 1.0);
+  EXPECT_EQ(record.metrics.count("skipped"), 0u);
+}
+
+TEST(ParseBenchRecord, DecodesStringEscapes) {
+  const auto record =
+      parse_bench_record("{\"bench\":\"a\\\"b\",\"tag\":\"x\\ny\\u0041\"}");
+  EXPECT_EQ(record.bench, "a\"b");
+  EXPECT_EQ(record.tags.at("tag"), "x\nyA");
+}
+
+TEST(ParseBenchRecord, ThrowsCorruptDataOnMalformedLines) {
+  EXPECT_THROW(parse_bench_record("not json"), CorruptData);
+  EXPECT_THROW(parse_bench_record("{\"a\":}"), CorruptData);
+  EXPECT_THROW(parse_bench_record("{\"a\":\"unterminated}"), CorruptData);
+  EXPECT_THROW(parse_bench_record("{\"a\":1"), CorruptData);
+}
+
+TEST(LoadBenchRecords, SkipsBlankLinesAndThrowsOnMissingFile) {
+  testing::TempDir dir("perfdiff_load");
+  const auto path = dir.path() / "BENCH_x.jsonl";
+  {
+    std::ofstream stream(path);
+    stream << "{\"bench\":\"x\",\"v\":1}\n\n  \n{\"bench\":\"x\",\"v\":2}\n";
+  }
+  const auto records = load_bench_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records[1].metrics.at("v"), 2.0);
+  EXPECT_THROW(load_bench_records(dir.path() / "absent.jsonl"), IoError);
+}
+
+TEST(MetricDirection, InfersFromName) {
+  EXPECT_TRUE(metric_higher_is_better("mean_search_speedup"));
+  EXPECT_TRUE(metric_higher_is_better("emap_mean_accuracy"));
+  EXPECT_TRUE(metric_higher_is_better("algo1_avg_corr_anomalous"));
+  EXPECT_FALSE(metric_higher_is_better("upload_256_lte_us"));
+  EXPECT_FALSE(metric_higher_is_better("area_ms_at_100_signals"));
+  EXPECT_FALSE(metric_higher_is_better("deadline_misses"));
+}
+
+TEST(PerfDiff, FlagsLatencyIncreasePastThreshold) {
+  const auto result =
+      perf_diff({make_record("fig4", {{"upload_us", 100.0}})},
+                {make_record("fig4", {{"upload_us", 125.0}})});
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.deltas[0].regressed);
+  EXPECT_NEAR(result.deltas[0].change_frac, 0.25, 1e-12);
+  EXPECT_EQ(result.regressions, 1u);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PerfDiff, HigherIsBetterMetricsRegressDownward) {
+  const auto result =
+      perf_diff({make_record("fig7b", {{"mean_search_speedup", 6.8}})},
+                {make_record("fig7b", {{"mean_search_speedup", 4.0}})});
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.deltas[0].regressed);
+  // The same upward move on a speedup passes.
+  const auto improved =
+      perf_diff({make_record("fig7b", {{"mean_search_speedup", 4.0}})},
+                {make_record("fig7b", {{"mean_search_speedup", 6.8}})});
+  EXPECT_TRUE(improved.ok());
+}
+
+TEST(PerfDiff, SmallDriftWithinThresholdPasses) {
+  const auto result =
+      perf_diff({make_record("fig4", {{"upload_us", 100.0}})},
+                {make_record("fig4", {{"upload_us", 105.0}})});
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_FALSE(result.deltas[0].regressed);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(PerfDiff, ThresholdIsConfigurable) {
+  PerfDiffOptions options;
+  options.threshold = 0.01;
+  const auto result =
+      perf_diff({make_record("fig4", {{"upload_us", 100.0}})},
+                {make_record("fig4", {{"upload_us", 105.0}})}, options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PerfDiff, RefusesMismatchedConfigFingerprints) {
+  const auto result = perf_diff(
+      {make_record("fig4", {{"upload_us", 100.0}}, {{"config", "aaaa"}})},
+      {make_record("fig4", {{"upload_us", 900.0}}, {{"config", "bbbb"}})});
+  EXPECT_TRUE(result.deltas.empty());
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_NE(result.notes[0].find("fingerprint mismatch"), std::string::npos);
+}
+
+TEST(PerfDiff, IgnoreConfigOptionComparesAnyway) {
+  PerfDiffOptions options;
+  options.check_fingerprint = false;
+  const auto result = perf_diff(
+      {make_record("fig4", {{"upload_us", 100.0}}, {{"config", "aaaa"}})},
+      {make_record("fig4", {{"upload_us", 900.0}}, {{"config", "bbbb"}})},
+      options);
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.deltas[0].regressed);
+}
+
+TEST(PerfDiff, LastRecordPerBenchWins) {
+  const auto result = perf_diff(
+      {make_record("fig4", {{"upload_us", 100.0}})},
+      {make_record("fig4", {{"upload_us", 900.0}}),   // stale earlier run
+       make_record("fig4", {{"upload_us", 101.0}})});  // newest wins
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_FALSE(result.deltas[0].regressed);
+}
+
+TEST(PerfDiff, NotesOneSidedBenchesAndMissingMetrics) {
+  const auto result = perf_diff(
+      {make_record("gone", {{"x", 1.0}}),
+       make_record("both", {{"kept", 1.0}, {"dropped", 2.0}})},
+      {make_record("both", {{"kept", 1.0}}), make_record("fresh", {})});
+  EXPECT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(result.ok());
+  std::string all_notes;
+  for (const auto& note : result.notes) {
+    all_notes += note + "\n";
+  }
+  EXPECT_NE(all_notes.find("'gone' present only in baseline"),
+            std::string::npos);
+  EXPECT_NE(all_notes.find("'dropped' missing from current"),
+            std::string::npos);
+  EXPECT_NE(all_notes.find("'fresh' has no baseline"), std::string::npos);
+}
+
+TEST(PerfDiff, ZeroBaselineYieldsInfiniteChange) {
+  const auto result = perf_diff({make_record("b", {{"misses", 0.0}})},
+                                {make_record("b", {{"misses", 3.0}})});
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_TRUE(std::isinf(result.deltas[0].change_frac));
+  EXPECT_TRUE(result.deltas[0].regressed);
+  const auto same = perf_diff({make_record("b", {{"misses", 0.0}})},
+                              {make_record("b", {{"misses", 0.0}})});
+  EXPECT_DOUBLE_EQ(same.deltas[0].change_frac, 0.0);
+  EXPECT_FALSE(same.deltas[0].regressed);
+}
+
+TEST(FormatPerfDiff, RendersTableNotesAndVerdict) {
+  const auto result =
+      perf_diff({make_record("fig4", {{"upload_us", 100.0}})},
+                {make_record("fig4", {{"upload_us", 200.0}})});
+  const std::string text = format_perf_diff(result);
+  EXPECT_NE(text.find("bench"), std::string::npos);
+  EXPECT_NE(text.find("upload_us"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("-> FAIL"), std::string::npos);
+  const auto clean = perf_diff({make_record("fig4", {{"upload_us", 1.0}})},
+                               {make_record("fig4", {{"upload_us", 1.0}})});
+  EXPECT_NE(format_perf_diff(clean).find("-> PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emap::obs

@@ -1,0 +1,190 @@
+#include "emap/obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "support/test_util.hpp"
+
+namespace emap::obs {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream stream(path);
+  std::ostringstream out;
+  out << stream.rdbuf();
+  return out.str();
+}
+
+const StageProfile* find_stage(const std::vector<StageProfile>& stages,
+                               const std::string& path) {
+  for (const auto& stage : stages) {
+    if (stage.path == path) {
+      return &stage;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Profiler, AggregatesNestedScopesByPath) {
+  Profiler profiler;
+  for (int i = 0; i < 3; ++i) {
+    ProfileScope outer("window", profiler);
+    {
+      ProfileScope inner("search", profiler);
+      inner.add_work(10);
+    }
+    {
+      ProfileScope inner("search", profiler);
+    }
+  }
+  const auto stages = profiler.report();
+  const auto* window = find_stage(stages, "window");
+  const auto* search = find_stage(stages, "window/search");
+  ASSERT_NE(window, nullptr);
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(window->calls, 3u);
+  EXPECT_EQ(search->calls, 6u);
+  EXPECT_EQ(search->work, 30u);
+  // Inclusive parent time covers the children; self excludes them.
+  EXPECT_GE(window->total_sec, search->total_sec);
+  EXPECT_LE(window->self_sec, window->total_sec);
+  EXPECT_GE(search->self_sec, 0.0);
+}
+
+TEST(Profiler, SiblingScopesRootSeparatePaths) {
+  Profiler profiler;
+  { ProfileScope a("fir", profiler); }
+  { ProfileScope b("codec", profiler); }
+  const auto stages = profiler.report();
+  EXPECT_NE(find_stage(stages, "fir"), nullptr);
+  EXPECT_NE(find_stage(stages, "codec"), nullptr);
+  EXPECT_EQ(find_stage(stages, "fir/codec"), nullptr);
+}
+
+TEST(Profiler, ReportIsSortedByPath) {
+  Profiler profiler;
+  { ProfileScope z("zeta", profiler); }
+  { ProfileScope a("alpha", profiler); }
+  const auto stages = profiler.report();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].path, "alpha");
+  EXPECT_EQ(stages[1].path, "zeta");
+}
+
+TEST(Profiler, GlobalScopesStayInertWhileDisabled) {
+  Profiler::set_enabled(false);
+  Profiler::instance().reset();
+  { EMAP_PROFILE_SCOPE("should_not_record"); }
+  for (const auto& stage : Profiler::instance().report()) {
+    EXPECT_EQ(stage.calls, 0u) << stage.path;
+  }
+}
+
+TEST(Profiler, GlobalScopesRecordWhileEnabled) {
+  Profiler::instance().reset();
+  Profiler::set_enabled(true);
+  {
+    ProfileScope scope("enabled_stage");
+    scope.add_work(5);
+  }
+  Profiler::set_enabled(false);
+  const auto stages = Profiler::instance().report();
+  const auto* stage = find_stage(stages, "enabled_stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->calls, 1u);
+  EXPECT_EQ(stage->work, 5u);
+  Profiler::instance().reset();
+}
+
+TEST(Profiler, CollapsedStacksUseSemicolonsAndFloorAtOneMicrosecond) {
+  Profiler profiler;
+  {
+    ProfileScope outer("a", profiler);
+    ProfileScope inner("b", profiler);
+  }
+  const std::string stacks = profiler.to_collapsed_stacks();
+  EXPECT_NE(stacks.find("a;b "), std::string::npos);
+  // Both frames survive even when self time rounds to zero microseconds.
+  std::istringstream lines(stacks);
+  std::string line;
+  int frames = 0;
+  while (std::getline(lines, line)) {
+    ++frames;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GE(std::stoll(line.substr(space + 1)), 1);
+  }
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(Profiler, JsonProfileCarriesBuildStampAndStages) {
+  Profiler profiler;
+  { ProfileScope scope("stage", profiler); }
+  const std::string json = profiler.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"build\":"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":1"), std::string::npos);
+}
+
+TEST(Profiler, ResetClearsCountsButKeepsRecording) {
+  Profiler profiler;
+  { ProfileScope scope("stage", profiler); }
+  profiler.reset();
+  for (const auto& stage : profiler.report()) {
+    EXPECT_EQ(stage.calls, 0u);
+  }
+  { ProfileScope scope("stage", profiler); }
+  const auto* stage = find_stage(profiler.report(), "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->calls, 1u);
+}
+
+TEST(Profiler, WorkerThreadsRootTheirOwnTrees) {
+  Profiler profiler;
+  { ProfileScope scope("main_stage", profiler); }
+  std::thread worker([&profiler] {
+    ProfileScope scope("worker_stage", profiler);
+  });
+  worker.join();
+  const auto stages = profiler.report();
+  EXPECT_NE(find_stage(stages, "main_stage"), nullptr);
+  EXPECT_NE(find_stage(stages, "worker_stage"), nullptr);
+}
+
+TEST(Profiler, MergesSamePathAcrossThreads) {
+  Profiler profiler;
+  auto record = [&profiler] {
+    ProfileScope scope("shared_stage", profiler);
+    scope.add_work(1);
+  };
+  record();
+  std::thread worker(record);
+  worker.join();
+  const auto* stage = find_stage(profiler.report(), "shared_stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->calls, 2u);
+  EXPECT_EQ(stage->work, 2u);
+}
+
+TEST(Profiler, WritesJsonAndCollapsedStacksToDisk) {
+  testing::TempDir dir("profiler");
+  Profiler profiler;
+  { ProfileScope scope("stage", profiler); }
+  const auto json_path = dir.path() / "deep" / "profile.json";
+  const auto flame_path = dir.path() / "deep" / "flame.txt";
+  write_profile_json(json_path, profiler);
+  write_collapsed_stacks(flame_path, profiler);
+  EXPECT_NE(slurp(json_path).find("\"stages\":["), std::string::npos);
+  EXPECT_NE(slurp(flame_path).find("stage "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emap::obs

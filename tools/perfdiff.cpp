@@ -1,0 +1,116 @@
+// perfdiff: perf-regression gate over bench headline records.
+//
+//   perfdiff --baseline bench/baselines --current out/bench [--threshold 0.1]
+//
+// Both sides accept either a directory (every BENCH_*.jsonl inside is
+// loaded) or a single .jsonl file.  Prints the per-metric delta table and
+// exits 0 when no metric moved past the threshold in its bad direction,
+// 1 when at least one regressed, 2 on usage or I/O errors.  CI runs this
+// against the committed baselines after the perf-smoke bench pass (see
+// docs/performance.md for the baseline-refresh policy).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "emap/common/build_info.hpp"
+#include "emap/obs/perfdiff.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline <dir|file> --current <dir|file>\n"
+      "          [--threshold <frac>] [--ignore-config]\n"
+      "  --threshold      relative regression that fails (default 0.10)\n"
+      "  --ignore-config  compare even when config fingerprints differ\n",
+      argv0);
+}
+
+std::vector<emap::obs::BenchRecord> load_side(
+    const std::filesystem::path& path) {
+  std::vector<emap::obs::BenchRecord> records;
+  if (std::filesystem::is_directory(path)) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      const auto loaded = emap::obs::load_bench_records(file);
+      records.insert(records.end(), loaded.begin(), loaded.end());
+    }
+  } else {
+    records = emap::obs::load_bench_records(path);
+  }
+  return records;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path baseline_path;
+  std::filesystem::path current_path;
+  emap::obs::PerfDiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perfdiff: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--current") {
+      current_path = next();
+    } else if (arg == "--threshold") {
+      options.threshold = std::strtod(next(), nullptr);
+    } else if (arg == "--ignore-config") {
+      options.check_fingerprint = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "perfdiff: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (options.threshold <= 0.0) {
+    std::fprintf(stderr, "perfdiff: threshold must be > 0\n");
+    return 2;
+  }
+
+  try {
+    const auto baseline = load_side(baseline_path);
+    const auto current = load_side(current_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "perfdiff: no baseline records under %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("perfdiff (build %s, %s)\n", emap::build_info::kGitSha,
+                emap::build_info::kCompiler);
+    const auto result = emap::obs::perf_diff(baseline, current, options);
+    std::fputs(emap::obs::format_perf_diff(result, options).c_str(), stdout);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "perfdiff: %s\n", error.what());
+    return 2;
+  }
+}
