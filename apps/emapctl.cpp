@@ -42,6 +42,13 @@
 //   --fault-seed <n>       fault schedule seed (default 0x600dcafe)
 //   --retry-attempts <n>   max attempts per cloud call (default 3)
 //   --retry-deadline <s>   per-call cumulative wait cap (default 20 s)
+//
+// Robustness flags (monitor and synth-run) — the adaptive overload control
+// loop (docs/robustness.md):
+//   --robust-off           disable the degradation controller, breaker,
+//                          watchdog, and quality gate for this run
+//   --robust-report <file> write the robust summary JSON (controller
+//                          states, shed levels, breaker/quality counters)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +71,7 @@
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/profiler.hpp"
 #include "emap/obs/slo.hpp"
+#include "emap/robust/robust.hpp"
 #include "emap/synth/corpus.hpp"
 
 namespace {
@@ -87,7 +95,8 @@ int usage() {
       "--slo-report <file>\n"
       "fault flags:     --fault-drop <p> --fault-corrupt <p> "
       "--fault-duplicate <p> --fault-delay <p> --fault-seed <n>\n"
-      "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n");
+      "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n"
+      "robust flags:    --robust-off --robust-report <file>\n");
   return 2;
 }
 
@@ -100,7 +109,9 @@ struct TelemetryOptions {
   std::string profile_out;
   std::string flame_out;
   std::string slo_report;
+  std::string robust_report;
   bool metrics_dump = false;
+  bool robust_off = false;
   net::FaultOptions fault;
   net::RetryOptions retry;
 };
@@ -140,6 +151,10 @@ bool extract_telemetry_flags(int& argc, char** argv,
       if (!take_value(telemetry.slo_report)) return false;
     } else if (arg == "--metrics-dump") {
       telemetry.metrics_dump = true;
+    } else if (arg == "--robust-off") {
+      telemetry.robust_off = true;
+    } else if (arg == "--robust-report") {
+      if (!take_value(telemetry.robust_report)) return false;
     } else if (arg == "--fault-drop") {
       if (!take_double([&](double p) {
             telemetry.fault.up.drop = telemetry.fault.down.drop = p;
@@ -216,6 +231,10 @@ void emit_telemetry(const TelemetryOptions& telemetry,
     obs::write_slo_report(telemetry.slo_report, result.slo);
     std::printf("slo     -> %s\n", telemetry.slo_report.c_str());
   }
+  if (!telemetry.robust_report.empty()) {
+    robust::write_robust_summary(telemetry.robust_report, result.robust);
+    std::printf("robust  -> %s\n", telemetry.robust_report.c_str());
+  }
   if (!telemetry.trace_out.empty() && result.tracer != nullptr) {
     obs::write_chrome_trace(telemetry.trace_out, *result.tracer);
     std::printf("trace   -> %s (open in chrome://tracing or "
@@ -252,7 +271,13 @@ std::string run_summary_line(const std::string& run_name,
              static_cast<std::uint64_t>(result.retry_attempts))
       .field("duplicates_discarded",
              static_cast<std::uint64_t>(result.duplicates_discarded))
-      .field("degraded", result.degraded);
+      .field("degraded", result.degraded)
+      .field("robust_enabled", result.robust.enabled)
+      .field("robust_entered_degraded",
+             result.robust.degrade.entered_degraded)
+      .field("robust_final_state",
+             std::string(robust::degrade_state_name(
+                 result.robust.degrade.final_state)));
   for (const auto& slo : result.slo) {
     json.field("slo_" + slo.name + "_deadline_misses",
                static_cast<std::uint64_t>(slo.deadline_misses));
@@ -464,6 +489,7 @@ int cmd_monitor(int argc, char** argv) {
   pipeline_options.metrics = &registry;
   pipeline_options.fault = telemetry.fault;
   pipeline_options.retry = telemetry.retry;
+  pipeline_options.robust.enabled = !telemetry.robust_off;
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(),
                               pipeline_options);
@@ -476,6 +502,11 @@ int cmd_monitor(int argc, char** argv) {
   if (result.degraded) {
     std::printf("link degraded: %zu cloud calls failed after %zu retries\n",
                 result.failed_cloud_calls, result.retry_attempts);
+  }
+  if (result.robust.enabled && result.robust.degrade.entered_degraded) {
+    std::printf("overload handled: max shed level %zu, final state %s\n",
+                result.robust.degrade.max_shed_level,
+                robust::degrade_state_name(result.robust.degrade.final_state));
   }
   for (std::size_t i = 0; i < result.iterations.size(); i += 15) {
     const auto& record = result.iterations[i];
@@ -539,6 +570,7 @@ int cmd_synth_run(int argc, char** argv) {
   options.metrics = &registry;
   options.fault = telemetry.fault;
   options.retry = telemetry.retry;
+  options.robust.enabled = !telemetry.robust_off;
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(), options);
   const auto result = pipeline.run(input);
@@ -551,6 +583,11 @@ int cmd_synth_run(int argc, char** argv) {
   if (result.degraded) {
     std::printf("link degraded: %zu cloud calls failed after %zu retries\n",
                 result.failed_cloud_calls, result.retry_attempts);
+  }
+  if (result.robust.enabled && result.robust.degrade.entered_degraded) {
+    std::printf("overload handled: max shed level %zu, final state %s\n",
+                result.robust.degrade.max_shed_level,
+                robust::degrade_state_name(result.robust.degrade.final_state));
   }
   std::printf(result.anomaly_predicted ? "ANOMALY PREDICTED at t=%.0f s\n"
                                        : "no alarm (t=%.0f)\n",

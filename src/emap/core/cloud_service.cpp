@@ -40,11 +40,32 @@ void CloudService::set_metrics(obs::MetricsRegistry* registry) {
       "Busy worker-time over workers * makespan of the last batch");
 }
 
-void CloudService::submit(ServiceRequest request) {
+void CloudService::enable_admission(robust::AdmissionOptions options) {
+  admission_ = std::make_unique<robust::AdmissionController>(
+      options, virtual_workers_, registry_);
+}
+
+robust::AdmissionDecision CloudService::submit(ServiceRequest request) {
+  if (admission_ != nullptr) {
+    const double remaining =
+        request.deadline_sec - request.arrival_sec;
+    const robust::AdmissionDecision decision =
+        admission_->try_admit(remaining);
+    if (!decision.accepted) {
+      ++shed_accum_;
+      return decision;
+    }
+    queue_.push_back(std::move(request));
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->set(static_cast<double>(queue_.size()));
+    }
+    return decision;
+  }
   queue_.push_back(std::move(request));
   if (metrics_.queue_depth != nullptr) {
     metrics_.queue_depth->set(static_cast<double>(queue_.size()));
   }
+  return robust::AdmissionDecision{};
 }
 
 std::vector<ServiceResponse> CloudService::process_all() {
@@ -75,7 +96,16 @@ std::vector<ServiceResponse> CloudService::process_all() {
       // The uplink ate this request; no worker ever sees it, the patient's
       // edge times out and retries on its own schedule.
       ++lost_requests;
+      if (admission_ != nullptr) {
+        // Drain the admitted slot without perturbing the EWMA: feeding the
+        // current estimate back leaves it fixed.
+        admission_->on_start();
+        admission_->on_complete(admission_->expected_service_sec());
+      }
       continue;
+    }
+    if (admission_ != nullptr) {
+      admission_->on_start();
     }
     // Earliest-free worker serves next (FIFO dispatch).
     auto worker = std::min_element(worker_free.begin(), worker_free.end());
@@ -92,6 +122,9 @@ std::vector<ServiceResponse> CloudService::process_all() {
         device_.per_signal_overhead_sec *
             static_cast<double>(stats.sets_scanned);
     response.completion_sec = response.start_sec + service;
+    if (admission_ != nullptr) {
+      admission_->on_complete(service);
+    }
     *worker = response.completion_sec;
     worker_busy[static_cast<std::size_t>(worker - worker_free.begin())] +=
         service;
@@ -113,6 +146,8 @@ std::vector<ServiceResponse> CloudService::process_all() {
   stats_ = CloudServiceStats{};
   stats_.requests = responses.size();
   stats_.lost_requests = lost_requests;
+  stats_.shed_requests = shed_accum_;
+  shed_accum_ = 0;
   if (!responses.empty()) {
     const auto count = static_cast<double>(responses.size());
     stats_.mean_wait_sec = total_wait / count;

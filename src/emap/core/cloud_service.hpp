@@ -11,10 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "emap/core/cloud_node.hpp"
 #include "emap/net/fault.hpp"
+#include "emap/robust/admission.hpp"
 #include "emap/sim/device.hpp"
 
 namespace emap::core {
@@ -24,6 +27,11 @@ struct ServiceRequest {
   std::uint32_t patient = 0;
   net::SignalUploadMessage upload;
   double arrival_sec = 0.0;
+  /// Absolute sim-time deadline: a response completing after this instant
+  /// is useless to the edge (it already timed out).  With admission
+  /// control enabled, a request whose remaining budget cannot cover the
+  /// expected wait + scan is shed at submit(); infinity = no deadline.
+  double deadline_sec = std::numeric_limits<double>::infinity();
 };
 
 /// Completed request with its queueing/service timeline.
@@ -43,6 +51,8 @@ struct CloudServiceStats {
   std::size_t requests = 0;
   /// Requests lost on the (faulty) uplink before reaching a worker.
   std::size_t lost_requests = 0;
+  /// Requests rejected at the door by admission control (never queued).
+  std::size_t shed_requests = 0;
   double mean_wait_sec = 0.0;
   double mean_service_sec = 0.0;
   double mean_response_sec = 0.0;
@@ -63,7 +73,21 @@ class CloudService {
                std::size_t virtual_workers = 1);
 
   /// Enqueues a request; arrivals need not be submitted in time order.
-  void submit(ServiceRequest request);
+  /// With admission control enabled the request may instead be shed at the
+  /// door — the decision carries the typed reason and a RetryAfter hint
+  /// the edge's RetryPolicy honors.  Without admission control every
+  /// request is accepted (existing callers may ignore the return value).
+  robust::AdmissionDecision submit(ServiceRequest request);
+
+  /// Turns on admission control (bounded queue + deadline-aware shedding
+  /// + EWMA service-time estimation).  Call after set_metrics to get the
+  /// emap_robust_admission_* instruments registered.
+  void enable_admission(robust::AdmissionOptions options = {});
+
+  /// The admission controller, or nullptr when disabled.
+  const robust::AdmissionController* admission() const {
+    return admission_.get();
+  }
 
   std::size_t pending() const { return queue_.size(); }
 
@@ -95,8 +119,12 @@ class CloudService {
   std::size_t virtual_workers_;
   std::vector<ServiceRequest> queue_;
   CloudServiceStats stats_{};
+  /// Sheds accumulated between process_all() runs (submit-time events),
+  /// copied into stats_ at the next batch.
+  std::size_t shed_accum_ = 0;
   obs::MetricsRegistry* registry_ = nullptr;
   net::FaultInjector* injector_ = nullptr;
+  std::unique_ptr<robust::AdmissionController> admission_;
 
   struct ServiceMetrics {
     obs::Gauge* queue_depth = nullptr;

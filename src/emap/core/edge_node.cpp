@@ -20,6 +20,11 @@ std::vector<double> EdgeNode::acquire_window(
     std::span<const double> raw_window) {
   require(raw_window.size() == config_.window_length,
           "EdgeNode::acquire_window: window length mismatch");
+  if (quality_gate_ != nullptr) {
+    last_quality_ = quality_gate_->assess(raw_window);
+  } else {
+    last_quality_ = robust::QualityReport{};
+  }
   return filter_.process_block(raw_window);
 }
 

@@ -11,6 +11,7 @@
 #include "emap/core/tracker.hpp"
 #include "emap/dsp/fir.hpp"
 #include "emap/net/transport.hpp"
+#include "emap/robust/quality.hpp"
 
 namespace emap::core {
 
@@ -36,6 +37,19 @@ class EdgeNode {
 
   const EmapConfig& config() const { return config_; }
 
+  /// Attaches the robustness signal-quality gate (borrowed; nullptr
+  /// disables).  acquire_window then assesses each *raw* window before
+  /// filtering — the FIR would smear a rail-flat or clipped segment into
+  /// something plausible — and stores the verdict for last_quality().
+  /// The window is always filtered regardless of verdict (streaming FIR
+  /// continuity); exclusion from tracking is the pipeline's decision.
+  void set_quality_gate(robust::SignalQualityGate* gate) {
+    quality_gate_ = gate;
+  }
+
+  /// Verdict of the most recent acquire_window (kGood when no gate).
+  const robust::QualityReport& last_quality() const { return last_quality_; }
+
   /// Clears filter history, tracker contents, and predictor state.
   void reset();
 
@@ -44,6 +58,8 @@ class EdgeNode {
   dsp::FirFilter filter_;
   EdgeTracker tracker_;
   AnomalyPredictor predictor_;
+  robust::SignalQualityGate* quality_gate_ = nullptr;
+  robust::QualityReport last_quality_{};
 };
 
 }  // namespace emap::core

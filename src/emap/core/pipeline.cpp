@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
@@ -30,6 +32,7 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
   config_.validate();
   options_.fault.validate();
   options_.retry.validate();
+  options_.robust.validate();
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *options_.metrics;
     cloud_.set_metrics(&registry);
@@ -42,7 +45,14 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
         "Cloud-call attempts beyond the first (RetryPolicy re-sends)");
     metrics_.retry_timeouts = &registry.counter(
         "emap_edge_retry_timeouts_total", {},
-        "Cloud-call attempts that timed out (message lost or corrupt)");
+        "Cloud-call attempts that timed out (message lost, or corrupted "
+        "where only the receiver could tell)");
+    metrics_.rejects_timeout = &registry.counter(
+        "emap_edge_rejects_total", {{"reason", "timeout"}},
+        "Cloud-call attempts rejected, by typed reason");
+    metrics_.rejects_corrupt = &registry.counter(
+        "emap_edge_rejects_total", {{"reason", "corrupt"}},
+        "Cloud-call attempts rejected, by typed reason");
     metrics_.call_failures = &registry.counter(
         "emap_edge_cloud_call_failures_total", {},
         "Cloud calls that exhausted every retry and degraded");
@@ -87,7 +97,7 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
 EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     std::uint32_t sequence, const std::vector<double>& filtered_window,
     double now_sec, net::Channel& channel, const net::RetryPolicy& retry,
-    obs::Tracer* tracer) const {
+    obs::Tracer* tracer, robust::CircuitBreaker* breaker) const {
   EMAP_PROFILE_SCOPE("cloud_call");
   net::SignalUploadMessage upload;
   upload.sequence = sequence;
@@ -126,21 +136,43 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
   std::vector<Leg> legs;
 
   double elapsed = 0.0;
-  auto fail_attempt = [&](std::size_t attempt) {
+  // Typed failure accounting: the *reason* decides what the attempt costs
+  // (a timeout charges the full timeout; a CRC-detected corrupt download
+  // fails fast, charging only the transfer time actually spent) and what
+  // backoff the next attempt waits (see RetryPolicy::backoff_for).
+  net::RejectReason last_reason = net::RejectReason::kNone;
+  auto fail_attempt = [&](std::size_t attempt, net::RejectReason reason,
+                          double charged_sec) {
     if (tracer != nullptr) {
-      legs.push_back({"attempt_" + std::to_string(attempt) + "_timeout",
+      legs.push_back({"attempt_" + std::to_string(attempt) + "_" +
+                          net::reject_reason_name(reason),
                       "retry", now_sec + elapsed,
-                      now_sec + elapsed + timeout});
+                      now_sec + elapsed + charged_sec});
     }
-    elapsed += timeout;
-    if (metrics_.retry_timeouts != nullptr) {
-      metrics_.retry_timeouts->increment();
+    elapsed += charged_sec;
+    last_reason = reason;
+    if (reason == net::RejectReason::kTimeout) {
+      if (metrics_.retry_timeouts != nullptr) {
+        metrics_.retry_timeouts->increment();
+      }
+      if (metrics_.rejects_timeout != nullptr) {
+        metrics_.rejects_timeout->increment();
+      }
+    } else if (reason == net::RejectReason::kCorrupt &&
+               metrics_.rejects_corrupt != nullptr) {
+      metrics_.rejects_corrupt->increment();
+    }
+    if (breaker != nullptr) {
+      breaker->record_failure(now_sec + elapsed);
     }
   };
 
-  for (std::size_t attempt = 0;
-       retry.allow_attempt(attempt, elapsed, timeout); ++attempt) {
-    const double backoff = retry.backoff_before(attempt);
+  for (std::size_t attempt = 0;; ++attempt) {
+    const double backoff =
+        retry.backoff_for(attempt, last_reason, /*retry_after_hint_sec=*/0.0);
+    if (!retry.allow_attempt_after(attempt, elapsed, backoff, timeout)) {
+      break;
+    }
     if (attempt > 0) {
       if (tracer != nullptr && backoff > 0.0) {
         legs.push_back({"backoff_" + std::to_string(attempt), "retry",
@@ -193,7 +225,10 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
       at_cloud = upload;
     }
     if (!leg_ok) {
-      fail_attempt(attempt);
+      // Either way the edge observed nothing but silence: an upload lost
+      // in flight and one corrupted past recognition are indistinguishable
+      // from this side of the link.
+      fail_attempt(attempt, net::RejectReason::kTimeout, timeout);
       continue;
     }
 
@@ -208,6 +243,11 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     // ---- Download leg (cloud -> edge). ----
     double down_sec = 0.0;
     bool duplicated = false;
+    // A dropped response is silence (timeout); a response that *arrives*
+    // but fails CRC/sequence validation is detected the moment it is
+    // decoded — the edge fails fast, charging only the time the round
+    // trip actually took, and retries on the flat corrupt backoff.
+    net::RejectReason down_reason = net::RejectReason::kTimeout;
     if (options_.use_transport) {
       auto download_bytes = net::encode_correlation_set(response);
       const net::TransferOutcome out =
@@ -228,9 +268,11 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
           // the edge has outstanding; anything else is discarded.
           if (response.request_sequence != sequence) {
             leg_ok = false;
+            down_reason = net::RejectReason::kCorrupt;
           }
         } catch (const CorruptData&) {
           leg_ok = false;
+          down_reason = net::RejectReason::kCorrupt;
         }
       }
     } else {
@@ -244,7 +286,10 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
       }
     }
     if (!leg_ok) {
-      fail_attempt(attempt);
+      fail_attempt(attempt, down_reason,
+                   down_reason == net::RejectReason::kCorrupt
+                       ? up_sec + cs_sec + down_sec
+                       : timeout);
       continue;
     }
     if (duplicated) {
@@ -280,6 +325,9 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
       signal.class_tag = entry.class_tag;
       signal.samples = entry.samples;
       pending.correlation_set.push_back(std::move(signal));
+    }
+    if (breaker != nullptr) {
+      breaker->record_success(now_sec + elapsed);
     }
     break;
   }
@@ -339,6 +387,39 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   }
 
   RunResult result;
+
+  // Robustness closed loop: fresh per run, so every counter and state
+  // machine starts NOMINAL/closed (the per-run reset regression test
+  // reuses one pipeline across runs and asserts exactly this).
+  const bool robust_on = options_.robust.enabled;
+  std::optional<robust::DegradationController> controller;
+  std::optional<robust::CircuitBreaker> breaker;
+  std::optional<robust::StageWatchdog> watchdog;
+  std::optional<robust::SignalQualityGate> quality;
+  if (robust_on) {
+    controller.emplace(options_.robust.degrade, options_.metrics);
+    breaker.emplace(options_.robust.breaker, options_.metrics);
+    watchdog.emplace(options_.robust.watchdog, options_.metrics);
+    if (options_.robust.quality_gate) {
+      quality.emplace(options_.robust.quality, options_.metrics);
+      edge.set_quality_gate(&*quality);
+    }
+  }
+  result.robust.enabled = robust_on;
+  // P_A served while tracking is suspended (CRITICAL) or a window is
+  // quality-gated: the last value a real tracking step produced.
+  double last_pa = 0.0;
+  // Non-essential telemetry observations buffered while the controller is
+  // away from NOMINAL; flushed on return to NOMINAL or at run end.
+  std::vector<double> deferred_track_obs;
+  auto flush_deferred = [&] {
+    if (metrics_.track_step != nullptr) {
+      for (const double observation : deferred_track_obs) {
+        metrics_.track_step->observe(observation);
+      }
+    }
+    deferred_track_obs.clear();
+  };
   obs::Tracer* tracer = nullptr;
   if (options_.collect_trace) {
     result.tracer = std::make_shared<obs::Tracer>();
@@ -378,8 +459,26 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     IterationRecord record;
     record.window_index = w;
     record.t_sec = t_end;
+    record.quality = edge.last_quality().verdict;
     if (metrics_.windows != nullptr) {
       metrics_.windows->increment();
+    }
+
+    // Apply the controller's decisions from the state the previous window
+    // left behind (act on state, run the window, feed the outcome back).
+    std::size_t shed_cap = 0;
+    if (controller) {
+      record.robust_state = controller->state();
+      edge.tracker().set_stride_multiplier(controller->stride_multiplier());
+      if (controller->shed_level() > 0) {
+        shed_cap = controller->tracked_cap(config_.top_k);
+        edge.tracker().set_recall_threshold(controller->recall_threshold(
+            config_.tracking_threshold_h, config_.top_k));
+        edge.tracker().shed_to(shed_cap);
+      } else {
+        edge.tracker().set_recall_threshold(0);
+      }
+      record.shed_cap = shed_cap;
     }
 
     // Deliver a completed cloud search (the paper reloads T wholesale; the
@@ -393,6 +492,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
               last_loaded_sequence) {
         last_loaded_sequence =
             static_cast<std::int64_t>(pending->sequence);
+        if (shed_cap > 0 && pending->correlation_set.size() > shed_cap) {
+          // Deliveries issued before shedding kicked in still carry the
+          // full top-k set; truncate to the active cap.
+          pending->correlation_set.resize(shed_cap);
+          ++result.robust.shed_loads;
+        }
         edge.tracker().load(std::move(pending->correlation_set));
         record.set_loaded = true;
         record.pa_on_load = edge.tracker().anomaly_probability();
@@ -421,7 +526,24 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       pending.reset();
     }
 
-    if (edge.tracker().loaded()) {
+    const bool quality_bad = quality && !edge.last_quality().good();
+    bool stage_stuck = false;
+    bool observed_latency = false;
+    double step_latency = 0.0;
+    robust::CircuitBreaker* breaker_ptr = breaker ? &*breaker : nullptr;
+
+    if (controller && controller->critical()) {
+      // CRITICAL: tracking is suspended; serve the last-known P_A with the
+      // explicit stale flag and wait out the hold.
+      record.robust_critical = true;
+      record.anomaly_probability = last_pa;
+      ++result.robust.critical_windows;
+    } else if (quality_bad) {
+      // Quality-gated window: the FIR consumed it (stream continuity) but
+      // it must not reach tracking or P_A — an electrode pop would evict
+      // half the tracked set as "dissimilar".
+      record.anomaly_probability = last_pa;
+    } else if (edge.tracker().loaded()) {
       const TrackStepResult step = edge.tracker().step(filtered);
       record.tracked = true;
       record.anomaly_probability = step.anomaly_probability;
@@ -439,7 +561,18 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       result.timings.max_track_sec =
           std::max(result.timings.max_track_sec, record.track_device_sec);
       ++track_steps;
-      if (metrics_.track_step != nullptr) {
+      last_pa = step.anomaly_probability;
+      observed_latency = true;
+      step_latency = record.track_device_sec;
+      if (watchdog) {
+        stage_stuck = watchdog->check_stage(record.track_device_sec);
+      }
+      if (controller && controller->defer_flushes()) {
+        // Non-essential telemetry deferred while degraded; the latency
+        // histogram catches up once the controller returns to NOMINAL.
+        deferred_track_obs.push_back(record.track_device_sec);
+        ++result.robust.deferred_flushes;
+      } else if (metrics_.track_step != nullptr) {
         metrics_.track_step->observe(record.track_device_sec);
       }
       if (tracer != nullptr) {
@@ -456,15 +589,47 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       // "The previous set of sampled signals is transmitted to the cloud
       // ... while doing real-time signal tracking at the edge in parallel."
       if (step.cloud_call_needed && !pending) {
-        pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                   t_end, channel, retry, tracer);
-        record.cloud_call_issued = true;
+        if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
+          record.breaker_rejected = true;
+        } else {
+          pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
+                                     t_end, channel, retry, tracer,
+                                     breaker_ptr);
+          record.cloud_call_issued = true;
+        }
       }
     } else if (!pending) {
       // Cold start: the very first window triggers the initial MDB search.
-      pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                 t_end, channel, retry, tracer);
-      record.cloud_call_issued = true;
+      if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
+        record.breaker_rejected = true;
+      } else {
+        pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
+                                   t_end, channel, retry, tracer,
+                                   breaker_ptr);
+        record.cloud_call_issued = true;
+      }
+    }
+
+    // Close the loop: feed the window's outcome back into the controller.
+    if (controller) {
+      robust::WindowSignal signal;
+      signal.window_index = w;
+      signal.t_sec = t_end;
+      signal.burn_rate = edge_slo.burn_rate();
+      signal.stage_stuck = stage_stuck;
+      if (observed_latency) {
+        const obs::SloSpec& spec = edge_slo.spec();
+        signal.deadline_miss = step_latency > spec.budget_sec;
+        signal.near_miss =
+            !signal.deadline_miss &&
+            step_latency > spec.near_miss_fraction * spec.budget_sec;
+      } else {
+        signal.no_observation = true;
+      }
+      controller->observe_window(signal);
+      if (!controller->defer_flushes()) {
+        flush_deferred();
+      }
     }
 
     result.iterations.push_back(record);
@@ -480,6 +645,28 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   result.anomaly_predicted = edge.predictor().anomaly_predicted();
   result.first_alarm_sec = edge.predictor().first_alarm_sec();
   result.slo = {edge_slo.summary(), initial_slo.summary()};
+  flush_deferred();
+  if (controller) {
+    result.robust.degrade = controller->summary();
+    if (tracer != nullptr) {
+      for (const auto& transition : controller->transitions()) {
+        tracer->record_sim(
+            std::string("robust_") +
+                robust::degrade_state_name(transition.from) + "_to_" +
+                robust::degrade_state_name(transition.to),
+            "robust", transition.t_sec, transition.t_sec);
+      }
+    }
+  }
+  if (breaker) {
+    result.robust.breaker = breaker->summary();
+  }
+  if (quality) {
+    result.robust.quality = quality->summary();
+  }
+  if (watchdog) {
+    result.robust.watchdog_trips = watchdog->trips();
+  }
   if (tracer != nullptr) {
     // The legacy Fig. 9 timeline is a projection of the span log.
     result.trace = obs::timeline_view(*tracer);

@@ -32,6 +32,7 @@
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/slo.hpp"
 #include "emap/obs/span.hpp"
+#include "emap/robust/robust.hpp"
 #include "emap/sim/device.hpp"
 #include "emap/sim/trace.hpp"
 #include "emap/synth/generator.hpp"
@@ -75,6 +76,12 @@ struct PipelineOptions {
   /// how the SLO integration test provokes deadline misses on demand.
   std::optional<sim::DeviceProfile> edge_device;
   std::optional<sim::DeviceProfile> cloud_device;
+  /// Closed-loop robustness subsystem: burn-rate-driven degradation
+  /// controller, cloud-link circuit breaker, stuck-stage watchdog, and the
+  /// signal-quality gate.  Defaults are behaviour-preserving on a clean
+  /// run (the controller stays NOMINAL and nothing is shed or gated);
+  /// robust.enabled = false removes every hook.
+  robust::RobustOptions robust{};
 };
 
 /// Per-iteration record of the run.
@@ -95,6 +102,20 @@ struct IterationRecord {
   bool degraded = false;
   double track_device_sec = 0.0;     ///< edge-device-model time of the step
   std::uint64_t abs_ops = 0;
+  /// Degradation-controller state the window ran under (decisions apply
+  /// from the state the *previous* window left behind; kNominal when the
+  /// robust subsystem is off).
+  robust::DegradeState robust_state = robust::DegradeState::kNominal;
+  /// Tracked-set cap active this window (0 = uncapped).
+  std::size_t shed_cap = 0;
+  /// Quality-gate verdict of the raw window; anything but kGood excluded
+  /// the window from tracking and P_A updates.
+  robust::QualityVerdict quality = robust::QualityVerdict::kGood;
+  /// The tracker wanted a cloud call but the circuit breaker was open.
+  bool breaker_rejected = false;
+  /// Tracking suspended (CRITICAL): anomaly_probability is the last-known
+  /// P_A served stale.
+  bool robust_critical = false;
 };
 
 /// Eq. 4 decomposition of the first cloud round trip.
@@ -133,6 +154,9 @@ struct RunResult {
   /// (edge_iteration, initial_response); export with
   /// obs::write_slo_report.
   std::vector<obs::SloSummary> slo;
+  /// Robustness controller-loop outcome (all zeros with enabled = false);
+  /// export with robust::write_robust_summary.
+  robust::RobustSummary robust;
 
   /// P_A sequence across tracked iterations.
   std::vector<double> pa_history() const;
@@ -177,7 +201,8 @@ class EmapPipeline {
                                  const std::vector<double>& filtered_window,
                                  double now_sec, net::Channel& channel,
                                  const net::RetryPolicy& retry,
-                                 obs::Tracer* tracer) const;
+                                 obs::Tracer* tracer,
+                                 robust::CircuitBreaker* breaker) const;
 
   EmapConfig config_;
   PipelineOptions options_;
@@ -192,6 +217,8 @@ class EmapPipeline {
     obs::Counter* cloud_calls = nullptr;
     obs::Counter* retries = nullptr;
     obs::Counter* retry_timeouts = nullptr;
+    obs::Counter* rejects_timeout = nullptr;
+    obs::Counter* rejects_corrupt = nullptr;
     obs::Counter* call_failures = nullptr;
     obs::Counter* degraded_windows = nullptr;
     obs::Counter* duplicates_discarded = nullptr;

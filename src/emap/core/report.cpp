@@ -24,7 +24,8 @@ void write_iterations_csv(const RunResult& result,
   stream << "window,t_sec,tracked,set_loaded,pa_on_load,"
             "anomaly_probability,tracked_before,tracked_after,"
             "removed_dissimilar,removed_exhausted,cloud_call_issued,"
-            "degraded,track_device_sec\n";
+            "degraded,track_device_sec,robust_state,shed_cap,quality,"
+            "breaker_rejected,robust_critical\n";
   for (const auto& record : result.iterations) {
     stream << record.window_index << ',' << record.t_sec << ','
            << (record.tracked ? 1 : 0) << ',' << (record.set_loaded ? 1 : 0)
@@ -34,7 +35,12 @@ void write_iterations_csv(const RunResult& result,
            << record.removed_exhausted << ','
            << (record.cloud_call_issued ? 1 : 0) << ','
            << (record.degraded ? 1 : 0) << ','
-           << record.track_device_sec << '\n';
+           << record.track_device_sec << ','
+           << robust::degrade_state_name(record.robust_state) << ','
+           << record.shed_cap << ','
+           << robust::quality_verdict_name(record.quality) << ','
+           << (record.breaker_rejected ? 1 : 0) << ','
+           << (record.robust_critical ? 1 : 0) << '\n';
   }
   if (!stream) {
     throw IoError("report: write failed for " + path.string());
@@ -79,6 +85,20 @@ std::string run_summary_json(const RunResult& result) {
     json << ",\"slo_" << slo.name << "_near_misses\":" << slo.near_misses;
     json << ",\"slo_" << slo.name << "_burn_rate\":" << slo.burn_rate;
   }
+  const robust::RobustSummary& rb = result.robust;
+  json << ",\"robust_enabled\":" << (rb.enabled ? "true" : "false");
+  json << ",\"robust_final_state\":\""
+       << robust::degrade_state_name(rb.degrade.final_state) << "\"";
+  json << ",\"robust_transitions\":" << rb.degrade.transitions;
+  json << ",\"robust_max_shed_level\":" << rb.degrade.max_shed_level;
+  json << ",\"robust_entered_degraded\":"
+       << (rb.degrade.entered_degraded ? "true" : "false");
+  json << ",\"robust_critical_windows\":" << rb.critical_windows;
+  json << ",\"robust_breaker_opens\":" << rb.breaker.opens;
+  json << ",\"robust_breaker_rejected\":" << rb.breaker.rejected;
+  json << ",\"robust_quality_bad_windows\":" << rb.quality.bad();
+  json << ",\"robust_watchdog_trips\":" << rb.watchdog_trips;
+  json << ",\"robust_shed_loads\":" << rb.shed_loads;
   json << "}";
   return json.str();
 }

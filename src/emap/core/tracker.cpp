@@ -56,6 +56,28 @@ void EdgeTracker::load_from_message(
   load(std::move(set));
 }
 
+std::size_t EdgeTracker::shed_to(std::size_t cap) {
+  if (cap == 0 || tracked_.size() <= cap) {
+    return 0;
+  }
+  const std::size_t shed = tracked_.size() - cap;
+  tracked_.resize(cap);
+  if (metrics_.set_size != nullptr) {
+    metrics_.set_size->set(static_cast<double>(tracked_.size()));
+  }
+  return shed;
+}
+
+void EdgeTracker::set_stride_multiplier(std::size_t multiplier) {
+  require(multiplier >= 1,
+          "EdgeTracker::set_stride_multiplier: multiplier must be >= 1");
+  stride_multiplier_ = multiplier;
+}
+
+void EdgeTracker::set_recall_threshold(std::size_t threshold) {
+  recall_threshold_override_ = threshold;
+}
+
 void EdgeTracker::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metrics_ = TrackMetrics{};
@@ -117,14 +139,18 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
     }
     const std::span<const double> samples(signal.samples);
     // Forward re-match scan from the current offset (Algorithm 2's
-    // while-loop over W.β).
+    // while-loop over W.β).  The range limit always derives from the
+    // configured stride; a widened stride (degraded mode) probes the same
+    // range with proportionally fewer area evaluations.
+    const std::size_t stride =
+        config_.track_scan_stride * stride_multiplier_;
     const std::size_t limit =
         std::min(signal.samples.size() - window,
                  signal.beta + config_.track_scan_stride *
                                    (config_.track_max_scan_offsets - 1));
     bool matched = false;
     for (std::size_t offset = signal.beta; offset <= limit;
-         offset += config_.track_scan_stride) {
+         offset += stride) {
       const double area = dsp::area_between_capped_counted(
           filtered_window, samples.subspan(offset, window),
           config_.delta_area, result.abs_ops);
@@ -145,7 +171,10 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
   profile_scope.add_work(result.abs_ops);
   result.tracked_after = tracked_.size();
   result.anomaly_probability = anomaly_probability();
-  result.cloud_call_needed = tracked_.size() < config_.tracking_threshold_h;
+  const std::size_t recall_threshold = recall_threshold_override_ > 0
+                                           ? recall_threshold_override_
+                                           : config_.tracking_threshold_h;
+  result.cloud_call_needed = tracked_.size() < recall_threshold;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     start_time)

@@ -73,6 +73,24 @@ class EdgeTracker {
   /// No-op returning an empty result when nothing is loaded.
   TrackStepResult step(std::span<const double> filtered_window);
 
+  // Overload-control hooks (driven by robust::DegradationController; the
+  // defaults reproduce the fault-free Algorithm 2 behaviour exactly).
+
+  /// Truncates the tracked set to its first `cap` entries — the cloud
+  /// returns matches in descending correlation order, so the survivors are
+  /// the strongest.  Returns the number of signals shed (0 when cap is 0
+  /// or nothing exceeds it).
+  std::size_t shed_to(std::size_t cap);
+
+  /// Widens the re-check scan stride by `multiplier` (>= 1; 1 restores the
+  /// configured stride).  The scan *range* is unchanged — fewer probes
+  /// cover the same offsets, trading recall for ABS ops.
+  void set_stride_multiplier(std::size_t multiplier);
+
+  /// Overrides the cloud re-call threshold H (0 restores the configured
+  /// tracking_threshold_h) so a shed set does not storm the cloud.
+  void set_recall_threshold(std::size_t threshold);
+
   bool loaded() const { return loaded_; }
   std::size_t active_count() const { return tracked_.size(); }
   const std::vector<TrackedSignal>& active() const { return tracked_; }
@@ -94,6 +112,8 @@ class EdgeTracker {
   std::vector<TrackedSignal> tracked_;
   bool loaded_ = false;
   std::size_t steps_since_load_ = 0;
+  std::size_t stride_multiplier_ = 1;
+  std::size_t recall_threshold_override_ = 0;  ///< 0 = config value
 
   struct TrackMetrics {
     obs::Counter* steps = nullptr;

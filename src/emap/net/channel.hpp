@@ -17,6 +17,7 @@
 #include "emap/common/rng.hpp"
 #include "emap/net/fault.hpp"
 #include "emap/net/platform.hpp"
+#include "emap/net/retry.hpp"
 
 namespace emap::obs {
 class MetricsRegistry;
@@ -41,6 +42,22 @@ struct TransferOutcome {
 
   /// The receiver gets a (possibly corrupted) copy of the message.
   bool delivered() const { return !fault.dropped; }
+
+  /// Typed reject reason for the retry layer: a dropped message is pure
+  /// silence (the sender can only time out), a corrupted one is
+  /// CRC-detectable at decode and can fail fast.  What the *edge*
+  /// ultimately observes depends on the leg — an upload corrupted in
+  /// flight is still silence from the edge's side, because the receiver
+  /// that detects it is the cloud.
+  RejectReason reject_reason() const {
+    if (fault.dropped) {
+      return RejectReason::kTimeout;
+    }
+    if (fault.corrupted) {
+      return RejectReason::kCorrupt;
+    }
+    return RejectReason::kNone;
+  }
 };
 
 /// A point-to-point edge<->cloud link over one platform.

@@ -8,6 +8,20 @@
 
 namespace emap::net {
 
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kTimeout:
+      return "timeout";
+    case RejectReason::kCorrupt:
+      return "corrupt";
+    case RejectReason::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
 void RetryOptions::validate() const {
   require(max_attempts >= 1, "RetryOptions: max_attempts must be >= 1");
   require(timeout_multiplier > 0.0,
@@ -52,8 +66,44 @@ double RetryPolicy::backoff_before(std::size_t attempt) const {
   return std::min(options_.backoff_cap_sec, jittered);
 }
 
+double RetryPolicy::backoff_for(std::size_t attempt, RejectReason reason,
+                                double retry_after_hint_sec) const {
+  if (attempt == 0) {
+    return 0.0;
+  }
+  switch (reason) {
+    case RejectReason::kCorrupt: {
+      // The link delivered — fast, flat retry instead of exponential
+      // penance.  Same deterministic jitter stream as backoff_before, so
+      // replays stay exact.
+      if (options_.base_backoff_sec == 0.0) {
+        return 0.0;
+      }
+      const double u = Rng(options_.seed).fork(attempt).uniform();
+      return std::min(options_.backoff_cap_sec,
+                      options_.base_backoff_sec *
+                          (1.0 + options_.jitter_fraction * u));
+    }
+    case RejectReason::kShed:
+      // The cloud said when to come back; never come back sooner.
+      return std::max(backoff_before(attempt),
+                      std::max(retry_after_hint_sec, 0.0));
+    case RejectReason::kTimeout:
+    case RejectReason::kNone:
+      break;
+  }
+  return backoff_before(attempt);
+}
+
 bool RetryPolicy::allow_attempt(std::size_t attempt, double elapsed_sec,
                                 double timeout_sec) const {
+  return allow_attempt_after(attempt, elapsed_sec, backoff_before(attempt),
+                             timeout_sec);
+}
+
+bool RetryPolicy::allow_attempt_after(std::size_t attempt, double elapsed_sec,
+                                      double backoff_sec,
+                                      double timeout_sec) const {
   if (attempt >= options_.max_attempts) {
     return false;
   }
@@ -62,8 +112,7 @@ bool RetryPolicy::allow_attempt(std::size_t attempt, double elapsed_sec,
   }
   // A retry must be able to run to its timeout without blowing the
   // per-call deadline; otherwise the edge gives up and degrades instead.
-  return elapsed_sec + backoff_before(attempt) + timeout_sec <=
-         options_.deadline_sec;
+  return elapsed_sec + backoff_sec + timeout_sec <= options_.deadline_sec;
 }
 
 double RetryPolicy::worst_case_wait(double expected_transfer_sec) const {

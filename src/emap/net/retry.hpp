@@ -17,6 +17,21 @@
 
 namespace emap::net {
 
+/// Why a cloud-call attempt failed, as seen from the edge.  The retry
+/// schedule differentiates: silence (loss) earns the full exponential
+/// backoff, a CRC-detected corrupt delivery retries after a flat base
+/// backoff (the link works, the payload was garbled), and a cloud-side
+/// shed honors the RetryAfter hint the admission controller attached.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,  ///< the attempt succeeded
+  kTimeout,   ///< silence: message lost (or unreadable at the receiver)
+  kCorrupt,   ///< garbage detected at decode on the edge (fails fast)
+  kShed,      ///< cloud admission rejected with a RetryAfter hint
+};
+
+/// Lowercase reason label ("none", "timeout", "corrupt", "shed").
+const char* reject_reason_name(RejectReason reason);
+
 /// Retry knobs.  Defaults keep the worst-case stall of one logical cloud
 /// call within the paper's ~3 s initial-latency budget order of magnitude.
 struct RetryOptions {
@@ -52,11 +67,25 @@ class RetryPolicy {
   /// sequence is non-decreasing in k and a pure function of (seed, k).
   double backoff_before(std::size_t attempt) const;
 
+  /// Backoff before `attempt` given why the previous attempt failed.
+  /// kTimeout follows backoff_before's exponential schedule; kCorrupt
+  /// waits only the flat base backoff (jittered, capped) since the link
+  /// itself is alive; kShed waits the larger of the exponential schedule
+  /// and the cloud's `retry_after_hint_sec`.  Attempt 0 never waits.
+  double backoff_for(std::size_t attempt, RejectReason reason,
+                     double retry_after_hint_sec = 0.0) const;
+
   /// Whether `attempt` (0-based) may start, given the wait already spent
   /// on this logical call.  Attempt 0 is always allowed; later attempts
   /// must fit backoff + timeout inside the deadline.
   bool allow_attempt(std::size_t attempt, double elapsed_sec,
                      double timeout_sec) const;
+
+  /// allow_attempt with an explicit backoff — needed when backoff_for
+  /// exceeds the default schedule (a RetryAfter hint can be arbitrarily
+  /// long and must still respect the per-call deadline).
+  bool allow_attempt_after(std::size_t attempt, double elapsed_sec,
+                           double backoff_sec, double timeout_sec) const;
 
   /// Upper bound on the cumulative wait of one logical call (all attempts
   /// failing at their timeout, maximal jitter).  validate() guarantees

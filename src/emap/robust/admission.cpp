@@ -1,0 +1,168 @@
+#include "emap/robust/admission.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+
+namespace emap::robust {
+
+const char* shed_reason_name(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kConcurrency:
+      return "concurrency";
+  }
+  return "?";
+}
+
+void AdmissionOptions::validate() const {
+  require(max_queue_depth >= 1,
+          "AdmissionOptions: max_queue_depth must be >= 1");
+  require(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+          "AdmissionOptions: ewma_alpha must be in (0, 1]");
+  require(initial_service_sec > 0.0,
+          "AdmissionOptions: initial_service_sec must be > 0");
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         std::size_t workers,
+                                         obs::MetricsRegistry* registry)
+    : options_(options),
+      workers_(std::max<std::size_t>(1, workers)),
+      ewma_service_sec_(options.initial_service_sec),
+      registry_(registry) {
+  options_.validate();
+  if (registry_ != nullptr) {
+    queue_metric_ = &registry_->gauge(
+        "emap_robust_admission_queue_depth", {},
+        "Requests admitted and waiting for a worker");
+    ewma_metric_ = &registry_->gauge(
+        "emap_robust_admission_service_ewma_seconds", {},
+        "EWMA of the observed per-request scan time");
+    admitted_metric_ = &registry_->counter(
+        "emap_robust_admission_decisions_total", {{"decision", "admitted"}},
+        "Admission decisions by outcome");
+    ewma_metric_->set(ewma_service_sec_);
+  }
+}
+
+double AdmissionController::expected_wait_locked() const {
+  return static_cast<double>(queued_) * ewma_service_sec_ /
+         static_cast<double>(workers_);
+}
+
+void AdmissionController::shed_locked(AdmissionDecision& decision,
+                                      ShedReason reason) {
+  decision.accepted = false;
+  decision.reason = reason;
+  // Hint: by then the backlog ahead should have drained one worker slot.
+  decision.retry_after_sec =
+      std::max(expected_wait_locked(), ewma_service_sec_);
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      ++summary_.shed_queue_full;
+      break;
+    case ShedReason::kDeadline:
+      ++summary_.shed_deadline;
+      break;
+    case ShedReason::kConcurrency:
+      ++summary_.shed_concurrency;
+      break;
+    case ShedReason::kNone:
+      break;
+  }
+  if (registry_ != nullptr) {
+    registry_
+        ->counter("emap_robust_admission_decisions_total",
+                  {{"decision", shed_reason_name(reason)}},
+                  "Admission decisions by outcome")
+        .increment();
+  }
+}
+
+AdmissionDecision AdmissionController::try_admit(
+    double remaining_deadline_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionDecision decision;
+  ++summary_.submitted;
+  if (queued_ >= options_.max_queue_depth) {
+    shed_locked(decision, ShedReason::kQueueFull);
+    return decision;
+  }
+  if (options_.max_concurrency > 0 &&
+      in_service_ >= options_.max_concurrency &&
+      queued_ + 1 >= options_.max_queue_depth) {
+    shed_locked(decision, ShedReason::kConcurrency);
+    return decision;
+  }
+  // Deadline-aware shedding: admitting a request that cannot finish in
+  // time only wastes a worker on an answer nobody will read.
+  if (expected_wait_locked() + ewma_service_sec_ > remaining_deadline_sec) {
+    shed_locked(decision, ShedReason::kDeadline);
+    return decision;
+  }
+  ++queued_;
+  ++summary_.admitted;
+  if (queue_metric_ != nullptr) {
+    queue_metric_->set(static_cast<double>(queued_));
+  }
+  if (admitted_metric_ != nullptr) {
+    admitted_metric_->increment();
+  }
+  return decision;
+}
+
+void AdmissionController::on_start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queued_ > 0) {
+    --queued_;
+  }
+  ++in_service_;
+  if (queue_metric_ != nullptr) {
+    queue_metric_->set(static_cast<double>(queued_));
+  }
+}
+
+void AdmissionController::on_complete(double service_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_service_ > 0) {
+    --in_service_;
+  }
+  ewma_service_sec_ = options_.ewma_alpha * std::max(service_sec, 0.0) +
+                      (1.0 - options_.ewma_alpha) * ewma_service_sec_;
+  if (ewma_metric_ != nullptr) {
+    ewma_metric_->set(ewma_service_sec_);
+  }
+}
+
+double AdmissionController::expected_service_sec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_service_sec_;
+}
+
+double AdmissionController::expected_wait_sec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return expected_wait_locked();
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t AdmissionController::in_service() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_service_;
+}
+
+AdmissionSummary AdmissionController::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+}  // namespace emap::robust

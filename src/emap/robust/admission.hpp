@@ -1,0 +1,131 @@
+// Cloud admission control: bounded queue + deadline-aware shedding.
+//
+// The CloudService models a fleet's shared search tier; under overload its
+// FIFO queue grows without bound and every queued request eventually gets
+// an answer that arrives too late to matter (the edge already timed out
+// and retried, doubling the load — the classic retry storm).  The
+// admission controller bounds the damage at the door:
+//
+//   * bounded queue — beyond max_queue_depth requests are shed outright;
+//   * deadline-aware shedding — a request whose remaining deadline cannot
+//     cover the expected wait + Algorithm 1 scan time (an EWMA over the
+//     service times actually observed, the same quantity the PR 3 profiler
+//     tracks per stage) is shed immediately instead of wasting a worker;
+//   * concurrency limit — an optional cap on in-service requests for
+//     callers driving real threads rather than virtual workers.
+//
+// Every shed carries a RetryAfter hint (the expected queue-drain time)
+// that net::RetryPolicy honors as the backoff for the next attempt, so a
+// shed edge backs off exactly as long as the cloud asked it to instead of
+// hammering on its blind exponential schedule.
+//
+// Thread-safe (mutex): the TSan'd overload tests drive try_admit /
+// on_complete from concurrent submitters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+#include "emap/obs/metrics.hpp"
+
+namespace emap::robust {
+
+/// Why a request was shed (kNone = admitted).
+enum class ShedReason : std::uint8_t { kNone = 0, kQueueFull, kDeadline, kConcurrency };
+
+/// Lowercase reason label ("queue_full", "deadline", "concurrency").
+const char* shed_reason_name(ShedReason reason);
+
+/// Admission knobs.
+struct AdmissionOptions {
+  /// Requests allowed to wait; beyond this the queue sheds.
+  std::size_t max_queue_depth = 16;
+  /// Cap on in-service requests (0 = no cap; the virtual workers already
+  /// bound concurrency in the batch CloudService path).
+  std::size_t max_concurrency = 0;
+  /// EWMA smoothing for the observed per-request service time.
+  double ewma_alpha = 0.2;
+  /// Service-time estimate before any observation (cold start).
+  double initial_service_sec = 0.25;
+
+  /// Throws InvalidArgument when a knob is out of range.
+  void validate() const;
+};
+
+/// Outcome of one admission attempt.
+struct AdmissionDecision {
+  bool accepted = true;
+  ShedReason reason = ShedReason::kNone;
+  /// Backoff hint for the client when shed: the expected time until the
+  /// queue has drained enough to admit a retry.
+  double retry_after_sec = 0.0;
+};
+
+/// Per-run counters, embeddable in reports.
+struct AdmissionSummary {
+  std::size_t submitted = 0;
+  std::size_t admitted = 0;
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_deadline = 0;
+  std::size_t shed_concurrency = 0;
+
+  std::size_t shed() const {
+    return shed_queue_full + shed_deadline + shed_concurrency;
+  }
+};
+
+/// Bounded-queue admission controller over `workers` service workers.
+class AdmissionController {
+ public:
+  /// `registry` is borrowed and may be null (summary-only operation).
+  explicit AdmissionController(AdmissionOptions options = {},
+                               std::size_t workers = 1,
+                               obs::MetricsRegistry* registry = nullptr);
+
+  /// Decides one request with `remaining_deadline_sec` of budget left
+  /// (default: no deadline).  On acceptance the request counts as queued
+  /// until on_start().
+  AdmissionDecision try_admit(
+      double remaining_deadline_sec =
+          std::numeric_limits<double>::infinity());
+
+  /// A worker picked an admitted request up (queued -> in service).
+  void on_start();
+
+  /// An in-service request finished; `service_sec` updates the EWMA scan
+  /// estimate.
+  void on_complete(double service_sec);
+
+  /// Current EWMA of the per-request service time.
+  double expected_service_sec() const;
+
+  /// Expected queueing delay for a newly admitted request:
+  /// queued x EWMA / workers.
+  double expected_wait_sec() const;
+
+  std::size_t queued() const;
+  std::size_t in_service() const;
+  AdmissionSummary summary() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  double expected_wait_locked() const;
+  void shed_locked(AdmissionDecision& decision, ShedReason reason);
+
+  AdmissionOptions options_;
+  std::size_t workers_;
+  mutable std::mutex mutex_;
+  std::size_t queued_ = 0;
+  std::size_t in_service_ = 0;
+  double ewma_service_sec_;
+  AdmissionSummary summary_;
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Gauge* queue_metric_ = nullptr;
+  obs::Gauge* ewma_metric_ = nullptr;
+  obs::Counter* admitted_metric_ = nullptr;
+};
+
+}  // namespace emap::robust

@@ -1,0 +1,149 @@
+#include "emap/robust/breaker.hpp"
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+
+namespace emap::robust {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+void BreakerOptions::validate() const {
+  require(window >= 1, "BreakerOptions: window must be >= 1");
+  require(open_after_failures >= 1 && open_after_failures <= window,
+          "BreakerOptions: need 1 <= open_after_failures <= window");
+  require(cooldown_sec > 0.0, "BreakerOptions: cooldown_sec must be > 0");
+  require(half_open_successes >= 1,
+          "BreakerOptions: half_open_successes must be >= 1");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options,
+                               obs::MetricsRegistry* registry)
+    : options_(options), registry_(registry) {
+  options_.validate();
+  recent_failure_.assign(options_.window, false);
+  if (registry_ != nullptr) {
+    state_metric_ = &registry_->gauge(
+        "emap_robust_breaker_state", {},
+        "Cloud-link circuit breaker state (0=closed 1=open 2=half_open)");
+    opens_metric_ = &registry_->counter(
+        "emap_robust_breaker_opens_total", {},
+        "Times the cloud-link breaker tripped open");
+    rejected_metric_ = &registry_->counter(
+        "emap_robust_breaker_rejected_total", {},
+        "Cloud calls short-circuited while the breaker was open");
+    state_metric_->set(0.0);
+  }
+}
+
+std::size_t CircuitBreaker::window_failures_locked() const {
+  return static_cast<std::size_t>(
+      std::count(recent_failure_.begin(), recent_failure_.end(), true));
+}
+
+void CircuitBreaker::trip_locked(double now_sec) {
+  state_ = BreakerState::kOpen;
+  open_until_ = now_sec + options_.cooldown_sec;
+  probe_successes_ = 0;
+  ++summary_.opens;
+  if (opens_metric_ != nullptr) {
+    opens_metric_->increment();
+  }
+  if (state_metric_ != nullptr) {
+    state_metric_->set(1.0);
+  }
+}
+
+bool CircuitBreaker::allow(double now_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kOpen) {
+    if (now_sec < open_until_) {
+      ++summary_.rejected;
+      if (rejected_metric_ != nullptr) {
+        rejected_metric_->increment();
+      }
+      return false;
+    }
+    // Cooldown expired: admit a probe.  The expiry condition is >=, so a
+    // recovering link is always eventually probed (the breaker cannot stay
+    // OPEN forever).
+    state_ = BreakerState::kHalfOpen;
+    probe_successes_ = 0;
+    if (state_metric_ != nullptr) {
+      state_metric_->set(2.0);
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(double now_sec) {
+  (void)now_sec;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++summary_.successes;
+  if (state_ == BreakerState::kHalfOpen) {
+    ++probe_successes_;
+    if (probe_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      open_until_ = 0.0;
+      recent_failure_.assign(options_.window, false);
+      recent_next_ = 0;
+      recent_count_ = 0;
+      if (state_metric_ != nullptr) {
+        state_metric_->set(0.0);
+      }
+    }
+    return;
+  }
+  if (state_ == BreakerState::kClosed) {
+    recent_failure_[recent_next_] = false;
+    recent_next_ = (recent_next_ + 1) % options_.window;
+    recent_count_ = std::min(recent_count_ + 1, options_.window);
+  }
+}
+
+void CircuitBreaker::record_failure(double now_sec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++summary_.failures;
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: the link is still bad; restart the cooldown.
+    trip_locked(now_sec);
+    return;
+  }
+  if (state_ == BreakerState::kClosed) {
+    recent_failure_[recent_next_] = true;
+    recent_next_ = (recent_next_ + 1) % options_.window;
+    recent_count_ = std::min(recent_count_ + 1, options_.window);
+    if (window_failures_locked() >= options_.open_after_failures) {
+      trip_locked(now_sec);
+    }
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+double CircuitBreaker::open_until_sec() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == BreakerState::kOpen ? open_until_ : 0.0;
+}
+
+BreakerSummary CircuitBreaker::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BreakerSummary out = summary_;
+  out.final_state = state_;
+  return out;
+}
+
+}  // namespace emap::robust

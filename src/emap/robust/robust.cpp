@@ -1,0 +1,80 @@
+#include "emap/robust/robust.hpp"
+
+#include <fstream>
+
+#include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
+
+namespace emap::robust {
+
+void RobustOptions::validate() const {
+  degrade.validate();
+  breaker.validate();
+  watchdog.validate();
+  quality.validate();
+}
+
+std::string robust_summary_json(const RobustSummary& summary) {
+  obs::JsonWriter writer;
+  writer.field("enabled", summary.enabled)
+      .field("final_state",
+             std::string(degrade_state_name(summary.degrade.final_state)))
+      .field("transitions",
+             static_cast<std::uint64_t>(summary.degrade.transitions))
+      .field("windows_nominal",
+             static_cast<std::uint64_t>(summary.degrade.windows_nominal))
+      .field("windows_degraded",
+             static_cast<std::uint64_t>(summary.degrade.windows_degraded))
+      .field("windows_critical",
+             static_cast<std::uint64_t>(summary.degrade.windows_critical))
+      .field("windows_recovering",
+             static_cast<std::uint64_t>(summary.degrade.windows_recovering))
+      .field("max_shed_level",
+             static_cast<std::uint64_t>(summary.degrade.max_shed_level))
+      .field("entered_degraded", summary.degrade.entered_degraded)
+      .field("breaker_state",
+             std::string(breaker_state_name(summary.breaker.final_state)))
+      .field("breaker_opens",
+             static_cast<std::uint64_t>(summary.breaker.opens))
+      .field("breaker_rejected",
+             static_cast<std::uint64_t>(summary.breaker.rejected))
+      .field("breaker_failures",
+             static_cast<std::uint64_t>(summary.breaker.failures))
+      .field("breaker_successes",
+             static_cast<std::uint64_t>(summary.breaker.successes))
+      .field("quality_assessed",
+             static_cast<std::uint64_t>(summary.quality.assessed))
+      .field("quality_bad", static_cast<std::uint64_t>(summary.quality.bad()))
+      .field("quality_nan", static_cast<std::uint64_t>(summary.quality.nan))
+      .field("quality_flatline",
+             static_cast<std::uint64_t>(summary.quality.flatline))
+      .field("quality_saturated",
+             static_cast<std::uint64_t>(summary.quality.saturated))
+      .field("quality_artifact",
+             static_cast<std::uint64_t>(summary.quality.artifact))
+      .field("watchdog_trips",
+             static_cast<std::uint64_t>(summary.watchdog_trips))
+      .field("critical_windows",
+             static_cast<std::uint64_t>(summary.critical_windows))
+      .field("shed_loads", static_cast<std::uint64_t>(summary.shed_loads))
+      .field("deferred_flushes",
+             static_cast<std::uint64_t>(summary.deferred_flushes));
+  return writer.str();
+}
+
+void write_robust_summary(const std::filesystem::path& path,
+                          const RobustSummary& summary) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("write_robust_summary: cannot open " + path.string());
+  }
+  out << robust_summary_json(summary) << '\n';
+  if (!out) {
+    throw IoError("write_robust_summary: write failed for " + path.string());
+  }
+}
+
+}  // namespace emap::robust

@@ -1,0 +1,63 @@
+// Aggregate options/summary of the robustness subsystem.
+//
+// One options struct the pipeline embeds (PipelineOptions::robust) and one
+// summary struct the RunResult carries, so callers configure and read the
+// whole closed loop — degradation controller, circuit breaker, watchdog,
+// quality gate — in one place.  See docs/robustness.md for the control
+// loop and threshold map.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "emap/robust/breaker.hpp"
+#include "emap/robust/degrade.hpp"
+#include "emap/robust/quality.hpp"
+#include "emap/robust/watchdog.hpp"
+
+namespace emap::robust {
+
+/// Pipeline-level switches for the closed loop.  Defaults keep a clean
+/// run bit-identical: the controller stays NOMINAL (no shedding), the
+/// breaker stays closed, the gate passes every clean window.
+struct RobustOptions {
+  /// Master switch: false removes every robust hook from the run.
+  bool enabled = true;
+  /// Signal-quality gating of raw windows (sub-switch of `enabled`).
+  bool quality_gate = true;
+  DegradeOptions degrade{};
+  BreakerOptions breaker{};
+  WatchdogOptions watchdog{};
+  QualityOptions quality{};
+
+  /// Validates every sub-options struct.
+  void validate() const;
+};
+
+/// Controller-loop outcome of one run, embedded in RunResult.
+struct RobustSummary {
+  bool enabled = false;
+  DegradeSummary degrade{};
+  BreakerSummary breaker{};
+  QualitySummary quality{};
+  std::size_t watchdog_trips = 0;
+  /// Windows served with the last-known P_A because tracking was
+  /// suspended in CRITICAL.
+  std::size_t critical_windows = 0;
+  /// Correlation-set loads truncated to the active shed cap.
+  std::size_t shed_loads = 0;
+  /// Non-essential telemetry observations buffered while degraded and
+  /// flushed late (or at run end).
+  std::size_t deferred_flushes = 0;
+};
+
+/// Flat JSON object of the summary (one line, no trailing newline).
+std::string robust_summary_json(const RobustSummary& summary);
+
+/// Writes robust_summary_json to `path` + newline, creating parent
+/// directories; throws IoError on failure.
+void write_robust_summary(const std::filesystem::path& path,
+                          const RobustSummary& summary);
+
+}  // namespace emap::robust

@@ -1,0 +1,44 @@
+#include "emap/robust/watchdog.hpp"
+
+#include "emap/common/error.hpp"
+
+namespace emap::robust {
+
+void WatchdogOptions::validate() const {
+  require(budget_sec > 0.0, "WatchdogOptions: budget_sec must be > 0");
+  require(stuck_multiplier >= 1.0,
+          "WatchdogOptions: stuck_multiplier must be >= 1");
+}
+
+StageWatchdog::StageWatchdog(WatchdogOptions options,
+                             obs::MetricsRegistry* registry)
+    : options_(options) {
+  options_.validate();
+  if (registry != nullptr) {
+    trips_metric_ = &registry->counter(
+        "emap_robust_watchdog_trips_total", {},
+        "Stages whose duration crossed the stuck threshold (forces "
+        "CRITICAL)");
+  }
+}
+
+bool StageWatchdog::check_stage(double duration_sec) {
+  if (duration_sec <= threshold_sec()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++trips_;
+  }
+  if (trips_metric_ != nullptr) {
+    trips_metric_->increment();
+  }
+  return true;
+}
+
+std::size_t StageWatchdog::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace emap::robust

@@ -161,10 +161,25 @@ TEST_F(FaultMatrixTest, EveryCellSurvivesAndKeepsItsInvariants) {
       EXPECT_EQ(result.failed_cloud_calls, 0u);
       EXPECT_EQ(registry.counter("emap_edge_retry_timeouts_total").value(),
                 0u);
+    } else if (cell.kind == FaultKind::kCorrupt && cell.leg == Leg::kDownload) {
+      // Download corruption is CRC-detected at the edge decoder: a typed
+      // `corrupt` reject (fast-fail), not a silent timeout.
+      EXPECT_GT(registry
+                    .counter("emap_edge_rejects_total",
+                             {{"reason", "corrupt"}})
+                    .value(),
+                0u);
+      EXPECT_GT(result.retry_attempts, 0u);
     } else {
-      // Lossy cells must exercise the retry path with p = 0.35 over a
-      // 60-window run (deterministic given the fixed seeds).
+      // Other lossy cells look like silence from the edge: a timeout.
+      // (Corrupted uploads never reach the cloud intact, so no response
+      // comes back — indistinguishable from a drop.)
       EXPECT_GT(registry.counter("emap_edge_retry_timeouts_total").value(),
+                0u);
+      EXPECT_GT(registry
+                    .counter("emap_edge_rejects_total",
+                             {{"reason", "timeout"}})
+                    .value(),
                 0u);
       EXPECT_GT(result.retry_attempts, 0u);
     }

@@ -1,0 +1,175 @@
+// AdmissionController unit tests: bounded queue, deadline-aware shedding,
+// EWMA service estimation, and the RetryAfter hint contract.
+#include "emap/robust/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "emap/common/error.hpp"
+#include "emap/net/retry.hpp"
+#include "emap/obs/export.hpp"
+
+namespace emap::robust {
+namespace {
+
+TEST(Admission, AdmitsUnderCapacity) {
+  AdmissionController controller;
+  const AdmissionDecision decision = controller.try_admit();
+  EXPECT_TRUE(decision.accepted);
+  EXPECT_EQ(decision.reason, ShedReason::kNone);
+  EXPECT_EQ(controller.queued(), 1u);
+  const AdmissionSummary summary = controller.summary();
+  EXPECT_EQ(summary.submitted, 1u);
+  EXPECT_EQ(summary.admitted, 1u);
+  EXPECT_EQ(summary.shed(), 0u);
+}
+
+TEST(Admission, BoundedQueueShedsBeyondDepth) {
+  AdmissionOptions options;
+  options.max_queue_depth = 2;
+  AdmissionController controller(options);
+  EXPECT_TRUE(controller.try_admit().accepted);
+  EXPECT_TRUE(controller.try_admit().accepted);
+  const AdmissionDecision shed = controller.try_admit();
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.reason, ShedReason::kQueueFull);
+  EXPECT_GT(shed.retry_after_sec, 0.0);
+  EXPECT_EQ(controller.summary().shed_queue_full, 1u);
+}
+
+TEST(Admission, DeadlineShorterThanExpectedScanIsShedImmediately) {
+  AdmissionOptions options;
+  options.initial_service_sec = 0.25;
+  AdmissionController controller(options);
+  // Remaining budget below even one scan: shed without queueing.
+  const AdmissionDecision shed = controller.try_admit(0.1);
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.reason, ShedReason::kDeadline);
+  EXPECT_EQ(controller.queued(), 0u);
+  // A request with room is admitted.
+  EXPECT_TRUE(controller.try_admit(1.0).accepted);
+}
+
+TEST(Admission, DeadlineShedAccountsForQueueAhead) {
+  AdmissionOptions options;
+  options.initial_service_sec = 0.25;
+  options.max_queue_depth = 16;
+  AdmissionController controller(options, /*workers=*/1);
+  // Fill four slots: expected wait = 4 * 0.25 = 1.0 s.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(controller.try_admit().accepted);
+  }
+  // 1.1 s of budget cannot cover 1.0 s wait + 0.25 s scan.
+  const AdmissionDecision shed = controller.try_admit(1.1);
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.reason, ShedReason::kDeadline);
+  // The hint reflects the backlog, not just one scan.
+  EXPECT_GE(shed.retry_after_sec, 1.0);
+}
+
+TEST(Admission, EwmaTracksObservedServiceTimes) {
+  AdmissionOptions options;
+  options.initial_service_sec = 0.25;
+  options.ewma_alpha = 0.5;
+  AdmissionController controller(options);
+  ASSERT_TRUE(controller.try_admit().accepted);
+  controller.on_start();
+  controller.on_complete(1.25);
+  EXPECT_DOUBLE_EQ(controller.expected_service_sec(), 0.75);
+  ASSERT_TRUE(controller.try_admit().accepted);
+  controller.on_start();
+  controller.on_complete(0.75);
+  EXPECT_DOUBLE_EQ(controller.expected_service_sec(), 0.75);
+}
+
+TEST(Admission, ConcurrencyCapSheds) {
+  AdmissionOptions options;
+  options.max_concurrency = 1;
+  options.max_queue_depth = 2;
+  AdmissionController controller(options);
+  ASSERT_TRUE(controller.try_admit().accepted);
+  controller.on_start();  // one request in service, none queued
+  ASSERT_TRUE(controller.try_admit().accepted);  // one waiting slot
+  const AdmissionDecision shed = controller.try_admit();
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.reason, ShedReason::kConcurrency);
+}
+
+TEST(Admission, RetryPolicyHonorsRetryAfterHint) {
+  net::RetryOptions retry_options;
+  retry_options.base_backoff_sec = 0.1;
+  retry_options.jitter_fraction = 0.0;
+  const net::RetryPolicy policy(retry_options);
+  // A shed response's hint dominates the policy's own schedule...
+  EXPECT_DOUBLE_EQ(
+      policy.backoff_for(1, net::RejectReason::kShed, /*hint=*/2.5), 2.5);
+  // ...but never shortens it.
+  const double own = policy.backoff_for(1, net::RejectReason::kShed, 0.0);
+  EXPECT_DOUBLE_EQ(own, policy.backoff_for(1, net::RejectReason::kTimeout));
+  EXPECT_GE(policy.backoff_for(1, net::RejectReason::kShed, own / 2.0), own);
+}
+
+TEST(Admission, InvalidOptionsThrow) {
+  AdmissionOptions options;
+  options.max_queue_depth = 0;
+  EXPECT_THROW(AdmissionController{options}, InvalidArgument);
+  options = AdmissionOptions{};
+  options.ewma_alpha = 0.0;
+  EXPECT_THROW(AdmissionController{options}, InvalidArgument);
+  options = AdmissionOptions{};
+  options.initial_service_sec = 0.0;
+  EXPECT_THROW(AdmissionController{options}, InvalidArgument);
+}
+
+TEST(Admission, MetricsExportQueueDepthAndDecisions) {
+  obs::MetricsRegistry registry;
+  AdmissionOptions options;
+  options.max_queue_depth = 1;
+  AdmissionController controller(options, 1, &registry);
+  ASSERT_TRUE(controller.try_admit().accepted);
+  ASSERT_FALSE(controller.try_admit().accepted);
+  const std::string text = obs::to_prometheus(registry);
+  EXPECT_NE(text.find("emap_robust_admission_queue_depth 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("emap_robust_admission_decisions_total{"
+                      "decision=\"admitted\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("emap_robust_admission_decisions_total{"
+                      "decision=\"queue_full\"} 1"),
+            std::string::npos);
+}
+
+// Concurrent submitters: counters stay consistent under contention (run
+// under TSan in the sanitize CI job).
+TEST(Admission, ConcurrentSubmittersKeepCountsConsistent) {
+  AdmissionOptions options;
+  options.max_queue_depth = 64;
+  AdmissionController controller(options, 4);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&controller] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const AdmissionDecision decision = controller.try_admit();
+        if (decision.accepted) {
+          controller.on_start();
+          controller.on_complete(0.01);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const AdmissionSummary summary = controller.summary();
+  EXPECT_EQ(summary.submitted, kThreads * kPerThread);
+  EXPECT_EQ(summary.admitted + summary.shed(), summary.submitted);
+  EXPECT_EQ(controller.in_service(), 0u);
+}
+
+}  // namespace
+}  // namespace emap::robust

@@ -1,0 +1,144 @@
+// CircuitBreaker unit + property tests, including the liveness property
+// the header promises: the breaker can never stay OPEN forever.
+#include "emap/robust/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/obs/export.hpp"
+
+namespace emap::robust {
+namespace {
+
+BreakerOptions fast_options() {
+  BreakerOptions options;
+  options.window = 4;
+  options.open_after_failures = 2;
+  options.cooldown_sec = 3.0;
+  options.half_open_successes = 2;
+  return options;
+}
+
+TEST(Breaker, StartsClosedAndAllowsEverything) {
+  CircuitBreaker breaker;
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  for (double t = 0.0; t < 10.0; t += 1.0) {
+    EXPECT_TRUE(breaker.allow(t));
+    breaker.record_success(t);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.summary().opens, 0u);
+}
+
+TEST(Breaker, TripsOpenAfterWindowFailures) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(1.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(breaker.open_until_sec(), 2.0 + 3.0);
+  // Calls inside the cooldown are short-circuited and counted.
+  EXPECT_FALSE(breaker.allow(3.0));
+  EXPECT_FALSE(breaker.allow(4.9));
+  EXPECT_EQ(breaker.summary().rejected, 2u);
+}
+
+TEST(Breaker, SuccessesInterleavedKeepItClosed) {
+  CircuitBreaker breaker(fast_options());  // 2 failures in a window of 4
+  for (double t = 0.0; t < 40.0; t += 4.0) {
+    breaker.record_failure(t);
+    breaker.record_success(t + 1.0);
+    breaker.record_success(t + 2.0);
+    breaker.record_success(t + 3.0);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, CooldownExpiryAdmitsProbeAndSuccessesClose) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.allow(5.0));  // at open_until: probe admitted
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success(5.5);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success(6.5);  // half_open_successes reached
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // The failure window restarted: one failure no longer trips.
+  breaker.record_failure(7.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, ProbeFailureReopensWithFreshCooldown) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  ASSERT_TRUE(breaker.allow(5.0));
+  breaker.record_failure(6.0);  // the probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(breaker.open_until_sec(), 6.0 + 3.0);
+  EXPECT_EQ(breaker.summary().opens, 2u);
+}
+
+TEST(Breaker, InvalidOptionsThrow) {
+  BreakerOptions options;
+  options.open_after_failures = 0;
+  EXPECT_THROW(CircuitBreaker{options}, InvalidArgument);
+  options = BreakerOptions{};
+  options.open_after_failures = options.window + 1;
+  EXPECT_THROW(CircuitBreaker{options}, InvalidArgument);
+  options = BreakerOptions{};
+  options.cooldown_sec = -1.0;
+  EXPECT_THROW(CircuitBreaker{options}, InvalidArgument);
+}
+
+TEST(Breaker, MetricsExportStateOpensAndRejections) {
+  obs::MetricsRegistry registry;
+  CircuitBreaker breaker(fast_options(), &registry);
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  EXPECT_FALSE(breaker.allow(2.5));
+  const std::string text = obs::to_prometheus(registry);
+  EXPECT_NE(text.find("emap_robust_breaker_opens_total 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("emap_robust_breaker_rejected_total 1"),
+            std::string::npos);
+}
+
+// Property (promised in the header): whatever the outcome history, time
+// reaching the cooldown expiry always admits a probe — the breaker cannot
+// stay OPEN forever.
+TEST(BreakerProperty, NeverStaysOpenForever) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    CircuitBreaker breaker(fast_options());
+    double now = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      now += rng.uniform(0.0, 2.0);
+      if (breaker.allow(now)) {
+        if (rng.uniform() < 0.6) {
+          breaker.record_failure(now);
+        } else {
+          breaker.record_success(now);
+        }
+      } else {
+        // Rejected: the breaker is OPEN with a finite reopen instant, and
+        // advancing the clock to it always admits the probe.
+        const double reopen = breaker.open_until_sec();
+        ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+        ASSERT_GE(reopen, now);
+        EXPECT_TRUE(breaker.allow(reopen))
+            << "seed " << seed << " iteration " << i;
+        now = std::max(now, reopen);
+        breaker.record_success(now);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emap::robust
