@@ -49,6 +49,19 @@
 //                          watchdog, and quality gate for this run
 //   --robust-report <file> write the robust summary JSON (controller
 //                          states, shed levels, breaker/quality counters)
+//
+// Crash-recovery flags (monitor and synth-run) — crash-consistent
+// checkpoint/restore (docs/robustness.md, "Crash recovery"):
+//   --checkpoint-dir <dir> snapshot the session state into <dir> at window
+//                          boundaries (atomic write + rename)
+//   --checkpoint-interval <n>  snapshot every n completed windows
+//                          (default 1)
+//   --resume               restore from <dir>'s snapshot at run start and
+//                          replay from the first un-checkpointed window
+//   --crash-at <point[:n]> die (exit code 42, no destructors) at the n-th
+//                          hit of the named crash point; names come from
+//                          robust::crash_point_catalog()
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -96,7 +109,9 @@ int usage() {
       "fault flags:     --fault-drop <p> --fault-corrupt <p> "
       "--fault-duplicate <p> --fault-delay <p> --fault-seed <n>\n"
       "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n"
-      "robust flags:    --robust-off --robust-report <file>\n");
+      "robust flags:    --robust-off --robust-report <file>\n"
+      "recovery flags:  --checkpoint-dir <dir> --checkpoint-interval <n> "
+      "--resume --crash-at <point[:n]>\n");
   return 2;
 }
 
@@ -114,6 +129,10 @@ struct TelemetryOptions {
   bool robust_off = false;
   net::FaultOptions fault;
   net::RetryOptions retry;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_interval = 1;
+  bool resume = false;
+  std::string crash_at;  ///< "point" or "point:n" (1-based hit)
 };
 
 /// Extracts telemetry and fault/retry flags from (argc, argv), leaving only
@@ -189,6 +208,17 @@ bool extract_telemetry_flags(int& argc, char** argv,
       if (!take_double(
               [&](double sec) { telemetry.retry.deadline_sec = sec; }))
         return false;
+    } else if (arg == "--checkpoint-dir") {
+      if (!take_value(telemetry.checkpoint_dir)) return false;
+    } else if (arg == "--checkpoint-interval") {
+      if (!take_double([&](double n) {
+            telemetry.checkpoint_interval = static_cast<std::size_t>(n);
+          }))
+        return false;
+    } else if (arg == "--resume") {
+      telemetry.resume = true;
+    } else if (arg == "--crash-at") {
+      if (!take_value(telemetry.crash_at)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
       return false;
@@ -197,6 +227,40 @@ bool extract_telemetry_flags(int& argc, char** argv,
     }
   }
   argc = kept;
+  return true;
+}
+
+/// Applies the checkpoint/crash flags.  The crash registry lives in the
+/// caller's frame; an armed point fires as a hard process exit (code 42,
+/// no destructors) so the CI harness kill-and-resumes like a real crash.
+/// Returns false on an unknown crash-point name.
+bool apply_recovery_flags(const TelemetryOptions& telemetry,
+                          core::PipelineOptions& options,
+                          robust::CrashPointRegistry& crashpoints) {
+  if (!telemetry.checkpoint_dir.empty()) {
+    options.recovery.checkpoint_dir = telemetry.checkpoint_dir;
+    options.recovery.interval_windows = telemetry.checkpoint_interval;
+    options.recovery.resume = telemetry.resume;
+  }
+  if (!telemetry.crash_at.empty()) {
+    robust::CrashSchedule schedule;
+    schedule.point = telemetry.crash_at;
+    const std::size_t colon = schedule.point.find(':');
+    if (colon != std::string::npos) {
+      schedule.hit = static_cast<std::uint64_t>(
+          std::atoll(schedule.point.c_str() + colon + 1));
+      schedule.point.resize(colon);
+    }
+    const auto& catalog = robust::crash_point_catalog();
+    if (std::find(catalog.begin(), catalog.end(), schedule.point) ==
+        catalog.end()) {
+      std::fprintf(stderr, "emapctl: unknown crash point '%s'\n",
+                   schedule.point.c_str());
+      return false;
+    }
+    crashpoints.arm(std::move(schedule), robust::CrashAction::kExit);
+    options.crashpoints = &crashpoints;
+  }
   return true;
 }
 
@@ -278,6 +342,19 @@ std::string run_summary_line(const std::string& run_name,
       .field("robust_final_state",
              std::string(robust::degrade_state_name(
                  result.robust.degrade.final_state)));
+  // Final P_A plus the recovery outcome: the CI crash-recovery matrix
+  // diffs these fields between a crashed-then-resumed run and an
+  // uninterrupted one.
+  const auto pa = result.pa_history();
+  json.field("final_pa", pa.empty() ? 0.0 : pa.back())
+      .field("robust_recovered", result.robust.recovery.resumed)
+      .field("recovery_resume_window",
+             static_cast<std::uint64_t>(result.robust.recovery.resume_window))
+      .field("recovery_checkpoints_written",
+             static_cast<std::uint64_t>(
+                 result.robust.recovery.checkpoints_written))
+      .field("recovery_cold_start_fallback",
+             result.robust.recovery.cold_start_fallback);
   for (const auto& slo : result.slo) {
     json.field("slo_" + slo.name + "_deadline_misses",
                static_cast<std::uint64_t>(slo.deadline_misses));
@@ -490,11 +567,20 @@ int cmd_monitor(int argc, char** argv) {
   pipeline_options.fault = telemetry.fault;
   pipeline_options.retry = telemetry.retry;
   pipeline_options.robust.enabled = !telemetry.robust_off;
+  robust::CrashPointRegistry crashpoints;
+  if (!apply_recovery_flags(telemetry, pipeline_options, crashpoints)) {
+    return usage();
+  }
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(),
                               pipeline_options);
   const auto result =
       pipeline.run(input, onset > 0.0 ? onset : -1.0);
+  if (result.robust.recovery.resumed) {
+    std::printf("resumed from checkpoint at window %zu\n",
+                static_cast<std::size_t>(
+                    result.robust.recovery.resume_window));
+  }
 
   std::printf("monitored %.0f s; cloud calls: %zu; Delta_initial %.2f s\n",
               input.spec.duration_sec, result.cloud_calls,
@@ -571,9 +657,18 @@ int cmd_synth_run(int argc, char** argv) {
   options.fault = telemetry.fault;
   options.retry = telemetry.retry;
   options.robust.enabled = !telemetry.robust_off;
+  robust::CrashPointRegistry crashpoints;
+  if (!apply_recovery_flags(telemetry, options, crashpoints)) {
+    return usage();
+  }
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(), options);
   const auto result = pipeline.run(input);
+  if (result.robust.recovery.resumed) {
+    std::printf("resumed from checkpoint at window %zu\n",
+                static_cast<std::size_t>(
+                    result.robust.recovery.resume_window));
+  }
 
   std::printf("monitored %.0f s; cloud calls: %zu; Delta_initial %.3f s; "
               "mean edge iteration %.3f s\n",

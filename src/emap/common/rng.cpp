@@ -89,6 +89,22 @@ bool Rng::bernoulli(double p) {
   return uniform() < p;
 }
 
+RngState Rng::save() const {
+  RngState snapshot;
+  snapshot.state = state_;
+  snapshot.seed = seed_;
+  snapshot.spare_normal = spare_normal_;
+  snapshot.has_spare_normal = has_spare_normal_;
+  return snapshot;
+}
+
+void Rng::restore(const RngState& state) {
+  state_ = state.state;
+  seed_ = state.seed;
+  spare_normal_ = state.spare_normal;
+  has_spare_normal_ = state.has_spare_normal;
+}
+
 Rng Rng::fork(std::uint64_t stream_id) const {
   // Mix the original seed with the stream id through SplitMix64 so children
   // with adjacent ids are decorrelated.

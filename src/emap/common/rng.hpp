@@ -13,6 +13,17 @@
 
 namespace emap {
 
+/// Serializable snapshot of an Rng's full internal state.  Restoring it
+/// resumes the stream exactly where it left off — the crash-recovery
+/// checkpoint (robust/checkpoint.hpp) persists these so post-restore draw
+/// sequences (fault schedules, channel jitter) stay deterministic.
+struct RngState {
+  std::array<std::uint64_t, 4> state{};
+  std::uint64_t seed = 0;
+  double spare_normal = 0.0;
+  bool has_spare_normal = false;
+};
+
 /// xoshiro256** pseudo-random generator with explicit seeding and
 /// deterministic, implementation-independent distributions.
 class Rng {
@@ -45,6 +56,13 @@ class Rng {
   /// function of (parent seed sequence, stream id) so forked experiments
   /// remain reproducible regardless of call ordering elsewhere.
   Rng fork(std::uint64_t stream_id) const;
+
+  /// Captures the full generator state (checkpoint support).
+  RngState save() const;
+
+  /// Resumes from a saved state; subsequent draws continue the original
+  /// stream bit-for-bit.
+  void restore(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -34,6 +34,10 @@ class EdgeNode {
   const EdgeTracker& tracker() const { return tracker_; }
   AnomalyPredictor& predictor() { return predictor_; }
   const AnomalyPredictor& predictor() const { return predictor_; }
+  /// The streaming acquisition filter (checkpoint support: its delay line
+  /// carries across windows and must survive a resume).
+  dsp::FirFilter& filter() { return filter_; }
+  const dsp::FirFilter& filter() const { return filter_; }
 
   const EmapConfig& config() const { return config_; }
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
 #include "emap/obs/profiler.hpp"
@@ -33,6 +34,7 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
   options_.fault.validate();
   options_.retry.validate();
   options_.robust.validate();
+  options_.recovery.validate();
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& registry = *options_.metrics;
     cloud_.set_metrics(&registry);
@@ -62,6 +64,18 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
     metrics_.duplicates_discarded = &registry.counter(
         "emap_edge_duplicates_discarded_total", {},
         "Duplicate correlation-set downloads dropped by sequence dedup");
+    metrics_.recovery_checkpoints = &registry.counter(
+        "emap_recovery_checkpoints_total", {},
+        "Session snapshots atomically published");
+    metrics_.recovery_resumes = &registry.counter(
+        "emap_recovery_resumes_total", {},
+        "Runs resumed from a session snapshot");
+    metrics_.recovery_cold_starts = &registry.counter(
+        "emap_recovery_cold_start_fallbacks_total", {},
+        "Resume requests that found no usable snapshot and ran cold");
+    metrics_.recovery_resume_window = &registry.gauge(
+        "emap_recovery_resume_window", {},
+        "First window index executed by the most recent resumed run");
     metrics_.retry_backoff = &registry.histogram(
         "emap_edge_retry_backoff_seconds", {},
         obs::Histogram::default_latency_bounds(),
@@ -168,8 +182,15 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
   };
 
   for (std::size_t attempt = 0;; ++attempt) {
+    // The breaker's remaining OPEN cooldown doubles as a RetryAfter hint:
+    // a retry against a link the edge itself has declared down waits out
+    // the cooldown instead of hammering it (the cloud's admission
+    // controller feeds the same parameter on its shed responses).
+    const double retry_after_hint =
+        breaker != nullptr ? breaker->retry_after_hint(now_sec + elapsed)
+                           : 0.0;
     const double backoff =
-        retry.backoff_for(attempt, last_reason, /*retry_after_hint_sec=*/0.0);
+        retry.backoff_for(attempt, last_reason, retry_after_hint);
     if (!retry.allow_attempt_after(attempt, elapsed, backoff, timeout)) {
       break;
     }
@@ -436,10 +457,243 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   double total_track_sec = 0.0;
   std::size_t track_steps = 0;
 
-  const std::size_t window_count =
-      std::min(options_.max_windows, input.samples.size() / window);
+  // ---- Crash-consistent checkpoint/restore (robust/checkpoint.hpp). ----
+  robust::CrashPointRegistry* crashpoints = options_.crashpoints;
+  const robust::RecoveryOptions& recovery = options_.recovery;
+  robust::RecoverySummary& recovery_summary = result.robust.recovery;
+  recovery_summary.enabled = recovery.enabled();
+  const std::string config_fp = config_.fingerprint();
+  const std::uint32_t input_fp = crc32(
+      input.samples.data(), input.samples.size() * sizeof(double));
+  // Baselines carried over from a restored snapshot for components whose
+  // own counters restart at zero in the resumed process (watchdog trips,
+  // quality-gate verdicts); folded back in at summary time.
+  std::size_t watchdog_trips_base = 0;
+  robust::QualitySummary quality_base{};
+  std::size_t start_window = 0;
 
-  for (std::size_t w = 0; w < window_count; ++w) {
+  auto to_signal_state = [](const TrackedSignal& signal) {
+    robust::TrackedSignalState state;
+    state.set_id = signal.set_id;
+    state.omega = signal.omega;
+    state.beta = static_cast<std::uint64_t>(signal.beta);
+    state.anomalous = signal.anomalous;
+    state.class_tag = signal.class_tag;
+    state.samples = signal.samples;
+    return state;
+  };
+  auto from_signal_state = [](robust::TrackedSignalState&& state) {
+    TrackedSignal signal;
+    signal.set_id = state.set_id;
+    signal.omega = state.omega;
+    signal.beta = static_cast<std::size_t>(state.beta);
+    signal.anomalous = state.anomalous;
+    signal.class_tag = state.class_tag;
+    signal.samples = std::move(state.samples);
+    return signal;
+  };
+
+  if (recovery.enabled() && recovery.resume) {
+    try {
+      std::optional<robust::SessionState> snapshot =
+          robust::read_checkpoint(recovery.checkpoint_dir);
+      if (!snapshot.has_value()) {
+        throw robust::CheckpointError("checkpoint: no snapshot in " +
+                                      recovery.checkpoint_dir.string());
+      }
+      if (snapshot->config_fingerprint != config_fp) {
+        throw robust::CheckpointError(
+            "checkpoint: config fingerprint mismatch (snapshot " +
+            snapshot->config_fingerprint + ", pipeline " + config_fp + ")");
+      }
+      if (snapshot->input_fingerprint != input_fp) {
+        throw robust::CheckpointError(
+            "checkpoint: input fingerprint mismatch — snapshot belongs to "
+            "a different recording");
+      }
+      robust::SessionState& s = *snapshot;
+      std::vector<TrackedSignal> tracked;
+      tracked.reserve(s.tracker.tracked.size());
+      for (robust::TrackedSignalState& signal : s.tracker.tracked) {
+        tracked.push_back(from_signal_state(std::move(signal)));
+      }
+      edge.tracker().restore(
+          std::move(tracked), s.tracker.loaded,
+          static_cast<std::size_t>(s.tracker.steps_since_load));
+      edge.predictor().restore(
+          std::move(s.predictor.history), s.predictor.alarmed,
+          s.predictor.alarm_time_sec,
+          static_cast<std::size_t>(s.predictor.consecutive));
+      edge.filter().restore_stream(s.fir);
+      if (controller) {
+        controller->restore(s.degrade);
+      }
+      if (breaker) {
+        breaker->restore(s.breaker);
+      }
+      edge_slo.restore_state(s.edge_slo);
+      initial_slo.restore_state(s.initial_slo);
+      injector.restore(s.injector);
+      channel.restore_rng(s.channel_rng);
+      if (s.pending.has_value()) {
+        PendingSearch restored;
+        restored.ready_at_sec = s.pending->ready_at_sec;
+        restored.delta_ec = s.pending->delta_ec;
+        restored.delta_cs = s.pending->delta_cs;
+        restored.delta_ce = s.pending->delta_ce;
+        restored.sequence = s.pending->sequence;
+        restored.attempts = static_cast<std::size_t>(s.pending->attempts);
+        restored.duplicates =
+            static_cast<std::size_t>(s.pending->duplicates);
+        restored.succeeded = s.pending->succeeded;
+        restored.correlation_set.reserve(s.pending->correlation_set.size());
+        for (robust::TrackedSignalState& signal :
+             s.pending->correlation_set) {
+          restored.correlation_set.push_back(
+              from_signal_state(std::move(signal)));
+        }
+        pending = std::move(restored);
+      }
+      last_pa = s.last_pa;
+      last_loaded_sequence = s.last_loaded_sequence;
+      first_round_trip_recorded = s.counters.first_round_trip_recorded;
+      total_track_sec = s.counters.total_track_sec;
+      track_steps = static_cast<std::size_t>(s.counters.track_steps);
+      result.cloud_calls = static_cast<std::size_t>(s.counters.cloud_calls);
+      result.failed_cloud_calls =
+          static_cast<std::size_t>(s.counters.failed_cloud_calls);
+      result.retry_attempts =
+          static_cast<std::size_t>(s.counters.retry_attempts);
+      result.duplicates_discarded =
+          static_cast<std::size_t>(s.counters.duplicates_discarded);
+      result.degraded = s.counters.degraded;
+      result.timings.delta_ec_sec = s.counters.delta_ec_sec;
+      result.timings.delta_cs_sec = s.counters.delta_cs_sec;
+      result.timings.delta_ce_sec = s.counters.delta_ce_sec;
+      result.timings.delta_initial_sec = s.counters.delta_initial_sec;
+      result.timings.max_track_sec = s.counters.max_track_sec;
+      result.robust.critical_windows =
+          static_cast<std::size_t>(s.counters.critical_windows);
+      result.robust.shed_loads =
+          static_cast<std::size_t>(s.counters.shed_loads);
+      result.robust.deferred_flushes =
+          static_cast<std::size_t>(s.counters.deferred_flushes);
+      watchdog_trips_base =
+          static_cast<std::size_t>(s.counters.watchdog_trips);
+      quality_base = s.counters.quality;
+      start_window = static_cast<std::size_t>(s.next_window);
+      recovery_summary.resumed = true;
+      recovery_summary.resume_window = start_window;
+      if (metrics_.recovery_resumes != nullptr) {
+        metrics_.recovery_resumes->increment();
+        metrics_.recovery_resume_window->set(
+            static_cast<double>(start_window));
+      }
+      if (tracer != nullptr) {
+        const double t_resume = static_cast<double>(start_window);
+        tracer->record_sim("recovery_resume", "recovery", t_resume,
+                           t_resume);
+      }
+    } catch (const robust::CheckpointError& error) {
+      // Missing or rejected snapshot: fail closed in strict mode, fall
+      // back to a cold start otherwise (the run is then a fresh session).
+      if (recovery.strict) {
+        throw;
+      }
+      recovery_summary.cold_start_fallback = true;
+      recovery_summary.reject_reason = error.what();
+      if (metrics_.recovery_cold_starts != nullptr) {
+        metrics_.recovery_cold_starts->increment();
+      }
+    }
+  }
+
+  auto write_session_checkpoint = [&](std::size_t next_window) {
+    robust::SessionState s;
+    s.config_fingerprint = config_fp;
+    s.input_fingerprint = input_fp;
+    s.next_window = next_window;
+    s.last_pa = last_pa;
+    s.last_loaded_sequence = last_loaded_sequence;
+    s.counters.cloud_calls = result.cloud_calls;
+    s.counters.failed_cloud_calls = result.failed_cloud_calls;
+    s.counters.retry_attempts = result.retry_attempts;
+    s.counters.duplicates_discarded = result.duplicates_discarded;
+    s.counters.degraded = result.degraded;
+    s.counters.first_round_trip_recorded = first_round_trip_recorded;
+    s.counters.delta_ec_sec = result.timings.delta_ec_sec;
+    s.counters.delta_cs_sec = result.timings.delta_cs_sec;
+    s.counters.delta_ce_sec = result.timings.delta_ce_sec;
+    s.counters.delta_initial_sec = result.timings.delta_initial_sec;
+    s.counters.total_track_sec = total_track_sec;
+    s.counters.track_steps = track_steps;
+    s.counters.max_track_sec = result.timings.max_track_sec;
+    s.counters.critical_windows = result.robust.critical_windows;
+    s.counters.shed_loads = result.robust.shed_loads;
+    s.counters.deferred_flushes = result.robust.deferred_flushes;
+    s.counters.watchdog_trips =
+        watchdog_trips_base + (watchdog ? watchdog->trips() : 0);
+    s.counters.quality =
+        quality ? quality->summary() : robust::QualitySummary{};
+    s.counters.quality.assessed += quality_base.assessed;
+    s.counters.quality.good += quality_base.good;
+    s.counters.quality.nan += quality_base.nan;
+    s.counters.quality.flatline += quality_base.flatline;
+    s.counters.quality.saturated += quality_base.saturated;
+    s.counters.quality.artifact += quality_base.artifact;
+    s.tracker.loaded = edge.tracker().loaded();
+    s.tracker.steps_since_load = edge.tracker().steps_since_load();
+    s.tracker.tracked.reserve(edge.tracker().active().size());
+    for (const TrackedSignal& signal : edge.tracker().active()) {
+      s.tracker.tracked.push_back(to_signal_state(signal));
+    }
+    s.predictor.history = edge.predictor().history();
+    s.predictor.alarmed = edge.predictor().anomaly_predicted();
+    s.predictor.alarm_time_sec = edge.predictor().first_alarm_sec();
+    s.predictor.consecutive = edge.predictor().consecutive_hits();
+    s.fir = edge.filter().save_stream();
+    if (pending.has_value()) {
+      robust::PendingCallCheckpoint call;
+      call.ready_at_sec = pending->ready_at_sec;
+      call.delta_ec = pending->delta_ec;
+      call.delta_cs = pending->delta_cs;
+      call.delta_ce = pending->delta_ce;
+      call.sequence = pending->sequence;
+      call.attempts = pending->attempts;
+      call.duplicates = pending->duplicates;
+      call.succeeded = pending->succeeded;
+      call.correlation_set.reserve(pending->correlation_set.size());
+      for (const TrackedSignal& signal : pending->correlation_set) {
+        call.correlation_set.push_back(to_signal_state(signal));
+      }
+      s.pending = std::move(call);
+    }
+    if (controller) {
+      s.degrade = controller->checkpoint();
+    }
+    if (breaker) {
+      s.breaker = breaker->checkpoint();
+    }
+    s.edge_slo = edge_slo.save_state();
+    s.initial_slo = initial_slo.save_state();
+    s.injector = injector.save();
+    s.channel_rng = channel.save_rng();
+    robust::write_checkpoint(recovery.checkpoint_dir, s, crashpoints);
+    ++recovery_summary.checkpoints_written;
+    if (metrics_.recovery_checkpoints != nullptr) {
+      metrics_.recovery_checkpoints->increment();
+    }
+  };
+
+  std::size_t window_count =
+      std::min(options_.max_windows, input.samples.size() / window);
+  if (options_.stop_on_alarm && edge.predictor().anomaly_predicted()) {
+    // The restored predictor already latched its alarm; nothing is left to
+    // monitor.
+    window_count = start_window;
+  }
+
+  for (std::size_t w = start_window; w < window_count; ++w) {
     // Window w covers input time [w, w+1) seconds; processing happens at
     // its completion instant.
     const double t_end = static_cast<double>(w + 1);
@@ -447,6 +701,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       break;
     }
     EMAP_PROFILE_SCOPE("pipeline_window");
+    EMAP_CRASH_POINT(crashpoints, "pipeline_window_start");
     const std::span<const double> raw(input.samples.data() + w * window,
                                       window);
     if (tracer != nullptr) {
@@ -459,6 +714,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     IterationRecord record;
     record.window_index = w;
     record.t_sec = t_end;
+    record.recovered = recovery_summary.resumed;
     record.quality = edge.last_quality().verdict;
     if (metrics_.windows != nullptr) {
       metrics_.windows->increment();
@@ -544,6 +800,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       // half the tracked set as "dissimilar".
       record.anomaly_probability = last_pa;
     } else if (edge.tracker().loaded()) {
+      EMAP_CRASH_POINT(crashpoints, "pipeline_tracker_step");
       const TrackStepResult step = edge.tracker().step(filtered);
       record.tracked = true;
       record.anomaly_probability = step.anomaly_probability;
@@ -592,9 +849,11 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
           record.breaker_rejected = true;
         } else {
+          EMAP_CRASH_POINT(crashpoints, "pipeline_pre_cloud_call");
           pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
                                      t_end, channel, retry, tracer,
                                      breaker_ptr);
+          EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
           record.cloud_call_issued = true;
         }
       }
@@ -603,9 +862,11 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
         record.breaker_rejected = true;
       } else {
+        EMAP_CRASH_POINT(crashpoints, "pipeline_pre_cloud_call");
         pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
                                    t_end, channel, retry, tracer,
                                    breaker_ptr);
+        EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
         record.cloud_call_issued = true;
       }
     }
@@ -633,6 +894,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     }
 
     result.iterations.push_back(record);
+    EMAP_CRASH_POINT(crashpoints, "pipeline_window_end");
+    // Snapshot at the window boundary (absolute index, so a resumed run
+    // checkpoints at exactly the windows the uninterrupted run would).
+    if (recovery.enabled() && (w + 1) % recovery.interval_windows == 0) {
+      write_session_checkpoint(w + 1);
+    }
     if (options_.stop_on_alarm && edge.predictor().anomaly_predicted()) {
       break;
     }
@@ -664,9 +931,15 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   if (quality) {
     result.robust.quality = quality->summary();
   }
-  if (watchdog) {
-    result.robust.watchdog_trips = watchdog->trips();
-  }
+  // Fold in pre-crash counts a restored snapshot carried (zeros otherwise).
+  result.robust.quality.assessed += quality_base.assessed;
+  result.robust.quality.good += quality_base.good;
+  result.robust.quality.nan += quality_base.nan;
+  result.robust.quality.flatline += quality_base.flatline;
+  result.robust.quality.saturated += quality_base.saturated;
+  result.robust.quality.artifact += quality_base.artifact;
+  result.robust.watchdog_trips =
+      watchdog_trips_base + (watchdog ? watchdog->trips() : 0);
   if (tracer != nullptr) {
     // The legacy Fig. 9 timeline is a projection of the span log.
     result.trace = obs::timeline_view(*tracer);

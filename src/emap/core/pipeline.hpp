@@ -82,6 +82,17 @@ struct PipelineOptions {
   /// run (the controller stays NOMINAL and nothing is shed or gated);
   /// robust.enabled = false removes every hook.
   robust::RobustOptions robust{};
+  /// Crash-consistent checkpoint/restore (robust/checkpoint.hpp).  With a
+  /// checkpoint_dir set, the pipeline snapshots the full resumable session
+  /// state every `interval_windows` completed windows; with resume = true
+  /// it restores the snapshot at run start and replays from the first
+  /// un-checkpointed window — on a clean link the resumed P_A trajectory
+  /// is bit-identical to the uninterrupted run's.
+  robust::RecoveryOptions recovery{};
+  /// Deterministic crash injection (borrowed; nullptr disables).  Armed
+  /// points fire inside the window loop and the checkpoint writer; see
+  /// robust::crash_point_catalog() for the registered names.
+  robust::CrashPointRegistry* crashpoints = nullptr;
 };
 
 /// Per-iteration record of the run.
@@ -116,6 +127,8 @@ struct IterationRecord {
   /// Tracking suspended (CRITICAL): anomaly_probability is the last-known
   /// P_A served stale.
   bool robust_critical = false;
+  /// This window was executed by a run resumed from a checkpoint.
+  bool recovered = false;
 };
 
 /// Eq. 4 decomposition of the first cloud round trip.
@@ -222,6 +235,10 @@ class EmapPipeline {
     obs::Counter* call_failures = nullptr;
     obs::Counter* degraded_windows = nullptr;
     obs::Counter* duplicates_discarded = nullptr;
+    obs::Counter* recovery_checkpoints = nullptr;
+    obs::Counter* recovery_resumes = nullptr;
+    obs::Counter* recovery_cold_starts = nullptr;
+    obs::Gauge* recovery_resume_window = nullptr;
     obs::Histogram* retry_backoff = nullptr;
     obs::Histogram* delta_ec = nullptr;
     obs::Histogram* delta_cs = nullptr;

@@ -67,4 +67,17 @@ void AnomalyPredictor::reset() {
   consecutive_ = 0;
 }
 
+void AnomalyPredictor::restore(std::vector<double> history, bool alarmed,
+                               double alarm_time_sec,
+                               std::size_t consecutive) {
+  for (const double p : history) {
+    require(p >= 0.0 && p <= 1.0,
+            "AnomalyPredictor::restore: probability out of [0, 1]");
+  }
+  history_ = std::move(history);
+  alarmed_ = alarmed;
+  alarm_time_sec_ = alarm_time_sec;
+  consecutive_ = consecutive;
+}
+
 }  // namespace emap::core

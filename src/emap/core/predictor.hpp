@@ -41,6 +41,14 @@ class AnomalyPredictor {
   /// Clears observations and the alarm latch.
   void reset();
 
+  /// Reinstates a previously captured P_A history, alarm latch, and
+  /// persistence streak (checkpoint support).
+  void restore(std::vector<double> history, bool alarmed,
+               double alarm_time_sec, std::size_t consecutive);
+
+  /// Consecutive alarm-condition hits so far (checkpoint support).
+  std::size_t consecutive_hits() const { return consecutive_; }
+
  private:
   void evaluate(double t_sec);
 

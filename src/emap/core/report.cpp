@@ -25,7 +25,7 @@ void write_iterations_csv(const RunResult& result,
             "anomaly_probability,tracked_before,tracked_after,"
             "removed_dissimilar,removed_exhausted,cloud_call_issued,"
             "degraded,track_device_sec,robust_state,shed_cap,quality,"
-            "breaker_rejected,robust_critical\n";
+            "breaker_rejected,robust_critical,robust_recovered\n";
   for (const auto& record : result.iterations) {
     stream << record.window_index << ',' << record.t_sec << ','
            << (record.tracked ? 1 : 0) << ',' << (record.set_loaded ? 1 : 0)
@@ -40,7 +40,8 @@ void write_iterations_csv(const RunResult& result,
            << record.shed_cap << ','
            << robust::quality_verdict_name(record.quality) << ','
            << (record.breaker_rejected ? 1 : 0) << ','
-           << (record.robust_critical ? 1 : 0) << '\n';
+           << (record.robust_critical ? 1 : 0) << ','
+           << (record.recovered ? 1 : 0) << '\n';
   }
   if (!stream) {
     throw IoError("report: write failed for " + path.string());
@@ -99,6 +100,12 @@ std::string run_summary_json(const RunResult& result) {
   json << ",\"robust_quality_bad_windows\":" << rb.quality.bad();
   json << ",\"robust_watchdog_trips\":" << rb.watchdog_trips;
   json << ",\"robust_shed_loads\":" << rb.shed_loads;
+  json << ",\"robust_recovered\":" << (rb.recovery.resumed ? "true" : "false");
+  json << ",\"recovery_resume_window\":" << rb.recovery.resume_window;
+  json << ",\"recovery_checkpoints_written\":"
+       << rb.recovery.checkpoints_written;
+  json << ",\"recovery_cold_start_fallback\":"
+       << (rb.recovery.cold_start_fallback ? "true" : "false");
   json << "}";
   return json.str();
 }

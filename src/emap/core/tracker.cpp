@@ -56,6 +56,19 @@ void EdgeTracker::load_from_message(
   load(std::move(set));
 }
 
+void EdgeTracker::restore(std::vector<TrackedSignal> correlation_set,
+                          bool loaded, std::size_t steps_since_load) {
+  tracked_ = std::move(correlation_set);
+  loaded_ = loaded;
+  steps_since_load_ = steps_since_load;
+  if (metrics_.staleness != nullptr) {
+    metrics_.staleness->set(static_cast<double>(steps_since_load_));
+  }
+  if (metrics_.set_size != nullptr) {
+    metrics_.set_size->set(static_cast<double>(tracked_.size()));
+  }
+}
+
 std::size_t EdgeTracker::shed_to(std::size_t cap) {
   if (cap == 0 || tracked_.size() <= cap) {
     return 0;

@@ -69,6 +69,12 @@ class EdgeTracker {
   /// transport path), then installs them.
   void load_from_message(const net::CorrelationSetMessage& message);
 
+  /// Reinstates a previously captured tracking state (checkpoint support).
+  /// Unlike load() this does NOT reset the staleness counter — a resumed
+  /// tracker is exactly as stale as the crashed one was.
+  void restore(std::vector<TrackedSignal> correlation_set, bool loaded,
+               std::size_t steps_since_load);
+
   /// Runs one Algorithm 2 iteration against the next filtered window.
   /// No-op returning an empty result when nothing is loaded.
   TrackStepResult step(std::span<const double> filtered_window);

@@ -156,6 +156,15 @@ void FirFilter::reset() {
   history_pos_ = 0;
 }
 
+void FirFilter::restore_stream(const FirStreamState& state) {
+  require(state.history.size() == coefficients_.size() &&
+              state.history_pos < std::max<std::size_t>(1,
+                                                        state.history.size()),
+          "FirFilter::restore_stream: state does not match this filter");
+  history_ = state.history;
+  history_pos_ = state.history_pos;
+}
+
 double FirFilter::magnitude_response(double frequency_hz,
                                      double sample_rate_hz) const {
   require(sample_rate_hz > 0.0, "magnitude_response: sample rate must be > 0");

@@ -15,6 +15,14 @@
 
 namespace emap::dsp {
 
+/// Serializable streaming-filter history (checkpoint support): the delay
+/// line carries across window boundaries, so a resumed pipeline must
+/// restore it or the first post-resume window filters differently.
+struct FirStreamState {
+  std::vector<double> history;
+  std::size_t history_pos = 0;
+};
+
 /// Filter response types supported by the windowed-sinc designer.
 enum class FirResponse {
   kLowpass,
@@ -78,6 +86,13 @@ class FirFilter {
 
   /// Clears streaming history.
   void reset();
+
+  /// Captures the streaming delay line (checkpoint support).
+  FirStreamState save_stream() const { return {history_, history_pos_}; }
+
+  /// Restores a saved delay line.  Throws InvalidArgument when the state's
+  /// history length does not match this filter's tap count.
+  void restore_stream(const FirStreamState& state);
 
   /// Complex magnitude of the frequency response at `frequency_hz` for a
   /// sampling rate of `sample_rate_hz`.

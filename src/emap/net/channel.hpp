@@ -102,6 +102,11 @@ class Channel {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Jitter-stream position (checkpoint support): a resumed run restores
+  /// this so transfer times replay bit-for-bit even with jitter enabled.
+  RngState save_rng() const { return rng_.save(); }
+  void restore_rng(const RngState& state) { rng_.restore(state); }
+
  private:
   double transfer_seconds(std::size_t payload_bytes, double rate_mbps);
   double direction_rate_mbps(Direction direction) const;

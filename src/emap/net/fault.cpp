@@ -127,6 +127,22 @@ FaultPlan FaultInjector::apply(Direction direction,
   return plan;
 }
 
+FaultInjectorState FaultInjector::save() const {
+  FaultInjectorState state;
+  state.up_rng = up_.rng.save();
+  state.down_rng = down_.rng.save();
+  state.up_counts = up_.counts;
+  state.down_counts = down_.counts;
+  return state;
+}
+
+void FaultInjector::restore(const FaultInjectorState& state) {
+  up_.rng.restore(state.up_rng);
+  down_.rng.restore(state.down_rng);
+  up_.counts = state.up_counts;
+  down_.counts = state.down_counts;
+}
+
 void FaultInjector::set_metrics(obs::MetricsRegistry* registry) {
   for (DirectionState* s : {&up_, &down_}) {
     if (registry == nullptr) {

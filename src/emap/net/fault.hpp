@@ -94,6 +94,19 @@ struct FaultCounts {
   }
 };
 
+/// Serializable snapshot of an injector's stream position (both direction
+/// RNGs plus the running counts).  The crash-recovery checkpoint persists
+/// one of these so a resumed run draws the same fault schedule the
+/// uninterrupted run would have — corruption consumes a data-dependent
+/// number of extra draws, so the raw RNG state (not a draw counter) is the
+/// only exact resume point.
+struct FaultInjectorState {
+  RngState up_rng;
+  RngState down_rng;
+  FaultCounts up_counts;
+  FaultCounts down_counts;
+};
+
 /// Seeded, deterministic per-message fault source.
 ///
 /// Each direction draws from its own forked stream, and every message
@@ -119,6 +132,13 @@ class FaultInjector {
   /// `emap_net_faults_total{direction,kind}` counters and
   /// `emap_net_fault_delay_seconds{direction}` histograms.
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Captures the stream position and counts (checkpoint support).
+  FaultInjectorState save() const;
+
+  /// Resumes from a saved state; subsequent apply() calls draw exactly the
+  /// schedule the saved injector would have drawn next.
+  void restore(const FaultInjectorState& state);
 
  private:
   struct DirectionState {

@@ -71,28 +71,26 @@ double RetryPolicy::backoff_for(std::size_t attempt, RejectReason reason,
   if (attempt == 0) {
     return 0.0;
   }
-  switch (reason) {
-    case RejectReason::kCorrupt: {
-      // The link delivered — fast, flat retry instead of exponential
-      // penance.  Same deterministic jitter stream as backoff_before, so
-      // replays stay exact.
-      if (options_.base_backoff_sec == 0.0) {
-        return 0.0;
-      }
+  double backoff = backoff_before(attempt);
+  if (reason == RejectReason::kCorrupt) {
+    // The link delivered — fast, flat retry instead of exponential
+    // penance.  Same deterministic jitter stream as backoff_before, so
+    // replays stay exact.
+    if (options_.base_backoff_sec == 0.0) {
+      backoff = 0.0;
+    } else {
       const double u = Rng(options_.seed).fork(attempt).uniform();
-      return std::min(options_.backoff_cap_sec,
-                      options_.base_backoff_sec *
-                          (1.0 + options_.jitter_fraction * u));
+      backoff = std::min(options_.backoff_cap_sec,
+                         options_.base_backoff_sec *
+                             (1.0 + options_.jitter_fraction * u));
     }
-    case RejectReason::kShed:
-      // The cloud said when to come back; never come back sooner.
-      return std::max(backoff_before(attempt),
-                      std::max(retry_after_hint_sec, 0.0));
-    case RejectReason::kTimeout:
-    case RejectReason::kNone:
-      break;
   }
-  return backoff_before(attempt);
+  // A positive RetryAfter hint floors the backoff regardless of reason:
+  // the cloud's admission controller attaches one to a shed, and the
+  // edge's own circuit breaker advertises its remaining OPEN cooldown the
+  // same way — either authority said when to come back; never come back
+  // sooner.
+  return std::max(backoff, std::max(retry_after_hint_sec, 0.0));
 }
 
 bool RetryPolicy::allow_attempt(std::size_t attempt, double elapsed_sec,

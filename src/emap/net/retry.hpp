@@ -70,8 +70,12 @@ class RetryPolicy {
   /// Backoff before `attempt` given why the previous attempt failed.
   /// kTimeout follows backoff_before's exponential schedule; kCorrupt
   /// waits only the flat base backoff (jittered, capped) since the link
-  /// itself is alive; kShed waits the larger of the exponential schedule
-  /// and the cloud's `retry_after_hint_sec`.  Attempt 0 never waits.
+  /// itself is alive.  A positive `retry_after_hint_sec` floors the result
+  /// for every reason: the cloud's admission controller attaches one to a
+  /// shed (kShed) and the edge's circuit breaker advertises its remaining
+  /// OPEN cooldown the same way — whoever issued the hint said when to
+  /// come back, and the edge never comes back sooner.  Attempt 0 never
+  /// waits.
   double backoff_for(std::size_t attempt, RejectReason reason,
                      double retry_after_hint_sec = 0.0) const;
 

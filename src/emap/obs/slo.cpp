@@ -109,6 +109,43 @@ double SloMonitor::burn_rate() const {
   return rolling_miss_rate / error_budget;
 }
 
+SloMonitorState SloMonitor::save_state() const {
+  SloMonitorState state;
+  state.observations = observations_;
+  state.deadline_misses = deadline_misses_;
+  state.near_misses = near_misses_;
+  state.max_latency_sec = max_latency_sec_;
+  state.recent_miss.reserve(recent_miss_.size());
+  for (const bool miss : recent_miss_) {
+    state.recent_miss.push_back(miss ? 1u : 0u);
+  }
+  state.recent_next = recent_next_;
+  state.recent_count = recent_count_;
+  state.recent_misses = recent_misses_;
+  return state;
+}
+
+void SloMonitor::restore_state(const SloMonitorState& state) {
+  require(state.recent_miss.size() == recent_miss_.size() &&
+              state.recent_next < recent_miss_.size() &&
+              state.recent_count <= recent_miss_.size() &&
+              state.recent_misses <= state.recent_count,
+          "SloMonitor::restore_state: state does not match this monitor");
+  observations_ = state.observations;
+  deadline_misses_ = state.deadline_misses;
+  near_misses_ = state.near_misses;
+  max_latency_sec_ = state.max_latency_sec;
+  for (std::size_t i = 0; i < recent_miss_.size(); ++i) {
+    recent_miss_[i] = state.recent_miss[i] != 0;
+  }
+  recent_next_ = static_cast<std::size_t>(state.recent_next);
+  recent_count_ = static_cast<std::size_t>(state.recent_count);
+  recent_misses_ = static_cast<std::size_t>(state.recent_misses);
+  if (burn_metric_ != nullptr) {
+    burn_metric_->set(burn_rate());
+  }
+}
+
 SloSummary SloMonitor::summary() const {
   SloSummary out;
   out.name = spec_.name;

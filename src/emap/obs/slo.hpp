@@ -59,6 +59,22 @@ struct SloSummary {
   double p99_latency_sec = 0.0;
 };
 
+/// Serializable monitor state (checkpoint support).  Carries the verdict
+/// counters and the rolling miss ring — everything burn_rate() and the
+/// degradation controller read — but NOT the latency histogram: a resumed
+/// monitor's p50/p99 cover post-resume observations only (documented in
+/// docs/robustness.md, "Crash recovery").
+struct SloMonitorState {
+  std::uint64_t observations = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t near_misses = 0;
+  double max_latency_sec = 0.0;
+  std::vector<std::uint8_t> recent_miss;  ///< ring, 1 = miss
+  std::uint64_t recent_next = 0;
+  std::uint64_t recent_count = 0;
+  std::uint64_t recent_misses = 0;
+};
+
 /// Tracks one SLO over a latency stream.
 ///
 /// Not internally synchronized: observations come from the single-threaded
@@ -86,6 +102,13 @@ class SloMonitor {
   bool healthy() const { return burn_rate() <= 1.0; }
 
   SloSummary summary() const;
+
+  /// Captures the restorable state (counters + miss ring; no histogram).
+  SloMonitorState save_state() const;
+
+  /// Restores a saved state.  Throws InvalidArgument when the saved ring
+  /// does not match this monitor's burn window.
+  void restore_state(const SloMonitorState& state);
 
  private:
   SloSpec spec_;

@@ -139,6 +139,55 @@ double CircuitBreaker::open_until_sec() const {
   return state_ == BreakerState::kOpen ? open_until_ : 0.0;
 }
 
+double CircuitBreaker::retry_after_hint(double now_sec) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BreakerState::kOpen) {
+    return 0.0;
+  }
+  return std::max(0.0, open_until_ - now_sec);
+}
+
+BreakerCheckpoint CircuitBreaker::checkpoint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BreakerCheckpoint out;
+  out.state = state_;
+  out.open_until_sec = open_until_;
+  out.probe_successes = probe_successes_;
+  out.recent_failure.reserve(recent_failure_.size());
+  for (const bool failure : recent_failure_) {
+    out.recent_failure.push_back(failure ? 1u : 0u);
+  }
+  out.recent_next = recent_next_;
+  out.recent_count = recent_count_;
+  out.summary = summary_;
+  out.summary.final_state = state_;
+  return out;
+}
+
+void CircuitBreaker::restore(const BreakerCheckpoint& saved) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(saved.recent_failure.size() == recent_failure_.size() &&
+              saved.recent_next < options_.window &&
+              saved.recent_count <= options_.window,
+          "CircuitBreaker::restore: saved state does not match this "
+          "breaker's window");
+  state_ = saved.state;
+  open_until_ = saved.open_until_sec;
+  probe_successes_ = static_cast<std::size_t>(saved.probe_successes);
+  for (std::size_t i = 0; i < recent_failure_.size(); ++i) {
+    recent_failure_[i] = saved.recent_failure[i] != 0;
+  }
+  recent_next_ = static_cast<std::size_t>(saved.recent_next);
+  recent_count_ = static_cast<std::size_t>(saved.recent_count);
+  summary_ = saved.summary;
+  summary_.final_state = state_;
+  if (state_metric_ != nullptr) {
+    state_metric_->set(state_ == BreakerState::kClosed
+                           ? 0.0
+                           : (state_ == BreakerState::kOpen ? 1.0 : 2.0));
+  }
+}
+
 BreakerSummary CircuitBreaker::summary() const {
   std::lock_guard<std::mutex> lock(mutex_);
   BreakerSummary out = summary_;

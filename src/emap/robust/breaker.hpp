@@ -54,6 +54,19 @@ struct BreakerSummary {
   std::size_t successes = 0;
 };
 
+/// Serializable breaker state (checkpoint support): the state machine, the
+/// rolling outcome ring, and the cumulative counters, so a restored breaker
+/// trips/recovers exactly as the uninterrupted one would.
+struct BreakerCheckpoint {
+  BreakerState state = BreakerState::kClosed;
+  double open_until_sec = 0.0;
+  std::uint64_t probe_successes = 0;
+  std::vector<std::uint8_t> recent_failure;  ///< ring, 1 = failure
+  std::uint64_t recent_next = 0;
+  std::uint64_t recent_count = 0;
+  BreakerSummary summary{};
+};
+
 /// Closed/open/half-open circuit breaker over one edge->cloud link.
 class CircuitBreaker {
  public:
@@ -74,8 +87,21 @@ class CircuitBreaker {
   /// SimTime at which OPEN admits its first probe (0 when not OPEN).
   double open_until_sec() const;
 
+  /// Advertised retry horizon at SimTime `now_sec`: the remaining OPEN
+  /// cooldown, 0 when not OPEN.  The edge feeds this into
+  /// RetryPolicy::backoff_for as the RetryAfter hint, so retries against a
+  /// tripped link wait out the cooldown instead of hammering it.
+  double retry_after_hint(double now_sec) const;
+
   BreakerSummary summary() const;
   const BreakerOptions& options() const { return options_; }
+
+  /// Captures the restorable state (checkpoint support).
+  BreakerCheckpoint checkpoint() const;
+
+  /// Restores a saved state.  Throws InvalidArgument when the saved ring
+  /// does not match this breaker's window.
+  void restore(const BreakerCheckpoint& saved);
 
  private:
   void trip_locked(double now_sec);

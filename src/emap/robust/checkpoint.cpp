@@ -1,0 +1,527 @@
+#include "emap/robust/checkpoint.hpp"
+
+#include <fstream>
+
+#include "emap/common/crc32.hpp"
+#include "emap/mdb/codec.hpp"
+
+namespace emap::robust {
+namespace {
+
+// Framing: magic | u32 version | u64 payload_size | payload | u32 crc.
+constexpr std::uint8_t kMagic[4] = {'E', 'M', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kTrailerBytes = 4;
+
+[[noreturn]] void reject(const std::string& what) {
+  throw CheckpointError("checkpoint: " + what);
+}
+
+// A corrupt (but CRC-colliding) or hand-crafted payload must not drive a
+// multi-gigabyte allocation: every element count is bounded by the bytes
+// that could actually hold it.
+void check_count(std::uint64_t count, std::size_t element_bytes,
+                 std::size_t total_bytes) {
+  if (element_bytes > 0 &&
+      count > static_cast<std::uint64_t>(total_bytes) / element_bytes) {
+    reject("element count exceeds payload size");
+  }
+}
+
+void encode_rng(mdb::Encoder& enc, const RngState& rng) {
+  for (const std::uint64_t word : rng.state) {
+    enc.write_u64(word);
+  }
+  enc.write_u64(rng.seed);
+  enc.write_f64(rng.spare_normal);
+  enc.write_u8(rng.has_spare_normal ? 1 : 0);
+}
+
+RngState decode_rng(mdb::Decoder& dec) {
+  RngState rng;
+  for (std::uint64_t& word : rng.state) {
+    word = dec.read_u64();
+  }
+  rng.seed = dec.read_u64();
+  rng.spare_normal = dec.read_f64();
+  rng.has_spare_normal = dec.read_u8() != 0;
+  return rng;
+}
+
+void encode_fault_counts(mdb::Encoder& enc, const net::FaultCounts& counts) {
+  enc.write_u64(counts.messages);
+  enc.write_u64(counts.dropped);
+  enc.write_u64(counts.corrupted);
+  enc.write_u64(counts.duplicated);
+  enc.write_u64(counts.reordered);
+  enc.write_u64(counts.delayed);
+}
+
+net::FaultCounts decode_fault_counts(mdb::Decoder& dec) {
+  net::FaultCounts counts;
+  counts.messages = dec.read_u64();
+  counts.dropped = dec.read_u64();
+  counts.corrupted = dec.read_u64();
+  counts.duplicated = dec.read_u64();
+  counts.reordered = dec.read_u64();
+  counts.delayed = dec.read_u64();
+  return counts;
+}
+
+void encode_signals(mdb::Encoder& enc,
+                    const std::vector<TrackedSignalState>& signals) {
+  enc.write_u64(signals.size());
+  for (const TrackedSignalState& signal : signals) {
+    enc.write_u64(signal.set_id);
+    enc.write_f64(signal.omega);
+    enc.write_u64(signal.beta);
+    enc.write_u8(signal.anomalous ? 1 : 0);
+    enc.write_u8(signal.class_tag);
+    enc.write_u64(signal.samples.size());
+    for (const double sample : signal.samples) {
+      enc.write_f64(sample);
+    }
+  }
+}
+
+std::vector<TrackedSignalState> decode_signals(mdb::Decoder& dec,
+                                               std::size_t total_bytes) {
+  const std::uint64_t count = dec.read_u64();
+  // Each signal carries at least its fixed fields.
+  check_count(count, 8 + 8 + 8 + 1 + 1 + 8, total_bytes);
+  std::vector<TrackedSignalState> signals;
+  signals.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TrackedSignalState signal;
+    signal.set_id = dec.read_u64();
+    signal.omega = dec.read_f64();
+    signal.beta = dec.read_u64();
+    signal.anomalous = dec.read_u8() != 0;
+    signal.class_tag = dec.read_u8();
+    const std::uint64_t samples = dec.read_u64();
+    check_count(samples, 8, total_bytes);
+    signal.samples.reserve(static_cast<std::size_t>(samples));
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      signal.samples.push_back(dec.read_f64());
+    }
+    signals.push_back(std::move(signal));
+  }
+  return signals;
+}
+
+void encode_ring(mdb::Encoder& enc, const std::vector<std::uint8_t>& ring) {
+  enc.write_u64(ring.size());
+  for (const std::uint8_t flag : ring) {
+    enc.write_u8(flag);
+  }
+}
+
+std::vector<std::uint8_t> decode_ring(mdb::Decoder& dec,
+                                      std::size_t total_bytes) {
+  const std::uint64_t size = dec.read_u64();
+  check_count(size, 1, total_bytes);
+  std::vector<std::uint8_t> ring;
+  ring.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i) {
+    ring.push_back(dec.read_u8());
+  }
+  return ring;
+}
+
+void encode_slo(mdb::Encoder& enc, const obs::SloMonitorState& slo) {
+  enc.write_u64(slo.observations);
+  enc.write_u64(slo.deadline_misses);
+  enc.write_u64(slo.near_misses);
+  enc.write_f64(slo.max_latency_sec);
+  encode_ring(enc, slo.recent_miss);
+  enc.write_u64(slo.recent_next);
+  enc.write_u64(slo.recent_count);
+  enc.write_u64(slo.recent_misses);
+}
+
+obs::SloMonitorState decode_slo(mdb::Decoder& dec, std::size_t total_bytes) {
+  obs::SloMonitorState slo;
+  slo.observations = dec.read_u64();
+  slo.deadline_misses = dec.read_u64();
+  slo.near_misses = dec.read_u64();
+  slo.max_latency_sec = dec.read_f64();
+  slo.recent_miss = decode_ring(dec, total_bytes);
+  slo.recent_next = dec.read_u64();
+  slo.recent_count = dec.read_u64();
+  slo.recent_misses = dec.read_u64();
+  return slo;
+}
+
+void encode_degrade(mdb::Encoder& enc, const DegradeCheckpoint& degrade) {
+  enc.write_u8(static_cast<std::uint8_t>(degrade.state));
+  enc.write_u64(degrade.shed_level);
+  enc.write_u64(degrade.bad_streak);
+  enc.write_u64(degrade.clean_streak);
+  enc.write_u64(degrade.miss_streak);
+  enc.write_u64(degrade.critical_left);
+  enc.write_u8(degrade.recovered_since_miss ? 1 : 0);
+  enc.write_f64(degrade.pressure_ewma);
+  enc.write_u8(static_cast<std::uint8_t>(degrade.summary.final_state));
+  enc.write_u64(degrade.summary.transitions);
+  enc.write_u64(degrade.summary.windows_nominal);
+  enc.write_u64(degrade.summary.windows_degraded);
+  enc.write_u64(degrade.summary.windows_critical);
+  enc.write_u64(degrade.summary.windows_recovering);
+  enc.write_u64(degrade.summary.max_shed_level);
+  enc.write_u8(degrade.summary.entered_degraded ? 1 : 0);
+}
+
+DegradeState decode_degrade_state(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(DegradeState::kRecovering)) {
+    reject("degrade state out of range");
+  }
+  return static_cast<DegradeState>(raw);
+}
+
+DegradeCheckpoint decode_degrade(mdb::Decoder& dec) {
+  DegradeCheckpoint degrade;
+  degrade.state = decode_degrade_state(dec.read_u8());
+  degrade.shed_level = dec.read_u64();
+  degrade.bad_streak = dec.read_u64();
+  degrade.clean_streak = dec.read_u64();
+  degrade.miss_streak = dec.read_u64();
+  degrade.critical_left = dec.read_u64();
+  degrade.recovered_since_miss = dec.read_u8() != 0;
+  degrade.pressure_ewma = dec.read_f64();
+  degrade.summary.final_state = decode_degrade_state(dec.read_u8());
+  degrade.summary.transitions = dec.read_u64();
+  degrade.summary.windows_nominal = dec.read_u64();
+  degrade.summary.windows_degraded = dec.read_u64();
+  degrade.summary.windows_critical = dec.read_u64();
+  degrade.summary.windows_recovering = dec.read_u64();
+  degrade.summary.max_shed_level = dec.read_u64();
+  degrade.summary.entered_degraded = dec.read_u8() != 0;
+  return degrade;
+}
+
+void encode_breaker(mdb::Encoder& enc, const BreakerCheckpoint& breaker) {
+  enc.write_u8(static_cast<std::uint8_t>(breaker.state));
+  enc.write_f64(breaker.open_until_sec);
+  enc.write_u64(breaker.probe_successes);
+  encode_ring(enc, breaker.recent_failure);
+  enc.write_u64(breaker.recent_next);
+  enc.write_u64(breaker.recent_count);
+  enc.write_u8(static_cast<std::uint8_t>(breaker.summary.final_state));
+  enc.write_u64(breaker.summary.opens);
+  enc.write_u64(breaker.summary.rejected);
+  enc.write_u64(breaker.summary.failures);
+  enc.write_u64(breaker.summary.successes);
+}
+
+BreakerState decode_breaker_state(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(BreakerState::kHalfOpen)) {
+    reject("breaker state out of range");
+  }
+  return static_cast<BreakerState>(raw);
+}
+
+BreakerCheckpoint decode_breaker(mdb::Decoder& dec,
+                                 std::size_t total_bytes) {
+  BreakerCheckpoint breaker;
+  breaker.state = decode_breaker_state(dec.read_u8());
+  breaker.open_until_sec = dec.read_f64();
+  breaker.probe_successes = dec.read_u64();
+  breaker.recent_failure = decode_ring(dec, total_bytes);
+  breaker.recent_next = dec.read_u64();
+  breaker.recent_count = dec.read_u64();
+  breaker.summary.final_state = decode_breaker_state(dec.read_u8());
+  breaker.summary.opens = dec.read_u64();
+  breaker.summary.rejected = dec.read_u64();
+  breaker.summary.failures = dec.read_u64();
+  breaker.summary.successes = dec.read_u64();
+  return breaker;
+}
+
+void encode_payload(mdb::Encoder& enc, const SessionState& state) {
+  enc.write_string(state.config_fingerprint);
+  enc.write_u32(state.input_fingerprint);
+  enc.write_u64(state.next_window);
+  enc.write_f64(state.last_pa);
+  enc.write_u64(static_cast<std::uint64_t>(state.last_loaded_sequence));
+
+  const RunCountersCheckpoint& c = state.counters;
+  enc.write_u64(c.cloud_calls);
+  enc.write_u64(c.failed_cloud_calls);
+  enc.write_u64(c.retry_attempts);
+  enc.write_u64(c.duplicates_discarded);
+  enc.write_u8(c.degraded ? 1 : 0);
+  enc.write_u8(c.first_round_trip_recorded ? 1 : 0);
+  enc.write_f64(c.delta_ec_sec);
+  enc.write_f64(c.delta_cs_sec);
+  enc.write_f64(c.delta_ce_sec);
+  enc.write_f64(c.delta_initial_sec);
+  enc.write_f64(c.total_track_sec);
+  enc.write_u64(c.track_steps);
+  enc.write_f64(c.max_track_sec);
+  enc.write_u64(c.critical_windows);
+  enc.write_u64(c.shed_loads);
+  enc.write_u64(c.deferred_flushes);
+  enc.write_u64(c.watchdog_trips);
+  enc.write_u64(c.quality.assessed);
+  enc.write_u64(c.quality.good);
+  enc.write_u64(c.quality.nan);
+  enc.write_u64(c.quality.flatline);
+  enc.write_u64(c.quality.saturated);
+  enc.write_u64(c.quality.artifact);
+
+  enc.write_u8(state.tracker.loaded ? 1 : 0);
+  enc.write_u64(state.tracker.steps_since_load);
+  encode_signals(enc, state.tracker.tracked);
+
+  enc.write_u64(state.predictor.history.size());
+  for (const double p : state.predictor.history) {
+    enc.write_f64(p);
+  }
+  enc.write_u8(state.predictor.alarmed ? 1 : 0);
+  enc.write_f64(state.predictor.alarm_time_sec);
+  enc.write_u64(state.predictor.consecutive);
+
+  enc.write_u64(state.fir.history.size());
+  for (const double sample : state.fir.history) {
+    enc.write_f64(sample);
+  }
+  enc.write_u64(state.fir.history_pos);
+
+  enc.write_u8(state.pending.has_value() ? 1 : 0);
+  if (state.pending.has_value()) {
+    const PendingCallCheckpoint& pending = *state.pending;
+    enc.write_f64(pending.ready_at_sec);
+    enc.write_f64(pending.delta_ec);
+    enc.write_f64(pending.delta_cs);
+    enc.write_f64(pending.delta_ce);
+    enc.write_u32(pending.sequence);
+    enc.write_u64(pending.attempts);
+    enc.write_u64(pending.duplicates);
+    enc.write_u8(pending.succeeded ? 1 : 0);
+    encode_signals(enc, pending.correlation_set);
+  }
+
+  encode_degrade(enc, state.degrade);
+  encode_breaker(enc, state.breaker);
+  encode_slo(enc, state.edge_slo);
+  encode_slo(enc, state.initial_slo);
+
+  encode_rng(enc, state.injector.up_rng);
+  encode_rng(enc, state.injector.down_rng);
+  encode_fault_counts(enc, state.injector.up_counts);
+  encode_fault_counts(enc, state.injector.down_counts);
+  encode_rng(enc, state.channel_rng);
+}
+
+SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
+  SessionState state;
+  state.config_fingerprint = dec.read_string();
+  state.input_fingerprint = dec.read_u32();
+  state.next_window = dec.read_u64();
+  state.last_pa = dec.read_f64();
+  state.last_loaded_sequence = static_cast<std::int64_t>(dec.read_u64());
+
+  RunCountersCheckpoint& c = state.counters;
+  c.cloud_calls = dec.read_u64();
+  c.failed_cloud_calls = dec.read_u64();
+  c.retry_attempts = dec.read_u64();
+  c.duplicates_discarded = dec.read_u64();
+  c.degraded = dec.read_u8() != 0;
+  c.first_round_trip_recorded = dec.read_u8() != 0;
+  c.delta_ec_sec = dec.read_f64();
+  c.delta_cs_sec = dec.read_f64();
+  c.delta_ce_sec = dec.read_f64();
+  c.delta_initial_sec = dec.read_f64();
+  c.total_track_sec = dec.read_f64();
+  c.track_steps = dec.read_u64();
+  c.max_track_sec = dec.read_f64();
+  c.critical_windows = dec.read_u64();
+  c.shed_loads = dec.read_u64();
+  c.deferred_flushes = dec.read_u64();
+  c.watchdog_trips = dec.read_u64();
+  c.quality.assessed = dec.read_u64();
+  c.quality.good = dec.read_u64();
+  c.quality.nan = dec.read_u64();
+  c.quality.flatline = dec.read_u64();
+  c.quality.saturated = dec.read_u64();
+  c.quality.artifact = dec.read_u64();
+
+  state.tracker.loaded = dec.read_u8() != 0;
+  state.tracker.steps_since_load = dec.read_u64();
+  state.tracker.tracked = decode_signals(dec, total_bytes);
+
+  const std::uint64_t history = dec.read_u64();
+  check_count(history, 8, total_bytes);
+  state.predictor.history.reserve(static_cast<std::size_t>(history));
+  for (std::uint64_t i = 0; i < history; ++i) {
+    state.predictor.history.push_back(dec.read_f64());
+  }
+  state.predictor.alarmed = dec.read_u8() != 0;
+  state.predictor.alarm_time_sec = dec.read_f64();
+  state.predictor.consecutive = dec.read_u64();
+
+  const std::uint64_t taps = dec.read_u64();
+  check_count(taps, 8, total_bytes);
+  state.fir.history.reserve(static_cast<std::size_t>(taps));
+  for (std::uint64_t i = 0; i < taps; ++i) {
+    state.fir.history.push_back(dec.read_f64());
+  }
+  state.fir.history_pos = static_cast<std::size_t>(dec.read_u64());
+
+  if (dec.read_u8() != 0) {
+    PendingCallCheckpoint pending;
+    pending.ready_at_sec = dec.read_f64();
+    pending.delta_ec = dec.read_f64();
+    pending.delta_cs = dec.read_f64();
+    pending.delta_ce = dec.read_f64();
+    pending.sequence = dec.read_u32();
+    pending.attempts = dec.read_u64();
+    pending.duplicates = dec.read_u64();
+    pending.succeeded = dec.read_u8() != 0;
+    pending.correlation_set = decode_signals(dec, total_bytes);
+    state.pending = std::move(pending);
+  }
+
+  state.degrade = decode_degrade(dec);
+  state.breaker = decode_breaker(dec, total_bytes);
+  state.edge_slo = decode_slo(dec, total_bytes);
+  state.initial_slo = decode_slo(dec, total_bytes);
+
+  state.injector.up_rng = decode_rng(dec);
+  state.injector.down_rng = decode_rng(dec);
+  state.injector.up_counts = decode_fault_counts(dec);
+  state.injector.down_counts = decode_fault_counts(dec);
+  state.channel_rng = decode_rng(dec);
+  return state;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_session(const SessionState& state) {
+  mdb::Encoder payload_enc;
+  encode_payload(payload_enc, state);
+  const std::vector<std::uint8_t> payload = payload_enc.take();
+
+  mdb::Encoder head;
+  for (const std::uint8_t byte : kMagic) {
+    head.write_u8(byte);
+  }
+  head.write_u32(kCheckpointVersion);
+  head.write_u64(payload.size());
+  std::vector<std::uint8_t> out = head.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  mdb::Encoder tail;
+  tail.write_u32(crc32(payload.data(), payload.size()));
+  const std::vector<std::uint8_t>& crc_bytes = tail.bytes();
+  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  return out;
+}
+
+SessionState decode_session(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kHeaderBytes + kTrailerBytes) {
+    reject("truncated header");
+  }
+  try {
+    mdb::Decoder dec(bytes);
+    for (const std::uint8_t expected : kMagic) {
+      if (dec.read_u8() != expected) {
+        reject("bad magic");
+      }
+    }
+    const std::uint32_t version = dec.read_u32();
+    if (version != kCheckpointVersion) {
+      reject("version skew (snapshot v" + std::to_string(version) +
+             ", expected v" + std::to_string(kCheckpointVersion) + ")");
+    }
+    const std::uint64_t payload_size = dec.read_u64();
+    if (payload_size != bytes.size() - kHeaderBytes - kTrailerBytes) {
+      reject("payload size does not match file size");
+    }
+    const std::uint32_t computed =
+        crc32(bytes.data() + kHeaderBytes,
+              static_cast<std::size_t>(payload_size));
+    mdb::Decoder crc_dec(bytes);
+    crc_dec.seek(kHeaderBytes + static_cast<std::size_t>(payload_size));
+    if (crc_dec.read_u32() != computed) {
+      reject("CRC mismatch");
+    }
+    SessionState state = decode_payload(dec, bytes.size());
+    if (dec.cursor() != kHeaderBytes + payload_size) {
+      reject("payload structure does not match declared size");
+    }
+    return state;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const CorruptData& error) {
+    // Decoder truncation and framing errors surface as the typed
+    // checkpoint rejection the recovery layer switches on.
+    reject(error.what());
+  }
+}
+
+std::filesystem::path checkpoint_path(const std::filesystem::path& dir) {
+  return dir / "session.ckpt";
+}
+
+void write_checkpoint(const std::filesystem::path& dir,
+                      const SessionState& state,
+                      CrashPointRegistry* crashpoints) {
+  std::filesystem::create_directories(dir);
+  const std::vector<std::uint8_t> bytes = encode_session(state);
+  const std::filesystem::path final_path = checkpoint_path(dir);
+  const std::filesystem::path temp_path =
+      final_path.string() + ".tmp";
+
+  EMAP_CRASH_POINT(crashpoints, "checkpoint_pre_write");
+  {
+    std::ofstream stream(temp_path, std::ios::binary | std::ios::trunc);
+    if (!stream) {
+      throw IoError("write_checkpoint: cannot open " + temp_path.string());
+    }
+    stream.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    stream.flush();
+    if (!stream) {
+      throw IoError("write_checkpoint: write failed for " +
+                    temp_path.string());
+    }
+  }
+  // The rename is the commit point: a crash on either side of it leaves a
+  // complete snapshot (old or new) under the final name.
+  EMAP_CRASH_POINT(crashpoints, "checkpoint_pre_rename");
+  std::error_code rename_error;
+  std::filesystem::rename(temp_path, final_path, rename_error);
+  if (rename_error) {
+    throw IoError("write_checkpoint: rename failed for " +
+                  final_path.string() + ": " + rename_error.message());
+  }
+  EMAP_CRASH_POINT(crashpoints, "checkpoint_post_write");
+}
+
+std::optional<SessionState> read_checkpoint(
+    const std::filesystem::path& dir) {
+  const std::filesystem::path path = checkpoint_path(dir);
+  std::error_code exists_error;
+  if (!std::filesystem::exists(path, exists_error) || exists_error) {
+    return std::nullopt;
+  }
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    throw IoError("read_checkpoint: cannot open " + path.string());
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(stream)),
+      std::istreambuf_iterator<char>());
+  if (stream.bad()) {
+    throw IoError("read_checkpoint: read failed for " + path.string());
+  }
+  return decode_session(bytes);
+}
+
+void RecoveryOptions::validate() const {
+  require(interval_windows >= 1,
+          "RecoveryOptions: interval_windows must be >= 1");
+}
+
+}  // namespace emap::robust

@@ -1,0 +1,219 @@
+// Crash-consistent checkpoint/restore of one monitoring session.
+//
+// EMAP is a continuous loop: the tracked correlation set, P_A history,
+// degradation/breaker state, and every RNG stream accumulate across
+// one-second windows, so a process crash discards the patient's tracking
+// history and forces a cold ~3 s cloud re-search.  The checkpoint
+// subsystem makes the pipeline restartable: at the end of each window it
+// serializes the full resumable session state (SessionState below) into a
+// versioned, CRC-32-guarded binary snapshot and publishes it with an
+// atomic temp-write + rename, so the file on disk is always either the
+// previous complete snapshot or the new complete snapshot — never a torn
+// one.  A resumed run restores every state machine and RNG stream and
+// replays from the first un-checkpointed window; on a clean link its P_A
+// trajectory is bit-identical to the uninterrupted run's (the recovery
+// integration test crashes at every registered crash point and asserts
+// exactly that).
+//
+// Snapshot framing (little-endian, mirrors the MDB store format):
+//   file    := magic "EMCK" | u32 version | u64 payload_size | payload |
+//              u32 crc32(payload)
+// Loads fail closed: truncated, bit-flipped, version-skewed, or
+// wrong-config snapshots throw CheckpointError (a CorruptData) and are
+// never partially applied.  Versioning policy: `kCheckpointVersion` bumps
+// on ANY layout change; there is no cross-version migration — an old
+// snapshot is rejected and the session cold-starts (documented in
+// docs/robustness.md, "Crash recovery").
+//
+// Layering note: this is the robust layer, below core — so the snapshot
+// carries its own plain TrackedSignalState rather than core::TrackedSignal;
+// the pipeline converts at the boundary.  Tracked samples are persisted in
+// full: the edge's copies went through the 16-bit wire quantization, so
+// they cannot be re-fetched from the MDB without changing every subsequent
+// area verdict.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/dsp/fir.hpp"
+#include "emap/net/fault.hpp"
+#include "emap/obs/slo.hpp"
+#include "emap/robust/breaker.hpp"
+#include "emap/robust/crashpoint.hpp"
+#include "emap/robust/degrade.hpp"
+#include "emap/robust/quality.hpp"
+
+namespace emap::robust {
+
+/// A snapshot failed validation (bad magic, version skew, CRC mismatch,
+/// truncation, or fingerprint mismatch).  Subclass of CorruptData so
+/// generic integrity handling still applies; typed so recovery code can
+/// distinguish "no snapshot" from "snapshot rejected".
+class CheckpointError : public CorruptData {
+ public:
+  explicit CheckpointError(const std::string& what) : CorruptData(what) {}
+};
+
+/// Bump on ANY change to the SessionState layout.  No migrations: a
+/// version-skewed snapshot is rejected and the session cold-starts.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// One tracked signal-set as the edge holds it (robust-layer mirror of
+/// core::TrackedSignal; samples included — see the layering note above).
+struct TrackedSignalState {
+  std::uint64_t set_id = 0;
+  double omega = 0.0;
+  std::uint64_t beta = 0;
+  bool anomalous = false;
+  std::uint8_t class_tag = 0;
+  std::vector<double> samples;
+};
+
+/// Edge tracker state: the set plus the staleness counter.
+struct TrackerCheckpoint {
+  bool loaded = false;
+  std::uint64_t steps_since_load = 0;
+  std::vector<TrackedSignalState> tracked;
+};
+
+/// Anomaly predictor state: P_A history plus the latched alarm.
+struct PredictorCheckpoint {
+  std::vector<double> history;
+  bool alarmed = false;
+  double alarm_time_sec = -1.0;
+  std::uint64_t consecutive = 0;
+};
+
+/// An in-flight cloud call (the pipeline computes the call synchronously
+/// and holds its delivery until ready_at_sec, so the full outcome —
+/// including the correlation set — is checkpointable mid-flight).
+struct PendingCallCheckpoint {
+  double ready_at_sec = 0.0;
+  double delta_ec = 0.0;
+  double delta_cs = 0.0;
+  double delta_ce = 0.0;
+  std::uint32_t sequence = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t duplicates = 0;
+  bool succeeded = false;
+  std::vector<TrackedSignalState> correlation_set;
+};
+
+/// Cumulative RunResult counters and first-round-trip timings, carried so
+/// a resumed run's final report equals the uninterrupted run's.
+struct RunCountersCheckpoint {
+  std::uint64_t cloud_calls = 0;
+  std::uint64_t failed_cloud_calls = 0;
+  std::uint64_t retry_attempts = 0;
+  std::uint64_t duplicates_discarded = 0;
+  bool degraded = false;
+  bool first_round_trip_recorded = false;
+  double delta_ec_sec = 0.0;
+  double delta_cs_sec = 0.0;
+  double delta_ce_sec = 0.0;
+  double delta_initial_sec = 0.0;
+  double total_track_sec = 0.0;
+  std::uint64_t track_steps = 0;
+  double max_track_sec = 0.0;
+  // Robust-summary counters.
+  std::uint64_t critical_windows = 0;
+  std::uint64_t shed_loads = 0;
+  std::uint64_t deferred_flushes = 0;
+  std::uint64_t watchdog_trips = 0;
+  QualitySummary quality{};
+};
+
+/// The full resumable state of one monitoring session at a window
+/// boundary.  Everything the pipeline loop reads or mutates across
+/// windows; per-process artifacts (spans, histograms, IterationRecords
+/// already emitted) are deliberately excluded.
+struct SessionState {
+  /// EmapConfig::fingerprint() of the writing pipeline; a resume under a
+  /// different configuration is rejected (the state machines are
+  /// calibrated to these parameters).
+  std::string config_fingerprint;
+  /// CRC-32 over the input recording's samples; resuming against a
+  /// different input would silently replay the wrong patient.
+  std::uint32_t input_fingerprint = 0;
+  /// First window index NOT yet completed (the resume point).
+  std::uint64_t next_window = 0;
+  double last_pa = 0.0;
+  std::int64_t last_loaded_sequence = -1;
+  RunCountersCheckpoint counters{};
+  TrackerCheckpoint tracker{};
+  PredictorCheckpoint predictor{};
+  dsp::FirStreamState fir{};
+  std::optional<PendingCallCheckpoint> pending;
+  DegradeCheckpoint degrade{};
+  BreakerCheckpoint breaker{};
+  obs::SloMonitorState edge_slo{};
+  obs::SloMonitorState initial_slo{};
+  net::FaultInjectorState injector{};
+  RngState channel_rng{};
+};
+
+/// Serializes one session snapshot (full file image, framing included).
+std::vector<std::uint8_t> encode_session(const SessionState& state);
+
+/// Parses and validates a snapshot image.  Throws CheckpointError on any
+/// framing, version, CRC, or structural violation — never partially
+/// applies and never reads past the buffer (ASan/UBSan-clean on fuzzed
+/// input; the corruption fuzz test asserts this).
+SessionState decode_session(const std::vector<std::uint8_t>& bytes);
+
+/// The snapshot file inside a checkpoint directory.
+std::filesystem::path checkpoint_path(const std::filesystem::path& dir);
+
+/// Atomically publishes `state` into `dir` (created if needed): encode,
+/// write to a temp file, fsync-close, rename over checkpoint_path(dir).
+/// A crash anywhere before the rename leaves the previous snapshot
+/// intact.  `crashpoints` (may be null) is consulted at
+/// checkpoint_pre_write / checkpoint_pre_rename / checkpoint_post_write.
+/// Throws IoError on filesystem failure.
+void write_checkpoint(const std::filesystem::path& dir,
+                      const SessionState& state,
+                      CrashPointRegistry* crashpoints = nullptr);
+
+/// Loads the snapshot from `dir`.  Returns nullopt when no snapshot file
+/// exists (fresh session); throws CheckpointError when one exists but
+/// fails validation; throws IoError when it cannot be read.
+std::optional<SessionState> read_checkpoint(
+    const std::filesystem::path& dir);
+
+/// Pipeline-facing recovery switches (PipelineOptions::recovery).
+struct RecoveryOptions {
+  /// Directory for snapshots; empty disables checkpointing entirely.
+  std::filesystem::path checkpoint_dir;
+  /// Write a snapshot every N completed windows (>= 1).
+  std::size_t interval_windows = 1;
+  /// Attempt to resume from the directory's snapshot at run start.
+  bool resume = false;
+  /// With resume: a missing or rejected snapshot throws (CheckpointError)
+  /// instead of falling back to a cold start.
+  bool strict = false;
+
+  bool enabled() const { return !checkpoint_dir.empty(); }
+
+  /// Throws InvalidArgument when a knob is out of range.
+  void validate() const;
+};
+
+/// Recovery outcome of one run, embedded in the RunResult robust summary.
+struct RecoverySummary {
+  bool enabled = false;            ///< checkpointing was on
+  bool resumed = false;            ///< state restored from a snapshot
+  std::uint64_t resume_window = 0; ///< first window executed by this run
+  std::uint64_t checkpoints_written = 0;
+  /// Resume was requested but no usable snapshot existed; ran cold.
+  bool cold_start_fallback = false;
+  /// Why the snapshot was rejected (empty when none was).
+  std::string reject_reason;
+};
+
+}  // namespace emap::robust

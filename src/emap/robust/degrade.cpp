@@ -30,6 +30,12 @@ void DegradeOptions::validate() const {
   require(critical_hold >= 1, "DegradeOptions: critical_hold must be >= 1");
   require(recover_after >= 1, "DegradeOptions: recover_after must be >= 1");
   require(step_up_after >= 1, "DegradeOptions: step_up_after must be >= 1");
+  require(pressure_alpha > 0.0 && pressure_alpha <= 1.0,
+          "DegradeOptions: pressure_alpha must be in (0, 1]");
+  require(escalate_pressure > 0.0 && escalate_pressure <= 1.0,
+          "DegradeOptions: escalate_pressure must be in (0, 1]");
+  require(recover_pressure >= 0.0 && recover_pressure < escalate_pressure,
+          "DegradeOptions: need 0 <= recover_pressure < escalate_pressure");
 }
 
 DegradationController::DegradationController(DegradeOptions options,
@@ -141,6 +147,16 @@ void DegradationController::observe_window(const WindowSignal& signal) {
     return;
   }
 
+  if (options_.adaptive) {
+    // Pressure indicator: miss = 1, near miss = 0.5, clean = 0.  Unlike
+    // the streak counters this survives interleaved near misses, so a
+    // saturated edge that never strings `escalate_after` *consecutive*
+    // misses together still sheds.
+    const double indicator =
+        signal.deadline_miss ? 1.0 : (signal.near_miss ? 0.5 : 0.0);
+    pressure_ewma_ += options_.pressure_alpha * (indicator - pressure_ewma_);
+  }
+
   // Entry pressure reads the rolling burn rate (a single miss keeps burn
   // elevated for the whole SLO window, which is exactly the early-warning
   // property we want at the NOMINAL->DEGRADED edge).  Once degraded, the
@@ -180,6 +196,21 @@ void DegradationController::observe_window(const WindowSignal& signal) {
       } else {
         miss_streak_ = 0;
       }
+      if (options_.adaptive) {
+        // EWMA steering: shed while the rolling pressure sits above the
+        // escalation threshold, recover once it has decayed below the
+        // (lower) recovery threshold.  The gap is the hysteresis; still at
+        // most one step per window.
+        if (!clean && pressure_ewma_ >= options_.escalate_pressure) {
+          if (shed_level_ < options_.max_shed_level) {
+            set_level_locked(shed_level_ + 1);
+          }
+        } else if (clean && pressure_ewma_ <= options_.recover_pressure) {
+          transition_locked(DegradeState::kRecovering, signal.window_index,
+                            signal.t_sec);
+        }
+        break;
+      }
       if (signal.deadline_miss) {
         clean_streak_ = 0;
         ++bad_streak_;
@@ -206,6 +237,17 @@ void DegradationController::observe_window(const WindowSignal& signal) {
       if (signal.deadline_miss) {
         transition_locked(DegradeState::kDegraded, signal.window_index,
                           signal.t_sec);
+        break;
+      }
+      if (options_.adaptive) {
+        if (clean && pressure_ewma_ <= options_.recover_pressure) {
+          if (shed_level_ > 0) {
+            set_level_locked(shed_level_ - 1);
+          } else {
+            transition_locked(DegradeState::kNominal, signal.window_index,
+                              signal.t_sec);
+          }
+        }
         break;
       }
       if (clean) {
@@ -281,6 +323,50 @@ DegradeSummary DegradationController::summary() const {
   DegradeSummary out = summary_;
   out.final_state = state_;
   return out;
+}
+
+double DegradationController::pressure_ewma() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pressure_ewma_;
+}
+
+DegradeCheckpoint DegradationController::checkpoint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DegradeCheckpoint out;
+  out.state = state_;
+  out.shed_level = shed_level_;
+  out.bad_streak = bad_streak_;
+  out.clean_streak = clean_streak_;
+  out.miss_streak = miss_streak_;
+  out.critical_left = critical_left_;
+  out.recovered_since_miss = recovered_since_miss_;
+  out.pressure_ewma = pressure_ewma_;
+  out.summary = summary_;
+  out.summary.final_state = state_;
+  return out;
+}
+
+void DegradationController::restore(const DegradeCheckpoint& saved) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(saved.shed_level <= options_.max_shed_level,
+          "DegradationController::restore: saved shed level exceeds "
+          "max_shed_level");
+  state_ = saved.state;
+  shed_level_ = static_cast<std::size_t>(saved.shed_level);
+  bad_streak_ = static_cast<std::size_t>(saved.bad_streak);
+  clean_streak_ = static_cast<std::size_t>(saved.clean_streak);
+  miss_streak_ = static_cast<std::size_t>(saved.miss_streak);
+  critical_left_ = static_cast<std::size_t>(saved.critical_left);
+  recovered_since_miss_ = saved.recovered_since_miss;
+  pressure_ewma_ = saved.pressure_ewma;
+  summary_ = saved.summary;
+  summary_.final_state = state_;
+  if (state_metric_ != nullptr) {
+    state_metric_->set(static_cast<double>(state_));
+  }
+  if (level_metric_ != nullptr) {
+    level_metric_->set(static_cast<double>(shed_level_));
+  }
 }
 
 }  // namespace emap::robust

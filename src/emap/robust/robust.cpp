@@ -58,7 +58,16 @@ std::string robust_summary_json(const RobustSummary& summary) {
              static_cast<std::uint64_t>(summary.critical_windows))
       .field("shed_loads", static_cast<std::uint64_t>(summary.shed_loads))
       .field("deferred_flushes",
-             static_cast<std::uint64_t>(summary.deferred_flushes));
+             static_cast<std::uint64_t>(summary.deferred_flushes))
+      .field("recovery_enabled", summary.recovery.enabled)
+      .field("recovery_resumed", summary.recovery.resumed)
+      .field("recovery_resume_window",
+             static_cast<std::uint64_t>(summary.recovery.resume_window))
+      .field("recovery_checkpoints_written",
+             static_cast<std::uint64_t>(summary.recovery.checkpoints_written))
+      .field("recovery_cold_start_fallback",
+             summary.recovery.cold_start_fallback)
+      .field("recovery_reject_reason", summary.recovery.reject_reason);
   return writer.str();
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "emap/robust/breaker.hpp"
+#include "emap/robust/checkpoint.hpp"
 #include "emap/robust/degrade.hpp"
 #include "emap/robust/quality.hpp"
 #include "emap/robust/watchdog.hpp"
@@ -50,6 +51,8 @@ struct RobustSummary {
   /// Non-essential telemetry observations buffered while degraded and
   /// flushed late (or at run end).
   std::size_t deferred_flushes = 0;
+  /// Checkpoint/restore outcome (all-default when checkpointing is off).
+  RecoverySummary recovery{};
 };
 
 /// Flat JSON object of the summary (one line, no trailing newline).

@@ -135,6 +135,27 @@ TEST(RetryPolicy, AllowAttemptEnforcesDeadline) {
   EXPECT_TRUE(policy.allow_attempt(1, 0.0, 1.0));
 }
 
+// A RetryAfter hint — whether attached to a cloud-side shed or advertised
+// by the edge's open circuit breaker — floors the backoff for EVERY reject
+// reason: whoever issued the hint said when to come back.
+TEST(RetryPolicy, RetryAfterHintFloorsBackoffForEveryReason) {
+  const RetryPolicy policy;
+  const double hint = 7.5;  // far above any scheduled backoff
+  for (const RejectReason reason :
+       {RejectReason::kTimeout, RejectReason::kCorrupt, RejectReason::kShed}) {
+    for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+      EXPECT_DOUBLE_EQ(policy.backoff_for(attempt, reason, hint), hint)
+          << reject_reason_name(reason) << " attempt " << attempt;
+    }
+  }
+  // A hint below the scheduled backoff is a no-op (floor, not override).
+  const double scheduled = policy.backoff_for(3, RejectReason::kTimeout);
+  EXPECT_DOUBLE_EQ(policy.backoff_for(3, RejectReason::kTimeout, 1e-6),
+                   scheduled);
+  // Attempt 0 never waits, hint or not.
+  EXPECT_DOUBLE_EQ(policy.backoff_for(0, RejectReason::kShed, hint), 0.0);
+}
+
 TEST(RetryOptions, ValidateRejectsInconsistentKnobs) {
   RetryOptions options;
   options.max_attempts = 0;

@@ -109,6 +109,36 @@ TEST(Breaker, MetricsExportStateOpensAndRejections) {
             std::string::npos);
 }
 
+// --- RetryAfter hint (fed into net::RetryPolicy::backoff_for) ---------
+
+TEST(Breaker, RetryAfterHintIsZeroWhileClosed) {
+  CircuitBreaker breaker(fast_options());
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(0.0), 0.0);
+  breaker.record_success(1.0);
+  breaker.record_failure(2.0);  // one failure: still CLOSED
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(3.0), 0.0);
+}
+
+TEST(Breaker, RetryAfterHintAdvertisesTheRemainingCooldown) {
+  CircuitBreaker breaker(fast_options());  // cooldown 3 s
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(2.0), 3.0);
+  // The hint shrinks as the clock advances toward the reopen instant...
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(4.0), 1.0);
+  // ...and clamps at zero once the cooldown has expired.
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(6.0), 0.0);
+}
+
+TEST(Breaker, RetryAfterHintIsZeroAgainInHalfOpen) {
+  CircuitBreaker breaker(fast_options());
+  breaker.record_failure(1.0);
+  breaker.record_failure(2.0);
+  ASSERT_TRUE(breaker.allow(5.0));  // probe admitted: HALF_OPEN
+  EXPECT_DOUBLE_EQ(breaker.retry_after_hint(5.0), 0.0);
+}
+
 // Property (promised in the header): whatever the outcome history, time
 // reaching the cooldown expiry always admits a probe — the breaker cannot
 // stay OPEN forever.

@@ -1,0 +1,359 @@
+// Snapshot integrity tests: the round-trip property
+// decode_session(encode_session(s)) == s for fuzzed session states, the
+// corruption fuzz (bit flips, truncation, version skew all fail closed
+// with CheckpointError — never UB; CI runs this binary under ASan/UBSan),
+// and the atomic write-rename publication semantics.
+#include "emap/robust/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "emap/common/error.hpp"
+#include "emap/common/rng.hpp"
+#include "emap/robust/crashpoint.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::robust {
+namespace {
+
+RngState fuzz_rng_state(Rng& rng) {
+  RngState state;
+  for (auto& word : state.state) {
+    word = rng.next_u64();
+  }
+  state.seed = rng.next_u64();
+  state.spare_normal = rng.normal();
+  state.has_spare_normal = rng.bernoulli(0.5);
+  return state;
+}
+
+std::vector<TrackedSignalState> fuzz_signals(Rng& rng, std::size_t max_sets) {
+  std::vector<TrackedSignalState> signals(
+      static_cast<std::size_t>(rng.uniform_index(max_sets + 1)));
+  for (auto& signal : signals) {
+    signal.set_id = rng.next_u64();
+    signal.omega = rng.uniform(-2.0, 2.0);
+    signal.beta = rng.uniform_index(513);
+    signal.anomalous = rng.bernoulli(0.5);
+    signal.class_tag = static_cast<std::uint8_t>(rng.uniform_index(5));
+    signal.samples.resize(static_cast<std::size_t>(rng.uniform_index(17)));
+    for (auto& sample : signal.samples) {
+      sample = rng.normal();
+    }
+  }
+  return signals;
+}
+
+obs::SloMonitorState fuzz_slo(Rng& rng) {
+  obs::SloMonitorState slo;
+  slo.observations = rng.next_u64() % 10000;
+  slo.deadline_misses = rng.next_u64() % 100;
+  slo.near_misses = rng.next_u64() % 100;
+  slo.max_latency_sec = rng.uniform(0.0, 5.0);
+  slo.recent_miss.resize(static_cast<std::size_t>(rng.uniform_index(33)));
+  for (auto& miss : slo.recent_miss) {
+    miss = rng.bernoulli(0.2) ? 1 : 0;
+  }
+  slo.recent_next = rng.next_u64() % (slo.recent_miss.size() + 1);
+  slo.recent_count = slo.recent_miss.size();
+  slo.recent_misses = rng.next_u64() % (slo.recent_miss.size() + 1);
+  return slo;
+}
+
+/// A fully populated, randomized session state (small vectors; the codec
+/// is size-agnostic and the fuzz wants many states, not huge ones).
+SessionState fuzz_state(std::uint64_t seed) {
+  Rng rng(seed);
+  SessionState s;
+  s.config_fingerprint = "fp" + std::to_string(rng.next_u64() % 100000000);
+  s.input_fingerprint = static_cast<std::uint32_t>(rng.next_u64());
+  s.next_window = rng.next_u64() % 100000;
+  s.last_pa = rng.uniform();
+  s.last_loaded_sequence =
+      rng.bernoulli(0.2) ? -1 : static_cast<std::int64_t>(rng.next_u64() % 500);
+  s.counters.cloud_calls = rng.next_u64() % 1000;
+  s.counters.failed_cloud_calls = rng.next_u64() % 100;
+  s.counters.retry_attempts = rng.next_u64() % 100;
+  s.counters.duplicates_discarded = rng.next_u64() % 100;
+  s.counters.degraded = rng.bernoulli(0.5);
+  s.counters.first_round_trip_recorded = rng.bernoulli(0.5);
+  s.counters.delta_ec_sec = rng.uniform(0.0, 2.0);
+  s.counters.delta_cs_sec = rng.uniform(0.0, 2.0);
+  s.counters.delta_ce_sec = rng.uniform(0.0, 2.0);
+  s.counters.delta_initial_sec = rng.uniform(0.0, 6.0);
+  s.counters.total_track_sec = rng.uniform(0.0, 100.0);
+  s.counters.track_steps = rng.next_u64() % 100000;
+  s.counters.max_track_sec = rng.uniform(0.0, 2.0);
+  s.counters.critical_windows = rng.next_u64() % 100;
+  s.counters.shed_loads = rng.next_u64() % 100;
+  s.counters.deferred_flushes = rng.next_u64() % 100;
+  s.counters.watchdog_trips = rng.next_u64() % 10;
+  s.counters.quality.assessed = 100 + rng.next_u64() % 100;
+  s.counters.quality.good = rng.next_u64() % 100;
+  s.counters.quality.nan = rng.next_u64() % 10;
+  s.counters.quality.flatline = rng.next_u64() % 10;
+  s.counters.quality.saturated = rng.next_u64() % 10;
+  s.counters.quality.artifact = rng.next_u64() % 10;
+  s.tracker.loaded = rng.bernoulli(0.8);
+  s.tracker.steps_since_load = rng.next_u64() % 1000;
+  s.tracker.tracked = fuzz_signals(rng, 6);
+  s.predictor.history.resize(static_cast<std::size_t>(rng.uniform_index(33)));
+  for (auto& pa : s.predictor.history) {
+    pa = rng.uniform();
+  }
+  s.predictor.alarmed = rng.bernoulli(0.3);
+  s.predictor.alarm_time_sec = s.predictor.alarmed ? rng.uniform(0.0, 60.0)
+                                                   : -1.0;
+  s.predictor.consecutive = rng.next_u64() % 10;
+  s.fir.history.resize(1 + static_cast<std::size_t>(rng.uniform_index(64)));
+  for (auto& tap : s.fir.history) {
+    tap = rng.normal();
+  }
+  s.fir.history_pos = rng.next_u64() % s.fir.history.size();
+  if (rng.bernoulli(0.5)) {
+    PendingCallCheckpoint pending;
+    pending.ready_at_sec = rng.uniform(0.0, 60.0);
+    pending.delta_ec = rng.uniform(0.0, 2.0);
+    pending.delta_cs = rng.uniform(0.0, 2.0);
+    pending.delta_ce = rng.uniform(0.0, 2.0);
+    pending.sequence = static_cast<std::uint32_t>(rng.next_u64());
+    pending.attempts = 1 + rng.next_u64() % 3;
+    pending.duplicates = rng.next_u64() % 3;
+    pending.succeeded = rng.bernoulli(0.8);
+    pending.correlation_set = fuzz_signals(rng, 4);
+    s.pending = std::move(pending);
+  }
+  s.degrade.state = static_cast<DegradeState>(rng.uniform_index(4));
+  s.degrade.shed_level = rng.next_u64() % 6;
+  s.degrade.bad_streak = rng.next_u64() % 5;
+  s.degrade.clean_streak = rng.next_u64() % 5;
+  s.degrade.miss_streak = rng.next_u64() % 5;
+  s.degrade.critical_left = rng.next_u64() % 5;
+  s.degrade.recovered_since_miss = rng.bernoulli(0.5);
+  s.degrade.pressure_ewma = rng.uniform();
+  s.degrade.summary.final_state = s.degrade.state;
+  s.degrade.summary.transitions = rng.next_u64() % 20;
+  s.degrade.summary.windows_nominal = rng.next_u64() % 1000;
+  s.degrade.summary.windows_degraded = rng.next_u64() % 1000;
+  s.degrade.summary.entered_degraded = rng.bernoulli(0.5);
+  s.breaker.state = static_cast<BreakerState>(rng.uniform_index(3));
+  s.breaker.open_until_sec = rng.uniform(0.0, 100.0);
+  s.breaker.probe_successes = rng.next_u64() % 3;
+  s.breaker.recent_failure.resize(
+      static_cast<std::size_t>(rng.uniform_index(17)));
+  for (auto& failure : s.breaker.recent_failure) {
+    failure = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  s.breaker.recent_next = rng.next_u64() % (s.breaker.recent_failure.size() + 1);
+  s.breaker.recent_count = s.breaker.recent_failure.size();
+  s.breaker.summary.final_state = s.breaker.state;
+  s.breaker.summary.opens = rng.next_u64() % 10;
+  s.breaker.summary.rejected = rng.next_u64() % 10;
+  s.breaker.summary.failures = rng.next_u64() % 100;
+  s.breaker.summary.successes = rng.next_u64() % 100;
+  s.edge_slo = fuzz_slo(rng);
+  s.initial_slo = fuzz_slo(rng);
+  s.injector.up_rng = fuzz_rng_state(rng);
+  s.injector.down_rng = fuzz_rng_state(rng);
+  s.injector.up_counts.messages = rng.next_u64() % 1000;
+  s.injector.up_counts.dropped = rng.next_u64() % 100;
+  s.injector.up_counts.corrupted = rng.next_u64() % 100;
+  s.injector.down_counts.messages = rng.next_u64() % 1000;
+  s.injector.down_counts.duplicated = rng.next_u64() % 100;
+  s.injector.down_counts.delayed = rng.next_u64() % 100;
+  s.channel_rng = fuzz_rng_state(rng);
+  return s;
+}
+
+void expect_state_eq(const SessionState& a, const SessionState& b) {
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.input_fingerprint, b.input_fingerprint);
+  EXPECT_EQ(a.next_window, b.next_window);
+  EXPECT_EQ(a.last_pa, b.last_pa);
+  EXPECT_EQ(a.last_loaded_sequence, b.last_loaded_sequence);
+  EXPECT_EQ(a.counters.cloud_calls, b.counters.cloud_calls);
+  EXPECT_EQ(a.counters.quality.assessed, b.counters.quality.assessed);
+  EXPECT_EQ(a.tracker.loaded, b.tracker.loaded);
+  EXPECT_EQ(a.tracker.steps_since_load, b.tracker.steps_since_load);
+  ASSERT_EQ(a.tracker.tracked.size(), b.tracker.tracked.size());
+  for (std::size_t i = 0; i < a.tracker.tracked.size(); ++i) {
+    EXPECT_EQ(a.tracker.tracked[i].set_id, b.tracker.tracked[i].set_id);
+    EXPECT_EQ(a.tracker.tracked[i].omega, b.tracker.tracked[i].omega);
+    EXPECT_EQ(a.tracker.tracked[i].beta, b.tracker.tracked[i].beta);
+    EXPECT_EQ(a.tracker.tracked[i].samples, b.tracker.tracked[i].samples);
+  }
+  EXPECT_EQ(a.predictor.history, b.predictor.history);
+  EXPECT_EQ(a.predictor.alarmed, b.predictor.alarmed);
+  EXPECT_EQ(a.predictor.alarm_time_sec, b.predictor.alarm_time_sec);
+  EXPECT_EQ(a.predictor.consecutive, b.predictor.consecutive);
+  EXPECT_EQ(a.fir.history, b.fir.history);
+  EXPECT_EQ(a.fir.history_pos, b.fir.history_pos);
+  ASSERT_EQ(a.pending.has_value(), b.pending.has_value());
+  if (a.pending.has_value()) {
+    EXPECT_EQ(a.pending->ready_at_sec, b.pending->ready_at_sec);
+    EXPECT_EQ(a.pending->sequence, b.pending->sequence);
+    EXPECT_EQ(a.pending->succeeded, b.pending->succeeded);
+    EXPECT_EQ(a.pending->correlation_set.size(),
+              b.pending->correlation_set.size());
+  }
+  EXPECT_EQ(a.degrade.state, b.degrade.state);
+  EXPECT_EQ(a.degrade.pressure_ewma, b.degrade.pressure_ewma);
+  EXPECT_EQ(a.degrade.summary.transitions, b.degrade.summary.transitions);
+  EXPECT_EQ(a.breaker.state, b.breaker.state);
+  EXPECT_EQ(a.breaker.open_until_sec, b.breaker.open_until_sec);
+  EXPECT_EQ(a.breaker.recent_failure, b.breaker.recent_failure);
+  EXPECT_EQ(a.edge_slo.observations, b.edge_slo.observations);
+  EXPECT_EQ(a.edge_slo.recent_miss, b.edge_slo.recent_miss);
+  EXPECT_EQ(a.initial_slo.recent_misses, b.initial_slo.recent_misses);
+  EXPECT_EQ(a.injector.up_rng.state, b.injector.up_rng.state);
+  EXPECT_EQ(a.injector.down_rng.seed, b.injector.down_rng.seed);
+  EXPECT_EQ(a.injector.up_counts.messages, b.injector.up_counts.messages);
+  EXPECT_EQ(a.channel_rng.state, b.channel_rng.state);
+  EXPECT_EQ(a.channel_rng.spare_normal, b.channel_rng.spare_normal);
+  EXPECT_EQ(a.channel_rng.has_spare_normal, b.channel_rng.has_spare_normal);
+}
+
+TEST(Checkpoint, RoundTripPreservesEveryField) {
+  const SessionState original = fuzz_state(7);
+  const SessionState decoded = decode_session(encode_session(original));
+  expect_state_eq(original, decoded);
+}
+
+// Property over many fuzzed states: encode is deterministic, so byte
+// equality of re-encoded decodes proves decode lost nothing encode wrote.
+TEST(CheckpointProperty, EncodeDecodeEncodeIsIdentity) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const SessionState state = fuzz_state(seed);
+    const std::vector<std::uint8_t> bytes = encode_session(state);
+    const std::vector<std::uint8_t> again =
+        encode_session(decode_session(bytes));
+    EXPECT_EQ(bytes, again) << "seed " << seed;
+  }
+}
+
+// Corruption fuzz: a snapshot differing from a valid one in any single bit
+// must be rejected with the typed error — magic, version, and size flips
+// trip the framing checks, payload and trailer flips trip the CRC.
+TEST(CheckpointFuzz, EveryBitFlipFailsClosed) {
+  const std::vector<std::uint8_t> bytes = encode_session(fuzz_state(11));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    EXPECT_THROW(decode_session(corrupt), CheckpointError)
+        << "flip at byte " << i;
+  }
+}
+
+TEST(CheckpointFuzz, EveryTruncationFailsClosed) {
+  const std::vector<std::uint8_t> bytes = encode_session(fuzz_state(13));
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + length);
+    EXPECT_THROW(decode_session(truncated), CheckpointError)
+        << "truncated to " << length;
+  }
+}
+
+TEST(CheckpointFuzz, TrailingGarbageFailsClosed) {
+  std::vector<std::uint8_t> bytes = encode_session(fuzz_state(17));
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_session(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, VersionSkewIsRejectedWithAClearMessage) {
+  std::vector<std::uint8_t> bytes = encode_session(fuzz_state(19));
+  const std::uint32_t skewed = kCheckpointVersion + 1;
+  std::memcpy(bytes.data() + 4, &skewed, sizeof(skewed));
+  try {
+    decode_session(bytes);
+    FAIL() << "version skew accepted";
+  } catch (const CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, RejectionIsTypedAsCorruptData) {
+  // Generic integrity handling (catch CorruptData) must still apply.
+  EXPECT_THROW(decode_session({}), CorruptData);
+}
+
+TEST(Checkpoint, WriteReadRoundTripOnDisk) {
+  testing::TempDir dir("ckpt_roundtrip");
+  const SessionState state = fuzz_state(23);
+  write_checkpoint(dir.path(), state);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path(dir.path())));
+  const auto loaded = read_checkpoint(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  expect_state_eq(state, *loaded);
+}
+
+TEST(Checkpoint, LatestWriteWins) {
+  testing::TempDir dir("ckpt_overwrite");
+  write_checkpoint(dir.path(), fuzz_state(29));
+  const SessionState second = fuzz_state(31);
+  write_checkpoint(dir.path(), second);
+  const auto loaded = read_checkpoint(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  expect_state_eq(second, *loaded);
+}
+
+TEST(Checkpoint, MissingSnapshotReadsAsNullopt) {
+  testing::TempDir dir("ckpt_missing");
+  EXPECT_FALSE(read_checkpoint(dir.path()).has_value());
+  EXPECT_FALSE(
+      read_checkpoint(dir.path() / "never_created").has_value());
+}
+
+// Atomicity: a crash before the rename — whether before the temp file is
+// opened or after it is fully written — leaves the previous snapshot
+// intact and loadable.
+TEST(Checkpoint, CrashBeforeRenameKeepsThePreviousSnapshot) {
+  for (const char* point : {"checkpoint_pre_write", "checkpoint_pre_rename"}) {
+    testing::TempDir dir(std::string("ckpt_atomic_") +
+                         (point[11] == 'p' ? "prewrite" : "prerename"));
+    const SessionState first = fuzz_state(37);
+    write_checkpoint(dir.path(), first);
+    CrashPointRegistry registry;
+    {
+      ScopedCrashSchedule guard(registry, {point, 1});
+      EXPECT_THROW(write_checkpoint(dir.path(), fuzz_state(41), &registry),
+                   InjectedCrash)
+          << point;
+    }
+    const auto loaded = read_checkpoint(dir.path());
+    ASSERT_TRUE(loaded.has_value()) << point;
+    expect_state_eq(first, *loaded);
+  }
+}
+
+TEST(Checkpoint, CrashAfterRenameKeepsTheNewSnapshot) {
+  testing::TempDir dir("ckpt_postwrite");
+  write_checkpoint(dir.path(), fuzz_state(43));
+  const SessionState second = fuzz_state(47);
+  CrashPointRegistry registry;
+  {
+    ScopedCrashSchedule guard(registry, {"checkpoint_post_write", 1});
+    EXPECT_THROW(write_checkpoint(dir.path(), second, &registry),
+                 InjectedCrash);
+  }
+  const auto loaded = read_checkpoint(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  expect_state_eq(second, *loaded);
+}
+
+TEST(Checkpoint, RecoveryOptionsValidateRejectsZeroInterval) {
+  RecoveryOptions options;
+  options.checkpoint_dir = "somewhere";
+  options.interval_windows = 0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options.interval_windows = 1;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_TRUE(options.enabled());
+  options.checkpoint_dir.clear();
+  EXPECT_FALSE(options.enabled());
+}
+
+}  // namespace
+}  // namespace emap::robust
