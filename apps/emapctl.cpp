@@ -19,6 +19,10 @@
 //   emapctl synth-run   [duration_sec] [recordings-per-corpus]
 //       Builds an in-memory MDB, monitors a synthetic seizure input, and
 //       exercises the telemetry surface end to end (CI smoke path).
+//   emapctl trace       <spans.jsonl> [flight.jsonl]
+//       Reconstructs per-window critical paths from a --spans-out file
+//       (plus an optional flight dump) and prints the Eq. 4 decomposition
+//       table — the in-binary twin of tools/tracecat.
 //
 // Telemetry flags (monitor and synth-run):
 //   --metrics-out <file>   write Prometheus text exposition at end of run
@@ -61,6 +65,17 @@
 //   --crash-at <point[:n]> die (exit code 42, no destructors) at the n-th
 //                          hit of the named crash point; names come from
 //                          robust::crash_point_catalog()
+//
+// Tracing flags (monitor and synth-run) — causal tracing + flight recorder
+// (docs/tracing.md):
+//   --spans-out <file>     write the span log as JSONL (one span per line,
+//                          trace ids included; input for `emapctl trace`)
+//   --flight-out <file>    arm the flight recorder; dumps here on a crash
+//                          point, breaker open, or SLO burn page, and at
+//                          end of run when nothing else triggered
+//   --edge-slowdown <f>    divide the edge device throughput by f (> 1
+//                          forces edge SLO misses; CI uses it to provoke
+//                          a flight dump deterministically)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -81,10 +96,13 @@
 #include "emap/edf/edf.hpp"
 #include "emap/mdb/builder.hpp"
 #include "emap/obs/export.hpp"
+#include "emap/obs/flight.hpp"
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/profiler.hpp"
 #include "emap/obs/slo.hpp"
+#include "emap/obs/tracecat.hpp"
 #include "emap/robust/robust.hpp"
+#include "emap/sim/device.hpp"
 #include "emap/synth/corpus.hpp"
 
 namespace {
@@ -102,6 +120,7 @@ int usage() {
       "[telemetry flags]\n"
       "  emapctl synth-run  [duration_sec] [recordings-per-corpus] "
       "[telemetry flags]\n"
+      "  emapctl trace      <spans.jsonl> [flight.jsonl]\n"
       "telemetry flags: --metrics-out <file> --trace-out <file> "
       "--summary-out <file> --metrics-dump\n"
       "profiling flags: --profile-out <file> --flame-out <file> "
@@ -111,7 +130,9 @@ int usage() {
       "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n"
       "robust flags:    --robust-off --robust-report <file>\n"
       "recovery flags:  --checkpoint-dir <dir> --checkpoint-interval <n> "
-      "--resume --crash-at <point[:n]>\n");
+      "--resume --crash-at <point[:n]>\n"
+      "tracing flags:   --spans-out <file> --flight-out <file> "
+      "--edge-slowdown <factor>\n");
   return 2;
 }
 
@@ -133,6 +154,9 @@ struct TelemetryOptions {
   std::size_t checkpoint_interval = 1;
   bool resume = false;
   std::string crash_at;  ///< "point" or "point:n" (1-based hit)
+  std::string spans_out;
+  std::string flight_out;
+  double edge_slowdown = 1.0;  ///< > 1 divides edge device throughput
 };
 
 /// Extracts telemetry and fault/retry flags from (argc, argv), leaving only
@@ -219,6 +243,14 @@ bool extract_telemetry_flags(int& argc, char** argv,
       telemetry.resume = true;
     } else if (arg == "--crash-at") {
       if (!take_value(telemetry.crash_at)) return false;
+    } else if (arg == "--spans-out") {
+      if (!take_value(telemetry.spans_out)) return false;
+    } else if (arg == "--flight-out") {
+      if (!take_value(telemetry.flight_out)) return false;
+    } else if (arg == "--edge-slowdown") {
+      if (!take_double(
+              [&](double factor) { telemetry.edge_slowdown = factor; }))
+        return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
       return false;
@@ -264,6 +296,31 @@ bool apply_recovery_flags(const TelemetryOptions& telemetry,
   return true;
 }
 
+/// Applies the tracing flags: arms the flight recorder (the pipeline also
+/// forwards it to the channel and crash-point registry) and slows the edge
+/// device model by --edge-slowdown, which pushes track steps past the 1 s
+/// budget — the deterministic way to provoke an SLO burn page and hence a
+/// flight dump.  Returns the recorder the run uses, or nullptr when no
+/// --flight-out was requested.
+obs::FlightRecorder* apply_tracing_flags(const TelemetryOptions& telemetry,
+                                         core::PipelineOptions& options,
+                                         obs::FlightRecorder& flight) {
+  if (telemetry.edge_slowdown > 1.0) {
+    sim::DeviceProfile edge = sim::edge_raspberry_pi();
+    edge.name += "-slowed";
+    edge.mac_ops_per_sec /= telemetry.edge_slowdown;
+    edge.abs_ops_per_sec /= telemetry.edge_slowdown;
+    edge.per_signal_overhead_sec *= telemetry.edge_slowdown;
+    options.edge_device = edge;
+  }
+  if (telemetry.flight_out.empty()) {
+    return nullptr;
+  }
+  flight.set_dump_path(telemetry.flight_out);
+  options.flight = &flight;
+  return &flight;
+}
+
 /// Turns on the global stage profiler when any profiling output was
 /// requested.  Must run before the pipeline so the hot-path hooks record.
 void maybe_enable_profiler(const TelemetryOptions& telemetry) {
@@ -274,9 +331,13 @@ void maybe_enable_profiler(const TelemetryOptions& telemetry) {
 
 /// Writes the requested telemetry outputs after a monitored run.
 void emit_telemetry(const TelemetryOptions& telemetry,
-                    const obs::MetricsRegistry& registry,
-                    const core::RunResult& result) {
+                    obs::MetricsRegistry& registry,
+                    const core::RunResult& result,
+                    obs::FlightRecorder* flight = nullptr) {
   if (!telemetry.metrics_out.empty()) {
+    if (obs::Profiler::enabled()) {
+      obs::export_profiler_alloc_metrics(registry, obs::Profiler::instance());
+    }
     obs::write_prometheus(telemetry.metrics_out, registry);
     std::printf("metrics -> %s\n", telemetry.metrics_out.c_str());
   }
@@ -304,6 +365,21 @@ void emit_telemetry(const TelemetryOptions& telemetry,
     std::printf("trace   -> %s (open in chrome://tracing or "
                 "ui.perfetto.dev)\n",
                 telemetry.trace_out.c_str());
+  }
+  if (!telemetry.spans_out.empty() && result.tracer != nullptr) {
+    obs::write_spans_jsonl(telemetry.spans_out, *result.tracer);
+    std::printf("spans   -> %s (feed to tracecat or 'emapctl trace')\n",
+                telemetry.spans_out.c_str());
+  }
+  if (flight != nullptr) {
+    // A breaker/SLO/crash trigger already wrote the interesting dump; only
+    // dump at end of run when nothing else did, so that file survives.
+    if (flight->dumps_written() == 0) {
+      flight->trigger_dump("run_end");
+    }
+    std::printf("flight  -> %s (%llu dump(s))\n",
+                telemetry.flight_out.c_str(),
+                static_cast<unsigned long long>(flight->dumps_written()));
   }
   if (telemetry.metrics_dump) {
     std::printf("\n%s", obs::metrics_table(registry).c_str());
@@ -571,6 +647,9 @@ int cmd_monitor(int argc, char** argv) {
   if (!apply_recovery_flags(telemetry, pipeline_options, crashpoints)) {
     return usage();
   }
+  obs::FlightRecorder flight_recorder;
+  obs::FlightRecorder* flight =
+      apply_tracing_flags(telemetry, pipeline_options, flight_recorder);
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(),
                               pipeline_options);
@@ -613,7 +692,7 @@ int cmd_monitor(int argc, char** argv) {
         run_summary_line("monitor", result, input.spec.duration_sec));
     std::printf("summary -> %s\n", telemetry.summary_out.c_str());
   }
-  emit_telemetry(telemetry, registry, result);
+  emit_telemetry(telemetry, registry, result, flight);
   return 0;
 }
 
@@ -661,6 +740,9 @@ int cmd_synth_run(int argc, char** argv) {
   if (!apply_recovery_flags(telemetry, options, crashpoints)) {
     return usage();
   }
+  obs::FlightRecorder flight_recorder;
+  obs::FlightRecorder* flight =
+      apply_tracing_flags(telemetry, options, flight_recorder);
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(), options);
   const auto result = pipeline.run(input);
@@ -694,7 +776,33 @@ int cmd_synth_run(int argc, char** argv) {
                                             duration_sec));
     std::printf("summary -> %s\n", telemetry.summary_out.c_str());
   }
-  emit_telemetry(telemetry, registry, result);
+  emit_telemetry(telemetry, registry, result, flight);
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc < 1) {
+    return usage();
+  }
+  const auto spans = obs::load_spans_jsonl(argv[0]);
+  std::vector<obs::ParsedFlightEvent> events;
+  if (argc > 1) {
+    const auto flight = obs::load_flight_jsonl(argv[1]);
+    events = flight.events;
+    if (!flight.dump_reason.empty()) {
+      std::printf("flight dump reason: %s\n", flight.dump_reason.c_str());
+    }
+    if (flight.skipped_lines > 0) {
+      std::printf("flight: skipped %zu malformed line(s)\n",
+                  flight.skipped_lines);
+    }
+  }
+  if (spans.skipped_lines > 0) {
+    std::printf("spans: skipped %zu malformed line(s)\n",
+                spans.skipped_lines);
+  }
+  const auto paths = obs::build_critical_paths(spans.spans, events);
+  std::fputs(obs::critical_path_table(paths).c_str(), stdout);
   return 0;
 }
 
@@ -719,6 +827,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "synth-run") == 0) {
       return cmd_synth_run(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "trace") == 0) {
+      return cmd_trace(argc - 2, argv + 2);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "emapctl: %s\n", error.what());

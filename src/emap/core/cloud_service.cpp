@@ -4,6 +4,8 @@
 #include <string>
 
 #include "emap/common/error.hpp"
+#include "emap/obs/flight.hpp"
+#include "emap/obs/span.hpp"
 
 namespace emap::core {
 
@@ -53,6 +55,11 @@ robust::AdmissionDecision CloudService::submit(ServiceRequest request) {
         admission_->try_admit(remaining);
     if (!decision.accepted) {
       ++shed_accum_;
+      if (flight_ != nullptr) {
+        flight_->log(obs::FlightEventType::kShed, "admission_shed",
+                     request.arrival_sec, request.upload.trace.trace_id,
+                     decision.retry_after_sec);
+      }
       return decision;
     }
     queue_.push_back(std::move(request));
@@ -122,6 +129,24 @@ std::vector<ServiceResponse> CloudService::process_all() {
         device_.per_signal_overhead_sec *
             static_cast<double>(stats.sets_scanned);
     response.completion_sec = response.start_sec + service;
+    if (request.upload.trace.valid()) {
+      // Continue the edge's causal chain on the cloud side: queue_wait and
+      // cloud_scan attach under the decoded upload's trace id, and the
+      // response carries the context back for the downlink leg.
+      std::uint64_t scan_parent = request.upload.trace.parent_span;
+      if (tracer_ != nullptr) {
+        const std::uint64_t wait_span = tracer_->record_sim(
+            "queue_wait", "cloud", response.arrival_sec, response.start_sec,
+            request.upload.trace.parent_span, request.upload.trace.trace_id);
+        scan_parent = wait_span;
+        tracer_->record_sim("cloud_scan", "cloud", response.start_sec,
+                            response.completion_sec, wait_span,
+                            request.upload.trace.trace_id);
+      }
+      response.correlation_set.trace.trace_id =
+          request.upload.trace.trace_id;
+      response.correlation_set.trace.parent_span = scan_parent;
+    }
     if (admission_ != nullptr) {
       admission_->on_complete(service);
     }

@@ -20,6 +20,11 @@
 #include "emap/robust/admission.hpp"
 #include "emap/sim/device.hpp"
 
+namespace emap::obs {
+class FlightRecorder;
+class Tracer;
+}  // namespace emap::obs
+
 namespace emap::core {
 
 /// One queued search request.
@@ -113,6 +118,20 @@ class CloudService {
     injector_ = injector;
   }
 
+  /// Attaches a span tracer (borrowed; nullptr disables).  Each served
+  /// request whose upload carries a valid TraceContext gets a queue_wait
+  /// span (arrival -> worker pickup) and a child cloud_scan span (pickup ->
+  /// completion) under the *edge's* trace id — the cross-boundary half of
+  /// the causal chain.  The response echoes the trace back so the edge can
+  /// attribute the downlink leg too.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a flight recorder (borrowed; nullptr disables): admission
+  /// sheds log kShed events attributed to the rejected request's trace.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
  private:
   CloudNode node_;
   sim::DeviceProfile device_;
@@ -124,6 +143,8 @@ class CloudService {
   std::size_t shed_accum_ = 0;
   obs::MetricsRegistry* registry_ = nullptr;
   net::FaultInjector* injector_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::unique_ptr<robust::AdmissionController> admission_;
 
   struct ServiceMetrics {

@@ -8,6 +8,7 @@
 #include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
+#include "emap/obs/flight.hpp"
 #include "emap/obs/profiler.hpp"
 #include "emap/obs/slo.hpp"
 
@@ -111,15 +112,20 @@ EmapPipeline::EmapPipeline(mdb::MdbStore store, EmapConfig config,
 EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     std::uint32_t sequence, const std::vector<double>& filtered_window,
     double now_sec, net::Channel& channel, const net::RetryPolicy& retry,
-    obs::Tracer* tracer, robust::CircuitBreaker* breaker) const {
+    obs::Tracer* tracer, robust::CircuitBreaker* breaker,
+    obs::TraceContext trace) const {
   EMAP_PROFILE_SCOPE("cloud_call");
   net::SignalUploadMessage upload;
   upload.sequence = sequence;
   upload.samples = filtered_window;
+  // The upload carries the issuing window's causal chain across the wire
+  // (V2 header); an invalid context keeps the message byte-identical V1.
+  upload.trace = trace;
   const std::size_t upload_bytes_size = net::wire_size(upload);
 
   PendingSearch pending;
   pending.sequence = sequence;
+  pending.trace = trace;
 
   // Timeout derives from the channel's expected transfer times: the upload
   // plus a full top-k response (the edge knows the set size it asked for).
@@ -140,12 +146,15 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
   const double timeout = retry.timeout_for(expected_transfer);
 
   // Children of the per-call parent span, recorded after the loop once the
-  // parent's full (retries included) extent is known.
+  // parent's full (retries included) extent is known.  Each leg carries its
+  // own trace id: the delta_CS leg takes it from the *decoded* upload, so a
+  // shared id in the span log proves the context crossed the wire.
   struct Leg {
     std::string name;
     std::string category;
     double start_sec;
     double end_sec;
+    std::uint64_t trace_id;
   };
   std::vector<Leg> legs;
 
@@ -161,7 +170,13 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
       legs.push_back({"attempt_" + std::to_string(attempt) + "_" +
                           net::reject_reason_name(reason),
                       "retry", now_sec + elapsed,
-                      now_sec + elapsed + charged_sec});
+                      now_sec + elapsed + charged_sec, trace.trace_id});
+    }
+    if (options_.flight != nullptr) {
+      options_.flight->log(obs::FlightEventType::kRetry,
+                           net::reject_reason_name(reason),
+                           now_sec + elapsed, trace.trace_id,
+                           static_cast<double>(attempt), charged_sec);
     }
     elapsed += charged_sec;
     last_reason = reason;
@@ -197,7 +212,8 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
     if (attempt > 0) {
       if (tracer != nullptr && backoff > 0.0) {
         legs.push_back({"backoff_" + std::to_string(attempt), "retry",
-                        now_sec + elapsed, now_sec + elapsed + backoff});
+                        now_sec + elapsed, now_sec + elapsed + backoff,
+                        trace.trace_id});
       }
       elapsed += backoff;
       if (metrics_.retries != nullptr) {
@@ -255,6 +271,9 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
 
     // ---- Cloud search. ----
     net::CorrelationSetMessage response = cloud_.respond(*at_cloud);
+    // Echo the *received* context back, exactly as CloudService does: the
+    // downlink message then carries the chain for the edge's delta_CE leg.
+    response.trace = at_cloud->trace;
     const SearchStats& stats = cloud_.last_stats();
     const double cs_sec =
         cloud_device_.seconds_for_macs(static_cast<double>(stats.mac_ops)) +
@@ -328,11 +347,16 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
 
     if (tracer != nullptr) {
       const double t0 = now_sec + elapsed;
-      legs.push_back({"delta_EC", "upload", t0, t0 + up_sec});
+      // delta_CS carries the trace id the *cloud* decoded from the upload
+      // and delta_CE the one the *edge* decoded from the response — both
+      // equal trace.trace_id only because the context survived the wire.
+      legs.push_back({"delta_EC", "upload", t0, t0 + up_sec,
+                      trace.trace_id});
       legs.push_back({"delta_CS", "cloud-search", t0 + up_sec,
-                      t0 + up_sec + cs_sec});
+                      t0 + up_sec + cs_sec, at_cloud->trace.trace_id});
       legs.push_back({"delta_CE", "download", t0 + up_sec + cs_sec,
-                      t0 + up_sec + cs_sec + down_sec});
+                      t0 + up_sec + cs_sec + down_sec,
+                      response.trace.trace_id});
     }
     elapsed += up_sec + cs_sec + down_sec;
 
@@ -368,13 +392,14 @@ EmapPipeline::PendingSearch EmapPipeline::issue_cloud_call(
 
   if (tracer != nullptr) {
     // One parent span per round trip, spanning retries and all; the Eq. 4
-    // legs and any timeout/backoff intervals nest under it.
+    // legs and any timeout/backoff intervals nest under it, and the whole
+    // subtree attaches to the issuing window via trace.parent_span.
     const std::uint64_t call = tracer->record_sim(
         "cloud_call_" + std::to_string(sequence), "cloud-call", now_sec,
-        pending.ready_at_sec);
+        pending.ready_at_sec, trace.parent_span, trace.trace_id);
     for (const Leg& leg : legs) {
       tracer->record_sim(leg.name, leg.category, leg.start_sec, leg.end_sec,
-                         call);
+                         call, leg.trace_id);
     }
   }
   return pending;
@@ -445,6 +470,15 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   if (options_.collect_trace) {
     result.tracer = std::make_shared<obs::Tracer>();
     tracer = result.tracer.get();
+  }
+  // Causal tracing: every window mints a deterministic trace id from this
+  // seed.  It rides the span log, so no tracer means no tracing — and the
+  // wire stays byte-identical V1 (the bit-identity tests rely on that).
+  std::uint64_t trace_seed = tracer != nullptr ? options_.trace_seed : 0;
+  obs::FlightRecorder* flight = options_.flight;
+  channel.set_flight_recorder(flight);
+  if (options_.crashpoints != nullptr) {
+    options_.crashpoints->set_flight_recorder(flight);
   }
 
   // Fresh per run (runs are independent); the registry-side emap_slo_*
@@ -535,6 +569,11 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       initial_slo.restore_state(s.initial_slo);
       injector.restore(s.injector);
       channel.restore_rng(s.channel_rng);
+      if (trace_seed != 0 && s.trace_seed != 0) {
+        // Re-adopt the writing run's seed: windows keep the trace ids the
+        // uninterrupted run would have minted — lineage survives the crash.
+        trace_seed = s.trace_seed;
+      }
       if (s.pending.has_value()) {
         PendingSearch restored;
         restored.ready_at_sec = s.pending->ready_at_sec;
@@ -546,6 +585,8 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         restored.duplicates =
             static_cast<std::size_t>(s.pending->duplicates);
         restored.succeeded = s.pending->succeeded;
+        restored.trace.trace_id = s.pending->trace_id;
+        restored.trace.parent_span = s.pending->parent_span;
         restored.correlation_set.reserve(s.pending->correlation_set.size());
         for (robust::TrackedSignalState& signal :
              s.pending->correlation_set) {
@@ -589,10 +630,18 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         metrics_.recovery_resume_window->set(
             static_cast<double>(start_window));
       }
+      const std::uint64_t resume_trace =
+          trace_seed != 0 ? obs::mint_trace_id(trace_seed, start_window)
+                          : 0;
       if (tracer != nullptr) {
         const double t_resume = static_cast<double>(start_window);
         tracer->record_sim("recovery_resume", "recovery", t_resume,
-                           t_resume);
+                           t_resume, 0, resume_trace);
+      }
+      if (flight != nullptr) {
+        flight->log(obs::FlightEventType::kResume, "resume",
+                    static_cast<double>(start_window), resume_trace,
+                    static_cast<double>(start_window));
       }
     } catch (const robust::CheckpointError& error) {
       // Missing or rejected snapshot: fail closed in strict mode, fall
@@ -662,6 +711,8 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       call.attempts = pending->attempts;
       call.duplicates = pending->duplicates;
       call.succeeded = pending->succeeded;
+      call.trace_id = pending->trace.trace_id;
+      call.parent_span = pending->trace.parent_span;
       call.correlation_set.reserve(pending->correlation_set.size());
       for (const TrackedSignal& signal : pending->correlation_set) {
         call.correlation_set.push_back(to_signal_state(signal));
@@ -678,12 +729,28 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     s.initial_slo = initial_slo.save_state();
     s.injector = injector.save();
     s.channel_rng = channel.save_rng();
+    s.trace_seed = trace_seed;
     robust::write_checkpoint(recovery.checkpoint_dir, s, crashpoints);
     ++recovery_summary.checkpoints_written;
     if (metrics_.recovery_checkpoints != nullptr) {
       metrics_.recovery_checkpoints->increment();
     }
+    if (flight != nullptr) {
+      flight->log(obs::FlightEventType::kCheckpoint, "checkpoint",
+                  static_cast<double>(next_window),
+                  trace_seed != 0 && next_window > 0
+                      ? obs::mint_trace_id(trace_seed, next_window - 1)
+                      : 0,
+                  static_cast<double>(next_window));
+    }
   };
+
+  // One-shot flight-dump latches (a page or a breaker open is interesting
+  // once; re-dumping every subsequent window would just thrash the file).
+  bool slo_burn_paged = false;
+  bool breaker_dumped = false;
+  robust::BreakerState last_breaker_state =
+      breaker ? breaker->state() : robust::BreakerState::kClosed;
 
   std::size_t window_count =
       std::min(options_.max_windows, input.samples.size() / window);
@@ -704,10 +771,26 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     EMAP_CRASH_POINT(crashpoints, "pipeline_window_start");
     const std::span<const double> raw(input.samples.data() + w * window,
                                       window);
+    // The window's causal identity: a deterministic trace id (pure function
+    // of seed and index) and a root span every edge- and cloud-side span of
+    // this window hangs off, directly or over the wire.
+    const std::uint64_t window_trace =
+        trace_seed != 0 ? obs::mint_trace_id(trace_seed, w) : 0;
+    std::uint64_t window_span = 0;
     if (tracer != nullptr) {
-      tracer->record_sim("sample", "sample", t_end - 1.0, t_end);
+      window_span =
+          tracer->record_sim("window_" + std::to_string(w), "window",
+                             t_end - 1.0, t_end, 0, window_trace);
+      tracer->record_sim("sample", "sample", t_end - 1.0, t_end,
+                         window_span, window_trace);
       tracer->record_sim("filter", "filter", t_end,
-                         t_end + options_.filter_accelerator_sec);
+                         t_end + options_.filter_accelerator_sec,
+                         window_span, window_trace);
+    }
+    if (flight != nullptr) {
+      flight->log(obs::FlightEventType::kSpan,
+                  ("window_" + std::to_string(w)).c_str(), t_end,
+                  window_trace, static_cast<double>(w));
     }
     const auto filtered = edge.acquire_window(raw);
 
@@ -757,8 +840,15 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         edge.tracker().load(std::move(pending->correlation_set));
         record.set_loaded = true;
         record.pa_on_load = edge.tracker().anomaly_probability();
-        initial_slo.observe(pending->delta_ec + pending->delta_cs +
-                            pending->delta_ce);
+        const double initial_sec =
+            pending->delta_ec + pending->delta_cs + pending->delta_ce;
+        initial_slo.observe(initial_sec);
+        if (flight != nullptr &&
+            initial_sec > initial_slo.spec().budget_sec) {
+          flight->log(obs::FlightEventType::kSloMiss, "initial_response",
+                      t_end, pending->trace.trace_id, initial_sec,
+                      initial_slo.spec().budget_sec);
+        }
         if (!first_round_trip_recorded) {
           result.timings.delta_ec_sec = pending->delta_ec;
           result.timings.delta_cs_sec = pending->delta_cs;
@@ -815,6 +905,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
               static_cast<double>(step.tracked_before);
       total_track_sec += record.track_device_sec;
       edge_slo.observe(record.track_device_sec);
+      if (flight != nullptr &&
+          record.track_device_sec > edge_slo.spec().budget_sec) {
+        flight->log(obs::FlightEventType::kSloMiss, "edge_iteration", t_end,
+                    window_trace, record.track_device_sec,
+                    edge_slo.spec().budget_sec);
+      }
       result.timings.max_track_sec =
           std::max(result.timings.max_track_sec, record.track_device_sec);
       ++track_steps;
@@ -834,10 +930,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       }
       if (tracer != nullptr) {
         tracer->record_sim("edge-track", "edge-track", t_end,
-                           t_end + record.track_device_sec);
+                           t_end + record.track_device_sec, window_span,
+                           window_trace);
         tracer->record_sim("prediction", "prediction",
                            t_end + record.track_device_sec,
-                           t_end + record.track_device_sec + 1e-3);
+                           t_end + record.track_device_sec + 1e-3,
+                           window_span, window_trace);
       }
       if (step.tracked_after >= config_.predict_min_support) {
         edge.predictor().observe(step.anomaly_probability, t_end);
@@ -848,11 +946,20 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       if (step.cloud_call_needed && !pending) {
         if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
           record.breaker_rejected = true;
+          if (tracer != nullptr) {
+            tracer->record_sim("breaker_reject", "robust", t_end, t_end,
+                               window_span, window_trace);
+          }
+          if (flight != nullptr) {
+            flight->log(obs::FlightEventType::kShed, "breaker_reject",
+                        t_end, window_trace);
+          }
         } else {
           EMAP_CRASH_POINT(crashpoints, "pipeline_pre_cloud_call");
-          pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
-                                     t_end, channel, retry, tracer,
-                                     breaker_ptr);
+          pending = issue_cloud_call(
+              static_cast<std::uint32_t>(w), filtered, t_end, channel,
+              retry, tracer, breaker_ptr,
+              obs::TraceContext{window_trace, window_span});
           EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
           record.cloud_call_issued = true;
         }
@@ -861,11 +968,21 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       // Cold start: the very first window triggers the initial MDB search.
       if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
         record.breaker_rejected = true;
+        if (tracer != nullptr) {
+          tracer->record_sim("breaker_reject", "robust", t_end, t_end,
+                             window_span, window_trace);
+        }
+        if (flight != nullptr) {
+          flight->log(obs::FlightEventType::kShed, "breaker_reject", t_end,
+                      window_trace);
+        }
       } else {
         EMAP_CRASH_POINT(crashpoints, "pipeline_pre_cloud_call");
         pending = issue_cloud_call(static_cast<std::uint32_t>(w), filtered,
                                    t_end, channel, retry, tracer,
-                                   breaker_ptr);
+                                   breaker_ptr,
+                                   obs::TraceContext{window_trace,
+                                                     window_span});
         EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
         record.cloud_call_issued = true;
       }
@@ -887,9 +1004,55 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       } else {
         signal.no_observation = true;
       }
+      const robust::DegradeState state_before = controller->state();
       controller->observe_window(signal);
+      const robust::DegradeState state_after = controller->state();
+      if (flight != nullptr && state_after != state_before) {
+        flight->log(obs::FlightEventType::kRobustTransition,
+                    (std::string(robust::degrade_state_name(state_before)) +
+                     "_to_" + robust::degrade_state_name(state_after))
+                        .c_str(),
+                    t_end, window_trace);
+      }
       if (!controller->defer_flushes()) {
         flush_deferred();
+      }
+    }
+
+    // Breaker state can flip anywhere inside the window (allow() or a
+    // failure recorded mid-call); detect the edge here, once per window.
+    if (breaker && flight != nullptr) {
+      const robust::BreakerState breaker_state = breaker->state();
+      if (breaker_state != last_breaker_state) {
+        if (breaker_state == robust::BreakerState::kOpen) {
+          flight->log(obs::FlightEventType::kBreakerOpen, "breaker_open",
+                      t_end, window_trace);
+          if (tracer != nullptr) {
+            tracer->record_sim("breaker_open", "robust", t_end, t_end,
+                               window_span, window_trace);
+          }
+          if (!breaker_dumped) {
+            breaker_dumped = true;
+            flight->trigger_dump("breaker_open");
+          }
+        } else if (breaker_state == robust::BreakerState::kClosed) {
+          flight->log(obs::FlightEventType::kBreakerClose, "breaker_close",
+                      t_end, window_trace);
+        }
+        last_breaker_state = breaker_state;
+      }
+    }
+    // A burning error budget is the page the flight recorder exists for:
+    // dump the ring once, while the events leading up to it are still in.
+    if (flight != nullptr && !slo_burn_paged) {
+      const bool edge_burning = !edge_slo.healthy();
+      if (edge_burning || !initial_slo.healthy()) {
+        slo_burn_paged = true;
+        obs::SloMonitor& burning = edge_burning ? edge_slo : initial_slo;
+        flight->log(obs::FlightEventType::kSloBurnPage,
+                    burning.spec().name.c_str(), t_end, window_trace,
+                    burning.burn_rate());
+        flight->trigger_dump("slo_burn_page");
       }
     }
 
@@ -917,11 +1080,20 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     result.robust.degrade = controller->summary();
     if (tracer != nullptr) {
       for (const auto& transition : controller->transitions()) {
+        // Attribute the transition to the window whose feedback caused it
+        // (transitions land at window completion instants, t_sec = w + 1).
+        const std::uint64_t transition_trace =
+            trace_seed != 0 && transition.t_sec >= 1.0
+                ? obs::mint_trace_id(
+                      trace_seed,
+                      static_cast<std::uint64_t>(transition.t_sec - 1.0))
+                : 0;
         tracer->record_sim(
             std::string("robust_") +
                 robust::degrade_state_name(transition.from) + "_to_" +
                 robust::degrade_state_name(transition.to),
-            "robust", transition.t_sec, transition.t_sec);
+            "robust", transition.t_sec, transition.t_sec, 0,
+            transition_trace);
       }
     }
   }

@@ -32,10 +32,15 @@
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/slo.hpp"
 #include "emap/obs/span.hpp"
+#include "emap/obs/trace_context.hpp"
 #include "emap/robust/robust.hpp"
 #include "emap/sim/device.hpp"
 #include "emap/sim/trace.hpp"
 #include "emap/synth/generator.hpp"
+
+namespace emap::obs {
+class FlightRecorder;
+}
 
 namespace emap::core {
 
@@ -64,6 +69,20 @@ struct PipelineOptions {
   std::size_t cloud_threads = 0;
   /// Collect the Fig. 9 activity trace (span log + TimelineTrace view).
   bool collect_trace = true;
+  /// Seed for the per-window causal trace ids (obs::mint_trace_id).  With
+  /// collect_trace on, every window mints a deterministic 64-bit trace id
+  /// that rides the wire messages (V2 transport header) into the cloud and
+  /// back, so edge and cloud spans of one window share a trace.  0 disables
+  /// causal tracing — messages stay byte-identical V1 — as does
+  /// collect_trace = false.
+  std::uint64_t trace_seed = obs::kDefaultTraceSeed;
+  /// Flight recorder (borrowed; nullptr disables): the pipeline logs window
+  /// boundaries, SLO misses, robust transitions, retries, breaker events,
+  /// and checkpoint/resume marks into the ring, and triggers a dump when
+  /// the breaker opens or the edge SLO burn rate pages.  Also attached to
+  /// the run's channel (fault verdicts) and, via options.crashpoints, the
+  /// crash-point registry (crash dumps) when those are set.
+  obs::FlightRecorder* flight = nullptr;
   /// Fixed latency of the edge's hard-coded filter accelerator.
   double filter_accelerator_sec = 0.002;
   /// Telemetry registry (borrowed; nullptr disables).  When set, the
@@ -208,6 +227,8 @@ class EmapPipeline {
     std::size_t attempts = 0;    ///< attempts actually started
     std::size_t duplicates = 0;  ///< duplicate deliveries deduped away
     bool succeeded = false;      ///< false = retries/deadline exhausted
+    /// Causal chain of the issuing window (trace id + window root span).
+    obs::TraceContext trace;
   };
 
   PendingSearch issue_cloud_call(std::uint32_t sequence,
@@ -215,7 +236,8 @@ class EmapPipeline {
                                  double now_sec, net::Channel& channel,
                                  const net::RetryPolicy& retry,
                                  obs::Tracer* tracer,
-                                 robust::CircuitBreaker* breaker) const;
+                                 robust::CircuitBreaker* breaker,
+                                 obs::TraceContext trace) const;
 
   EmapConfig config_;
   PipelineOptions options_;

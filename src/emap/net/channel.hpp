@@ -22,6 +22,7 @@
 namespace emap::obs {
 class MetricsRegistry;
 class Counter;
+class FlightRecorder;
 class Histogram;
 }  // namespace emap::obs
 
@@ -102,6 +103,14 @@ class Channel {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches a flight recorder (borrowed; nullptr disables).  Each
+  /// transfer the injector actually touched logs one kFaultVerdict event,
+  /// attributed to the in-flight message's trace context (peeked from the
+  /// encoded bytes before any corruption is applied).
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
   /// Jitter-stream position (checkpoint support): a resumed run restores
   /// this so transfer times replay bit-for-bit even with jitter enabled.
   RngState save_rng() const { return rng_.save(); }
@@ -123,6 +132,7 @@ class Channel {
   ChannelOptions options_;
   Rng rng_;
   FaultInjector* injector_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   DirectionMetrics up_metrics_{};
   DirectionMetrics down_metrics_{};
 };

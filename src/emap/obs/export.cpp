@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "emap/common/error.hpp"
+#include "emap/obs/trace_context.hpp"
 
 namespace emap::obs {
 namespace {
@@ -107,50 +108,73 @@ std::string prometheus_sanitize_name(const std::string& name,
 }
 
 std::string to_prometheus(const MetricsRegistry& registry) {
-  std::ostringstream out;
-  std::string last_family;
+  // Group label variants of one family together before emitting: entries
+  // arrive in registration order, where variants of a family need not be
+  // contiguous (e.g. a second label value created many metrics later), and
+  // the exposition format allows exactly one # HELP/# TYPE per family.
+  std::vector<std::vector<const MetricEntry*>> families;
   for (const MetricEntry* entry : registry.entries()) {
-    const std::string name = prometheus_sanitize_name(entry->name);
-    if (entry->name != last_family) {
-      if (!entry->help.empty()) {
-        out << "# HELP " << name << ' ' << entry->help << '\n';
-      }
-      out << "# TYPE " << name << ' ' << kind_name(entry->kind) << '\n';
-      last_family = entry->name;
+    auto match = std::find_if(families.begin(), families.end(),
+                              [entry](const auto& family) {
+                                return family.front()->name == entry->name;
+                              });
+    if (match == families.end()) {
+      families.push_back({entry});
+    } else {
+      match->push_back(entry);
     }
-    const std::string labels = label_block(entry->labels);
-    switch (entry->kind) {
-      case MetricKind::kCounter:
-        out << name << labels << ' ' << entry->counter->value() << '\n';
+  }
+
+  std::ostringstream out;
+  for (const auto& family : families) {
+    const std::string name = prometheus_sanitize_name(family.front()->name);
+    const std::string* help = nullptr;
+    for (const MetricEntry* entry : family) {
+      if (!entry->help.empty()) {
+        help = &entry->help;
         break;
-      case MetricKind::kGauge:
-        out << name << labels << ' '
-            << prometheus_value(entry->gauge->value()) << '\n';
-        break;
-      case MetricKind::kHistogram: {
-        const Histogram& histogram = *entry->histogram;
-        // Cumulative buckets; only populated bounds are emitted (a sparse
-        // but valid exposition — `le` bounds stay cumulative).
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
-          const std::uint64_t in_bucket = histogram.bucket_count(i);
-          if (in_bucket == 0) {
-            continue;
+      }
+    }
+    if (help != nullptr) {
+      out << "# HELP " << name << ' ' << prometheus_escape(*help) << '\n';
+    }
+    out << "# TYPE " << name << ' ' << kind_name(family.front()->kind)
+        << '\n';
+    for (const MetricEntry* entry : family) {
+      const std::string labels = label_block(entry->labels);
+      switch (entry->kind) {
+        case MetricKind::kCounter:
+          out << name << labels << ' ' << entry->counter->value() << '\n';
+          break;
+        case MetricKind::kGauge:
+          out << name << labels << ' '
+              << prometheus_value(entry->gauge->value()) << '\n';
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& histogram = *entry->histogram;
+          // Cumulative buckets; only populated bounds are emitted (a
+          // sparse but valid exposition — `le` bounds stay cumulative).
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+            const std::uint64_t in_bucket = histogram.bucket_count(i);
+            if (in_bucket == 0) {
+              continue;
+            }
+            cumulative += in_bucket;
+            out << name << "_bucket"
+                << label_block_with(entry->labels, "le",
+                                    format_double(histogram.bounds()[i]))
+                << ' ' << cumulative << '\n';
           }
-          cumulative += in_bucket;
           out << name << "_bucket"
-              << label_block_with(entry->labels, "le",
-                                  format_double(histogram.bounds()[i]))
-              << ' ' << cumulative << '\n';
+              << label_block_with(entry->labels, "le", "+Inf") << ' '
+              << histogram.count() << '\n';
+          out << name << "_sum" << labels << ' '
+              << prometheus_value(histogram.sum()) << '\n';
+          out << name << "_count" << labels << ' ' << histogram.count()
+              << '\n';
+          break;
         }
-        out << name << "_bucket"
-            << label_block_with(entry->labels, "le", "+Inf") << ' '
-            << histogram.count() << '\n';
-        out << name << "_sum" << labels << ' '
-            << prometheus_value(histogram.sum()) << '\n';
-        out << name << "_count" << labels << ' ' << histogram.count()
-            << '\n';
-        break;
       }
     }
   }
@@ -272,8 +296,8 @@ std::string to_chrome_trace(const Tracer& tracer) {
         << "\"tid\":" << tid_of(span.category) << ",\"ts\":"
         << format_double(ts_us) << ",\"dur\":" << format_double(dur_us)
         << ",\"args\":{\"span_id\":" << span.id << ",\"parent\":"
-        << span.parent << ",\"clock\":\"" << (simulated ? "sim" : "wall")
-        << "\"}}";
+        << span.parent << ",\"trace_id\":\"" << trace_id_hex(span.trace_id)
+        << "\",\"clock\":\"" << (simulated ? "sim" : "wall") << "\"}}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}";
   return out.str();
@@ -310,6 +334,33 @@ sim::TimelineTrace timeline_view(const Tracer& tracer) {
     }
   }
   return trace;
+}
+
+std::string span_json(const SpanRecord& span) {
+  JsonWriter writer;
+  writer.field("span_id", span.id);
+  writer.field("parent", span.parent);
+  writer.field("trace_id", trace_id_hex(span.trace_id));
+  writer.field("name", span.name);
+  writer.field("category", span.category);
+  writer.field("sim_start_sec", span.sim_start_sec);
+  writer.field("sim_dur_sec", span.sim_dur_sec);
+  writer.field("wall_start_us", span.wall_start_us);
+  writer.field("wall_dur_us", span.wall_dur_us);
+  return writer.str();
+}
+
+void write_spans_jsonl(const std::filesystem::path& path,
+                       const Tracer& tracer) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  require(static_cast<bool>(stream),
+          ("write_spans_jsonl: cannot open " + path.string()).c_str());
+  for (const auto& span : tracer.spans()) {
+    stream << span_json(span) << '\n';
+  }
 }
 
 std::string json_escape(const std::string& text) {
@@ -369,6 +420,10 @@ JsonWriter& JsonWriter::field(const std::string& key,
   begin_field(key);
   body_ += '"' + json_escape(value) + '"';
   return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* value) {
+  return field(key, std::string(value != nullptr ? value : ""));
 }
 
 JsonWriter& JsonWriter::field(const std::string& key, bool value) {

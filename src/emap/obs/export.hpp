@@ -51,12 +51,26 @@ std::string metrics_table(const MetricsRegistry& registry);
 /// becomes one activity, in span order.
 sim::TimelineTrace timeline_view(const Tracer& tracer);
 
+/// One span as a flat JSON object line.  The machine-readable sibling of
+/// the Chrome trace: `tools/tracecat` and `emapctl trace` reconstruct
+/// per-window critical paths from these lines.  trace_id is emitted as a
+/// 16-char hex string (64-bit ids do not survive a JSON double).
+std::string span_json(const SpanRecord& span);
+
+/// Writes the whole span log as JSONL, one span_json line per span.
+void write_spans_jsonl(const std::filesystem::path& path,
+                       const Tracer& tracer);
+
 /// Minimal flat-object JSON writer for the JSONL run-summary format.
 class JsonWriter {
  public:
   JsonWriter& field(const std::string& key, double value);
   JsonWriter& field(const std::string& key, std::uint64_t value);
   JsonWriter& field(const std::string& key, const std::string& value);
+  /// Without this overload a string literal would silently pick the bool
+  /// overload (pointer -> bool is a standard conversion; const char* ->
+  /// std::string is user-defined and loses).
+  JsonWriter& field(const std::string& key, const char* value);
   JsonWriter& field(const std::string& key, bool value);
 
   /// The accumulated object as one `{...}` line (no trailing newline).

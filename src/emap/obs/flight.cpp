@@ -1,0 +1,148 @@
+#include "emap/obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "emap/obs/export.hpp"
+#include "emap/obs/trace_context.hpp"
+
+namespace emap::obs {
+
+const char* flight_event_type_name(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kSpan:
+      return "span";
+    case FlightEventType::kSloMiss:
+      return "slo_miss";
+    case FlightEventType::kSloBurnPage:
+      return "slo_burn_page";
+    case FlightEventType::kRobustTransition:
+      return "robust_transition";
+    case FlightEventType::kBreakerOpen:
+      return "breaker_open";
+    case FlightEventType::kBreakerClose:
+      return "breaker_close";
+    case FlightEventType::kFaultVerdict:
+      return "fault_verdict";
+    case FlightEventType::kRetry:
+      return "retry";
+    case FlightEventType::kShed:
+      return "shed";
+    case FlightEventType::kCheckpoint:
+      return "checkpoint";
+    case FlightEventType::kResume:
+      return "resume";
+    case FlightEventType::kCrashPoint:
+      return "crash_point";
+  }
+  return "?";
+}
+
+std::string FlightEvent::label_view() const {
+  return std::string(label,
+                     strnlen(label, kLabelCapacity));
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_(std::max<std::size_t>(capacity, 8)) {}
+
+void FlightRecorder::log(FlightEventType type, const char* label,
+                         double t_sec, std::uint64_t trace_id, double a,
+                         double b) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  // Odd marker = write in progress; readers skip the slot.
+  slot.marker.store(2 * seq + 1, std::memory_order_release);
+  slot.event.seq = seq;
+  slot.event.trace_id = trace_id;
+  slot.event.t_sec = t_sec;
+  slot.event.a = a;
+  slot.event.b = b;
+  slot.event.type = type;
+  std::memset(slot.event.label, 0, FlightEvent::kLabelCapacity);
+  if (label != nullptr) {
+    std::strncpy(slot.event.label, label, FlightEvent::kLabelCapacity - 1);
+  }
+  // Even marker = published for exactly this seq.
+  slot.marker.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.marker.load(std::memory_order_acquire);
+    if (before == 0 || before % 2 == 1) {
+      continue;  // never written, or mid-write
+    }
+    FlightEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t after = slot.marker.load(std::memory_order_relaxed);
+    if (after != before) {
+      continue;  // overwritten while copying — torn, discard
+    }
+    events.push_back(copy);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+void FlightRecorder::set_dump_path(std::filesystem::path path) {
+  dump_path_ = std::move(path);
+}
+
+bool FlightRecorder::trigger_dump(const char* reason) noexcept {
+  try {
+    if (dump_path_.empty()) {
+      return false;
+    }
+    const auto events = snapshot();
+    if (dump_path_.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dump_path_.parent_path(), ec);
+    }
+    std::FILE* file = std::fopen(dump_path_.string().c_str(), "w");
+    if (file == nullptr) {
+      return false;
+    }
+    JsonWriter header;
+    header.field("flight_dump", reason != nullptr ? reason : "");
+    header.field("events", static_cast<std::uint64_t>(events.size()));
+    header.field("dropped",
+                 total_logged() - static_cast<std::uint64_t>(events.size()));
+    bool ok = std::fprintf(file, "%s\n", header.str().c_str()) >= 0;
+    for (const FlightEvent& event : events) {
+      if (std::fprintf(file, "%s\n", flight_event_json(event).c_str()) < 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (std::fclose(file) != 0) {
+      ok = false;
+    }
+    if (ok) {
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ok;
+  } catch (...) {
+    return false;  // the dump runs on the crash path; never rethrow
+  }
+}
+
+std::string flight_event_json(const FlightEvent& event) {
+  JsonWriter writer;
+  writer.field("seq", event.seq);
+  writer.field("type", flight_event_type_name(event.type));
+  writer.field("label", event.label_view());
+  writer.field("t_sec", event.t_sec);
+  writer.field("trace_id", trace_id_hex(event.trace_id));
+  writer.field("a", event.a);
+  writer.field("b", event.b);
+  return writer.str();
+}
+
+}  // namespace emap::obs

@@ -155,6 +155,32 @@ std::vector<BenchRecord> load_bench_records(
   return records;
 }
 
+std::vector<BenchRecord> load_bench_records_lenient(
+    const std::filesystem::path& path, std::vector<std::string>& errors) {
+  std::ifstream stream(path);
+  if (!stream) {
+    throw IoError("load_bench_records_lenient: cannot open " + path.string());
+  }
+  std::vector<BenchRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::size_t pos = 0;
+    skip_spaces(line, pos);
+    if (pos >= line.size()) {
+      continue;
+    }
+    try {
+      records.push_back(parse_bench_record(line));
+    } catch (const CorruptData& error) {
+      errors.push_back(path.filename().string() + ":" +
+                       std::to_string(line_no) + ": " + error.what());
+    }
+  }
+  return records;
+}
+
 bool metric_higher_is_better(const std::string& name) {
   static const char* const kHigherBetter[] = {
       "speedup", "accuracy", "ratio",     "corr", "auc",

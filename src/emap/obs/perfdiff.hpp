@@ -39,6 +39,13 @@ BenchRecord parse_bench_record(const std::string& line);
 /// Throws IoError when the file cannot be read, CorruptData on a bad line.
 std::vector<BenchRecord> load_bench_records(const std::filesystem::path& path);
 
+/// Lenient variant for the CLI gate: a malformed line is skipped and
+/// described in `errors` instead of aborting the load, so one corrupt
+/// record cannot hide the regressions of every bench behind it.  Still
+/// throws IoError when the file itself cannot be opened.
+std::vector<BenchRecord> load_bench_records_lenient(
+    const std::filesystem::path& path, std::vector<std::string>& errors);
+
 /// Direction inference by metric name: substrings speedup / accuracy /
 /// ratio / corr / auc / recall / precision / score / throughput mark
 /// higher-is-better; everything else (latencies, times, ops, misses)

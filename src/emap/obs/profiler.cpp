@@ -2,12 +2,82 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "emap/common/build_info.hpp"
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
+#include "emap/obs/metrics.hpp"
+
+namespace {
+
+// Allocation-attribution target of the current thread.  Plain-POD
+// thread_local (no dynamic TLS constructor), so reading it from the global
+// operator new is safe at any point of a thread's lifetime; null means "no
+// profiled scope active" and costs the interposer one load + branch.
+thread_local emap::obs::Profiler::Node* t_alloc_node = nullptr;
+
+inline void count_alloc(std::size_t size) noexcept {
+  if (emap::obs::Profiler::Node* node = t_alloc_node) {
+    node->alloc_count.fetch_add(1, std::memory_order_relaxed);
+    node->alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+// malloc with the standard new-handler retry loop; attribution happens on
+// success so a throwing allocation never touches the profiler.
+void* counted_alloc(std::size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  for (;;) {
+    if (void* p = std::malloc(size)) {
+      count_alloc(size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) {
+      throw std::bad_alloc();
+    }
+    handler();
+  }
+}
+
+}  // namespace
+
+// Global operator new/delete replacement (the allocation interposer of
+// satellite docs/telemetry.md "Allocation profiling").  Replacing the
+// unaligned family is enough: the aligned overloads keep their defaults,
+// which are internally consistent.  delete must pair with the malloc above.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace emap::obs {
 
@@ -46,6 +116,10 @@ void merge_tree(const Profiler::Node& node, const std::string& prefix,
     stage.total_sec += static_cast<double>(child->total_ns) * 1e-9;
     stage.self_sec +=
         static_cast<double>(child->total_ns - child->child_ns) * 1e-9;
+    stage.alloc_count +=
+        child->alloc_count.load(std::memory_order_relaxed);
+    stage.alloc_bytes +=
+        child->alloc_bytes.load(std::memory_order_relaxed);
     merge_tree(*child, path, merged);
   }
 }
@@ -101,7 +175,9 @@ std::string Profiler::to_json() const {
         .field("calls", stage.calls)
         .field("work", stage.work)
         .field("total_sec", stage.total_sec)
-        .field("self_sec", stage.self_sec);
+        .field("self_sec", stage.self_sec)
+        .field("alloc_count", stage.alloc_count)
+        .field("alloc_bytes", stage.alloc_bytes);
     out << json.str();
   }
   out << "]}";
@@ -125,6 +201,8 @@ void Profiler::reset() {
         node.work = 0;
         node.total_ns = 0;
         node.child_ns = 0;
+        node.alloc_count.store(0, std::memory_order_relaxed);
+        node.alloc_bytes.store(0, std::memory_order_relaxed);
         for (auto& [key, child] : node.children) {
           (void)key;
           clear(*child);
@@ -158,12 +236,16 @@ ProfileScope::ProfileScope(const char* name) {
   }
   state_ = &Profiler::instance().local_state();
   node_ = enter(*state_, name);
+  prev_alloc_node_ = t_alloc_node;
+  t_alloc_node = node_;
   started_ = std::chrono::steady_clock::now();
 }
 
 ProfileScope::ProfileScope(const char* name, Profiler& profiler) {
   state_ = &profiler.local_state();
   node_ = enter(*state_, name);
+  prev_alloc_node_ = t_alloc_node;
+  t_alloc_node = node_;
   started_ = std::chrono::steady_clock::now();
 }
 
@@ -171,6 +253,7 @@ ProfileScope::~ProfileScope() {
   if (node_ == nullptr) {
     return;
   }
+  t_alloc_node = prev_alloc_node_;
   const auto elapsed_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started_)
@@ -219,6 +302,21 @@ void write_profile_json(const std::filesystem::path& path,
 void write_collapsed_stacks(const std::filesystem::path& path,
                             const Profiler& profiler) {
   write_text(path, profiler.to_collapsed_stacks(), "write_collapsed_stacks");
+}
+
+void export_profiler_alloc_metrics(MetricsRegistry& registry,
+                                   const Profiler& profiler) {
+  for (const StageProfile& stage : profiler.report()) {
+    registry
+        .gauge("emap_profiler_alloc_count", {{"stage", stage.path}},
+               "Heap allocations attributed to the stage (interposed "
+               "operator new)")
+        .set(static_cast<double>(stage.alloc_count));
+    registry
+        .gauge("emap_profiler_alloc_bytes", {{"stage", stage.path}},
+               "Heap bytes requested by the stage (interposed operator new)")
+        .set(static_cast<double>(stage.alloc_bytes));
+  }
 }
 
 }  // namespace emap::obs

@@ -46,6 +46,11 @@ struct StageProfile {
   std::uint64_t work = 0;  ///< stage-defined unit count (ops, bytes, skips)
   double total_sec = 0.0;  ///< inclusive wall time
   double self_sec = 0.0;   ///< total minus direct children
+  /// Heap allocations attributed to this stage (interposed global
+  /// operator new; inclusive of children entered without their own scope,
+  /// exclusive of nested profiled stages).
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
 };
 
 /// Process-wide stage profiler.  All hooks funnel into instance(); tests
@@ -95,6 +100,10 @@ class Profiler {
     std::uint64_t work = 0;
     std::int64_t total_ns = 0;
     std::int64_t child_ns = 0;
+    // Written by the operator-new interposer under no lock (allocation can
+    // happen while this thread holds the tree mutex), hence atomics.
+    std::atomic<std::uint64_t> alloc_count{0};
+    std::atomic<std::uint64_t> alloc_bytes{0};
     std::map<const void*, std::unique_ptr<Node>> children;
   };
 
@@ -134,8 +143,19 @@ class ProfileScope {
  private:
   Profiler::ThreadState* state_ = nullptr;
   Profiler::Node* node_ = nullptr;
+  /// Allocation-attribution node this scope displaced (restored on exit).
+  Profiler::Node* prev_alloc_node_ = nullptr;
   std::chrono::steady_clock::time_point started_;
 };
+
+class MetricsRegistry;
+
+/// Surfaces the per-stage allocation counters as gauges:
+/// `emap_profiler_alloc_count{stage=...}` and
+/// `emap_profiler_alloc_bytes{stage=...}` (cumulative totals at call time;
+/// call right before exporting the registry).
+void export_profiler_alloc_metrics(MetricsRegistry& registry,
+                                   const Profiler& profiler);
 
 /// Writes to_json() / to_collapsed_stacks() to `path`, creating parent
 /// directories; throws IoError on failure.

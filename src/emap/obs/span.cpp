@@ -74,10 +74,12 @@ Tracer::Span Tracer::scope(std::string name, std::string category) {
 
 std::uint64_t Tracer::record_sim(std::string name, std::string category,
                                  double sim_start_sec, double sim_end_sec,
-                                 std::uint64_t parent) {
+                                 std::uint64_t parent,
+                                 std::uint64_t trace_id) {
   require(sim_end_sec >= sim_start_sec, "Tracer::record_sim: end before start");
   SpanRecord record;
   record.parent = parent;
+  record.trace_id = trace_id;
   record.name = std::move(name);
   record.category = std::move(category);
   record.wall_start_us = wall_now_us();

@@ -23,6 +23,7 @@ class Histogram;
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent = 0;      ///< 0 = root span
+  std::uint64_t trace_id = 0;    ///< causal chain (obs::TraceContext); 0 = none
   std::string name;              ///< instance label, e.g. "delta_EC"
   std::string category;          ///< row/track, e.g. "upload"
   double wall_start_us = 0.0;    ///< microseconds since tracer epoch
@@ -48,6 +49,8 @@ class Tracer {
 
     /// Attaches a virtual-clock interval to the span.
     void set_sim(double start_sec, double end_sec);
+    /// Attaches the span to a causal trace.
+    void set_trace(std::uint64_t trace_id) { record_.trace_id = trace_id; }
     std::uint64_t id() const { return record_.id; }
 
    private:
@@ -66,7 +69,8 @@ class Tracer {
   /// Returns the span id for use as a later `parent`.
   std::uint64_t record_sim(std::string name, std::string category,
                            double sim_start_sec, double sim_end_sec,
-                           std::uint64_t parent = 0);
+                           std::uint64_t parent = 0,
+                           std::uint64_t trace_id = 0);
 
   /// Appends a fully formed record (id assigned when 0); returns its id.
   std::uint64_t append(SpanRecord record);

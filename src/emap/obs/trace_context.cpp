@@ -1,0 +1,54 @@
+#include "emap/obs/trace_context.hpp"
+
+#include <cstdio>
+
+namespace emap::obs {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t mint_trace_id(std::uint64_t seed, std::uint64_t window_index) {
+  std::uint64_t id = splitmix64(splitmix64(seed) ^ window_index);
+  // 0 is reserved as the "untraced" sentinel; remint through a fixed
+  // tweak so the function stays a pure mapping of (seed, window).
+  if (id == 0) {
+    id = splitmix64(seed ^ ~window_index);
+  }
+  return id != 0 ? id : 1;
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buffer, 16);
+}
+
+std::uint64_t parse_trace_id_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    return 0;
+  }
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return value;
+}
+
+}  // namespace emap::obs

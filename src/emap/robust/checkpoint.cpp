@@ -298,6 +298,8 @@ void encode_payload(mdb::Encoder& enc, const SessionState& state) {
     enc.write_u64(pending.attempts);
     enc.write_u64(pending.duplicates);
     enc.write_u8(pending.succeeded ? 1 : 0);
+    enc.write_u64(pending.trace_id);
+    enc.write_u64(pending.parent_span);
     encode_signals(enc, pending.correlation_set);
   }
 
@@ -311,6 +313,7 @@ void encode_payload(mdb::Encoder& enc, const SessionState& state) {
   encode_fault_counts(enc, state.injector.up_counts);
   encode_fault_counts(enc, state.injector.down_counts);
   encode_rng(enc, state.channel_rng);
+  enc.write_u64(state.trace_seed);
 }
 
 SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
@@ -378,6 +381,8 @@ SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
     pending.attempts = dec.read_u64();
     pending.duplicates = dec.read_u64();
     pending.succeeded = dec.read_u8() != 0;
+    pending.trace_id = dec.read_u64();
+    pending.parent_span = dec.read_u64();
     pending.correlation_set = decode_signals(dec, total_bytes);
     state.pending = std::move(pending);
   }
@@ -392,6 +397,7 @@ SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
   state.injector.up_counts = decode_fault_counts(dec);
   state.injector.down_counts = decode_fault_counts(dec);
   state.channel_rng = decode_rng(dec);
+  state.trace_seed = dec.read_u64();
   return state;
 }
 

@@ -62,7 +62,8 @@ class CheckpointError : public CorruptData {
 
 /// Bump on ANY change to the SessionState layout.  No migrations: a
 /// version-skewed snapshot is rejected and the session cold-starts.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: trace lineage (trace_seed, pending-call trace context) appended.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One tracked signal-set as the edge holds it (robust-layer mirror of
 /// core::TrackedSignal; samples included — see the layering note above).
@@ -102,6 +103,10 @@ struct PendingCallCheckpoint {
   std::uint64_t attempts = 0;
   std::uint64_t duplicates = 0;
   bool succeeded = false;
+  /// Causal chain of the originating window, so the delivery recorded by
+  /// the resumed run attaches to the same trace the call was issued under.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
   std::vector<TrackedSignalState> correlation_set;
 };
 
@@ -156,6 +161,11 @@ struct SessionState {
   obs::SloMonitorState initial_slo{};
   net::FaultInjectorState injector{};
   RngState channel_rng{};
+  /// Seed the writing run minted per-window trace ids from
+  /// (obs::mint_trace_id).  A resumed run re-adopts it, so windows keep
+  /// the ids the original run would have given them — the trace lineage
+  /// survives the crash.
+  std::uint64_t trace_seed = 0;
 };
 
 /// Serializes one session snapshot (full file image, framing included).

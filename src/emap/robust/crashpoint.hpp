@@ -35,6 +35,10 @@
 #include "emap/common/error.hpp"
 #include "emap/common/rng.hpp"
 
+namespace emap::obs {
+class FlightRecorder;
+}
+
 namespace emap::robust {
 
 /// Thrown by a crash point armed in kThrow mode.  Deliberately NOT a
@@ -105,9 +109,16 @@ class CrashPointRegistry {
   /// Every point name this registry has seen at least once.
   std::vector<std::string> seen() const;
 
+  /// Borrowed flight recorder (may be null).  When set, a firing crash
+  /// point logs itself and triggers a dump *before* exiting or throwing,
+  /// so the dump's last event is always the crash point that killed the
+  /// run.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
  private:
   [[noreturn]] void fire(const std::string& point);
 
+  obs::FlightRecorder* flight_ = nullptr;
   mutable std::mutex mutex_;
   bool armed_ = false;
   std::optional<CrashSchedule> schedule_;

@@ -185,6 +185,98 @@ TEST(Transport, PaperScaleSetRoundTripsAndGuardsItsBounds) {
   EXPECT_THROW(decode_correlation_set(bytes), CorruptData);
 }
 
+TEST(Transport, TracedUploadRoundTripsContextUnderV2) {
+  SignalUploadMessage message;
+  message.sequence = 11;
+  message.trace = {obs::mint_trace_id(obs::kDefaultTraceSeed, 11), 0x5150};
+  message.samples = testing::noise(10, 256, 7.0);
+  const auto bytes = encode_upload(message);
+  EXPECT_EQ(bytes.size(), wire_size(message));
+  // V2 magic "EMU2" leads the frame; the V1 magic must not.
+  EXPECT_EQ(bytes[0], 'E');
+  EXPECT_EQ(bytes[1], 'M');
+  EXPECT_EQ(bytes[2], 'U');
+  EXPECT_EQ(bytes[3], '2');
+  const auto decoded = decode_upload(bytes);
+  EXPECT_EQ(decoded.sequence, 11u);
+  EXPECT_EQ(decoded.trace, message.trace);
+  EXPECT_EQ(decoded.samples.size(), 256u);
+}
+
+TEST(Transport, TracedCorrelationSetRoundTripsContext) {
+  CorrelationSetMessage message;
+  message.request_sequence = 23;
+  message.trace = {0xfeedf00dcafe1234ull, 0x42};
+  CorrelationEntry entry;
+  entry.set_id = 9;
+  entry.samples = testing::noise(11, 100);
+  message.entries.push_back(std::move(entry));
+  const auto bytes = encode_correlation_set(message);
+  EXPECT_EQ(bytes.size(), wire_size(message));
+  EXPECT_EQ(bytes[3], '2');  // "EMD2"
+  const auto decoded = decode_correlation_set(bytes);
+  EXPECT_EQ(decoded.request_sequence, 23u);
+  EXPECT_EQ(decoded.trace, message.trace);
+  ASSERT_EQ(decoded.entries.size(), 1u);
+  EXPECT_EQ(decoded.entries[0].set_id, 9u);
+}
+
+TEST(Transport, UntracedMessagesKeepTheV1WireForm) {
+  // Tracing off must leave the wire bit-identical to pre-trace builds:
+  // the V1 magic, no 16-byte trace header, and decode yields the invalid
+  // (all-zero) context.
+  SignalUploadMessage untraced;
+  untraced.sequence = 1;
+  untraced.samples = testing::noise(12, 64);
+  SignalUploadMessage traced = untraced;
+  traced.trace = {0xabcull, 0x1ull};
+  const auto v1 = encode_upload(untraced);
+  const auto v2 = encode_upload(traced);
+  EXPECT_EQ(v1[3], 'U');  // "EMPU"
+  EXPECT_EQ(v2.size(), v1.size() + 16u);
+  EXPECT_FALSE(decode_upload(v1).trace.valid());
+  EXPECT_FALSE(decode_correlation_set(
+                   encode_correlation_set(CorrelationSetMessage{}))
+                   .trace.valid());
+}
+
+TEST(Transport, PeekTraceReadsV2AndFailsClosedOtherwise) {
+  SignalUploadMessage message;
+  message.trace = {0x1122334455667788ull, 0x9};
+  message.samples = testing::noise(13, 32);
+  const auto v2 = encode_upload(message);
+  EXPECT_EQ(peek_trace(v2), message.trace);
+  // V1 input: valid message, no context.
+  message.trace = {};
+  EXPECT_FALSE(peek_trace(encode_upload(message)).valid());
+  // Corrupt input: never a garbage id, and never a throw.
+  auto mutated = v2;
+  mutated[8] ^= 0x01;
+  EXPECT_FALSE(peek_trace(mutated).valid());
+  EXPECT_FALSE(peek_trace(std::span<const std::uint8_t>{}).valid());
+}
+
+TEST(Transport, V2HeaderWithNullTraceIdIsRejected) {
+  // A null trace id under the V2 magic cannot come from our encoder (null
+  // contexts take the V1 path); accepting one would let a forged message
+  // smuggle an "untraced" frame through the V2 parser.  Zero the id and
+  // re-seal the CRC so only the explicit null-id guard can catch it.
+  SignalUploadMessage message;
+  message.trace = {0xdeadbeefull, 0x7};
+  message.samples = testing::noise(14, 32);
+  auto bytes = encode_upload(message);
+  for (std::size_t i = 4; i < 12; ++i) {
+    bytes[i] = 0;  // trace_id sits right after the magic
+  }
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t crc = emap::crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  EXPECT_THROW(decode_upload(bytes), CorruptData);
+  EXPECT_FALSE(peek_trace(bytes).valid());
+}
+
 TEST(Transport, EntryCountBeyondPayloadIsRejectedBeforeAllocation) {
   // An in-range CRC-valid message can still lie about its entry count if
   // an attacker recomputes the checksum; the decoder's count guard must

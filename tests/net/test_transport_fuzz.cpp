@@ -24,6 +24,13 @@ SignalUploadMessage sample_upload(std::uint64_t seed) {
   return message;
 }
 
+SignalUploadMessage sample_traced_upload(std::uint64_t seed) {
+  auto message = sample_upload(seed);
+  message.trace = {obs::mint_trace_id(obs::kDefaultTraceSeed, seed),
+                   seed * 7 + 1};
+  return message;
+}
+
 CorrelationSetMessage sample_correlation_set(std::uint64_t seed,
                                              std::size_t entries) {
   CorrelationSetMessage message;
@@ -155,6 +162,84 @@ TEST(TransportFuzz, HugeDeclaredCountsRejectedWithoutAllocation) {
   expect_corrupt(corrset,
                  [](const auto& b) { return decode_correlation_set(b); },
                  "correlation-set huge count");
+}
+
+TEST(TransportFuzz, TracedUploadSurvivesBitFlips) {
+  // V2 frames add 16 trace-header bytes inside the CRC seal; any flip —
+  // including in the trace id itself — must fail both decode and the
+  // cheap peek path, which may never surface a garbage context.
+  Rng rng(505);
+  const auto bytes = encode_upload(sample_traced_upload(7));
+  for (int trial = 0; trial < 400; ++trial) {
+    auto mutated = bytes;
+    const std::size_t flips = 1 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      const std::size_t at = rng.uniform_index(mutated.size());
+      mutated[at] ^= static_cast<std::uint8_t>(
+          1u << rng.uniform_index(8));
+    }
+    if (mutated == bytes) {
+      continue;
+    }
+    expect_corrupt(mutated,
+                   [](const auto& b) { return decode_upload(b); },
+                   "traced upload bit-flip");
+    EXPECT_FALSE(peek_trace(mutated).valid());
+  }
+}
+
+TEST(TransportFuzz, TracedCorrelationSetSurvivesBitFlips) {
+  Rng rng(606);
+  auto message = sample_correlation_set(8, 4);
+  message.trace = {obs::mint_trace_id(obs::kDefaultTraceSeed, 8), 3};
+  const auto bytes = encode_correlation_set(message);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto mutated = bytes;
+    mutated[rng.uniform_index(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    if (mutated == bytes) {
+      continue;
+    }
+    expect_corrupt(mutated,
+                   [](const auto& b) { return decode_correlation_set(b); },
+                   "traced correlation-set bit-flip");
+    EXPECT_FALSE(peek_trace(mutated).valid());
+  }
+}
+
+TEST(TransportFuzz, TracedUploadSurvivesEveryTruncation) {
+  const auto bytes = encode_upload(sample_traced_upload(9));
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + length);
+    expect_corrupt(truncated,
+                   [](const auto& b) { return decode_upload(b); },
+                   "traced upload truncation");
+    EXPECT_FALSE(peek_trace(truncated).valid()) << "length " << length;
+  }
+}
+
+TEST(TransportFuzz, PeekTraceNeverYieldsContextFromGarbage) {
+  Rng rng(707);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.uniform_index(512));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    EXPECT_FALSE(peek_trace(garbage).valid());
+  }
+}
+
+TEST(TransportFuzz, TracedHugeDeclaredCountRejectedWithoutAllocation) {
+  // Same guard as the V1 case, but the count moved: the 16-byte trace
+  // header shifts it to magic(4)+trace(16)+sequence(4)+scale(4) = 28.
+  auto upload = encode_upload(sample_traced_upload(10));
+  upload[28] = 0xff;
+  upload[29] = 0xff;
+  upload[30] = 0xff;
+  upload[31] = 0xff;
+  expect_corrupt(upload, [](const auto& b) { return decode_upload(b); },
+                 "traced upload huge count");
 }
 
 TEST(TransportFuzz, MutateDecodeLoopIsStable) {

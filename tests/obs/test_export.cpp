@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "emap/common/error.hpp"
 #include "support/test_util.hpp"
@@ -148,6 +153,194 @@ TEST(Prometheus, EmitsTypeHeaderOncePerFamily) {
     ++headers;
   }
   EXPECT_EQ(headers, 1u);
+}
+
+// promtool-style lint of the exposition text: every line must be a valid
+// comment or sample, every family must carry exactly one # HELP and one
+// # TYPE emitted before its first sample, and families must not
+// interleave.  Returns the problems found (empty = lint-clean).
+std::vector<std::string> lint_exposition(const std::string& text) {
+  std::vector<std::string> problems;
+  std::map<std::string, int> help_seen;
+  std::map<std::string, int> type_seen;
+  std::set<std::string> sampled;   // families that already emitted samples
+  std::set<std::string> finished;  // families whose block was left behind
+  std::string current_family;
+
+  auto base_family = [](std::string name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+  auto valid_name = [](const std::string& name) {
+    if (name.empty() || (std::isdigit(static_cast<unsigned char>(name[0])))) {
+      return false;
+    }
+    for (char c : name) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& what) {
+      problems.push_back("line " + std::to_string(line_no) + ": " + what +
+                         ": " + line);
+    };
+    if (line.empty()) {
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      std::istringstream comment(line.substr(7));
+      std::string name;
+      std::string rest;
+      comment >> name;
+      std::getline(comment, rest);
+      if (!valid_name(name)) {
+        fail("bad metric name in comment");
+        continue;
+      }
+      if (!is_help) {
+        std::istringstream kind_stream(rest);
+        std::string kind;
+        kind_stream >> kind;
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          fail("unknown TYPE kind");
+        }
+      }
+      auto& seen = is_help ? help_seen : type_seen;
+      if (++seen[name] > 1) {
+        fail("duplicate HELP/TYPE for family");
+      }
+      if (sampled.count(name) != 0) {
+        fail("HELP/TYPE after the family's samples");
+      }
+      if (name != current_family) {
+        if (finished.count(name) != 0) {
+          fail("family block interleaved");
+        }
+        if (!current_family.empty()) {
+          finished.insert(current_family);
+        }
+        current_family = name;
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      fail("unknown comment form");
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      fail("sample without value");
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!valid_name(name)) {
+      fail("bad sample metric name");
+      continue;
+    }
+    std::size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        fail("unterminated label set");
+        continue;
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      fail("missing space before value");
+      continue;
+    }
+    const std::string value = line.substr(value_start + 1);
+    if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        fail("unparsable sample value");
+        continue;
+      }
+    }
+    const std::string family = base_family(name);
+    if (type_seen.count(family) == 0) {
+      fail("sample before its family's # TYPE");
+    }
+    if (family != current_family) {
+      if (finished.count(family) != 0) {
+        fail("family samples interleaved");
+      }
+      if (!current_family.empty()) {
+        finished.insert(current_family);
+      }
+      current_family = family;
+    }
+    sampled.insert(family);
+  }
+  return problems;
+}
+
+TEST(PrometheusLint, FullRegistryExpositionIsLintClean) {
+  MetricsRegistry registry;
+  // A spread that exercises every exposition shape: multi-series counter
+  // families, bare gauges, histograms with +Inf, non-finite values, and
+  // names/labels that need sanitizing.
+  registry.counter("emap_msgs_total", {{"direction", "up"}}, "Messages")
+      .increment(3);
+  registry.counter("emap_msgs_total", {{"direction", "down"}}, "Messages")
+      .increment(4);
+  registry.counter("emap.bad-name", {{"label-key", "v"}}).increment();
+  registry.gauge("emap_profiler_alloc_bytes", {{"stage", "search/scan"}},
+                 "Bytes")
+      .set(4096);
+  registry.gauge("emap_nan").set(std::numeric_limits<double>::quiet_NaN());
+  Histogram& histogram = registry.histogram(
+      "emap_latency_seconds", {{"slo", "edge"}},
+      Histogram::linear_bounds(0.0, 4.0, 4), "Latency");
+  histogram.observe(0.5);
+  histogram.observe(99.0);
+
+  const std::string text = to_prometheus(registry);
+  const auto problems = lint_exposition(text);
+  EXPECT_TRUE(problems.empty()) << [&] {
+    std::string joined;
+    for (const auto& problem : problems) {
+      joined += problem + "\n";
+    }
+    return joined;
+  }();
+}
+
+TEST(PrometheusLint, CatchesBrokenExpositions) {
+  EXPECT_FALSE(
+      lint_exposition("emap_orphan 1\n").empty());  // sample before TYPE
+  EXPECT_FALSE(lint_exposition("# TYPE emap_x counter\n"
+                               "# TYPE emap_x counter\n")
+                   .empty());  // duplicate TYPE
+  EXPECT_FALSE(lint_exposition("# TYPE emap_x counter\n"
+                               "emap_x notanumber\n")
+                   .empty());  // bad value
+  EXPECT_FALSE(lint_exposition("# TYPE emap_a counter\n"
+                               "emap_a 1\n"
+                               "# TYPE emap_b counter\n"
+                               "emap_b 1\n"
+                               "emap_a 2\n")
+                   .empty());  // interleaved families
 }
 
 TEST(PrometheusSanitize, PassesLegalNamesThrough) {

@@ -1,0 +1,175 @@
+#include "emap/obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "emap/obs/tracecat.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream stream(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(FlightRecorder, SnapshotPreservesLogOrder) {
+  FlightRecorder recorder(16);
+  recorder.log(FlightEventType::kSpan, "window_0", 1.0, 0xabc);
+  recorder.log(FlightEventType::kSloMiss, "edge_iteration", 2.0, 0xabc, 1.2,
+               1.0);
+  recorder.log(FlightEventType::kBreakerOpen, "breaker", 3.0);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].label_view(), "window_0");
+  EXPECT_EQ(events[0].trace_id, 0xabcu);
+  EXPECT_EQ(events[1].type, FlightEventType::kSloMiss);
+  EXPECT_DOUBLE_EQ(events[1].a, 1.2);
+  EXPECT_DOUBLE_EQ(events[1].b, 1.0);
+  EXPECT_EQ(events[2].seq, 2u);
+}
+
+TEST(FlightRecorder, RingKeepsOnlyTheMostRecentEvents) {
+  FlightRecorder recorder(8);
+  for (int i = 0; i < 100; ++i) {
+    recorder.log(FlightEventType::kSpan, "e", static_cast<double>(i));
+  }
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are the last 8, still in order.
+  EXPECT_EQ(events.front().seq, 92u);
+  EXPECT_EQ(events.back().seq, 99u);
+  EXPECT_EQ(recorder.total_logged(), 100u);
+}
+
+TEST(FlightRecorder, TruncatesOverlongLabels) {
+  FlightRecorder recorder(4);
+  const std::string longlabel(200, 'x');
+  recorder.log(FlightEventType::kSpan, longlabel.c_str(), 0.0);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label_view(),
+            std::string(FlightEvent::kLabelCapacity - 1, 'x'));
+}
+
+TEST(FlightRecorder, NullLabelIsSafe) {
+  FlightRecorder recorder(4);
+  recorder.log(FlightEventType::kSpan, nullptr, 0.0);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].label_view(), "");
+}
+
+TEST(FlightRecorder, DumpWithoutPathReturnsFalse) {
+  FlightRecorder recorder(4);
+  recorder.log(FlightEventType::kSpan, "e", 0.0);
+  EXPECT_FALSE(recorder.trigger_dump("test"));
+  EXPECT_EQ(recorder.dumps_written(), 0u);
+}
+
+TEST(FlightRecorder, DumpWritesHeaderAndOneLinePerEvent) {
+  testing::TempDir dir("flight_dump");
+  const auto path = dir.path() / "nested" / "flight.jsonl";
+  FlightRecorder recorder(16);
+  recorder.set_dump_path(path);
+  recorder.log(FlightEventType::kSloBurnPage, "edge_iteration", 5.0, 0x1234,
+               2.5);
+  recorder.log(FlightEventType::kCrashPoint, "pre_checkpoint_write", 6.0);
+  ASSERT_TRUE(recorder.trigger_dump("crash_point"));
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"flight_dump\":\"crash_point\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"events\":2"), std::string::npos);
+  // Event lines round-trip through the tracecat loader.
+  const auto loaded = load_flight_jsonl(path);
+  EXPECT_EQ(loaded.dump_reason, "crash_point");
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(loaded.events[0].type, "slo_burn_page");
+  EXPECT_EQ(loaded.events[0].trace_id, 0x1234u);
+  EXPECT_DOUBLE_EQ(loaded.events[0].a, 2.5);
+  // The crash point is the dump's last event.
+  EXPECT_EQ(loaded.events.back().type, "crash_point");
+  EXPECT_EQ(loaded.events.back().label, "pre_checkpoint_write");
+}
+
+TEST(FlightRecorder, RedumpOverwritesWithNewerSnapshot) {
+  testing::TempDir dir("flight_redump");
+  const auto path = dir.path() / "flight.jsonl";
+  FlightRecorder recorder(16);
+  recorder.set_dump_path(path);
+  recorder.log(FlightEventType::kSpan, "first", 0.0);
+  ASSERT_TRUE(recorder.trigger_dump("one"));
+  recorder.log(FlightEventType::kSpan, "second", 1.0);
+  ASSERT_TRUE(recorder.trigger_dump("two"));
+  const auto loaded = load_flight_jsonl(path);
+  EXPECT_EQ(loaded.dump_reason, "two");
+  ASSERT_EQ(loaded.events.size(), 2u);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornEvents) {
+  FlightRecorder recorder(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      const std::string label = "writer_" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.log(FlightEventType::kSpan, label.c_str(),
+                     static_cast<double>(i),
+                     static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  // Snapshot concurrently with the writers: torn slots must be dropped,
+  // never surfaced as garbage.
+  for (int round = 0; round < 50; ++round) {
+    for (const FlightEvent& event : recorder.snapshot()) {
+      const std::string label = event.label_view();
+      ASSERT_EQ(label.rfind("writer_", 0), 0u) << "torn label: " << label;
+      const auto writer = static_cast<std::uint64_t>(label.back() - '0');
+      ASSERT_EQ(event.trace_id, writer + 1) << "label/trace mismatch";
+    }
+  }
+  for (auto& thread : writers) {
+    thread.join();
+  }
+  EXPECT_EQ(recorder.total_logged(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(recorder.snapshot().size(), 64u);
+}
+
+TEST(FlightEventJson, RendersStableFieldSet) {
+  FlightEvent event;
+  event.seq = 7;
+  event.trace_id = 0xdeadbeef;
+  event.t_sec = 12.5;
+  event.a = 1.0;
+  event.b = 2.0;
+  event.type = FlightEventType::kRetry;
+  std::snprintf(event.label, sizeof(event.label), "%s", "timeout");
+  const std::string json = flight_event_json(event);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"retry\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"00000000deadbeef\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace emap::obs

@@ -48,6 +48,58 @@ TEST(ParseBenchRecord, ThrowsCorruptDataOnMalformedLines) {
   EXPECT_THROW(parse_bench_record("{\"a\":1"), CorruptData);
 }
 
+TEST(LoadBenchRecordsLenient, SkipsBadLinesAndKeepsEveryGoodRecord) {
+  testing::TempDir dir("perfdiff_lenient");
+  const auto path = dir.path() / "BENCH_mixed.jsonl";
+  {
+    std::ofstream stream(path);
+    // A corrupt record BETWEEN two regressed benches: the strict loader
+    // would die here and hide fig7's regression entirely.
+    stream << "{\"bench\":\"fig4\",\"latency_us\":100}\n";
+    stream << "{\"bench\":\"broken\",\"latency_us\":}\n";
+    stream << "not json at all\n";
+    stream << "{\"bench\":\"fig7\",\"latency_us\":200}\n";
+  }
+  std::vector<std::string> errors;
+  const auto records = load_bench_records_lenient(path, errors);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bench, "fig4");
+  EXPECT_EQ(records[1].bench, "fig7");
+  ASSERT_EQ(errors.size(), 2u);
+  // Errors carry file:line provenance for the CI log.
+  EXPECT_NE(errors[0].find("BENCH_mixed.jsonl:2"), std::string::npos);
+  EXPECT_NE(errors[1].find("BENCH_mixed.jsonl:3"), std::string::npos);
+  EXPECT_THROW(load_bench_records_lenient(dir.path() / "absent.jsonl",
+                                          errors),
+               IoError);
+}
+
+TEST(LoadBenchRecordsLenient, AllRegressionsSurviveACorruptNeighbor) {
+  // End-to-end over perf_diff: both regressed benches must show up even
+  // though a corrupt record sits between them in the current run's file.
+  testing::TempDir dir("perfdiff_lenient_diff");
+  const auto base_path = dir.path() / "BENCH_base.jsonl";
+  const auto cur_path = dir.path() / "BENCH_cur.jsonl";
+  {
+    std::ofstream stream(base_path);
+    stream << "{\"bench\":\"a\",\"latency_us\":100}\n";
+    stream << "{\"bench\":\"b\",\"latency_us\":100}\n";
+  }
+  {
+    std::ofstream stream(cur_path);
+    stream << "{\"bench\":\"a\",\"latency_us\":200}\n";
+    stream << "{\"bench\":\"oops\",\"latency_us\":}\n";  // corrupt
+    stream << "{\"bench\":\"b\",\"latency_us\":300}\n";
+  }
+  std::vector<std::string> errors;
+  const auto baseline = load_bench_records_lenient(base_path, errors);
+  const auto current = load_bench_records_lenient(cur_path, errors);
+  EXPECT_EQ(errors.size(), 1u);
+  const auto result = perf_diff(baseline, current);
+  EXPECT_EQ(result.regressions, 2u);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(LoadBenchRecords, SkipsBlankLinesAndThrowsOnMissingFile) {
   testing::TempDir dir("perfdiff_load");
   const auto path = dir.path() / "BENCH_x.jsonl";

@@ -1,0 +1,77 @@
+#include "emap/obs/trace_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace emap::obs {
+namespace {
+
+TEST(TraceContext, DefaultIsUntraced) {
+  TraceContext context;
+  EXPECT_FALSE(context.valid());
+  EXPECT_EQ(context.trace_id, 0u);
+  EXPECT_EQ(context.parent_span, 0u);
+}
+
+TEST(MintTraceId, IsDeterministicPerSeedAndWindow) {
+  EXPECT_EQ(mint_trace_id(kDefaultTraceSeed, 0),
+            mint_trace_id(kDefaultTraceSeed, 0));
+  EXPECT_EQ(mint_trace_id(42, 17), mint_trace_id(42, 17));
+}
+
+TEST(MintTraceId, NeverReturnsTheUntracedSentinel) {
+  // 0 means "no trace"; scan a band of seeds and windows including the
+  // degenerate all-zero input.
+  const std::uint64_t seeds[] = {0, 1, kDefaultTraceSeed, ~0ull};
+  for (std::uint64_t seed : seeds) {
+    for (std::uint64_t window = 0; window < 256; ++window) {
+      EXPECT_NE(mint_trace_id(seed, window), 0u)
+          << "seed " << seed << " window " << window;
+    }
+  }
+}
+
+TEST(MintTraceId, DistinctWindowsGetDistinctIds) {
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t window = 0; window < 4096; ++window) {
+    ids.insert(mint_trace_id(kDefaultTraceSeed, window));
+  }
+  EXPECT_EQ(ids.size(), 4096u);
+}
+
+TEST(MintTraceId, DistinctSeedsGetDistinctIds) {
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t seed = 1; seed <= 1024; ++seed) {
+    ids.insert(mint_trace_id(seed, 7));
+  }
+  EXPECT_EQ(ids.size(), 1024u);
+}
+
+TEST(TraceIdHex, RendersFixedWidthLowercase) {
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(trace_id_hex(~0ull), "ffffffffffffffff");
+}
+
+TEST(TraceIdHex, RoundTripsThroughParse) {
+  for (std::uint64_t window = 0; window < 64; ++window) {
+    const std::uint64_t id = mint_trace_id(kDefaultTraceSeed, window);
+    EXPECT_EQ(parse_trace_id_hex(trace_id_hex(id)), id);
+  }
+}
+
+TEST(ParseTraceIdHex, AcceptsShortAndUppercaseForms) {
+  EXPECT_EQ(parse_trace_id_hex("123"), 0x123u);
+  EXPECT_EQ(parse_trace_id_hex("DEADBEEF"), 0xdeadbeefu);
+}
+
+TEST(ParseTraceIdHex, FailsClosedOnMalformedInput) {
+  EXPECT_EQ(parse_trace_id_hex(""), 0u);
+  EXPECT_EQ(parse_trace_id_hex("00000000deadbeef00"), 0u);  // too long
+  EXPECT_EQ(parse_trace_id_hex("zzzzzzzzzzzzzzzz"), 0u);    // not hex
+  EXPECT_EQ(parse_trace_id_hex("12 34"), 0u);               // embedded space
+}
+
+}  // namespace
+}  // namespace emap::obs

@@ -31,8 +31,12 @@ void usage(const char* argv0) {
       argv0);
 }
 
+// Loads one side leniently: malformed records are collected into `errors`
+// and skipped, so the diff still covers every readable bench and CI sees
+// ALL regressions (plus the bad lines) in a single run rather than dying
+// at the first corrupt record.
 std::vector<emap::obs::BenchRecord> load_side(
-    const std::filesystem::path& path) {
+    const std::filesystem::path& path, std::vector<std::string>& errors) {
   std::vector<emap::obs::BenchRecord> records;
   if (std::filesystem::is_directory(path)) {
     std::vector<std::filesystem::path> files;
@@ -45,11 +49,11 @@ std::vector<emap::obs::BenchRecord> load_side(
     }
     std::sort(files.begin(), files.end());
     for (const auto& file : files) {
-      const auto loaded = emap::obs::load_bench_records(file);
+      const auto loaded = emap::obs::load_bench_records_lenient(file, errors);
       records.insert(records.end(), loaded.begin(), loaded.end());
     }
   } else {
-    records = emap::obs::load_bench_records(path);
+    records = emap::obs::load_bench_records_lenient(path, errors);
   }
   return records;
 }
@@ -97,8 +101,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto baseline = load_side(baseline_path);
-    const auto current = load_side(current_path);
+    std::vector<std::string> parse_errors;
+    const auto baseline = load_side(baseline_path, parse_errors);
+    const auto current = load_side(current_path, parse_errors);
     if (baseline.empty()) {
       std::fprintf(stderr, "perfdiff: no baseline records under %s\n",
                    baseline_path.c_str());
@@ -108,7 +113,15 @@ int main(int argc, char** argv) {
                 emap::build_info::kCompiler);
     const auto result = emap::obs::perf_diff(baseline, current, options);
     std::fputs(emap::obs::format_perf_diff(result, options).c_str(), stdout);
-    return result.ok() ? 0 : 1;
+    for (const std::string& error : parse_errors) {
+      std::printf("bad record: %s\n", error.c_str());
+    }
+    // Corrupt records fail the gate too (a skipped current-side record
+    // could hide a regression), but only after the full table printed.
+    if (!result.ok()) {
+      return 1;
+    }
+    return parse_errors.empty() ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "perfdiff: %s\n", error.what());
     return 2;

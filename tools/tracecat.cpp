@@ -1,0 +1,100 @@
+// tracecat: reconstruct per-window critical paths from trace artifacts.
+//
+//   tracecat <spans.jsonl> [--flight <dump.jsonl>] [--json]
+//
+// Loads a span log written by `emapctl ... --spans-out` (and optionally a
+// flight-recorder dump from `--flight-out`), groups records by trace id,
+// and prints each window's Eq. 4 decomposition — uplink, cloud queue wait,
+// scan, downlink — plus edge compute and retry tax.  `--json` switches the
+// table for one JSONL record per trace (machine-readable, used by CI).
+// Exits 0 on success, 2 on usage or I/O errors; malformed lines inside the
+// files are skipped and counted, never fatal (a crash dump may end
+// mid-line).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "emap/common/build_info.hpp"
+#include "emap/obs/tracecat.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spans.jsonl> [--flight <dump.jsonl>] [--json]\n"
+               "  --flight  merge a flight-recorder dump into the paths\n"
+               "  --json    emit one JSONL record per trace instead of the "
+               "table\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spans_path;
+  std::string flight_path;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flight") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tracecat: --flight needs a value\n");
+        return 2;
+      }
+      flight_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tracecat: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (spans_path.empty()) {
+      spans_path = arg;
+    } else {
+      std::fprintf(stderr, "tracecat: unexpected argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (spans_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const auto spans = emap::obs::load_spans_jsonl(spans_path);
+    std::vector<emap::obs::ParsedFlightEvent> events;
+    std::string dump_reason;
+    std::size_t flight_skipped = 0;
+    if (!flight_path.empty()) {
+      const auto flight = emap::obs::load_flight_jsonl(flight_path);
+      events = flight.events;
+      dump_reason = flight.dump_reason;
+      flight_skipped = flight.skipped_lines;
+    }
+    const auto paths = emap::obs::build_critical_paths(spans.spans, events);
+    if (json) {
+      std::fputs(emap::obs::critical_path_jsonl(paths).c_str(), stdout);
+    } else {
+      std::printf("tracecat (build %s)\n", emap::build_info::kGitSha);
+      if (!dump_reason.empty()) {
+        std::printf("flight dump reason: %s\n", dump_reason.c_str());
+      }
+      std::fputs(emap::obs::critical_path_table(paths).c_str(), stdout);
+      if (spans.skipped_lines > 0 || flight_skipped > 0) {
+        std::printf("skipped %zu span line(s), %zu flight line(s)\n",
+                    spans.skipped_lines, flight_skipped);
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "tracecat: %s\n", error.what());
+    return 2;
+  }
+}
