@@ -5,6 +5,7 @@
 
 #include "emap/common/error.hpp"
 #include "emap/dsp/area.hpp"
+#include "emap/dsp/simd.hpp"
 #include "emap/obs/profiler.hpp"
 
 namespace emap::core {
@@ -135,7 +136,12 @@ TrackStepResult EdgeTracker::step(std::span<const double> filtered_window) {
   require(filtered_window.size() == config_.window_length,
           "EdgeTracker::step: window length mismatch");
   // Work = early-exit ABS ops, the unit the edge device model charges for.
-  obs::ProfileScope profile_scope("track_step");
+  // One stage-path literal per dispatch arm (ProfileScope keys by literal
+  // identity) so flamegraphs separate scalar and AVX2 tracking time.
+  obs::ProfileScope profile_scope(
+      dsp::simd::active_level() == dsp::simd::Level::kAvx2
+          ? "track_step[impl=avx2]"
+          : "track_step[impl=scalar]");
   const auto start_time = std::chrono::steady_clock::now();
 
   const std::size_t window = config_.window_length;

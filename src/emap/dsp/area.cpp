@@ -3,31 +3,22 @@
 #include <cmath>
 
 #include "emap/common/error.hpp"
+#include "emap/dsp/kernels.hpp"
 
 namespace emap::dsp {
 
 double area_between(std::span<const double> a, std::span<const double> b) {
   require(!a.empty() && a.size() == b.size(),
           "area_between: curves must have equal non-zero length");
-  double area = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    area += std::abs(a[i] - b[i]);
-  }
-  return area;
+  return kernels::active().abs_sum(a.data(), b.data(), a.size());
 }
 
 double area_between_capped(std::span<const double> a,
                            std::span<const double> b, double threshold) {
   require(!a.empty() && a.size() == b.size(),
           "area_between_capped: curves must have equal non-zero length");
-  double area = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    area += std::abs(a[i] - b[i]);
-    if (area > threshold) {
-      return area;
-    }
-  }
-  return area;
+  return kernels::active().abs_sum_capped(a.data(), b.data(), a.size(),
+                                          threshold, nullptr);
 }
 
 double area_between_capped_counted(std::span<const double> a,
@@ -35,15 +26,8 @@ double area_between_capped_counted(std::span<const double> a,
                                    double threshold, std::size_t& ops) {
   require(!a.empty() && a.size() == b.size(),
           "area_between_capped_counted: curves must have equal non-zero length");
-  double area = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    area += std::abs(a[i] - b[i]);
-    ++ops;
-    if (area > threshold) {
-      return area;
-    }
-  }
-  return area;
+  return kernels::active().abs_sum_capped(a.data(), b.data(), a.size(),
+                                          threshold, &ops);
 }
 
 std::vector<double> sliding_area(std::span<const double> probe,

@@ -4,6 +4,11 @@
 // cross-correlation with the cheaper sum of absolute differences
 // A(A, B) = sum_i |A_i - B_i| — "roughly 4.3x faster" on the edge device
 // (paper Fig. 8b) because it needs no multiplies and no normalization.
+//
+// Inner loops run through the simd.hpp dispatch (scalar or AVX2;
+// EMAP_SIMD overrides).  Scalar mode is bit-identical to the pre-SIMD
+// code; the AVX2 arm agrees within the pinned ULP bound enforced by
+// tests/support/kernel_diff.hpp.
 #pragma once
 
 #include <cstddef>
@@ -26,7 +31,10 @@ double area_between_capped(std::span<const double> a,
 
 /// Early-exit variant that also reports the number of samples consumed
 /// before exit — the edge device's cost accounting (sim::DeviceProfile)
-/// charges one ABS op per consumed sample.
+/// charges one ABS op per consumed sample.  The count's granularity is
+/// implementation-defined: exact under scalar dispatch, rounded up to the
+/// 4-sample SIMD block under AVX2 (the cap is checked per block).  Within
+/// one dispatch mode the count is deterministic.
 double area_between_capped_counted(std::span<const double> a,
                                    std::span<const double> b,
                                    double threshold, std::size_t& ops);

@@ -1,0 +1,171 @@
+// AVX2+FMA arm of the DSP hot-path kernels.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt); nothing here may be called before a
+// simd::cpu_supports_avx2() check upstream, and nothing here is inlined
+// across TU boundaries (no LTO), so the baseline binary stays runnable on
+// non-AVX2 hosts.
+//
+// Numerics: every reduction uses 4-lane (or 2x4-lane) partial sums folded
+// at the end, and the multiply-add kernels use FMA — both change the
+// rounding sequence relative to the scalar arm's strict left-to-right
+// loops.  The divergence is pinned by the kernel-equivalence harness
+// (tests/support/kernel_diff.hpp) to a small ULP bound; keep any change
+// here inside that bound or update the pinned bound in the same PR.
+//
+// Tails (n not a multiple of the lane width) finish scalar, accumulating
+// onto the folded vector total.
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "emap/dsp/kernels.hpp"
+
+namespace emap::dsp::kernels {
+namespace {
+
+/// Horizontal sum of one 4-lane accumulator.
+inline double hsum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+}  // namespace
+
+double sum_avx2(const double* x, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(x + i + 4));
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    i += 4;
+  }
+  double total = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    total += x[i];
+  }
+  return total;
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    i += 4;
+  }
+  double total = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+DotNormSq centered_dot_norm_avx2(const double* probe, const double* cand,
+                                 std::size_t n, double mean) {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  __m256d dot0 = _mm256_setzero_pd();
+  __m256d dot1 = _mm256_setzero_pd();
+  __m256d nsq0 = _mm256_setzero_pd();
+  __m256d nsq1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d c0 = _mm256_sub_pd(_mm256_loadu_pd(cand + i), vmean);
+    const __m256d c1 = _mm256_sub_pd(_mm256_loadu_pd(cand + i + 4), vmean);
+    dot0 = _mm256_fmadd_pd(_mm256_loadu_pd(probe + i), c0, dot0);
+    dot1 = _mm256_fmadd_pd(_mm256_loadu_pd(probe + i + 4), c1, dot1);
+    nsq0 = _mm256_fmadd_pd(c0, c0, nsq0);
+    nsq1 = _mm256_fmadd_pd(c1, c1, nsq1);
+  }
+  if (i + 4 <= n) {
+    const __m256d c0 = _mm256_sub_pd(_mm256_loadu_pd(cand + i), vmean);
+    dot0 = _mm256_fmadd_pd(_mm256_loadu_pd(probe + i), c0, dot0);
+    nsq0 = _mm256_fmadd_pd(c0, c0, nsq0);
+    i += 4;
+  }
+  DotNormSq out;
+  out.dot = hsum(_mm256_add_pd(dot0, dot1));
+  out.norm_sq = hsum(_mm256_add_pd(nsq0, nsq1));
+  for (; i < n; ++i) {
+    const double centered = cand[i] - mean;
+    out.dot += probe[i] * centered;
+    out.norm_sq += centered * centered;
+  }
+  return out;
+}
+
+double abs_sum_avx2(const double* a, const double* b, std::size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign_mask, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(sign_mask, d1));
+  }
+  if (i + 4 <= n) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(sign_mask, d0));
+    i += 4;
+  }
+  double total = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    total += std::abs(a[i] - b[i]);
+  }
+  return total;
+}
+
+double abs_sum_capped_avx2(const double* a, const double* b, std::size_t n,
+                           double threshold, std::size_t* consumed) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  double acc = 0.0;
+  std::size_t i = 0;
+  // Cap check once per 4-lane block.  The predicate is written as
+  // (acc > threshold) so a NaN accumulator never exits early — matching
+  // the scalar arm, which also keeps consuming on NaN.
+  while (i + 4 <= n) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc += hsum(_mm256_andnot_pd(sign_mask, d));
+    i += 4;
+    if (acc > threshold) {
+      if (consumed != nullptr) {
+        *consumed += i;
+      }
+      return acc;
+    }
+  }
+  while (i < n) {
+    acc += std::abs(a[i] - b[i]);
+    ++i;
+    if (acc > threshold) {
+      break;
+    }
+  }
+  if (consumed != nullptr) {
+    *consumed += i;
+  }
+  return acc;
+}
+
+}  // namespace emap::dsp::kernels

@@ -1,0 +1,114 @@
+#include "emap/dsp/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "emap/common/error.hpp"
+
+namespace emap::dsp::simd {
+namespace {
+
+std::atomic<std::uint64_t> invocations_scalar{0};
+std::atomic<std::uint64_t> invocations_avx2{0};
+
+// -1 = no override; otherwise static_cast<int>(Level).
+std::atomic<int> forced_level{-1};
+
+Level best_supported_level() {
+  if (compiled_with_avx2() && cpu_supports_avx2()) {
+    return Level::kAvx2;
+  }
+  return Level::kScalar;
+}
+
+/// $EMAP_SIMD resolved against this binary + CPU, computed once: the env
+/// contract is a process-wide mode, not something to re-read per call.
+Level env_resolved_level() {
+  static const Level resolved = [] {
+    const char* env = std::getenv("EMAP_SIMD");
+    if (env == nullptr || *env == '\0') {
+      return best_supported_level();
+    }
+    const Level requested = parse_level(env);
+    if (requested == Level::kAvx2 && best_supported_level() != Level::kAvx2) {
+      return Level::kScalar;  // requested arm unavailable: safe fallback
+    }
+    return requested;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+bool compiled_with_avx2() {
+#ifdef EMAP_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports consults libgcc's cpuid model, which includes
+  // the OSXSAVE/XCR0 check — AVX2 reported only when the OS saves ymm.
+  static const bool supported = __builtin_cpu_supports("avx2") != 0 &&
+                                __builtin_cpu_supports("fma") != 0;
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Level parse_level(const char* value) {
+  require(value != nullptr, "parse_level: null EMAP_SIMD value");
+  const std::string text(value);
+  if (text == "off" || text == "scalar") {
+    return Level::kScalar;
+  }
+  if (text == "avx2") {
+    return Level::kAvx2;
+  }
+  throw InvalidArgument("EMAP_SIMD must be off|scalar|avx2, got '" + text +
+                        "'");
+}
+
+Level active_level() {
+  const int forced = forced_level.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    const auto level = static_cast<Level>(forced);
+    if (level == Level::kAvx2 && best_supported_level() != Level::kAvx2) {
+      return Level::kScalar;
+    }
+    return level;
+  }
+  return env_resolved_level();
+}
+
+void force_level(std::optional<Level> level) {
+  forced_level.store(level.has_value() ? static_cast<int>(*level) : -1,
+                     std::memory_order_relaxed);
+}
+
+std::uint64_t kernel_invocations(Level level) {
+  return (level == Level::kAvx2 ? invocations_avx2 : invocations_scalar)
+      .load(std::memory_order_relaxed);
+}
+
+void reset_kernel_invocations() {
+  invocations_scalar.store(0, std::memory_order_relaxed);
+  invocations_avx2.store(0, std::memory_order_relaxed);
+}
+
+void count_kernel_invocation(Level level) {
+  (level == Level::kAvx2 ? invocations_avx2 : invocations_scalar)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace emap::dsp::simd

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "emap/common/error.hpp"
+#include "emap/dsp/kernels.hpp"
 
 namespace emap::dsp {
 namespace {
@@ -15,11 +16,7 @@ constexpr double kDegenerateNorm = 1e-12;
 double dot_correlation(std::span<const double> a, std::span<const double> b) {
   require(!a.empty() && a.size() == b.size(),
           "dot_correlation: windows must have equal non-zero length");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += a[i] * b[i];
-  }
-  return acc;
+  return kernels::active().dot(a.data(), b.data(), a.size());
 }
 
 double normalized_correlation(std::span<const double> a,
@@ -65,23 +62,20 @@ double NormalizedWindow::correlate(std::span<const double> candidate) const {
     return 0.0;
   }
   // Normalize the candidate on the fly: NCC = <a_hat, (b - mean_b)> / ||b - mean_b||.
-  double mean = 0.0;
-  for (double v : candidate) {
-    mean += v;
-  }
-  mean /= static_cast<double>(candidate.size());
-  double dot = 0.0;
-  double norm_sq = 0.0;
-  for (std::size_t i = 0; i < candidate.size(); ++i) {
-    const double centered = candidate[i] - mean;
-    dot += normalized_[i] * centered;
-    norm_sq += centered * centered;
-  }
-  const double norm = std::sqrt(norm_sq);
+  // Two passes through the dispatched kernels; the candidate is L1-resident
+  // on the second.  A fused one-pass rewrite (norm_sq = sumsq - n*mean^2)
+  // was rejected: it cancels catastrophically on offset-dominated windows,
+  // which the ULP-equivalence harness would (rightly) flag.
+  const auto& kernel = kernels::active();
+  const double mean = kernel.sum(candidate.data(), candidate.size()) /
+                      static_cast<double>(candidate.size());
+  const kernels::DotNormSq cd = kernel.centered_dot_norm(
+      normalized_.data(), candidate.data(), candidate.size(), mean);
+  const double norm = std::sqrt(cd.norm_sq);
   if (norm < kDegenerateNorm) {
     return 0.0;
   }
-  return std::clamp(dot / norm, -1.0, 1.0);
+  return std::clamp(cd.dot / norm, -1.0, 1.0);
 }
 
 double NormalizedWindow::correlate(const NormalizedWindow& other) const {
@@ -90,10 +84,8 @@ double NormalizedWindow::correlate(const NormalizedWindow& other) const {
   if (degenerate_ || other.degenerate_) {
     return (degenerate_ && other.degenerate_) ? 1.0 : 0.0;
   }
-  double dot = 0.0;
-  for (std::size_t i = 0; i < normalized_.size(); ++i) {
-    dot += normalized_[i] * other.normalized_[i];
-  }
+  const double dot = kernels::active().dot(
+      normalized_.data(), other.normalized_.data(), normalized_.size());
   return std::clamp(dot, -1.0, 1.0);
 }
 

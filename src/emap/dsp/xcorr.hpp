@@ -6,6 +6,14 @@
 // cross-correlation (NCC): mean-removed, unit-norm dot product in [-1, 1].
 // The raw dot product is also exposed for the exhaustive baseline and the
 // cost model (one "correlation op" = window-length multiply-accumulates).
+//
+// Inner loops run through the simd.hpp dispatch (scalar or AVX2+FMA;
+// EMAP_SIMD overrides).  Scalar mode reproduces the pre-SIMD results
+// bit-for-bit; the AVX2 arm agrees within the pinned ULP bound enforced
+// by tests/support/kernel_diff.hpp.  Probe normalization
+// (NormalizedWindow's constructor) is deliberately always scalar — it
+// runs once per probe, and keeping it arm-independent confines every
+// scalar/AVX2 divergence to the per-candidate pass.
 #pragma once
 
 #include <cstddef>

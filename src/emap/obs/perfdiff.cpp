@@ -271,7 +271,58 @@ PerfDiffResult perf_diff(const std::vector<BenchRecord>& baseline,
                              "' has no baseline yet; passes by default");
     }
   }
+  for (const PerfRequirement& requirement : options.requirements) {
+    RequirementOutcome outcome;
+    outcome.requirement = requirement;
+    const auto found = cur_map.find(requirement.bench);
+    const auto metric =
+        found != cur_map.end()
+            ? found->second->metrics.find(requirement.metric)
+            : std::map<std::string, double>::const_iterator{};
+    if (found == cur_map.end() ||
+        metric == found->second->metrics.end()) {
+      outcome.missing = true;
+      result.notes.push_back(
+          "requirement " + requirement.bench + ":" + requirement.metric +
+          " skipped: " +
+          (found == cur_map.end() ? "bench absent from current run"
+                                  : "metric absent from current run (e.g. "
+                                    "arm unavailable on this host)"));
+    } else {
+      outcome.value = metric->second;
+      outcome.satisfied = outcome.value >= requirement.min_value;
+      if (!outcome.satisfied) {
+        result.requirement_failures += 1;
+      }
+    }
+    result.requirements.push_back(std::move(outcome));
+  }
   return result;
+}
+
+PerfRequirement parse_perf_requirement(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : spec.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos ||
+      first == 0 || second == first + 1 || second + 1 >= spec.size()) {
+    throw InvalidArgument(
+        "parse_perf_requirement: expected bench:metric:min, got '" + spec +
+        "'");
+  }
+  PerfRequirement requirement;
+  requirement.bench = spec.substr(0, first);
+  requirement.metric = spec.substr(first + 1, second - first - 1);
+  char* end = nullptr;
+  const std::string min_text = spec.substr(second + 1);
+  requirement.min_value = std::strtod(min_text.c_str(), &end);
+  if (end == min_text.c_str() || *end != '\0') {
+    throw InvalidArgument(
+        "parse_perf_requirement: bad minimum '" + min_text + "' in '" +
+        spec + "'");
+  }
+  return requirement;
 }
 
 std::string format_perf_diff(const PerfDiffResult& result,
@@ -299,14 +350,27 @@ std::string format_perf_diff(const PerfDiffResult& result,
                   delta.regressed ? "REGRESSED" : "ok");
     out << line;
   }
+  for (const RequirementOutcome& outcome : result.requirements) {
+    if (outcome.missing) {
+      continue;  // already covered by a note
+    }
+    std::snprintf(line, sizeof(line),
+                  "require %s:%s >= %g: current %g -> %s\n",
+                  outcome.requirement.bench.c_str(),
+                  outcome.requirement.metric.c_str(),
+                  outcome.requirement.min_value, outcome.value,
+                  outcome.satisfied ? "ok" : "UNMET");
+    out << line;
+  }
   for (const std::string& note : result.notes) {
     out << "note: " << note << "\n";
   }
   std::snprintf(line, sizeof(line),
                 "%zu metric(s) compared, %zu regression(s) past %.0f%% "
-                "threshold -> %s\n",
+                "threshold, %zu unmet requirement(s) -> %s\n",
                 result.deltas.size(), result.regressions,
-                options.threshold * 100.0, result.ok() ? "PASS" : "FAIL");
+                options.threshold * 100.0, result.requirement_failures,
+                result.ok() ? "PASS" : "FAIL");
   out << line;
   return out.str();
 }

@@ -65,11 +65,39 @@ struct PerfDelta {
   bool regressed = false;  ///< moved in the bad direction past threshold
 };
 
+/// One absolute-floor requirement on a current-side metric, e.g. "the
+/// fig7a AVX2 scan speedup must be >= 2.0".  Floors complement the
+/// relative diff: wall-clock metrics are stripped from committed
+/// baselines (docs/performance.md), so the only way to gate on one is an
+/// absolute bound against the current run.  A requirement whose bench or
+/// metric is absent from the current side is skipped with a note rather
+/// than failed — e.g. the AVX2 speedup metric never appears on a host
+/// without AVX2.
+struct PerfRequirement {
+  std::string bench;
+  std::string metric;
+  double min_value = 0.0;
+};
+
+/// Parses a "bench:metric:min" spec (the --require CLI form).  Throws
+/// InvalidArgument on a malformed spec.
+PerfRequirement parse_perf_requirement(const std::string& spec);
+
+/// One evaluated requirement.
+struct RequirementOutcome {
+  PerfRequirement requirement;
+  double value = 0.0;    ///< current-side metric value (when present)
+  bool missing = false;  ///< bench or metric absent; skipped, not failed
+  bool satisfied = false;
+};
+
 struct PerfDiffOptions {
   /// Relative change in the bad direction that fails the gate.
   double threshold = 0.10;
   /// Refuse per-bench comparison when `config` fingerprints differ.
   bool check_fingerprint = true;
+  /// Absolute floors evaluated against the current side.
+  std::vector<PerfRequirement> requirements;
 };
 
 struct PerfDiffResult {
@@ -77,8 +105,11 @@ struct PerfDiffResult {
   /// Human-readable skips: benches only in one side, fingerprint
   /// mismatches, metrics missing from the current run.
   std::vector<std::string> notes;
+  /// Evaluated absolute-floor requirements, in option order.
+  std::vector<RequirementOutcome> requirements;
   std::size_t regressions = 0;
-  bool ok() const { return regressions == 0; }
+  std::size_t requirement_failures = 0;
+  bool ok() const { return regressions == 0 && requirement_failures == 0; }
 };
 
 /// Compares current against baseline.  When a bench appears multiple times

@@ -1,0 +1,146 @@
+// Algorithm 1 scan under SIMD dispatch and cache blocking: the blocked
+// scan must be pure iteration structure (identical results for any block
+// size), forced-scalar must be bit-identical run to run, and the AVX2 arm
+// must agree with scalar within the end-to-end NCC bound.
+#include "emap/core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "emap/dsp/simd.hpp"
+#include "support/kernel_diff.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+using emap::testing::kdiff::ScopedSimdLevel;
+using emap::testing::kdiff::ulp_distance;
+using Level = dsp::simd::Level;
+
+/// Restores automatic block sizing when the test ends.
+struct ScopedScanBlock {
+  explicit ScopedScanBlock(std::size_t block) { force_scan_block(block); }
+  ~ScopedScanBlock() { force_scan_block(std::nullopt); }
+};
+
+EmapConfig permissive_config() {
+  EmapConfig config;
+  config.delta = 0.2;  // plenty of candidates so result ordering matters
+  return config;
+}
+
+mdb::MdbStore corpus_store() { return emap::testing::small_mdb(2); }
+
+// A probe cut from offset 0 of a stored set: offset 0 is on every
+// exponential-window probe grid (see test_search.cpp's PlantedFixture),
+// so the scan is guaranteed to evaluate the planted alignment and the
+// invariance checks compare non-trivial result sets.
+std::vector<double> corpus_probe(const mdb::MdbStore& store) {
+  const auto& samples = store.at(1).samples;
+  return {samples.begin(), samples.begin() + 256};
+}
+
+void expect_identical_results(const SearchResult& a, const SearchResult& b,
+                              const char* what) {
+  ASSERT_EQ(a.matches.size(), b.matches.size()) << what;
+  for (std::size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].set_id, b.matches[i].set_id) << what << " #" << i;
+    EXPECT_EQ(a.matches[i].beta, b.matches[i].beta) << what << " #" << i;
+    EXPECT_EQ(a.matches[i].omega, b.matches[i].omega) << what << " #" << i;
+  }
+  EXPECT_EQ(a.stats.correlation_evals, b.stats.correlation_evals) << what;
+  EXPECT_EQ(a.stats.offsets_total, b.stats.offsets_total) << what;
+  EXPECT_EQ(a.stats.candidates, b.stats.candidates) << what;
+}
+
+// Blocking must not change the evaluated beta sequence: any block size —
+// including pathological 1-sample blocks and blocking disabled — yields
+// the same matches, the same omegas (bit-for-bit), the same eval counts.
+TEST(SearchSimd, BlockedScanIsBlockSizeInvariant) {
+  const auto store = corpus_store();
+  const auto probe = corpus_probe(store);
+  CrossCorrelationSearch search(permissive_config());
+  ScopedSimdLevel forced(Level::kScalar);  // isolate blocking from dispatch
+
+  SearchResult reference;
+  {
+    ScopedScanBlock block(0);  // blocking disabled: the original loop
+    reference = search.search(probe, store);
+  }
+  ASSERT_FALSE(reference.matches.empty());
+  for (const std::size_t block_size :
+       {std::size_t{1}, std::size_t{7}, std::size_t{300},
+        kDefaultScanBlockSamples, std::size_t{1} << 30}) {
+    ScopedScanBlock block(block_size);
+    const auto result = search.search(probe, store);
+    expect_identical_results(reference, result, "block-size sweep");
+  }
+}
+
+TEST(SearchSimd, ForcedScalarSearchIsBitIdenticalAcrossRuns) {
+  const auto store = corpus_store();
+  const auto probe = corpus_probe(store);
+  CrossCorrelationSearch search(permissive_config());
+  ScopedSimdLevel forced(Level::kScalar);
+  const auto first = search.search(probe, store);
+  const auto second = search.search(probe, store);
+  expect_identical_results(first, second, "scalar run-to-run");
+}
+
+// Scalar and AVX2 scans take the same skip decisions on this workload and
+// agree on every reported omega within the end-to-end NCC bound.  (The
+// skip sequence is quantized through llround, so the sub-ULP omega
+// differences cannot change it except exactly at a quantization boundary —
+// if this workload ever lands on one, the divergence shows up here first.)
+TEST(SearchSimd, Avx2SearchMatchesScalarWithinNccBound) {
+  if (!dsp::simd::compiled_with_avx2() || !dsp::simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "AVX2 arm not available on this build/host";
+  }
+  const auto store = corpus_store();
+  const auto probe = corpus_probe(store);
+  CrossCorrelationSearch search(permissive_config());
+
+  SearchResult scalar;
+  {
+    ScopedSimdLevel forced(Level::kScalar);
+    scalar = search.search(probe, store);
+  }
+  SearchResult avx2;
+  {
+    ScopedSimdLevel forced(Level::kAvx2);
+    avx2 = search.search(probe, store);
+  }
+  ASSERT_FALSE(scalar.matches.empty());
+  ASSERT_EQ(scalar.matches.size(), avx2.matches.size());
+  EXPECT_EQ(scalar.stats.correlation_evals, avx2.stats.correlation_evals);
+  for (std::size_t i = 0; i < scalar.matches.size(); ++i) {
+    EXPECT_EQ(scalar.matches[i].set_id, avx2.matches[i].set_id) << i;
+    EXPECT_EQ(scalar.matches[i].beta, avx2.matches[i].beta) << i;
+    const bool close =
+        ulp_distance(scalar.matches[i].omega, avx2.matches[i].omega) <=
+            4096 ||
+        std::abs(scalar.matches[i].omega - avx2.matches[i].omega) <= 1e-9;
+    EXPECT_TRUE(close) << "match " << i << ": scalar omega "
+                       << scalar.matches[i].omega << " vs avx2 "
+                       << avx2.matches[i].omega;
+  }
+}
+
+TEST(SearchSimd, ScanBlockDefaultsAndOverride) {
+  force_scan_block(std::nullopt);
+  // Without an override the value is whatever the process env resolved to;
+  // it must be stable across calls (read-once contract).
+  const std::size_t first = scan_block_samples();
+  EXPECT_EQ(first, scan_block_samples());
+  {
+    ScopedScanBlock block(123);
+    EXPECT_EQ(scan_block_samples(), 123u);
+  }
+  EXPECT_EQ(scan_block_samples(), first);
+}
+
+}  // namespace
+}  // namespace emap::core

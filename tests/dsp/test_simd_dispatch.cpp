@@ -1,0 +1,115 @@
+// Dispatch-selection tests for dsp/simd.hpp, including the CI gate that
+// fails when the AVX2 arm was compiled but never actually executed on an
+// AVX2-capable host (which would mean the whole SIMD suite silently
+// tested scalar twice).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "emap/common/error.hpp"
+#include "emap/dsp/kernels.hpp"
+#include "emap/dsp/simd.hpp"
+#include "emap/dsp/xcorr.hpp"
+#include "support/kernel_diff.hpp"
+
+namespace emap::testing {
+namespace {
+
+using dsp::simd::Level;
+
+// True when $EMAP_SIMD pins this process to the scalar arm (the forced-
+// scalar CI leg); the AVX2-execution gate is vacuous in that mode.
+bool env_forces_scalar() {
+  const char* env = std::getenv("EMAP_SIMD");
+  if (env == nullptr) {
+    return false;
+  }
+  const std::string value(env);
+  return value == "off" || value == "scalar";
+}
+
+TEST(SimdDispatch, ParseLevel) {
+  EXPECT_EQ(dsp::simd::parse_level("off"), Level::kScalar);
+  EXPECT_EQ(dsp::simd::parse_level("scalar"), Level::kScalar);
+  EXPECT_EQ(dsp::simd::parse_level("avx2"), Level::kAvx2);
+  EXPECT_THROW(dsp::simd::parse_level("avx512"), InvalidArgument);
+  EXPECT_THROW(dsp::simd::parse_level(""), InvalidArgument);
+  EXPECT_THROW(dsp::simd::parse_level("AVX2"), InvalidArgument);
+}
+
+TEST(SimdDispatch, LevelNames) {
+  EXPECT_STREQ(dsp::simd::level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(dsp::simd::level_name(Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, ForceLevelOverridesEverything) {
+  dsp::simd::force_level(Level::kScalar);
+  EXPECT_EQ(dsp::simd::active_level(), Level::kScalar);
+  dsp::simd::force_level(std::nullopt);
+
+  if (dsp::simd::compiled_with_avx2() && dsp::simd::cpu_supports_avx2()) {
+    dsp::simd::force_level(Level::kAvx2);
+    EXPECT_EQ(dsp::simd::active_level(), Level::kAvx2);
+    dsp::simd::force_level(std::nullopt);
+  }
+}
+
+TEST(SimdDispatch, ForcedAvx2FallsBackToScalarWhenUnavailable) {
+  if (dsp::simd::compiled_with_avx2() && dsp::simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "AVX2 available; fallback path not reachable here";
+  }
+  dsp::simd::force_level(Level::kAvx2);
+  EXPECT_EQ(dsp::simd::active_level(), Level::kScalar);
+  dsp::simd::force_level(std::nullopt);
+}
+
+TEST(SimdDispatch, TableRejectsMissingArm) {
+  EXPECT_EQ(dsp::kernels::table(Level::kScalar).level, Level::kScalar);
+  if (dsp::simd::compiled_with_avx2()) {
+    EXPECT_EQ(dsp::kernels::table(Level::kAvx2).level, Level::kAvx2);
+  } else {
+    EXPECT_THROW(dsp::kernels::table(Level::kAvx2), InvalidArgument);
+  }
+}
+
+TEST(SimdDispatch, InvocationCountersTrackTheActiveArm) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b = {5.0, 4.0, 3.0, 2.0, 1.0};
+  dsp::simd::reset_kernel_invocations();
+  {
+    kdiff::ScopedSimdLevel forced(Level::kScalar);
+    (void)dsp::dot_correlation(a, b);
+  }
+  EXPECT_EQ(dsp::simd::kernel_invocations(Level::kScalar), 1u);
+  EXPECT_EQ(dsp::simd::kernel_invocations(Level::kAvx2), 0u);
+  dsp::simd::reset_kernel_invocations();
+  EXPECT_EQ(dsp::simd::kernel_invocations(Level::kScalar), 0u);
+}
+
+// CI gate (ISSUE satellite): on an AVX2-capable host with the arm
+// compiled in and no scalar pin, default dispatch MUST take the AVX2 arm.
+// Failing here means the rest of the suite exercised scalar twice and
+// the AVX2 kernels shipped untested.
+TEST(SimdDispatch, Avx2ArmExecutesUnderDefaultDispatch) {
+  if (!dsp::simd::compiled_with_avx2()) {
+    GTEST_SKIP() << "AVX2 arm not compiled into this binary";
+  }
+  if (!dsp::simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "host CPU lacks AVX2";
+  }
+  if (env_forces_scalar()) {
+    GTEST_SKIP() << "EMAP_SIMD pins this process to scalar";
+  }
+  const std::vector<double> a = noise(0xD15, 256);
+  const std::vector<double> b = noise(0xD16, 256);
+  dsp::simd::reset_kernel_invocations();
+  (void)dsp::dot_correlation(a, b);
+  EXPECT_EQ(dsp::simd::active_level(), Level::kAvx2);
+  EXPECT_GT(dsp::simd::kernel_invocations(Level::kAvx2), 0u)
+      << "default dispatch never took the AVX2 arm on an AVX2-capable host";
+  dsp::simd::reset_kernel_invocations();
+}
+
+}  // namespace
+}  // namespace emap::testing

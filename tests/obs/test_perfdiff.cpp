@@ -238,5 +238,66 @@ TEST(FormatPerfDiff, RendersTableNotesAndVerdict) {
   EXPECT_NE(format_perf_diff(clean).find("-> PASS"), std::string::npos);
 }
 
+TEST(ParsePerfRequirement, AcceptsBenchMetricMin) {
+  const auto requirement =
+      parse_perf_requirement("fig7a:scan_speedup_avx2:2.0");
+  EXPECT_EQ(requirement.bench, "fig7a");
+  EXPECT_EQ(requirement.metric, "scan_speedup_avx2");
+  EXPECT_DOUBLE_EQ(requirement.min_value, 2.0);
+  EXPECT_THROW(parse_perf_requirement("fig7a:metric"), InvalidArgument);
+  EXPECT_THROW(parse_perf_requirement("fig7a::2.0"), InvalidArgument);
+  EXPECT_THROW(parse_perf_requirement(":m:2.0"), InvalidArgument);
+  EXPECT_THROW(parse_perf_requirement("fig7a:m:"), InvalidArgument);
+  EXPECT_THROW(parse_perf_requirement("fig7a:m:abc"), InvalidArgument);
+}
+
+TEST(PerfRequirements, FloorIsEvaluatedAgainstTheCurrentSide) {
+  PerfDiffOptions options;
+  options.requirements.push_back({"fig7a", "scan_speedup_avx2", 2.0});
+  // Baseline deliberately lacks the metric (wall-clock metrics are
+  // stripped from committed baselines); only the current side matters.
+  const auto base = make_record("fig7a", {{"avg_corr_alpha0004", 0.9}});
+
+  auto good = make_record(
+      "fig7a", {{"avg_corr_alpha0004", 0.9}, {"scan_speedup_avx2", 2.7}});
+  const auto pass = perf_diff({base}, {good}, options);
+  ASSERT_EQ(pass.requirements.size(), 1u);
+  EXPECT_TRUE(pass.requirements[0].satisfied);
+  EXPECT_TRUE(pass.ok());
+  EXPECT_NE(format_perf_diff(pass, options).find("require"),
+            std::string::npos);
+
+  auto slow = make_record(
+      "fig7a", {{"avg_corr_alpha0004", 0.9}, {"scan_speedup_avx2", 1.3}});
+  const auto fail = perf_diff({base}, {slow}, options);
+  EXPECT_EQ(fail.requirement_failures, 1u);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_NE(format_perf_diff(fail, options).find("UNMET"),
+            std::string::npos);
+  EXPECT_NE(format_perf_diff(fail, options).find("-> FAIL"),
+            std::string::npos);
+}
+
+TEST(PerfRequirements, MissingBenchOrMetricSkipsWithANote) {
+  PerfDiffOptions options;
+  options.requirements.push_back({"fig7a", "scan_speedup_avx2", 2.0});
+  options.requirements.push_back({"nope", "anything", 1.0});
+  // Current side has the bench but not the metric (AVX2-less host).
+  const auto current = make_record("fig7a", {{"avg_corr_alpha0004", 0.9}});
+  const auto result =
+      perf_diff({make_record("fig7a", {{"avg_corr_alpha0004", 0.9}})},
+                {current}, options);
+  ASSERT_EQ(result.requirements.size(), 2u);
+  EXPECT_TRUE(result.requirements[0].missing);
+  EXPECT_TRUE(result.requirements[1].missing);
+  EXPECT_EQ(result.requirement_failures, 0u);
+  EXPECT_TRUE(result.ok()) << "missing metric must skip, not fail";
+  bool noted = false;
+  for (const std::string& note : result.notes) {
+    noted = noted || note.find("scan_speedup_avx2") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+}
+
 }  // namespace
 }  // namespace emap::obs

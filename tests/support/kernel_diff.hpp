@@ -1,0 +1,447 @@
+// Differential kernel-equivalence harness.
+//
+// Every DSP kernel now exists once per SIMD arm (dsp/kernels.hpp), and
+// every future kernel PR (FFT overlap-save, quantized MDB codec) will add
+// more (kernel, implementation) pairs.  This harness is the one piece of
+// correctness tooling they all plug into: it drives a reference and a
+// candidate implementation over the same seeded-random, adversarial
+// (NaN/Inf/denormal/saturated), edge-shape, and corpus-derived inputs,
+// and compares results ULP-aware.
+//
+// Usage sketch (see tests/dsp/test_kernel_diff.cpp for real ones):
+//
+//   auto cases = kdiff::random_cases(/*seed=*/1, /*count=*/10000, 1, 512);
+//   kdiff::append_cases(cases, kdiff::edge_shape_cases());
+//   const auto report = kdiff::run_diff(
+//       cases,
+//       [](const kdiff::Case& c) { return ref_kernel(c); },
+//       [](const kdiff::Case& c) { return new_kernel(c); },
+//       kdiff::ReductionAcceptor{/*max_ulp=*/kPinnedUlpBound});
+//   EXPECT_TRUE(report.ok()) << report.summary();
+//
+// Comparison model: a reordered floating-point reduction (lane-split
+// partial sums, FMA) differs from the sequential reference by at most
+// ~n * eps * sum(|terms|).  The acceptors therefore pass when EITHER the
+// ULP distance is within the pinned bound (tight for well-conditioned
+// results) OR the absolute difference is within that analytic reduction
+// bound (covers cancellation-heavy cases where the result is tiny
+// relative to its terms and ULP distance is meaningless).  NaN matches
+// NaN; equal infinities match; mismatched finiteness never passes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emap/common/rng.hpp"
+#include "emap/dsp/simd.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::testing::kdiff {
+
+/// RAII dispatch override for public-API differential tests: forces the
+/// given arm for the scope's lifetime, restores automatic dispatch after.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(dsp::simd::Level level) {
+    dsp::simd::force_level(level);
+  }
+  ~ScopedSimdLevel() { dsp::simd::force_level(std::nullopt); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+};
+
+/// ULP distance between two doubles over the monotonic ordered-integer
+/// mapping.  NaN-vs-NaN is 0; equal values (incl. +0/-0 and equal
+/// infinities) are 0; any other NaN/Inf pairing is max().
+inline std::uint64_t ulp_distance(double a, double b) {
+  const bool nan_a = std::isnan(a);
+  const bool nan_b = std::isnan(b);
+  if (nan_a || nan_b) {
+    return (nan_a && nan_b) ? 0 : std::numeric_limits<std::uint64_t>::max();
+  }
+  if (a == b) {
+    return 0;
+  }
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const auto key = [](double x) -> std::uint64_t {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof bits);
+    const std::uint64_t sign = 0x8000000000000000ULL;
+    return (bits & sign) != 0 ? sign - (bits & ~sign) : sign + bits;
+  };
+  const std::uint64_t ka = key(a);
+  const std::uint64_t kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// Analytic bound on the absolute divergence of two differently-ordered
+/// reductions of the same ~n terms whose absolute values sum to
+/// `term_magnitude_sum`.  The constant is generous (arm-internal
+/// unrolling and FMA contraction both stay well under it).
+inline double reduction_tolerance(double term_magnitude_sum, std::size_t n) {
+  return static_cast<double>(n + 8) *
+         std::numeric_limits<double>::epsilon() * term_magnitude_sum;
+}
+
+/// One differential input: two equal-length windows plus a provenance tag
+/// that makes a failure reproducible from the log alone.
+struct Case {
+  std::string tag;
+  std::vector<double> a;
+  std::vector<double> b;
+
+  std::size_t size() const { return a.size(); }
+  /// sum(|a[i] * b[i]|): magnitude scale for dot-like reductions.
+  double product_magnitude() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::abs(a[i] * b[i]);
+    }
+    return std::isfinite(sum) ? sum : std::numeric_limits<double>::max();
+  }
+  /// sum(|a[i] - b[i]|): magnitude scale for area-like reductions.
+  double difference_magnitude() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::abs(a[i] - b[i]);
+    }
+    return std::isfinite(sum) ? sum : std::numeric_limits<double>::max();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// `count` seeded random cases with lengths uniform in [min_len, max_len]
+/// (deliberately including non-multiples of the SIMD width) and per-case
+/// magnitude scales swept across ~12 decades, so both tiny and saturated
+/// regimes appear.
+inline std::vector<Case> random_cases(std::uint64_t seed, std::size_t count,
+                                      std::size_t min_len,
+                                      std::size_t max_len) {
+  Rng rng(seed);
+  std::vector<Case> cases;
+  cases.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t len =
+        min_len + static_cast<std::size_t>(
+                      rng.uniform_index(max_len - min_len + 1));
+    const double scale = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    Case c;
+    std::ostringstream tag;
+    tag << "random[seed=" << seed << ",case=" << k << ",len=" << len
+        << ",scale=" << scale << "]";
+    c.tag = tag.str();
+    c.a.resize(len);
+    c.b.resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      c.a[i] = rng.normal(0.0, scale);
+      c.b[i] = rng.normal(0.0, scale);
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+/// Deterministic edge shapes: the degenerate and alignment-hostile
+/// lengths (0, 1, every residue around the 4/8-lane widths) crossed with
+/// all-zeros, constant, alternating-sign, ramp, and denormal fills.
+inline std::vector<Case> edge_shape_cases() {
+  const std::size_t lengths[] = {0,  1,  2,  3,  5,  7,   8,
+                                 9,  12, 15, 16, 17, 31,  33,
+                                 63, 65, 127, 255, 256, 257};
+  struct Fill {
+    const char* name;
+    double (*value)(std::size_t i);
+  };
+  const Fill fills[] = {
+      {"zeros", [](std::size_t) { return 0.0; }},
+      {"constant", [](std::size_t) { return 3.0; }},
+      {"alternating",
+       [](std::size_t i) { return (i % 2 == 0) ? 1.0 : -1.0; }},
+      {"ramp", [](std::size_t i) { return static_cast<double>(i) - 8.0; }},
+      {"denormal",
+       [](std::size_t i) {
+         return (i % 2 == 0) ? 5e-324 : -4.9e-310;  // min subnormal + mix
+       }},
+  };
+  std::vector<Case> cases;
+  for (const std::size_t len : lengths) {
+    for (const Fill& fill_a : fills) {
+      for (const Fill& fill_b : fills) {
+        Case c;
+        c.tag = std::string("edge[len=") + std::to_string(len) + ",a=" +
+                fill_a.name + ",b=" + fill_b.name + "]";
+        c.a.resize(len);
+        c.b.resize(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          c.a[i] = fill_a.value(i);
+          c.b[i] = fill_b.value(i);
+        }
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+/// Adversarial IEEE cases: NaN / +-Inf planted at block-boundary-hostile
+/// positions, denormal-dominated windows, saturated magnitudes (1e150 —
+/// large enough to stress, small enough that no 4096-term sum or 256-term
+/// product-sum overflows, keeping both arms finite), and huge-offset
+/// windows that stress the mean-removal cancellation.
+inline std::vector<Case> adversarial_cases(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Case> cases;
+  const std::size_t lengths[] = {13, 64, 256, 257};
+  const double specials[] = {std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity()};
+  const char* special_names[] = {"nan", "+inf", "-inf"};
+  for (const std::size_t len : lengths) {
+    for (std::size_t s = 0; s < std::size(specials); ++s) {
+      // Positions chosen to land in the vector body, at a lane boundary,
+      // and in the scalar tail.
+      const std::size_t positions[] = {0, len / 2, len - 1};
+      for (const std::size_t pos : positions) {
+        Case c;
+        c.tag = std::string("adversarial[len=") + std::to_string(len) +
+                ",special=" + special_names[s] + ",pos=" +
+                std::to_string(pos) + "]";
+        c.a.resize(len);
+        c.b.resize(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          c.a[i] = rng.normal(0.0, 1.0);
+          c.b[i] = rng.normal(0.0, 1.0);
+        }
+        c.a[pos] = specials[s];
+        cases.push_back(std::move(c));
+      }
+    }
+    // Both infinities in one window: every summation order lands on NaN.
+    {
+      Case c;
+      c.tag = std::string("adversarial[len=") + std::to_string(len) +
+              ",special=+inf-inf]";
+      c.a.assign(len, 1.0);
+      c.b.assign(len, -1.0);
+      c.a[0] = std::numeric_limits<double>::infinity();
+      if (len > 1) {
+        c.a[len - 1] = -std::numeric_limits<double>::infinity();
+      }
+      cases.push_back(std::move(c));
+    }
+    // Saturated, denormal, and huge-offset regimes.
+    const struct {
+      const char* name;
+      double scale;
+      double offset;
+    } regimes[] = {
+        {"saturated", 1e150, 0.0},
+        {"denormal", 1e-310, 0.0},
+        {"huge_offset", 1.0, 1e9},
+    };
+    for (const auto& regime : regimes) {
+      Case c;
+      c.tag = std::string("adversarial[len=") + std::to_string(len) +
+              ",regime=" + regime.name + "]";
+      c.a.resize(len);
+      c.b.resize(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        c.a[i] = regime.offset + rng.normal(0.0, regime.scale);
+        c.b[i] = regime.offset + rng.normal(0.0, regime.scale);
+      }
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+/// Window pairs drawn from the synthetic EEG corpora — the inputs the
+/// production scan actually sees (bandpassed, near zero-mean, EEG-scaled).
+inline std::vector<Case> corpus_cases(std::size_t count,
+                                      std::size_t window_len) {
+  const mdb::MdbStore store = small_mdb(2);
+  Rng rng(0xC0123);
+  std::vector<Case> cases;
+  cases.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto& set_a = store.at(rng.uniform_index(store.size()));
+    const auto& set_b = store.at(rng.uniform_index(store.size()));
+    if (set_a.samples.size() < window_len ||
+        set_b.samples.size() < window_len) {
+      continue;
+    }
+    const std::size_t off_a =
+        rng.uniform_index(set_a.samples.size() - window_len + 1);
+    const std::size_t off_b =
+        rng.uniform_index(set_b.samples.size() - window_len + 1);
+    Case c;
+    c.tag = std::string("corpus[case=") + std::to_string(k) + ",set_a=" +
+            std::to_string(set_a.id) + "@" + std::to_string(off_a) +
+            ",set_b=" + std::to_string(set_b.id) + "@" +
+            std::to_string(off_b) + "]";
+    c.a.assign(set_a.samples.begin() + static_cast<std::ptrdiff_t>(off_a),
+               set_a.samples.begin() +
+                   static_cast<std::ptrdiff_t>(off_a + window_len));
+    c.b.assign(set_b.samples.begin() + static_cast<std::ptrdiff_t>(off_b),
+               set_b.samples.begin() +
+                   static_cast<std::ptrdiff_t>(off_b + window_len));
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+inline void append_cases(std::vector<Case>& into, std::vector<Case> more) {
+  for (Case& c : more) {
+    into.push_back(std::move(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptors
+// ---------------------------------------------------------------------------
+
+/// Accepts when the ULP distance is within `max_ulp` or the absolute
+/// difference is within the analytic reduction bound for the case's term
+/// magnitudes (`magnitude(case)`), plus an optional flat `abs_tol`.
+template <class MagnitudeFn>
+struct ReductionAcceptor {
+  std::uint64_t max_ulp;
+  MagnitudeFn magnitude;
+  double abs_tol = 0.0;
+
+  bool operator()(const Case& c, double ref, double got) const {
+    const std::uint64_t ulp = ulp_distance(ref, got);
+    if (ulp <= max_ulp) {
+      return true;
+    }
+    if (!std::isfinite(ref) || !std::isfinite(got)) {
+      return false;  // mismatched NaN/Inf never passes
+    }
+    const double bound =
+        reduction_tolerance(magnitude(c), c.size()) + abs_tol;
+    return std::abs(ref - got) <= bound;
+  }
+};
+
+template <class MagnitudeFn>
+ReductionAcceptor<MagnitudeFn> make_reduction_acceptor(
+    std::uint64_t max_ulp, MagnitudeFn magnitude, double abs_tol = 0.0) {
+  return ReductionAcceptor<MagnitudeFn>{max_ulp, magnitude, abs_tol};
+}
+
+/// Exact bit-identity (scalar-vs-scalar regression checks).
+struct ExactAcceptor {
+  bool operator()(const Case&, double ref, double got) const {
+    return ulp_distance(ref, got) == 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct DiffFailure {
+  std::string tag;
+  double ref = 0.0;
+  double got = 0.0;
+  std::uint64_t ulp = 0;
+};
+
+struct DiffReport {
+  std::size_t cases = 0;
+  std::uint64_t max_ulp_seen = 0;  ///< over finite, passing comparisons
+  std::vector<DiffFailure> failures;  ///< capped at kMaxReported
+
+  static constexpr std::size_t kMaxReported = 8;
+
+  bool ok() const { return failures.empty(); }
+
+  std::string summary() const {
+    std::ostringstream out;
+    out << cases << " cases, max ULP divergence " << max_ulp_seen;
+    if (!failures.empty()) {
+      out << ", " << failures.size() << "+ failures; first:";
+      for (const DiffFailure& f : failures) {
+        out << "\n  " << f.tag << ": ref=" << std::hexfloat << f.ref
+            << " got=" << f.got << std::defaultfloat << " (" << f.ref
+            << " vs " << f.got << ", ulp=" << f.ulp << ")";
+      }
+    }
+    return out.str();
+  }
+};
+
+/// Drives `ref_fn` and `got_fn` (Case -> double) over every case and
+/// judges each pair with `accept` (Case, ref, got) -> bool.
+template <class RefFn, class GotFn, class AcceptFn>
+DiffReport run_diff(const std::vector<Case>& cases, RefFn ref_fn,
+                    GotFn got_fn, AcceptFn accept) {
+  DiffReport report;
+  for (const Case& c : cases) {
+    ++report.cases;
+    const double ref = ref_fn(c);
+    const double got = got_fn(c);
+    const bool pass = accept(c, ref, got);
+    const std::uint64_t ulp = ulp_distance(ref, got);
+    if (pass) {
+      if (ulp != std::numeric_limits<std::uint64_t>::max()) {
+        report.max_ulp_seen = std::max(report.max_ulp_seen, ulp);
+      }
+      continue;
+    }
+    if (report.failures.size() < DiffReport::kMaxReported) {
+      report.failures.push_back(DiffFailure{c.tag, ref, got, ulp});
+    }
+  }
+  return report;
+}
+
+/// Sequence variant: `ref_fn`/`got_fn` return std::vector<double>; every
+/// element is judged with `accept`, and a length mismatch is one failure.
+template <class RefFn, class GotFn, class AcceptFn>
+DiffReport run_diff_sequences(const std::vector<Case>& cases, RefFn ref_fn,
+                              GotFn got_fn, AcceptFn accept) {
+  DiffReport report;
+  for (const Case& c : cases) {
+    ++report.cases;
+    const std::vector<double> ref = ref_fn(c);
+    const std::vector<double> got = got_fn(c);
+    if (ref.size() != got.size()) {
+      if (report.failures.size() < DiffReport::kMaxReported) {
+        report.failures.push_back(DiffFailure{
+            c.tag + " (length " + std::to_string(ref.size()) + " vs " +
+                std::to_string(got.size()) + ")",
+            static_cast<double>(ref.size()), static_cast<double>(got.size()),
+            0});
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const std::uint64_t ulp = ulp_distance(ref[i], got[i]);
+      if (accept(c, ref[i], got[i])) {
+        if (ulp != std::numeric_limits<std::uint64_t>::max()) {
+          report.max_ulp_seen = std::max(report.max_ulp_seen, ulp);
+        }
+        continue;
+      }
+      if (report.failures.size() < DiffReport::kMaxReported) {
+        report.failures.push_back(DiffFailure{
+            c.tag + "[" + std::to_string(i) + "]", ref[i], got[i], ulp});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace emap::testing::kdiff

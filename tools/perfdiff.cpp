@@ -26,8 +26,12 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s --baseline <dir|file> --current <dir|file>\n"
       "          [--threshold <frac>] [--ignore-config]\n"
+      "          [--require <bench:metric:min>]...\n"
       "  --threshold      relative regression that fails (default 0.10)\n"
-      "  --ignore-config  compare even when config fingerprints differ\n",
+      "  --ignore-config  compare even when config fingerprints differ\n"
+      "  --require        absolute floor on a current-side metric\n"
+      "                   (repeatable; skipped with a note when the bench\n"
+      "                   or metric is absent, e.g. AVX2-less hosts)\n",
       argv0);
 }
 
@@ -82,6 +86,14 @@ int main(int argc, char** argv) {
       options.threshold = std::strtod(next(), nullptr);
     } else if (arg == "--ignore-config") {
       options.check_fingerprint = false;
+    } else if (arg == "--require") {
+      try {
+        options.requirements.push_back(
+            emap::obs::parse_perf_requirement(next()));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "perfdiff: %s\n", error.what());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
