@@ -95,6 +95,8 @@
 #include "emap/dsp/resample.hpp"
 #include "emap/edf/edf.hpp"
 #include "emap/mdb/builder.hpp"
+#include "emap/obs/alert.hpp"
+#include "emap/obs/dashboard.hpp"
 #include "emap/obs/export.hpp"
 #include "emap/obs/flight.hpp"
 #include "emap/obs/metrics.hpp"
@@ -121,10 +123,14 @@ int usage() {
       "  emapctl synth-run  [duration_sec] [recordings-per-corpus] "
       "[telemetry flags]\n"
       "  emapctl trace      <spans.jsonl> [flight.jsonl]\n"
+      "  emapctl report     <series.jsonl> [--alerts <alerts.jsonl>] "
+      "[--html <out.html>]\n"
       "telemetry flags: --metrics-out <file> --trace-out <file> "
       "--summary-out <file> --metrics-dump\n"
       "profiling flags: --profile-out <file> --flame-out <file> "
       "--slo-report <file>\n"
+      "series flags:    --series-out <file> --alerts-out <file> "
+      "--scrape-interval <sec> --alert-rules <file>\n"
       "fault flags:     --fault-drop <p> --fault-corrupt <p> "
       "--fault-duplicate <p> --fault-delay <p> --fault-seed <n>\n"
       "retry flags:     --retry-attempts <n> --retry-deadline <sec>\n"
@@ -157,6 +163,10 @@ struct TelemetryOptions {
   std::string spans_out;
   std::string flight_out;
   double edge_slowdown = 1.0;  ///< > 1 divides edge device throughput
+  std::string series_out;      ///< time-series JSONL (enables scraping)
+  std::string alerts_out;      ///< alert-transition JSONL
+  double scrape_interval_sec = 1.0;
+  std::string alert_rules;     ///< rule file; empty = default rules
 };
 
 /// Extracts telemetry and fault/retry flags from (argc, argv), leaving only
@@ -251,6 +261,16 @@ bool extract_telemetry_flags(int& argc, char** argv,
       if (!take_double(
               [&](double factor) { telemetry.edge_slowdown = factor; }))
         return false;
+    } else if (arg == "--series-out") {
+      if (!take_value(telemetry.series_out)) return false;
+    } else if (arg == "--alerts-out") {
+      if (!take_value(telemetry.alerts_out)) return false;
+    } else if (arg == "--scrape-interval") {
+      if (!take_double(
+              [&](double sec) { telemetry.scrape_interval_sec = sec; }))
+        return false;
+    } else if (arg == "--alert-rules") {
+      if (!take_value(telemetry.alert_rules)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
       return false;
@@ -321,6 +341,27 @@ obs::FlightRecorder* apply_tracing_flags(const TelemetryOptions& telemetry,
   return &flight;
 }
 
+/// Applies the time-series/alerting flags: any of --series-out or
+/// --alerts-out turns scraping on; --alert-rules replaces the default
+/// rule set.  Returns false on an unparseable rule file.
+bool apply_timeseries_flags(const TelemetryOptions& telemetry,
+                            core::PipelineOptions& options) {
+  if (telemetry.series_out.empty() && telemetry.alerts_out.empty()) {
+    return true;
+  }
+  options.timeseries.enabled = true;
+  options.timeseries.scrape_interval_sec = telemetry.scrape_interval_sec;
+  if (!telemetry.alert_rules.empty()) {
+    std::string error;
+    options.alert_rules = obs::load_alert_rules(telemetry.alert_rules, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "emapctl: %s\n", error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Turns on the global stage profiler when any profiling output was
 /// requested.  Must run before the pipeline so the hot-path hooks record.
 void maybe_enable_profiler(const TelemetryOptions& telemetry) {
@@ -370,6 +411,19 @@ void emit_telemetry(const TelemetryOptions& telemetry,
     obs::write_spans_jsonl(telemetry.spans_out, *result.tracer);
     std::printf("spans   -> %s (feed to tracecat or 'emapctl trace')\n",
                 telemetry.spans_out.c_str());
+  }
+  if (!telemetry.series_out.empty() && result.series != nullptr) {
+    result.series->write_jsonl(telemetry.series_out);
+    std::printf("series  -> %s (%llu scrape(s); feed to emapreport or "
+                "'emapctl report')\n",
+                telemetry.series_out.c_str(),
+                static_cast<unsigned long long>(result.series->scrapes()));
+  }
+  if (!telemetry.alerts_out.empty() && result.alerts != nullptr) {
+    result.alerts->write_jsonl(telemetry.alerts_out);
+    std::printf("alerts  -> %s (%zu transition(s))\n",
+                telemetry.alerts_out.c_str(),
+                result.alerts->transitions().size());
   }
   if (flight != nullptr) {
     // A breaker/SLO/crash trigger already wrote the interesting dump; only
@@ -644,7 +698,8 @@ int cmd_monitor(int argc, char** argv) {
   pipeline_options.retry = telemetry.retry;
   pipeline_options.robust.enabled = !telemetry.robust_off;
   robust::CrashPointRegistry crashpoints;
-  if (!apply_recovery_flags(telemetry, pipeline_options, crashpoints)) {
+  if (!apply_recovery_flags(telemetry, pipeline_options, crashpoints) ||
+      !apply_timeseries_flags(telemetry, pipeline_options)) {
     return usage();
   }
   obs::FlightRecorder flight_recorder;
@@ -737,7 +792,8 @@ int cmd_synth_run(int argc, char** argv) {
   options.retry = telemetry.retry;
   options.robust.enabled = !telemetry.robust_off;
   robust::CrashPointRegistry crashpoints;
-  if (!apply_recovery_flags(telemetry, options, crashpoints)) {
+  if (!apply_recovery_flags(telemetry, options, crashpoints) ||
+      !apply_timeseries_flags(telemetry, options)) {
     return usage();
   }
   obs::FlightRecorder flight_recorder;
@@ -806,6 +862,55 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+int cmd_report(int argc, char** argv) {
+  std::string series_path;
+  std::string alerts_path;
+  std::string html_path;
+  obs::ReportOptions report;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--alerts") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      alerts_path = v;
+    } else if (arg == "--html") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      html_path = v;
+    } else if (arg == "--series-filter") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      report.series_filter = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (series_path.empty()) {
+      series_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (series_path.empty()) {
+    return usage();
+  }
+  const auto series = obs::load_series_jsonl(series_path);
+  obs::AlertLoadResult alerts;
+  if (!alerts_path.empty()) {
+    alerts = obs::load_alerts_jsonl(alerts_path);
+  }
+  std::fputs(obs::render_ascii_report(series, alerts, report).c_str(),
+             stdout);
+  if (!html_path.empty()) {
+    std::ofstream html(html_path);
+    require(static_cast<bool>(html), "report: cannot write the HTML output");
+    html << obs::render_html_report(series, alerts, report);
+    std::printf("\nhtml report -> %s\n", html_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -830,6 +935,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "trace") == 0) {
       return cmd_trace(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "report") == 0) {
+      return cmd_report(argc - 2, argv + 2);
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "emapctl: %s\n", error.what());

@@ -9,6 +9,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "emap/common/build_info.hpp"
 #include "emap/core/config.hpp"
 #include "emap/dsp/fir.hpp"
@@ -17,6 +21,23 @@
 #include "emap/synth/corpus.hpp"
 
 namespace emap::bench {
+
+/// Peak resident set size of this process in MiB (getrusage ru_maxrss;
+/// KiB on Linux, bytes on macOS), or 0 where unavailable.  Stamped onto
+/// every headline so perfdiff can gate memory alongside latency.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+  }
+#endif
+  return 0.0;
+}
 
 /// Provenance stamped onto every bench headline record: which binary
 /// produced the number (git SHA, compiler, flags) and which EmapConfig it
@@ -77,6 +98,9 @@ inline void write_headline(
   for (const auto& [key, value] : values) {
     json.field(key, value);
   }
+  // perfdiff's higher-is-better keyword list does not match "rss", so a
+  // regression gate on this field correctly treats growth as worse.
+  json.field("peak_rss_mb", peak_rss_mb());
   const char* out_dir = std::getenv("EMAP_BENCH_OUT");
   const std::filesystem::path path =
       std::filesystem::path(out_dir != nullptr ? out_dir : ".") /

@@ -6,6 +6,7 @@
 #include "emap/common/error.hpp"
 #include "emap/obs/flight.hpp"
 #include "emap/obs/span.hpp"
+#include "emap/obs/timeseries.hpp"
 
 namespace emap::core {
 
@@ -164,6 +165,11 @@ std::vector<ServiceResponse> CloudService::process_all() {
       metrics_.wait->observe(response.wait_sec());
       metrics_.service->observe(service);
       metrics_.response->observe(response.response_sec());
+    }
+    if (scraper_ != nullptr) {
+      // Sample along the batch's virtual timeline (the scraper rate-limits
+      // to its own interval; most completions are a no-op).
+      scraper_->maybe_scrape(response.completion_sec);
     }
     responses.push_back(std::move(response));
   }

@@ -22,6 +22,7 @@
 
 namespace emap::obs {
 class FlightRecorder;
+class TimeSeriesScraper;
 class Tracer;
 }  // namespace emap::obs
 
@@ -132,6 +133,14 @@ class CloudService {
     flight_ = recorder;
   }
 
+  /// Attaches a time-series scraper (borrowed; nullptr disables).
+  /// process_all() offers every response's virtual completion instant to
+  /// the scraper, so the queue/wait/utilization metrics get sampled along
+  /// the batch's simulated timeline rather than once at exit.
+  void set_timeseries(obs::TimeSeriesScraper* scraper) {
+    scraper_ = scraper;
+  }
+
  private:
   CloudNode node_;
   sim::DeviceProfile device_;
@@ -145,6 +154,7 @@ class CloudService {
   net::FaultInjector* injector_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;
+  obs::TimeSeriesScraper* scraper_ = nullptr;
   std::unique_ptr<robust::AdmissionController> admission_;
 
   struct ServiceMetrics {

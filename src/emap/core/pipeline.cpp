@@ -481,6 +481,39 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     options_.crashpoints->set_flight_recorder(flight);
   }
 
+  // Time-series scraping + alerting, both strictly opt-in: disabled, no
+  // hook runs anywhere in the loop and the run is bit-identical to a
+  // build without this subsystem.
+  std::shared_ptr<obs::TimeSeriesStore> series_store;
+  std::optional<obs::TimeSeriesScraper> scraper;
+  std::shared_ptr<obs::AlertEngine> alert_engine;
+  if (options_.timeseries.enabled && options_.metrics != nullptr) {
+    // These families measure *host* time (ScopedTimer / search wall
+    // clock), so their values differ between identical seeded runs.
+    // Excluding them keeps the exported JSONL bit-identical run to run;
+    // every other family the pipeline records is virtual-clock driven.
+    obs::TimeSeriesOptions scrape_options = options_.timeseries;
+    for (const char* family :
+         {"emap_search_wall_seconds", "emap_codec_encode_seconds",
+          "emap_codec_decode_seconds"}) {
+      scrape_options.skip_families.emplace_back(family);
+    }
+    series_store = std::make_shared<obs::TimeSeriesStore>(scrape_options);
+    scraper.emplace(options_.metrics, series_store.get());
+    result.series = series_store;
+    if (options_.alerts_enabled) {
+      obs::AlertEngine::Hooks hooks;
+      hooks.registry = options_.metrics;
+      hooks.tracer = tracer;
+      hooks.flight = flight;
+      alert_engine = std::make_shared<obs::AlertEngine>(
+          options_.alert_rules.empty() ? obs::default_alert_rules()
+                                       : options_.alert_rules,
+          hooks);
+      result.alerts = alert_engine;
+    }
+  }
+
   // Fresh per run (runs are independent); the registry-side emap_slo_*
   // counters accumulate across runs like every other pipeline metric.
   obs::SloMonitor edge_slo(obs::edge_iteration_slo(), options_.metrics);
@@ -490,6 +523,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   std::int64_t last_loaded_sequence = -1;
   double total_track_sec = 0.0;
   std::size_t track_steps = 0;
+  double last_window_end_sec = 0.0;
 
   // ---- Crash-consistent checkpoint/restore (robust/checkpoint.hpp). ----
   robust::CrashPointRegistry* crashpoints = options_.crashpoints;
@@ -1056,6 +1090,15 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
       }
     }
 
+    // Scrape on the virtual clock at the window boundary; alert rules see
+    // the store immediately after, attributed to this window's trace.
+    if (scraper) {
+      last_window_end_sec = t_end;
+      if (scraper->maybe_scrape(t_end) && alert_engine) {
+        alert_engine->evaluate(*series_store, t_end, window_trace);
+      }
+    }
+
     result.iterations.push_back(record);
     EMAP_CRASH_POINT(crashpoints, "pipeline_window_end");
     // Snapshot at the window boundary (absolute index, so a resumed run
@@ -1074,6 +1117,14 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   }
   result.anomaly_predicted = edge.predictor().anomaly_predicted();
   result.first_alarm_sec = edge.predictor().first_alarm_sec();
+  // A run shorter than one scrape interval still exports one sample per
+  // series (otherwise short smoke runs produce an empty file).
+  if (scraper && series_store->scrapes() == 0) {
+    scraper->scrape_now(last_window_end_sec);
+    if (alert_engine) {
+      alert_engine->evaluate(*series_store, last_window_end_sec, 0);
+    }
+  }
   result.slo = {edge_slo.summary(), initial_slo.summary()};
   flush_deferred();
   if (controller) {

@@ -29,8 +29,10 @@
 #include "emap/net/channel.hpp"
 #include "emap/net/fault.hpp"
 #include "emap/net/retry.hpp"
+#include "emap/obs/alert.hpp"
 #include "emap/obs/metrics.hpp"
 #include "emap/obs/slo.hpp"
+#include "emap/obs/timeseries.hpp"
 #include "emap/obs/span.hpp"
 #include "emap/obs/trace_context.hpp"
 #include "emap/robust/robust.hpp"
@@ -112,6 +114,17 @@ struct PipelineOptions {
   /// points fire inside the window loop and the checkpoint writer; see
   /// robust::crash_point_catalog() for the registered names.
   robust::CrashPointRegistry* crashpoints = nullptr;
+  /// Time-series scraping of options.metrics into per-series ring buffers
+  /// (obs/timeseries.hpp).  Requires metrics != nullptr; scrapes happen at
+  /// window boundaries on the virtual clock, so identical seeded runs
+  /// export bit-identical series JSONL.  Disabled (the default) installs
+  /// no hook at all — runs stay bit-identical to pre-time-series output.
+  obs::TimeSeriesOptions timeseries{};
+  /// Alert rules evaluated after every scrape (only with
+  /// timeseries.enabled).  Empty installs obs::default_alert_rules();
+  /// alerts_enabled = false evaluates nothing.
+  std::vector<obs::AlertRule> alert_rules{};
+  bool alerts_enabled = true;
 };
 
 /// Per-iteration record of the run.
@@ -189,6 +202,13 @@ struct RunResult {
   /// Robustness controller-loop outcome (all zeros with enabled = false);
   /// export with robust::write_robust_summary.
   robust::RobustSummary robust;
+  /// Scraped time series (null when options.timeseries.enabled is false);
+  /// export with TimeSeriesStore::write_jsonl.
+  std::shared_ptr<obs::TimeSeriesStore> series;
+  /// Alert engine after the run — rule states and the transition log
+  /// (null when time-series scraping or alerting is off); export with
+  /// AlertEngine::write_jsonl.
+  std::shared_ptr<obs::AlertEngine> alerts;
 
   /// P_A sequence across tracked iterations.
   std::vector<double> pa_history() const;

@@ -1,0 +1,465 @@
+#include "emap/obs/alert.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
+#include "emap/obs/flight.hpp"
+#include "emap/obs/span.hpp"
+
+namespace emap::obs {
+
+const char* alert_rule_kind_name(AlertRuleKind kind) {
+  switch (kind) {
+    case AlertRuleKind::kThreshold:
+      return "threshold";
+    case AlertRuleKind::kRate:
+      return "rate";
+    case AlertRuleKind::kEwma:
+      return "ewma";
+    case AlertRuleKind::kBurnRate:
+      return "burn";
+  }
+  return "unknown";
+}
+
+const char* alert_op_name(AlertOp op) {
+  switch (op) {
+    case AlertOp::kGt:
+      return "gt";
+    case AlertOp::kGe:
+      return "ge";
+    case AlertOp::kLt:
+      return "lt";
+    case AlertOp::kLe:
+      return "le";
+  }
+  return "unknown";
+}
+
+const char* alert_state_name(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "unknown";
+}
+
+void AlertRule::validate() const {
+  require(!name.empty(), "AlertRule: name must not be empty");
+  require(!series.empty(), "AlertRule: series must not be empty");
+  require(for_sec >= 0.0, "AlertRule: for_sec must be non-negative");
+  if (kind == AlertRuleKind::kRate) {
+    require(window_sec > 0.0, "AlertRule: rate window must be positive");
+  }
+  if (kind == AlertRuleKind::kEwma) {
+    require(alpha > 0.0 && alpha <= 1.0,
+            "AlertRule: ewma alpha must be in (0, 1]");
+    require(sigma > 0.0, "AlertRule: ewma sigma must be positive");
+    require(min_delta >= 0.0,
+            "AlertRule: ewma min_delta must be non-negative");
+  }
+}
+
+namespace {
+
+bool compare(AlertOp op, double value, double limit) {
+  switch (op) {
+    case AlertOp::kGt:
+      return value > limit;
+    case AlertOp::kGe:
+      return value >= limit;
+    case AlertOp::kLt:
+      return value < limit;
+    case AlertOp::kLe:
+      return value <= limit;
+  }
+  return false;
+}
+
+}  // namespace
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules, Hooks hooks)
+    : rules_(std::move(rules)), status_(rules_.size()), hooks_(hooks) {
+  for (const AlertRule& rule : rules_) {
+    rule.validate();
+  }
+}
+
+AlertEngine::RuleEval AlertEngine::evaluate_rule(std::size_t rule_index,
+                                                 const TimeSeriesStore& store) {
+  const AlertRule& rule = rules_[rule_index];
+  AlertRuleStatus& status = status_[rule_index];
+  RuleEval eval;
+  const Series* series = store.find(rule.series);
+  if (series == nullptr) {
+    return eval;  // watched series not scraped yet: never a breach
+  }
+  const std::optional<double> last = series->last_value();
+  if (!last.has_value()) {
+    return eval;
+  }
+  eval.has_value = true;
+  switch (rule.kind) {
+    case AlertRuleKind::kThreshold:
+    case AlertRuleKind::kBurnRate:
+      eval.value = *last;
+      eval.threshold = rule.value;
+      eval.breached = compare(rule.op, eval.value, eval.threshold);
+      break;
+    case AlertRuleKind::kRate:
+      eval.value = series->rate_over(rule.window_sec);
+      eval.threshold = rule.value;
+      eval.breached = compare(rule.op, eval.value, eval.threshold);
+      break;
+    case AlertRuleKind::kEwma: {
+      eval.value = *last;
+      if (status.ewma_samples == 0) {
+        status.ewma_mean = eval.value;
+        status.ewma_var = 0.0;
+        status.ewma_samples = 1;
+        eval.threshold = 0.0;
+        break;
+      }
+      const double deviation = eval.value - status.ewma_mean;
+      const double stddev = std::sqrt(status.ewma_var);
+      eval.threshold =
+          std::max(rule.sigma * stddev, rule.min_delta);
+      const bool warmed = status.ewma_samples >= rule.warmup;
+      const double magnitude = std::fabs(deviation);
+      bool directional = true;
+      if (rule.op == AlertOp::kGt || rule.op == AlertOp::kGe) {
+        directional = deviation > 0.0;
+      } else {
+        directional = deviation < 0.0;
+      }
+      eval.breached =
+          warmed && directional && magnitude > eval.threshold;
+      // Mean adapts to every sample so a sustained level shift becomes
+      // the new normal (and the alert resolves); variance learns only
+      // from in-band samples so one outburst cannot widen the band and
+      // mask itself.
+      status.ewma_mean += rule.alpha * deviation;
+      if (!eval.breached) {
+        status.ewma_var =
+            (1.0 - rule.alpha) *
+            (status.ewma_var + rule.alpha * deviation * deviation);
+      }
+      ++status.ewma_samples;
+      break;
+    }
+  }
+  return eval;
+}
+
+void AlertEngine::transition(std::size_t rule_index, double t_sec,
+                             bool firing, const RuleEval& eval,
+                             std::uint64_t trace_id) {
+  const AlertRule& rule = rules_[rule_index];
+  AlertRuleStatus& status = status_[rule_index];
+  AlertTransition record;
+  record.rule = rule.name;
+  record.series = rule.series;
+  record.t_sec = t_sec;
+  record.firing = firing;
+  record.value = eval.value;
+  record.threshold = eval.threshold;
+  record.trace_id = trace_id;
+  transitions_.push_back(record);
+  if (firing) {
+    ++status.fired;
+  } else {
+    ++status.resolved;
+  }
+  if (hooks_.registry != nullptr) {
+    hooks_.registry
+        ->counter(firing ? "emap_alerts_fired_total"
+                         : "emap_alerts_resolved_total",
+                  {{"rule", rule.name}},
+                  firing ? "Alert firing transitions"
+                         : "Alert resolved transitions")
+        .increment();
+    // emap_alerts_firing is set once per evaluate() pass, after every
+    // rule's state has settled.
+  }
+  if (hooks_.tracer != nullptr) {
+    hooks_.tracer->record_sim(
+        std::string("alert:") + rule.name + (firing ? ":fired" : ":resolved"),
+        "alert", t_sec, t_sec, 0, trace_id);
+  }
+  if (hooks_.flight != nullptr) {
+    hooks_.flight->log(FlightEventType::kAlert,
+                       (rule.name + (firing ? ":fired" : ":resolved")).c_str(),
+                       t_sec, trace_id, eval.value, eval.threshold);
+    if (firing) {
+      hooks_.flight->trigger_dump("alert_firing");
+    }
+  }
+}
+
+std::size_t AlertEngine::evaluate(const TimeSeriesStore& store, double t_sec,
+                                  std::uint64_t trace_id) {
+  ++evaluations_;
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    AlertRuleStatus& status = status_[i];
+    const RuleEval eval = evaluate_rule(i, store);
+    if (!eval.has_value) {
+      continue;
+    }
+    status.ever_evaluated = true;
+    status.last_value = eval.value;
+    status.last_breached = eval.breached;
+    if (eval.breached) {
+      switch (status.state) {
+        case AlertState::kInactive:
+          status.pending_since_sec = t_sec;
+          if (t_sec - status.pending_since_sec >= rule.for_sec) {
+            status.state = AlertState::kFiring;
+            transition(i, t_sec, true, eval, trace_id);
+            ++changed;
+          } else {
+            status.state = AlertState::kPending;
+          }
+          break;
+        case AlertState::kPending:
+          if (t_sec - status.pending_since_sec >= rule.for_sec) {
+            status.state = AlertState::kFiring;
+            transition(i, t_sec, true, eval, trace_id);
+            ++changed;
+          }
+          break;
+        case AlertState::kFiring:
+          break;
+      }
+    } else {
+      if (status.state == AlertState::kFiring) {
+        transition(i, t_sec, false, eval, trace_id);
+        ++changed;
+      }
+      status.state = AlertState::kInactive;
+    }
+  }
+  if (hooks_.registry != nullptr) {
+    hooks_.registry
+        ->counter("emap_alerts_evaluations_total", {},
+                  "Alert rule-set evaluations")
+        .increment();
+    hooks_.registry->gauge("emap_alerts_firing", {}, "Rules currently firing")
+        .set(static_cast<double>(firing_count()));
+  }
+  return changed;
+}
+
+std::size_t AlertEngine::firing_count() const {
+  std::size_t firing = 0;
+  for (const AlertRuleStatus& status : status_) {
+    if (status.state == AlertState::kFiring) {
+      ++firing;
+    }
+  }
+  return firing;
+}
+
+bool AlertEngine::ever_fired(const std::string& rule_name) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].name == rule_name && status_[i].fired > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string AlertEngine::to_jsonl() const {
+  std::string out;
+  for (const AlertTransition& transition : transitions_) {
+    JsonWriter json;
+    json.field("rule", transition.rule)
+        .field("series", transition.series)
+        .field("t_sec", transition.t_sec)
+        .field("state", transition.firing ? "firing" : "resolved")
+        .field("value", transition.value)
+        .field("threshold", transition.threshold)
+        .field("trace_id", transition.trace_id);
+    out += json.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void AlertEngine::write_jsonl(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  require(static_cast<bool>(stream),
+          ("AlertEngine::write_jsonl: cannot open " + path.string()).c_str());
+  stream << to_jsonl();
+}
+
+std::string burn_rate_series_key(const std::string& slo_name) {
+  return series_key_for("emap_slo_burn_rate", {{"slo", slo_name}});
+}
+
+namespace {
+
+bool parse_op(const std::string& text, AlertOp* op) {
+  if (text == "gt") {
+    *op = AlertOp::kGt;
+  } else if (text == "ge") {
+    *op = AlertOp::kGe;
+  } else if (text == "lt") {
+    *op = AlertOp::kLt;
+  } else if (text == "le") {
+    *op = AlertOp::kLe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_kind(const std::string& text, AlertRuleKind* kind) {
+  if (text == "threshold") {
+    *kind = AlertRuleKind::kThreshold;
+  } else if (text == "rate") {
+    *kind = AlertRuleKind::kRate;
+  } else if (text == "ewma") {
+    *kind = AlertRuleKind::kEwma;
+  } else if (text == "burn") {
+    *kind = AlertRuleKind::kBurnRate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<AlertRule> parse_alert_rules(const std::string& text,
+                                         std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  std::vector<AlertRule> rules;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "alert rules line " + std::to_string(line_number) + ": " +
+               message;
+    }
+    return rules;
+  };
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) {
+      continue;  // blank / comment-only line
+    }
+    if (head != "rule") {
+      return fail("expected 'rule', got '" + head + "'");
+    }
+    AlertRule rule;
+    std::string kind_text;
+    if (!(tokens >> rule.name >> kind_text)) {
+      return fail("expected 'rule <name> <kind> ...'");
+    }
+    if (!parse_kind(kind_text, &rule.kind)) {
+      return fail("unknown rule kind '" + kind_text + "'");
+    }
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "series") {
+          rule.series = value;
+        } else if (key == "slo") {
+          rule.series = burn_rate_series_key(value);
+        } else if (key == "op") {
+          if (!parse_op(value, &rule.op)) {
+            return fail("unknown op '" + value + "'");
+          }
+        } else if (key == "value") {
+          rule.value = std::stod(value);
+        } else if (key == "window") {
+          rule.window_sec = std::stod(value);
+        } else if (key == "alpha") {
+          rule.alpha = std::stod(value);
+        } else if (key == "sigma") {
+          rule.sigma = std::stod(value);
+        } else if (key == "warmup") {
+          rule.warmup = static_cast<std::size_t>(std::stoul(value));
+        } else if (key == "min_delta") {
+          rule.min_delta = std::stod(value);
+        } else if (key == "for") {
+          rule.for_sec = std::stod(value);
+        } else {
+          return fail("unknown key '" + key + "'");
+        }
+      } catch (const std::exception&) {
+        return fail("bad number in '" + token + "'");
+      }
+    }
+    if (rule.kind == AlertRuleKind::kBurnRate && rule.value == 0.0) {
+      rule.value = 1.0;  // burn rate 1.0 = budget exactly consumed
+    }
+    if (rule.series.empty()) {
+      return fail("rule '" + rule.name + "' names no series (series= or slo=)");
+    }
+    try {
+      rule.validate();
+    } catch (const std::exception& bad) {
+      return fail(bad.what());
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<AlertRule> load_alert_rules(const std::filesystem::path& path,
+                                        std::string* error) {
+  std::ifstream stream(path);
+  if (!stream) {
+    if (error != nullptr) {
+      *error = "cannot open alert rules file " + path.string();
+    }
+    return {};
+  }
+  std::ostringstream text;
+  text << stream.rdbuf();
+  return parse_alert_rules(text.str(), error);
+}
+
+std::vector<AlertRule> default_alert_rules() {
+  const std::string text =
+      "# Installed when alerting is enabled without a rule file.\n"
+      "rule track_latency_step ewma series=emap_track_step_seconds:mean "
+      "alpha=0.1 sigma=4 warmup=30 min_delta=1e-6 for=3\n"
+      "rule edge_iteration_burn burn slo=edge_iteration value=1.0 for=5\n"
+      "rule initial_response_burn burn slo=initial_response value=1.0 "
+      "for=5\n";
+  std::string error;
+  std::vector<AlertRule> rules = parse_alert_rules(text, &error);
+  require(error.empty(), "default_alert_rules: self-parse failed");
+  return rules;
+}
+
+}  // namespace emap::obs

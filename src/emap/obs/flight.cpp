@@ -35,6 +35,8 @@ const char* flight_event_type_name(FlightEventType type) {
       return "resume";
     case FlightEventType::kCrashPoint:
       return "crash_point";
+    case FlightEventType::kAlert:
+      return "alert";
   }
   return "?";
 }

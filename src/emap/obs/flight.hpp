@@ -36,6 +36,7 @@ enum class FlightEventType : std::uint8_t {
   kCheckpoint,        ///< session checkpoint written
   kResume,            ///< run resumed from a checkpoint
   kCrashPoint,        ///< crash point tripped (always the dump's last event)
+  kAlert,             ///< alert rule fired or resolved (a=value, b=threshold)
 };
 
 const char* flight_event_type_name(FlightEventType type);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "emap/common/error.hpp"
 
@@ -121,20 +123,89 @@ Labels sorted_labels(Labels labels) {
 
 }  // namespace
 
+std::size_t MetricsRegistry::max_series_per_family() const {
+  if (max_series_cache_ == 0) {
+    max_series_cache_ = kDefaultMaxSeriesPerFamily;
+    if (const char* env = std::getenv("EMAP_METRICS_MAX_SERIES")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) {
+        max_series_cache_ = static_cast<std::size_t>(parsed);
+      }
+    }
+  }
+  return max_series_cache_;
+}
+
+MetricEntry& MetricsRegistry::sink_for(MetricKind kind,
+                                       std::vector<double>* bounds) {
+  auto& sink = sinks_[static_cast<std::size_t>(kind)];
+  if (!sink) {
+    sink = std::make_unique<MetricEntry>();
+    sink->name = "emap_dropped_series_sink";
+    sink->kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        sink->counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        sink->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        sink->histogram = std::make_unique<Histogram>(
+            bounds != nullptr && !bounds->empty()
+                ? *bounds
+                : Histogram::default_latency_bounds());
+        break;
+    }
+  }
+  return *sink;
+}
+
 MetricEntry& MetricsRegistry::lookup(const std::string& name,
                                      const Labels& labels,
                                      const std::string& help, MetricKind kind,
                                      std::vector<double>* bounds) {
   require(!name.empty(), "MetricsRegistry: metric name must not be empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookup_locked(name, labels, help, kind, bounds);
+}
+
+MetricEntry& MetricsRegistry::lookup_locked(const std::string& name,
+                                            const Labels& labels,
+                                            const std::string& help,
+                                            MetricKind kind,
+                                            std::vector<double>* bounds) {
   const Labels sorted = sorted_labels(labels);
   const std::string key = series_key(name, sorted);
-  std::lock_guard<std::mutex> lock(mutex_);
   const auto found = index_.find(key);
   if (found != index_.end()) {
     MetricEntry& entry = *entries_[found->second];
     require(entry.kind == kind,
             "MetricsRegistry: metric already registered with another kind");
     return entry;
+  }
+  // Cardinality guard: refuse the cap-breaking label-set, account for it,
+  // and hand back a sink so the (cached) call site still has a live
+  // instrument to record into.
+  if (family_series_[name] >= max_series_per_family()) {
+    dropped_series_.fetch_add(1, std::memory_order_relaxed);
+    if (name != "emap_metrics_dropped_series_total") {
+      // The recursion is bounded: the inner name differs from the outer,
+      // and the drop counter never re-enters for itself.
+      lookup_locked("emap_metrics_dropped_series_total", {{"metric", name}},
+                    "Series registrations refused by the cardinality guard",
+                    MetricKind::kCounter, nullptr)
+          .counter->increment();
+    }
+    if (!family_warned_[name]) {
+      family_warned_[name] = true;
+      std::fprintf(stderr,
+                   "emap: metric family '%s' hit the %zu-series cardinality "
+                   "cap (EMAP_METRICS_MAX_SERIES); further label-sets are "
+                   "dropped\n",
+                   name.c_str(), max_series_per_family());
+    }
+    return sink_for(kind, bounds);
   }
   auto entry = std::make_unique<MetricEntry>();
   entry->name = name;
@@ -154,6 +225,7 @@ MetricEntry& MetricsRegistry::lookup(const std::string& name,
   }
   index_.emplace(key, entries_.size());
   entries_.push_back(std::move(entry));
+  ++family_series_[name];
   return *entries_.back();
 }
 

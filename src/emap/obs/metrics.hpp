@@ -139,14 +139,40 @@ class MetricsRegistry {
   /// Number of distinct metric names (families), ignoring label sets.
   std::size_t family_count() const;
 
+  /// Cardinality guard: at most this many distinct label-sets per metric
+  /// family.  Defaults to 1000, overridable via EMAP_METRICS_MAX_SERIES
+  /// (read once, at the first registration).  Registrations past the cap
+  /// return an unregistered sink instrument (reference-stable, recorded
+  /// into but never exported or scraped), bump
+  /// `emap_metrics_dropped_series_total{metric="<family>"}`, and warn on
+  /// stderr once per family — a labels-from-user-input bug degrades into
+  /// one counter instead of unbounded registry growth.
+  static constexpr std::size_t kDefaultMaxSeriesPerFamily = 1000;
+  std::size_t max_series_per_family() const;
+  /// Series registrations refused by the guard so far.
+  std::uint64_t dropped_series() const {
+    return dropped_series_.load(std::memory_order_relaxed);
+  }
+
  private:
   MetricEntry& lookup(const std::string& name, const Labels& labels,
                       const std::string& help, MetricKind kind,
                       std::vector<double>* bounds);
+  /// lookup with mutex_ already held (the drop path re-enters to register
+  /// the dropped-series counter).
+  MetricEntry& lookup_locked(const std::string& name, const Labels& labels,
+                             const std::string& help, MetricKind kind,
+                             std::vector<double>* bounds);
+  MetricEntry& sink_for(MetricKind kind, std::vector<double>* bounds);
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<MetricEntry>> entries_;
   std::unordered_map<std::string, std::size_t> index_;  // name+labels -> slot
+  std::unordered_map<std::string, std::size_t> family_series_;
+  std::unordered_map<std::string, bool> family_warned_;
+  std::unique_ptr<MetricEntry> sinks_[3];  // one per MetricKind
+  std::atomic<std::uint64_t> dropped_series_{0};
+  mutable std::size_t max_series_cache_ = 0;  // 0 = env not read yet
 };
 
 }  // namespace emap::obs

@@ -1,0 +1,406 @@
+#include "emap/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
+
+namespace emap::obs {
+
+void TimeSeriesOptions::validate() const {
+  require(scrape_interval_sec > 0.0,
+          "TimeSeriesOptions: scrape_interval_sec must be positive");
+  require(tier_capacity >= 2,
+          "TimeSeriesOptions: tier_capacity must be at least 2");
+  require(downsample_factor >= 2,
+          "TimeSeriesOptions: downsample_factor must be at least 2");
+  require(tier_capacity >= downsample_factor,
+          "TimeSeriesOptions: tier_capacity must cover one downsample batch");
+}
+
+const char* series_kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kGauge:
+      return "gauge";
+    case SeriesKind::kSample:
+      return "sample";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kTierCount = 3;  // raw, 10x, 100x
+
+SeriesBucket merge_buckets(const SeriesBucket* begin,
+                           const SeriesBucket* end) {
+  SeriesBucket merged = *begin;
+  for (const SeriesBucket* bucket = begin + 1; bucket != end; ++bucket) {
+    merged.t_end_sec = bucket->t_end_sec;
+    merged.min = std::min(merged.min, bucket->min);
+    merged.max = std::max(merged.max, bucket->max);
+    merged.sum += bucket->sum;
+    merged.count += bucket->count;
+    merged.last = bucket->last;
+  }
+  return merged;
+}
+
+}  // namespace
+
+Series::Series(std::string key, SeriesKind kind, std::size_t tier_capacity,
+               std::size_t downsample_factor)
+    : key_(std::move(key)),
+      kind_(kind),
+      tier_capacity_(tier_capacity),
+      downsample_factor_(downsample_factor),
+      tiers_(kTierCount) {}
+
+void Series::append(double t_sec, double value) {
+  SeriesBucket bucket;
+  bucket.t_start_sec = bucket.t_end_sec = t_sec;
+  bucket.min = bucket.max = bucket.sum = value;
+  bucket.first = bucket.last = value;
+  bucket.count = 1;
+  tiers_[0].push_back(bucket);
+  if (tiers_[0].size() > tier_capacity_) {
+    compact_tier(0);
+  }
+}
+
+void Series::compact_tier(std::size_t tier) {
+  // Merge the oldest `downsample_factor` buckets of `tier` into one bucket
+  // of the next tier; the coarsest tier instead drops its oldest bucket —
+  // that is the retention horizon, and the only place history is lost.
+  std::deque<SeriesBucket>& fine = tiers_[tier];
+  const std::size_t batch = std::min(downsample_factor_, fine.size());
+  std::vector<SeriesBucket> oldest(fine.begin(),
+                                   fine.begin() + static_cast<std::ptrdiff_t>(
+                                                      batch));
+  fine.erase(fine.begin(),
+             fine.begin() + static_cast<std::ptrdiff_t>(batch));
+  const SeriesBucket merged =
+      merge_buckets(oldest.data(), oldest.data() + oldest.size());
+  if (tier + 1 >= tiers_.size()) {
+    ++dropped_buckets_;
+    return;
+  }
+  tiers_[tier + 1].push_back(merged);
+  if (tiers_[tier + 1].size() > tier_capacity_) {
+    compact_tier(tier + 1);
+  }
+}
+
+std::vector<SeriesBucket> Series::buckets() const {
+  std::vector<SeriesBucket> all;
+  all.reserve(total_buckets());
+  for (std::size_t tier = tiers_.size(); tier-- > 0;) {
+    all.insert(all.end(), tiers_[tier].begin(), tiers_[tier].end());
+  }
+  return all;
+}
+
+std::vector<SeriesBucket> Series::buckets(double from_sec,
+                                          double to_sec) const {
+  std::vector<SeriesBucket> selected;
+  for (const SeriesBucket& bucket : buckets()) {
+    if (bucket.t_end_sec >= from_sec && bucket.t_start_sec <= to_sec) {
+      selected.push_back(bucket);
+    }
+  }
+  return selected;
+}
+
+std::optional<double> Series::last_value() const {
+  for (const std::deque<SeriesBucket>& tier : tiers_) {
+    if (!tier.empty() && &tier == &tiers_[0]) {
+      return tier.back().last;
+    }
+  }
+  // Raw tier empty (possible only before the first scrape, or never: raw
+  // always holds the newest point); fall back across tiers anyway.
+  for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
+    if (!tiers_[tier].empty()) {
+      return tiers_[tier].back().last;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Series::last_time_sec() const {
+  for (std::size_t tier = 0; tier < tiers_.size(); ++tier) {
+    if (!tiers_[tier].empty()) {
+      return tiers_[tier].back().t_end_sec;
+    }
+  }
+  return std::nullopt;
+}
+
+double Series::rate_over(double window_sec) const {
+  const std::vector<SeriesBucket> all = buckets();
+  if (all.size() < 2 && (all.empty() || all.front().count < 2)) {
+    return 0.0;
+  }
+  const double now = all.back().t_end_sec;
+  const double from = now - window_sec;
+  // Walk back to the oldest bucket still inside the window; the increase is
+  // newest.last - that bucket's first (counters are monotone, and bucket
+  // first/last survive compaction exactly).
+  const SeriesBucket* oldest = &all.back();
+  for (const SeriesBucket& bucket : all) {
+    if (bucket.t_end_sec >= from) {
+      oldest = &bucket;
+      break;
+    }
+  }
+  // The oldest bucket's first sample sits at its t_start, so the elapsed
+  // time matching the (last - first) increase is measured from there —
+  // dividing by the nominal window would overstate the rate whenever the
+  // window boundary falls inside a compacted bucket.
+  const double dt = now - oldest->t_start_sec;
+  if (dt <= 0.0) {
+    return 0.0;
+  }
+  return (all.back().last - oldest->first) / dt;
+}
+
+double Series::max_over(double window_sec) const {
+  const std::vector<SeriesBucket> all = buckets();
+  if (all.empty()) {
+    return 0.0;
+  }
+  const double from = all.back().t_end_sec - window_sec;
+  double best = all.back().max;
+  for (const SeriesBucket& bucket : all) {
+    if (bucket.t_end_sec >= from) {
+      best = std::max(best, bucket.max);
+    }
+  }
+  return best;
+}
+
+double Series::mean_over(double window_sec) const {
+  const std::vector<SeriesBucket> all = buckets();
+  if (all.empty()) {
+    return 0.0;
+  }
+  const double from = all.back().t_end_sec - window_sec;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const SeriesBucket& bucket : all) {
+    if (bucket.t_end_sec >= from) {
+      sum += bucket.sum;
+      count += bucket.count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t Series::total_buckets() const {
+  std::size_t total = 0;
+  for (const std::deque<SeriesBucket>& tier : tiers_) {
+    total += tier.size();
+  }
+  return total;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+std::string series_key_for(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  if (!labels.empty()) {
+    key += '{';
+    bool first = true;
+    for (const auto& [label, value] : labels) {
+      if (!first) {
+        key += ',';
+      }
+      first = false;
+      key += label + "=\"" + value + '"';
+    }
+    key += '}';
+  }
+  return key;
+}
+
+Series& TimeSeriesStore::series_for(const std::string& key,
+                                    SeriesKind kind) {
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    return series_[found->second];
+  }
+  index_.emplace(key, series_.size());
+  series_.emplace_back(key, kind, options_.tier_capacity,
+                       options_.downsample_factor);
+  return series_.back();
+}
+
+void TimeSeriesStore::scrape(const MetricsRegistry& registry, double t_sec) {
+  ++scrapes_;
+  for (const MetricEntry* entry : registry.entries()) {
+    if (std::find(options_.skip_families.begin(),
+                  options_.skip_families.end(),
+                  entry->name) != options_.skip_families.end()) {
+      continue;
+    }
+    const std::string key = series_key_for(entry->name, entry->labels);
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        series_for(key, SeriesKind::kCounter)
+            .append(t_sec, static_cast<double>(entry->counter->value()));
+        break;
+      case MetricKind::kGauge:
+        series_for(key, SeriesKind::kGauge)
+            .append(t_sec, entry->gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& histogram = *entry->histogram;
+        const double sum = histogram.sum();
+        const auto count = histogram.count();
+        series_for(key + ":count", SeriesKind::kCounter)
+            .append(t_sec, static_cast<double>(count));
+        series_for(key + ":sum", SeriesKind::kCounter).append(t_sec, sum);
+        // Per-interval mean: Δsum/Δcount since the previous scrape; an
+        // interval with no observations carries the last mean forward so
+        // the series stays aligned with every other series' sample grid.
+        HistCursor& cursor = hist_cursors_[key];
+        const std::uint64_t delta_count = count - cursor.count;
+        if (delta_count > 0) {
+          cursor.last_mean =
+              (sum - cursor.sum) / static_cast<double>(delta_count);
+        }
+        cursor.sum = sum;
+        cursor.count = count;
+        series_for(key + ":mean", SeriesKind::kSample)
+            .append(t_sec, cursor.last_mean);
+        if (options_.histogram_quantiles) {
+          series_for(key + ":p95", SeriesKind::kSample)
+              .append(t_sec, histogram.quantile(0.95));
+        }
+        break;
+      }
+    }
+  }
+}
+
+const Series* TimeSeriesStore::find(const std::string& key) const {
+  const auto found = index_.find(key);
+  return found == index_.end() ? nullptr : &series_[found->second];
+}
+
+std::vector<std::string> TimeSeriesStore::keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(series_.size());
+  for (const Series& series : series_) {
+    keys.push_back(series.key());
+  }
+  return keys;
+}
+
+std::size_t TimeSeriesStore::total_buckets() const {
+  std::size_t total = 0;
+  for (const Series& series : series_) {
+    total += series.total_buckets();
+  }
+  return total;
+}
+
+std::size_t TimeSeriesStore::bucket_capacity() const {
+  // Each tier holds at most tier_capacity buckets, briefly tier_capacity + 1
+  // inside append before compaction runs — compaction restores the bound
+  // before append returns, so the steady-state cap is exact.
+  return series_.size() * kTierCount * options_.tier_capacity;
+}
+
+std::size_t TimeSeriesStore::approx_bytes() const {
+  return total_buckets() * sizeof(SeriesBucket);
+}
+
+std::string TimeSeriesStore::to_jsonl() const {
+  std::string out;
+  for (const Series& series : series_) {
+    const std::vector<SeriesBucket> merged = series.buckets();
+    // Tier of a bucket is recoverable from its count, but the report tools
+    // want it explicit; recompute by walking the tiers in emit order.
+    std::size_t emitted = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> tier_runs;
+    for (std::size_t tier = series.tier_count(); tier-- > 0;) {
+      tier_runs.emplace_back(tier, series.tier_size(tier));
+    }
+    auto tier_of = [&tier_runs](std::size_t index) {
+      for (const auto& [tier, size] : tier_runs) {
+        if (index < size) {
+          return tier;
+        }
+        index -= size;
+      }
+      return std::size_t{0};
+    };
+    for (const SeriesBucket& bucket : merged) {
+      JsonWriter json;
+      json.field("series", series.key())
+          .field("kind", series_kind_name(series.kind()))
+          .field("tier", static_cast<std::uint64_t>(tier_of(emitted)))
+          .field("t0", bucket.t_start_sec)
+          .field("t1", bucket.t_end_sec)
+          .field("min", bucket.min)
+          .field("max", bucket.max)
+          .field("sum", bucket.sum)
+          .field("count", bucket.count)
+          .field("first", bucket.first)
+          .field("last", bucket.last);
+      out += json.str();
+      out += '\n';
+      ++emitted;
+    }
+  }
+  return out;
+}
+
+void TimeSeriesStore::write_jsonl(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream stream(path);
+  require(static_cast<bool>(stream),
+          ("TimeSeriesStore::write_jsonl: cannot open " + path.string())
+              .c_str());
+  stream << to_jsonl();
+}
+
+TimeSeriesScraper::TimeSeriesScraper(const MetricsRegistry* registry,
+                                     TimeSeriesStore* store)
+    : registry_(registry), store_(store) {
+  require(registry_ != nullptr && store_ != nullptr,
+          "TimeSeriesScraper: registry and store are required");
+  next_due_sec_ = store_->options().scrape_interval_sec;
+}
+
+bool TimeSeriesScraper::maybe_scrape(double t_sec) {
+  if (t_sec + 1e-12 < next_due_sec_) {
+    return false;
+  }
+  store_->scrape(*registry_, t_sec);
+  const double interval = store_->options().scrape_interval_sec;
+  // Advance past t_sec by whole intervals: a caller that went quiet for a
+  // while produces one catch-up scrape, not a burst of stale ones.
+  next_due_sec_ += interval;
+  if (next_due_sec_ <= t_sec) {
+    next_due_sec_ =
+        (std::floor(t_sec / interval) + 1.0) * interval;
+  }
+  return true;
+}
+
+void TimeSeriesScraper::scrape_now(double t_sec) {
+  store_->scrape(*registry_, t_sec);
+}
+
+}  // namespace emap::obs

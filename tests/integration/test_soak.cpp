@@ -1,0 +1,238 @@
+// Soak: hours of virtual time under the time-series/alerting stack.
+//
+// The engine-level soak drives the exact series and rules the pipeline
+// installs (default_alert_rules over emap_track_step_seconds:mean and the
+// two SLO burn gauges) through 2+ simulated hours with a latency step
+// injected late in the run, then asserts the whole closed loop: bounded
+// series memory, the EWMA and burn rules firing with a correlated flight
+// dump, and the offline CUSUM report reconstructing the changepoint
+// within ±2 scrape intervals.  The pipeline-level soak runs the real
+// EmapPipeline under the fault injector and pins down determinism
+// (bit-identical JSONL across identical seeded runs) and the off-switch
+// (timeseries disabled changes nothing about the run).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "emap/core/pipeline.hpp"
+#include "emap/obs/alert.hpp"
+#include "emap/obs/dashboard.hpp"
+#include "emap/obs/flight.hpp"
+#include "emap/obs/metrics.hpp"
+#include "emap/obs/span.hpp"
+#include "emap/obs/timeseries.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+constexpr double kSoakSeconds = 7200.0;  // two simulated hours
+constexpr double kStepAtSec = 7000.0;    // latency regression near the end
+constexpr double kBaselineTrack = 0.12;
+constexpr double kSteppedTrack = 0.45;
+
+synth::Recording seizure_input(std::uint64_t seed, double duration = 40.0,
+                               double onset = 35.0) {
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = seed;
+  spec.duration_sec = duration;
+  spec.onset_sec = onset;
+  return synth::make_eval_input(spec);
+}
+
+TEST(Soak, TwoVirtualHoursWithLateLatencyStep) {
+  emap::testing::TempDir dir("soak");
+
+  obs::MetricsRegistry registry;
+  obs::Histogram& track = registry.histogram(
+      "emap_track_step_seconds", {}, obs::Histogram::default_latency_bounds());
+  obs::Gauge& edge_burn = registry.gauge("emap_slo_burn_rate",
+                                         {{"slo", "edge_iteration"}});
+  obs::Gauge& initial_burn = registry.gauge("emap_slo_burn_rate",
+                                            {{"slo", "initial_response"}});
+
+  obs::TimeSeriesOptions ts_options;
+  ts_options.enabled = true;
+  obs::TimeSeriesStore store(ts_options);
+  obs::TimeSeriesScraper scraper(&registry, &store);
+
+  obs::Tracer tracer;
+  obs::FlightRecorder flight(256);
+  flight.set_dump_path(dir.path() / "flight.jsonl");
+
+  obs::AlertEngine::Hooks hooks;
+  hooks.registry = &registry;
+  hooks.tracer = &tracer;
+  hooks.flight = &flight;
+  obs::AlertEngine engine(obs::default_alert_rules(), hooks);
+
+  // One virtual second per iteration, exactly like the pipeline's window
+  // cadence.  Deterministic wobble keeps the EWMA variance finite.
+  for (double t = 1.0; t <= kSoakSeconds; t += 1.0) {
+    const double wobble = 0.001 * std::sin(0.37 * t);
+    const bool stepped = t >= kStepAtSec;
+    track.observe((stepped ? kSteppedTrack : kBaselineTrack) + wobble);
+    edge_burn.set(stepped ? 3.0 : 0.2 + 0.05 * std::sin(0.11 * t));
+    initial_burn.set(0.1);
+    if (scraper.maybe_scrape(t)) {
+      engine.evaluate(store, t, static_cast<std::uint64_t>(t));
+    }
+  }
+
+  // Memory stayed bounded: the retention policy's hard cap held through
+  // 7200 scrapes, with the raw tier long since compacting into coarser
+  // ones for every series.
+  EXPECT_EQ(store.scrapes(), static_cast<std::uint64_t>(kSoakSeconds));
+  EXPECT_LE(store.total_buckets(), store.bucket_capacity());
+  const obs::Series* mean_series = store.find("emap_track_step_seconds:mean");
+  ASSERT_NE(mean_series, nullptr);
+  EXPECT_LE(mean_series->total_buckets(), 3 * ts_options.tier_capacity);
+  EXPECT_GT(mean_series->tier_size(1), 0u);  // compaction actually ran
+
+  // The injected step tripped both default watchdogs...
+  EXPECT_TRUE(engine.ever_fired("track_latency_step"));
+  EXPECT_TRUE(engine.ever_fired("edge_iteration_burn"));
+  EXPECT_FALSE(engine.ever_fired("initial_response_burn"));  // healthy SLO
+
+  // ...at the right instants: both within a debounce of the step.
+  double ewma_fired_at = -1.0;
+  double burn_fired_at = -1.0;
+  for (const obs::AlertTransition& transition : engine.transitions()) {
+    if (!transition.firing) {
+      continue;
+    }
+    if (transition.rule == "track_latency_step" && ewma_fired_at < 0.0) {
+      ewma_fired_at = transition.t_sec;
+    }
+    if (transition.rule == "edge_iteration_burn" && burn_fired_at < 0.0) {
+      burn_fired_at = transition.t_sec;
+    }
+  }
+  EXPECT_GE(ewma_fired_at, kStepAtSec);
+  EXPECT_LE(ewma_fired_at, kStepAtSec + 10.0);
+  EXPECT_GE(burn_fired_at, kStepAtSec);
+  EXPECT_LE(burn_fired_at, kStepAtSec + 10.0);
+  // The EWMA alert self-resolves once the step becomes the new normal.
+  EXPECT_FALSE(engine.transitions().back().firing &&
+               engine.transitions().back().rule == "track_latency_step");
+
+  // Firing left a correlated flight dump: kAlert events in the ring, a
+  // dump on disk, and alert counters in the registry.
+  EXPECT_GE(flight.dumps_written(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "flight.jsonl"));
+  std::size_t alert_events = 0;
+  for (const obs::FlightEvent& event : flight.snapshot()) {
+    alert_events += event.type == obs::FlightEventType::kAlert ? 1 : 0;
+  }
+  EXPECT_GE(alert_events, 2u);
+  EXPECT_GE(registry.counter("emap_alerts_fired_total",
+                             {{"rule", "track_latency_step"}})
+                .value(),
+            1u);
+  EXPECT_GE(tracer.size(), 2u);
+
+  // Offline reconstruction: export, reload, and the CUSUM pass finds the
+  // changepoint within ±2 scrape intervals of the injected step.
+  store.write_jsonl(dir.path() / "series.jsonl");
+  engine.write_jsonl(dir.path() / "alerts.jsonl");
+  const obs::SeriesLoadResult loaded =
+      obs::load_series_jsonl(dir.path() / "series.jsonl");
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  const obs::LoadedSeries* loaded_mean = nullptr;
+  for (const obs::LoadedSeries& series : loaded.series) {
+    if (series.key == "emap_track_step_seconds:mean") {
+      loaded_mean = &series;
+    }
+  }
+  ASSERT_NE(loaded_mean, nullptr);
+  const obs::Changepoint cp = obs::cusum_changepoint(loaded_mean->buckets);
+  ASSERT_TRUE(cp.found);
+  EXPECT_GE(cp.t_sec, kStepAtSec - 2.0 * ts_options.scrape_interval_sec);
+  EXPECT_LE(cp.t_sec, kStepAtSec + 2.0 * ts_options.scrape_interval_sec);
+  EXPECT_NEAR(cp.shift, kSteppedTrack - kBaselineTrack, 0.1);
+
+  // The rendered report ties it together (rule names + changepoint rows).
+  const obs::AlertLoadResult alerts =
+      obs::load_alerts_jsonl(dir.path() / "alerts.jsonl");
+  EXPECT_GE(alerts.transitions.size(), 3u);
+  obs::ReportOptions report_options;
+  report_options.series_filter = "track_step";
+  const std::string report =
+      obs::render_ascii_report(loaded, alerts, report_options);
+  EXPECT_NE(report.find("changepoint"), std::string::npos);
+  EXPECT_NE(report.find("track_latency_step"), std::string::npos);
+}
+
+TEST(Soak, PipelineScrapesUnderFaultsWithBoundedSeries) {
+  obs::MetricsRegistry registry;
+  PipelineOptions options;
+  options.metrics = &registry;
+  options.timeseries.enabled = true;
+  options.fault.up.drop = 0.2;
+  options.fault.seed = 99;
+  const auto result =
+      EmapPipeline(emap::testing::small_mdb(4), EmapConfig{}, options)
+          .run(seizure_input(21));
+
+  ASSERT_NE(result.series, nullptr);
+  ASSERT_NE(result.alerts, nullptr);
+  EXPECT_GT(result.series->scrapes(), 0u);
+  EXPECT_LE(result.series->total_buckets(), result.series->bucket_capacity());
+  // The pipeline's own window-latency series got scraped.
+  EXPECT_NE(result.series->find("emap_track_step_seconds:mean"), nullptr);
+  EXPECT_EQ(result.alerts->evaluations(), result.series->scrapes());
+  // A healthy short run fires nothing.
+  EXPECT_EQ(result.alerts->firing_count(), 0u);
+}
+
+TEST(Soak, IdenticalSeededRunsExportBitIdenticalTelemetry) {
+  auto run_once = [] {
+    obs::MetricsRegistry registry;
+    PipelineOptions options;
+    options.metrics = &registry;
+    options.timeseries.enabled = true;
+    options.fault.up.drop = 0.1;
+    options.fault.seed = 7;
+    const auto result =
+        EmapPipeline(emap::testing::small_mdb(4), EmapConfig{}, options)
+            .run(seizure_input(31));
+    return std::pair<std::string, std::string>(result.series->to_jsonl(),
+                                               result.alerts->to_jsonl());
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);    // series JSONL bit-identical
+  EXPECT_EQ(first.second, second.second);  // alert JSONL bit-identical
+  EXPECT_FALSE(first.first.empty());
+}
+
+TEST(Soak, ScrapingIsAPureObserverOfTheRun) {
+  auto run_with = [](bool timeseries_enabled) {
+    obs::MetricsRegistry registry;
+    PipelineOptions options;
+    options.metrics = &registry;
+    options.timeseries.enabled = timeseries_enabled;
+    return EmapPipeline(emap::testing::small_mdb(4), EmapConfig{}, options)
+        .run(seizure_input(41));
+  };
+  const auto with_scraping = run_with(true);
+  const auto without_scraping = run_with(false);
+
+  // Off = no store, no engine, and — the off-switch contract — the run
+  // itself is untouched by the observer.
+  EXPECT_EQ(without_scraping.series, nullptr);
+  EXPECT_EQ(without_scraping.alerts, nullptr);
+  ASSERT_NE(with_scraping.series, nullptr);
+  EXPECT_EQ(with_scraping.pa_history(), without_scraping.pa_history());
+  EXPECT_EQ(with_scraping.iterations.size(),
+            without_scraping.iterations.size());
+  EXPECT_EQ(with_scraping.first_alarm_sec, without_scraping.first_alarm_sec);
+  EXPECT_EQ(with_scraping.timings.delta_initial_sec,
+            without_scraping.timings.delta_initial_sec);
+}
+
+}  // namespace
+}  // namespace emap::core

@@ -1,0 +1,224 @@
+#include "emap/obs/dashboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "emap/obs/alert.hpp"
+#include "emap/obs/metrics.hpp"
+#include "emap/obs/timeseries.hpp"
+
+namespace emap::obs {
+namespace {
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+std::vector<SeriesBucket> step_series(std::size_t n, std::size_t step_at,
+                                      double low, double high,
+                                      double noise = 0.0) {
+  std::vector<SeriesBucket> buckets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = i < step_at ? low : high;
+    const double value =
+        base + noise * std::sin(0.9 * static_cast<double>(i));
+    buckets[i].t_start_sec = static_cast<double>(i);
+    buckets[i].t_end_sec = static_cast<double>(i);
+    buckets[i].min = buckets[i].max = value;
+    buckets[i].first = buckets[i].last = value;
+    buckets[i].sum = value;
+    buckets[i].count = 1;
+  }
+  return buckets;
+}
+
+TEST(LoadSeriesJsonl, RoundTripsAStoreExport) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("emap_c");
+  registry.gauge("emap_g", {{"shard", "1"}}).set(3.5);
+  TimeSeriesOptions options;
+  options.enabled = true;
+  TimeSeriesStore store(options);
+  for (int t = 1; t <= 5; ++t) {
+    counter.increment(2);
+    store.scrape(registry, static_cast<double>(t));
+  }
+  const auto path = temp_file("emap_dashboard_roundtrip.jsonl");
+  store.write_jsonl(path);
+
+  const SeriesLoadResult loaded = load_series_jsonl(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  ASSERT_EQ(loaded.series.size(), 2u);
+  EXPECT_EQ(loaded.series[0].key, "emap_c");
+  EXPECT_EQ(loaded.series[0].kind, "counter");
+  ASSERT_EQ(loaded.series[0].buckets.size(), 5u);
+  EXPECT_EQ(loaded.series[0].buckets.back().last, 10.0);
+  EXPECT_EQ(loaded.series[0].buckets.back().t_end_sec, 5.0);
+  EXPECT_EQ(loaded.series[1].key, "emap_g{shard=\"1\"}");
+  EXPECT_EQ(loaded.series[1].kind, "gauge");
+}
+
+TEST(LoadSeriesJsonl, SkipsMalformedLinesLeniently) {
+  const auto path = temp_file("emap_dashboard_malformed.jsonl");
+  {
+    std::ofstream stream(path);
+    stream << R"({"series":"emap_g","kind":"gauge","tier":0,"t0":1,"t1":1,)"
+           << R"("min":2,"max":2,"sum":2,"count":1,"first":2,"last":2})"
+           << "\n";
+    stream << "this is not json\n";
+    stream << R"({"series":"emap_g","kind":"gauge","tier":0,"t0":2)"  // cut off
+           << "\n";
+    stream << "\n";  // blank: ignored, not counted as skipped
+  }
+  const SeriesLoadResult loaded = load_series_jsonl(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.series.size(), 1u);
+  EXPECT_EQ(loaded.series[0].buckets.size(), 1u);
+  EXPECT_EQ(loaded.skipped_lines, 2u);
+}
+
+TEST(LoadSeriesJsonl, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_series_jsonl("/nonexistent/series.jsonl"),
+               std::exception);
+}
+
+TEST(LoadAlertsJsonl, RoundTripsEngineExport) {
+  TimeSeriesOptions options;
+  options.enabled = true;
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("emap_g");
+  TimeSeriesStore store(options);
+  AlertRule rule;
+  rule.name = "r";
+  rule.series = "emap_g";
+  rule.value = 5.0;
+  AlertEngine engine({rule});
+  gauge.set(9.0);
+  store.scrape(registry, 1.0);
+  engine.evaluate(store, 1.0);
+  gauge.set(1.0);
+  store.scrape(registry, 2.0);
+  engine.evaluate(store, 2.0);
+
+  const auto path = temp_file("emap_dashboard_alerts.jsonl");
+  engine.write_jsonl(path);
+  const AlertLoadResult loaded = load_alerts_jsonl(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+  ASSERT_EQ(loaded.transitions.size(), 2u);
+  EXPECT_EQ(loaded.transitions[0].rule, "r");
+  EXPECT_TRUE(loaded.transitions[0].firing);
+  EXPECT_EQ(loaded.transitions[0].t_sec, 1.0);
+  EXPECT_EQ(loaded.transitions[0].value, 9.0);
+  EXPECT_FALSE(loaded.transitions[1].firing);
+}
+
+TEST(CusumChangepoint, LocatesACleanStep) {
+  const auto buckets = step_series(100, 60, 1.0, 2.0, /*noise=*/0.05);
+  const Changepoint cp = cusum_changepoint(buckets);
+  ASSERT_TRUE(cp.found);
+  // Excursion starts at (or within a couple of buckets after) the step.
+  EXPECT_GE(cp.bucket_index, 58u);
+  EXPECT_LE(cp.bucket_index, 63u);
+  EXPECT_NEAR(cp.shift, 1.0, 0.2);
+  EXPECT_EQ(cp.t_sec, buckets[cp.bucket_index].t_start_sec);
+}
+
+TEST(CusumChangepoint, FindsDownwardShifts) {
+  const auto buckets = step_series(80, 40, 5.0, 3.0, 0.05);
+  const Changepoint cp = cusum_changepoint(buckets);
+  ASSERT_TRUE(cp.found);
+  EXPECT_GE(cp.bucket_index, 38u);
+  EXPECT_LE(cp.bucket_index, 43u);
+  EXPECT_LT(cp.shift, 0.0);
+}
+
+TEST(CusumChangepoint, QuietOnStationaryOrDegenerateInput) {
+  EXPECT_FALSE(cusum_changepoint({}).found);
+  EXPECT_FALSE(cusum_changepoint(step_series(3, 2, 1.0, 9.0)).found);
+  // Constant series: stddev 0, nothing to standardize against.
+  EXPECT_FALSE(cusum_changepoint(step_series(50, 50, 1.0, 1.0)).found);
+  // Stationary noise should not cross h=5.
+  EXPECT_FALSE(
+      cusum_changepoint(step_series(200, 200, 1.0, 1.0, 0.3)).found);
+}
+
+TEST(Sparkline, MapsRangeOntoBlocksAtRequestedWidth) {
+  const std::string flat = sparkline({1.0, 1.0, 1.0, 1.0}, 4);
+  EXPECT_FALSE(flat.empty());
+  const std::string ramp =
+      sparkline({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, 8);
+  // 8 glyphs, each a 3-byte UTF-8 block character.
+  EXPECT_EQ(ramp.size(), 8u * 3u);
+  EXPECT_EQ(ramp.substr(0, 3), "▁");
+  EXPECT_EQ(ramp.substr(ramp.size() - 3), "█");
+  // More values than columns: resampled, still `width` glyphs.
+  std::vector<double> many(100);
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    many[i] = static_cast<double>(i);
+  }
+  EXPECT_EQ(sparkline(many, 10).size(), 10u * 3u);
+  EXPECT_TRUE(sparkline({}, 10).empty());
+}
+
+TEST(RenderAsciiReport, ShowsSeriesAlertsAndChangepoints) {
+  SeriesLoadResult series;
+  series.series.push_back(
+      {"emap_track_step_seconds:mean", "sample",
+       step_series(100, 60, 0.1, 0.4, 0.005)});
+  series.series.push_back({"emap_windows_total", "counter",
+                           step_series(100, 100, 50.0, 50.0)});
+  AlertLoadResult alerts;
+  alerts.transitions.push_back(
+      {"track_latency_step", "emap_track_step_seconds:mean", 62.0, true,
+       0.4, 0.12});
+
+  const std::string report = render_ascii_report(series, alerts);
+  EXPECT_NE(report.find("emap_track_step_seconds:mean"), std::string::npos);
+  EXPECT_NE(report.find("emap_windows_total"), std::string::npos);
+  EXPECT_NE(report.find("changepoint"), std::string::npos);
+  EXPECT_NE(report.find("track_latency_step"), std::string::npos);
+  EXPECT_NE(report.find("FIRING"), std::string::npos);
+
+  // Filter narrows the table to matching keys.
+  ReportOptions options;
+  options.series_filter = "track_step";
+  const std::string filtered = render_ascii_report(series, alerts, options);
+  EXPECT_NE(filtered.find("emap_track_step_seconds:mean"),
+            std::string::npos);
+  EXPECT_EQ(filtered.find("emap_windows_total"), std::string::npos);
+}
+
+TEST(RenderAsciiReport, HandlesEmptyInputs) {
+  const std::string report =
+      render_ascii_report(SeriesLoadResult{}, AlertLoadResult{});
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(RenderHtmlReport, SelfContainedWithMarkersAndEscaping) {
+  SeriesLoadResult series;
+  series.series.push_back({"emap_g{shard=\"<0>\"}", "gauge",
+                           step_series(50, 30, 1.0, 2.0, 0.02)});
+  AlertLoadResult alerts;
+  alerts.transitions.push_back(
+      {"rule_a", "emap_g{shard=\"<0>\"}", 31.0, true, 2.0, 1.1});
+
+  const std::string html = render_html_report(series, alerts);
+  EXPECT_NE(html.find("<html"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("polyline"), std::string::npos);
+  EXPECT_NE(html.find("rule_a"), std::string::npos);
+  // The raw label must be escaped, never embedded verbatim.
+  EXPECT_EQ(html.find("shard=\"<0>\""), std::string::npos);
+  EXPECT_NE(html.find("&lt;0&gt;"), std::string::npos);
+  // No external assets: self-contained page.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emap::obs

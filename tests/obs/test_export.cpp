@@ -158,14 +158,56 @@ TEST(Prometheus, EmitsTypeHeaderOncePerFamily) {
 // promtool-style lint of the exposition text: every line must be a valid
 // comment or sample, every family must carry exactly one # HELP and one
 // # TYPE emitted before its first sample, and families must not
-// interleave.  Returns the problems found (empty = lint-clean).
+// interleave.  Histogram families additionally must emit cumulative
+// `_bucket{le=...}` series per label-set — ascending le, non-decreasing
+// counts, a `+Inf` bucket equal to `_count` — plus `_sum` and `_count`.
+// Returns the problems found (empty = lint-clean).
 std::vector<std::string> lint_exposition(const std::string& text) {
   std::vector<std::string> problems;
   std::map<std::string, int> help_seen;
   std::map<std::string, int> type_seen;
+  std::map<std::string, std::string> type_kind;
   std::set<std::string> sampled;   // families that already emitted samples
   std::set<std::string> finished;  // families whose block was left behind
   std::string current_family;
+
+  // Per histogram series (family + labels minus `le`): the bucket ladder
+  // in emission order plus the companion _sum/_count samples.
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  // le -> cumulative
+    bool has_inf = false;
+    double inf_count = 0.0;
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  // Splits `{a="1",le="0.5"}` into key/value pairs (no escapes needed for
+  // the lint: the exporter escapes label values, and `le` values never
+  // contain quotes).
+  auto parse_labels = [](const std::string& block,
+                         std::vector<std::pair<std::string, std::string>>&
+                             labels) {
+    std::size_t pos = 1;  // past '{'
+    while (pos < block.size() && block[pos] != '}') {
+      const std::size_t eq = block.find("=\"", pos);
+      if (eq == std::string::npos) {
+        return false;
+      }
+      const std::size_t close = block.find('"', eq + 2);
+      if (close == std::string::npos) {
+        return false;
+      }
+      labels.emplace_back(block.substr(pos, eq - pos),
+                          block.substr(eq + 2, close - eq - 2));
+      pos = close + 1;
+      if (pos < block.size() && block[pos] == ',') {
+        ++pos;
+      }
+    }
+    return pos < block.size() && block[pos] == '}';
+  };
 
   auto base_family = [](std::string name) {
     for (const char* suffix : {"_bucket", "_sum", "_count"}) {
@@ -221,6 +263,7 @@ std::vector<std::string> lint_exposition(const std::string& text) {
             kind != "summary" && kind != "untyped") {
           fail("unknown TYPE kind");
         }
+        type_kind[name] = kind;
       }
       auto& seen = is_help ? help_seen : type_seen;
       if (++seen[name] > 1) {
@@ -281,6 +324,48 @@ std::vector<std::string> lint_exposition(const std::string& text) {
     if (type_seen.count(family) == 0) {
       fail("sample before its family's # TYPE");
     }
+    // Histogram shape: collect the bucket ladder per label-set for the
+    // end-of-text cumulative/`+Inf`/companion checks.
+    if (type_kind.count(family) != 0 && type_kind[family] == "histogram") {
+      std::vector<std::pair<std::string, std::string>> labels;
+      std::string le;
+      if (line[name_end] == '{') {
+        if (!parse_labels(line.substr(name_end, value_start - name_end),
+                          labels)) {
+          fail("unparsable label set on histogram sample");
+          continue;
+        }
+      }
+      std::string series_key = family;
+      for (const auto& [label, label_value] : labels) {
+        if (label == "le") {
+          le = label_value;
+        } else {
+          series_key += "," + label + "=" + label_value;
+        }
+      }
+      HistogramSeries& series = histograms[series_key];
+      const double sample = std::strtod(value.c_str(), nullptr);
+      if (name.size() >= 7 &&
+          name.compare(name.size() - 7, 7, "_bucket") == 0) {
+        if (le.empty()) {
+          fail("histogram _bucket without an le label");
+        } else if (le == "+Inf") {
+          series.has_inf = true;
+          series.inf_count = sample;
+        } else {
+          series.buckets.emplace_back(std::strtod(le.c_str(), nullptr),
+                                      sample);
+        }
+      } else if (name.size() >= 4 &&
+                 name.compare(name.size() - 4, 4, "_sum") == 0) {
+        series.has_sum = true;
+      } else if (name.size() >= 6 &&
+                 name.compare(name.size() - 6, 6, "_count") == 0) {
+        series.has_count = true;
+        series.count_value = sample;
+      }
+    }
     if (family != current_family) {
       if (finished.count(family) != 0) {
         fail("family samples interleaved");
@@ -291,6 +376,37 @@ std::vector<std::string> lint_exposition(const std::string& text) {
       current_family = family;
     }
     sampled.insert(family);
+  }
+  // Finalize the histogram-shape checks over every collected series.
+  for (const auto& [series_key, series] : histograms) {
+    const auto fail = [&problems, key = series_key](const std::string& what) {
+      problems.push_back("histogram " + key + ": " + what);
+    };
+    for (std::size_t i = 1; i < series.buckets.size(); ++i) {
+      if (series.buckets[i].first <= series.buckets[i - 1].first) {
+        fail("le bounds not ascending");
+      }
+      if (series.buckets[i].second < series.buckets[i - 1].second) {
+        fail("bucket counts not cumulative");
+      }
+    }
+    if (!series.has_inf) {
+      fail("missing +Inf bucket");
+    } else {
+      if (!series.buckets.empty() &&
+          series.inf_count < series.buckets.back().second) {
+        fail("+Inf bucket below the last finite bucket");
+      }
+      if (series.has_count && series.inf_count != series.count_value) {
+        fail("+Inf bucket != _count");
+      }
+    }
+    if (!series.has_sum) {
+      fail("missing _sum");
+    }
+    if (!series.has_count) {
+      fail("missing _count");
+    }
   }
   return problems;
 }
@@ -341,6 +457,60 @@ TEST(PrometheusLint, CatchesBrokenExpositions) {
                                "emap_b 1\n"
                                "emap_a 2\n")
                    .empty());  // interleaved families
+}
+
+TEST(PrometheusLint, CatchesBrokenHistogramShapes) {
+  // A well-formed histogram block passes.
+  EXPECT_TRUE(lint_exposition("# TYPE emap_h histogram\n"
+                              "emap_h_bucket{le=\"0.5\"} 1\n"
+                              "emap_h_bucket{le=\"1\"} 3\n"
+                              "emap_h_bucket{le=\"+Inf\"} 4\n"
+                              "emap_h_sum 2.5\n"
+                              "emap_h_count 4\n")
+                  .empty());
+  // Non-cumulative bucket counts.
+  EXPECT_FALSE(lint_exposition("# TYPE emap_h histogram\n"
+                               "emap_h_bucket{le=\"0.5\"} 3\n"
+                               "emap_h_bucket{le=\"1\"} 1\n"
+                               "emap_h_bucket{le=\"+Inf\"} 3\n"
+                               "emap_h_sum 1\n"
+                               "emap_h_count 3\n")
+                   .empty());
+  // le bounds out of order.
+  EXPECT_FALSE(lint_exposition("# TYPE emap_h histogram\n"
+                               "emap_h_bucket{le=\"1\"} 1\n"
+                               "emap_h_bucket{le=\"0.5\"} 2\n"
+                               "emap_h_bucket{le=\"+Inf\"} 2\n"
+                               "emap_h_sum 1\n"
+                               "emap_h_count 2\n")
+                   .empty());
+  // Missing +Inf bucket.
+  EXPECT_FALSE(lint_exposition("# TYPE emap_h histogram\n"
+                               "emap_h_bucket{le=\"0.5\"} 1\n"
+                               "emap_h_sum 0.2\n"
+                               "emap_h_count 1\n")
+                   .empty());
+  // +Inf bucket disagrees with _count.
+  EXPECT_FALSE(lint_exposition("# TYPE emap_h histogram\n"
+                               "emap_h_bucket{le=\"+Inf\"} 3\n"
+                               "emap_h_sum 1\n"
+                               "emap_h_count 4\n")
+                   .empty());
+  // Missing _sum / _count companions.
+  EXPECT_FALSE(lint_exposition("# TYPE emap_h histogram\n"
+                               "emap_h_bucket{le=\"+Inf\"} 1\n")
+                   .empty());
+  // Label-sets are independent series: one per slo, both checked.
+  EXPECT_TRUE(lint_exposition("# TYPE emap_h histogram\n"
+                              "emap_h_bucket{le=\"1\",slo=\"a\"} 1\n"
+                              "emap_h_bucket{le=\"+Inf\",slo=\"a\"} 1\n"
+                              "emap_h_sum{slo=\"a\"} 0.4\n"
+                              "emap_h_count{slo=\"a\"} 1\n"
+                              "emap_h_bucket{le=\"1\",slo=\"b\"} 2\n"
+                              "emap_h_bucket{le=\"+Inf\",slo=\"b\"} 2\n"
+                              "emap_h_sum{slo=\"b\"} 0.9\n"
+                              "emap_h_count{slo=\"b\"} 2\n")
+                  .empty());
 }
 
 TEST(PrometheusSanitize, PassesLegalNamesThrough) {

@@ -1,0 +1,254 @@
+#include "emap/obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "emap/obs/metrics.hpp"
+
+namespace emap::obs {
+namespace {
+
+TimeSeriesOptions small_options(std::size_t tier_capacity = 8,
+                                std::size_t factor = 4) {
+  TimeSeriesOptions options;
+  options.enabled = true;
+  options.tier_capacity = tier_capacity;
+  options.downsample_factor = factor;
+  return options;
+}
+
+TEST(TimeSeriesOptions, ValidatesPolicy) {
+  TimeSeriesOptions options;
+  EXPECT_NO_THROW(options.validate());
+  options.scrape_interval_sec = 0.0;
+  EXPECT_THROW(options.validate(), std::exception);
+  options = TimeSeriesOptions{};
+  options.tier_capacity = 4;
+  options.downsample_factor = 10;  // batch larger than the tier
+  EXPECT_THROW(options.validate(), std::exception);
+}
+
+TEST(Series, AppendAndQuery) {
+  Series series("g", SeriesKind::kGauge, 16, 4);
+  for (int i = 0; i < 10; ++i) {
+    series.append(static_cast<double>(i), static_cast<double>(i * i));
+  }
+  EXPECT_EQ(series.total_buckets(), 10u);
+  EXPECT_EQ(series.last_value().value(), 81.0);
+  EXPECT_EQ(series.last_time_sec().value(), 9.0);
+  EXPECT_EQ(series.max_over(100.0), 81.0);
+  const auto window = series.buckets(3.0, 5.0);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.front().first, 9.0);
+}
+
+TEST(Series, CompactionPreservesMassAndExtremes) {
+  Series series("g", SeriesKind::kGauge, 8, 4);
+  double expected_sum = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double value = std::sin(0.1 * i) * 10.0;
+    series.append(static_cast<double>(i), value);
+    expected_sum += value;
+  }
+  // 100 raw appends with capacity 8/factor 4: raw keeps <= 8, tier 1
+  // absorbs merged batches; nothing dropped yet (tier 2 far from full).
+  EXPECT_EQ(series.dropped_buckets(), 0u);
+  double total_sum = 0.0;
+  std::uint64_t total_count = 0;
+  double last_end = -1.0;
+  for (const SeriesBucket& bucket : series.buckets()) {
+    total_sum += bucket.sum;
+    total_count += bucket.count;
+    EXPECT_GE(bucket.t_start_sec, last_end);  // chronological across tiers
+    last_end = bucket.t_end_sec;
+    EXPECT_LE(bucket.min, bucket.max);
+  }
+  EXPECT_EQ(total_count, 100u);
+  EXPECT_NEAR(total_sum, expected_sum, 1e-9);
+}
+
+TEST(Series, MemoryBoundedForArbitrarilyLongRuns) {
+  const std::size_t capacity = 8, factor = 4;
+  Series series("g", SeriesKind::kGauge, capacity, factor);
+  for (int i = 0; i < 100000; ++i) {
+    series.append(static_cast<double>(i), 1.0);
+  }
+  EXPECT_LE(series.total_buckets(), 3 * capacity);
+  EXPECT_GT(series.dropped_buckets(), 0u);  // coarsest tier rolled over
+}
+
+TEST(Series, CounterRateSurvivesCompaction) {
+  // A counter increasing by exactly 2/s; rate_over must stay 2 even when
+  // the window spans compacted buckets.
+  Series series("c", SeriesKind::kCounter, 8, 4);
+  for (int i = 0; i < 200; ++i) {
+    series.append(static_cast<double>(i), 2.0 * i);
+  }
+  EXPECT_NEAR(series.rate_over(50.0), 2.0, 1e-9);
+  EXPECT_NEAR(series.rate_over(5.0), 2.0, 1e-9);
+}
+
+TEST(TimeSeriesStore, ScrapesEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("emap_c", {}, "c").increment(5);
+  registry.gauge("emap_g", {{"shard", "0"}}, "g").set(2.5);
+  Histogram& histogram =
+      registry.histogram("emap_h", {}, Histogram::linear_bounds(0, 10, 10));
+  histogram.observe(1.0);
+  histogram.observe(3.0);
+
+  TimeSeriesStore store(small_options());
+  store.scrape(registry, 1.0);
+
+  ASSERT_NE(store.find("emap_c"), nullptr);
+  EXPECT_EQ(store.find("emap_c")->last_value().value(), 5.0);
+  ASSERT_NE(store.find("emap_g{shard=\"0\"}"), nullptr);
+  EXPECT_EQ(store.find("emap_g{shard=\"0\"}")->last_value().value(), 2.5);
+  ASSERT_NE(store.find("emap_h:count"), nullptr);
+  EXPECT_EQ(store.find("emap_h:count")->last_value().value(), 2.0);
+  ASSERT_NE(store.find("emap_h:sum"), nullptr);
+  EXPECT_EQ(store.find("emap_h:sum")->last_value().value(), 4.0);
+  ASSERT_NE(store.find("emap_h:mean"), nullptr);
+  EXPECT_EQ(store.find("emap_h:mean")->last_value().value(), 2.0);
+  ASSERT_NE(store.find("emap_h:p95"), nullptr);
+}
+
+TEST(TimeSeriesStore, HistogramMeanIsPerIntervalWithCarryForward) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("emap_h", {}, Histogram::linear_bounds(0, 100, 10));
+  TimeSeriesStore store(small_options());
+
+  histogram.observe(10.0);
+  store.scrape(registry, 1.0);  // interval mean 10
+  histogram.observe(20.0);
+  histogram.observe(40.0);
+  store.scrape(registry, 2.0);  // interval mean (20+40)/2 = 30
+  store.scrape(registry, 3.0);  // empty interval: carries 30 forward
+
+  const auto buckets = store.find("emap_h:mean")->buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].last, 10.0);
+  EXPECT_EQ(buckets[1].last, 30.0);
+  EXPECT_EQ(buckets[2].last, 30.0);
+}
+
+TEST(TimeSeriesStore, BucketCapacityBoundsTotalBuckets) {
+  MetricsRegistry registry;
+  registry.counter("emap_c").increment();
+  registry.gauge("emap_g").set(1.0);
+  TimeSeriesStore store(small_options(4, 2));
+  for (int i = 0; i < 5000; ++i) {
+    store.scrape(registry, static_cast<double>(i));
+  }
+  EXPECT_LE(store.total_buckets(), store.bucket_capacity());
+  EXPECT_GT(store.approx_bytes(), 0u);
+  EXPECT_EQ(store.scrapes(), 5000u);
+}
+
+TEST(TimeSeriesStore, KeysInFirstScrapeOrderAndJsonlRoundShape) {
+  MetricsRegistry registry;
+  registry.counter("emap_b").increment();
+  registry.counter("emap_a").increment();
+  TimeSeriesStore store(small_options());
+  store.scrape(registry, 1.0);
+  // Registration order, not alphabetical.
+  const auto keys = store.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "emap_b");
+  EXPECT_EQ(keys[1], "emap_a");
+
+  const std::string jsonl = store.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"series\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tier\":"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(TimeSeriesStore, SkipFamiliesAreNeverScraped) {
+  MetricsRegistry registry;
+  registry.counter("emap_keep").increment();
+  registry.histogram("emap_wall_seconds", {},
+                     Histogram::default_latency_bounds())
+      .observe(0.1);
+  TimeSeriesOptions options = small_options();
+  options.skip_families = {"emap_wall_seconds"};
+  TimeSeriesStore store(options);
+  store.scrape(registry, 1.0);
+  EXPECT_NE(store.find("emap_keep"), nullptr);
+  EXPECT_EQ(store.find("emap_wall_seconds:count"), nullptr);
+  EXPECT_EQ(store.find("emap_wall_seconds:sum"), nullptr);
+  EXPECT_EQ(store.keys().size(), 1u);
+}
+
+TEST(TimeSeriesStore, IdenticalScrapeSequencesExportIdenticalJsonl) {
+  auto run_once = [] {
+    MetricsRegistry registry;
+    Counter& c = registry.counter("emap_c");
+    Gauge& g = registry.gauge("emap_g");
+    Histogram& h =
+        registry.histogram("emap_h", {}, Histogram::linear_bounds(0, 1, 8));
+    TimeSeriesStore store(small_options());
+    for (int i = 0; i < 500; ++i) {
+      c.increment(static_cast<std::uint64_t>(i % 3));
+      g.set(std::cos(0.2 * i));
+      h.observe(0.5 + 0.4 * std::sin(0.3 * i));
+      store.scrape(registry, static_cast<double>(i));
+    }
+    return store.to_jsonl();
+  };
+  EXPECT_EQ(run_once(), run_once());  // bit-identical
+}
+
+TEST(TimeSeriesScraper, RateLimitsAndCatchesUpWithOneScrape) {
+  MetricsRegistry registry;
+  registry.counter("emap_c").increment();
+  TimeSeriesStore store(small_options());
+  TimeSeriesScraper scraper(&registry, &store);
+
+  EXPECT_FALSE(scraper.maybe_scrape(0.5));  // before first due instant
+  EXPECT_TRUE(scraper.maybe_scrape(1.0));
+  EXPECT_FALSE(scraper.maybe_scrape(1.5));
+  EXPECT_TRUE(scraper.maybe_scrape(2.0));
+  // A 100 s stall catches up with ONE scrape, then resumes the grid.
+  EXPECT_TRUE(scraper.maybe_scrape(102.3));
+  EXPECT_EQ(store.scrapes(), 3u);
+  EXPECT_FALSE(scraper.maybe_scrape(102.9));
+  EXPECT_TRUE(scraper.maybe_scrape(103.0));
+}
+
+TEST(TimeSeriesStore, WriteJsonlCreatesParents) {
+  MetricsRegistry registry;
+  registry.counter("emap_c").increment();
+  TimeSeriesStore store(small_options());
+  store.scrape(registry, 1.0);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "emap_timeseries_test" / "nested";
+  const auto path = dir / "series.jsonl";
+  std::filesystem::remove_all(dir.parent_path());
+  store.write_jsonl(path);
+  std::ifstream stream(path);
+  ASSERT_TRUE(stream.good());
+  std::string line;
+  EXPECT_TRUE(static_cast<bool>(std::getline(stream, line)));
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(SeriesKeyFor, FormatsLabels) {
+  EXPECT_EQ(series_key_for("emap_x", {}), "emap_x");
+  EXPECT_EQ(series_key_for("emap_x", {{"a", "1"}, {"b", "2"}}),
+            "emap_x{a=\"1\",b=\"2\"}");
+}
+
+}  // namespace
+}  // namespace emap::obs

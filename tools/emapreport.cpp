@@ -1,0 +1,104 @@
+// emapreport: render a post-run dashboard from time-series artifacts.
+//
+//   emapreport <series.jsonl> [--alerts <alerts.jsonl>] [--html <out.html>]
+//              [--series-filter <substring>] [--cusum-h <stddevs>]
+//
+// Loads a time-series JSONL export written by `emapctl ... --series-out`
+// (and optionally the alert-transition log from `--alerts-out`), prints an
+// ASCII sparkline table with per-series CUSUM changepoints, and — with
+// --html — additionally writes a self-contained HTML page with inline SVG
+// charts and alert markers.  Exits 0 on success, 2 on usage or I/O
+// errors; malformed lines inside the files are skipped and counted, never
+// fatal.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "emap/obs/dashboard.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <series.jsonl> [--alerts <alerts.jsonl>] [--html <out>]\n"
+      "          [--series-filter <substring>] [--cusum-h <stddevs>]\n"
+      "  --alerts         annotate the report with alert transitions\n"
+      "  --html           also write a self-contained HTML dashboard\n"
+      "  --series-filter  render only series whose key contains this\n"
+      "  --cusum-h        CUSUM decision threshold in stddevs (default 5)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string series_path;
+  std::string alerts_path;
+  std::string html_path;
+  emap::obs::ReportOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "emapreport: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--alerts") {
+      alerts_path = value("--alerts");
+    } else if (arg == "--html") {
+      html_path = value("--html");
+    } else if (arg == "--series-filter") {
+      options.series_filter = value("--series-filter");
+    } else if (arg == "--cusum-h") {
+      options.cusum_h = std::atof(value("--cusum-h"));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "emapreport: unknown argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else if (series_path.empty()) {
+      series_path = arg;
+    } else {
+      std::fprintf(stderr, "emapreport: unexpected argument '%s'\n",
+                   arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (series_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const auto series = emap::obs::load_series_jsonl(series_path);
+    emap::obs::AlertLoadResult alerts;
+    if (!alerts_path.empty()) {
+      alerts = emap::obs::load_alerts_jsonl(alerts_path);
+    }
+    std::fputs(
+        emap::obs::render_ascii_report(series, alerts, options).c_str(),
+        stdout);
+    if (!html_path.empty()) {
+      std::ofstream html(html_path);
+      if (!html) {
+        std::fprintf(stderr, "emapreport: cannot write '%s'\n",
+                     html_path.c_str());
+        return 2;
+      }
+      html << emap::obs::render_html_report(series, alerts, options);
+      std::fprintf(stdout, "\nhtml report: %s\n", html_path.c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "emapreport: %s\n", error.what());
+    return 2;
+  }
+  return 0;
+}
