@@ -76,6 +76,16 @@
 //   --edge-slowdown <f>    divide the edge device throughput by f (> 1
 //                          forces edge SLO misses; CI uses it to provoke
 //                          a flight dump deterministically)
+//
+// Streaming flags (monitor and synth-run) — the staged concurrent
+// scheduler (docs/streaming.md):
+//   --stream               run on the threaded stage graph (supervised
+//                          stage threads over bounded queues) instead of
+//                          the single-threaded virtual-time batch loop
+//   --stage-threads <n>    uplink worker threads = max overlapping cloud
+//                          calls (default 2)
+//   --queue-capacity <n>   bound of every stage queue (default 8; rounded
+//                          up to a power of two)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -91,6 +101,7 @@
 #include "emap/common/build_info.hpp"
 #include "emap/common/error.hpp"
 #include "emap/core/pipeline.hpp"
+#include "emap/core/stream.hpp"
 #include "emap/dsp/montage.hpp"
 #include "emap/dsp/resample.hpp"
 #include "emap/edf/edf.hpp"
@@ -138,7 +149,9 @@ int usage() {
       "recovery flags:  --checkpoint-dir <dir> --checkpoint-interval <n> "
       "--resume --crash-at <point[:n]>\n"
       "tracing flags:   --spans-out <file> --flight-out <file> "
-      "--edge-slowdown <factor>\n");
+      "--edge-slowdown <factor>\n"
+      "streaming flags: --stream --stage-threads <n> "
+      "--queue-capacity <n>\n");
   return 2;
 }
 
@@ -167,6 +180,9 @@ struct TelemetryOptions {
   std::string alerts_out;      ///< alert-transition JSONL
   double scrape_interval_sec = 1.0;
   std::string alert_rules;     ///< rule file; empty = default rules
+  bool stream = false;         ///< threaded stage graph instead of batch
+  std::size_t stage_threads = 2;
+  std::size_t queue_capacity = 8;
 };
 
 /// Extracts telemetry and fault/retry flags from (argc, argv), leaving only
@@ -271,6 +287,18 @@ bool extract_telemetry_flags(int& argc, char** argv,
         return false;
     } else if (arg == "--alert-rules") {
       if (!take_value(telemetry.alert_rules)) return false;
+    } else if (arg == "--stream") {
+      telemetry.stream = true;
+    } else if (arg == "--stage-threads") {
+      if (!take_double([&](double n) {
+            telemetry.stage_threads = static_cast<std::size_t>(n);
+          }))
+        return false;
+    } else if (arg == "--queue-capacity") {
+      if (!take_double([&](double n) {
+            telemetry.queue_capacity = static_cast<std::size_t>(n);
+          }))
+        return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "emapctl: unknown flag %s\n", arg.c_str());
       return false;
@@ -360,6 +388,52 @@ bool apply_timeseries_flags(const TelemetryOptions& telemetry,
     }
   }
   return true;
+}
+
+/// Runs `input` through the pipeline on the scheduler the flags selected:
+/// the default single-threaded virtual-time batch loop, or (--stream) the
+/// threaded stage graph with --stage-threads uplink workers and
+/// --queue-capacity bounded queues (docs/streaming.md).
+core::RunResult run_scheduled(const TelemetryOptions& telemetry,
+                              core::EmapPipeline& pipeline,
+                              const synth::Recording& input) {
+  if (!telemetry.stream) {
+    return pipeline.run(input);
+  }
+  core::StreamOptions stream_options;
+  stream_options.mode = core::SchedulerMode::kThreaded;
+  stream_options.stage_threads = telemetry.stage_threads;
+  stream_options.queue_capacity = telemetry.queue_capacity;
+  std::printf("streaming: threaded scheduler, %zu uplink worker(s), "
+              "queue capacity %zu\n",
+              stream_options.stage_threads, stream_options.queue_capacity);
+  core::StreamPipeline stream(pipeline, stream_options);
+  return stream.run(input);
+}
+
+/// After a streamed run: the supervisor scoreboard and the per-queue
+/// occupancy columns (the same numbers --robust-report exports as
+/// stage_*/q_* fields).
+void print_stream_summary(const core::RunResult& result) {
+  if (!result.robust.streamed) {
+    return;
+  }
+  std::printf("stream supervisor: stalls=%zu restarts=%zu crashes=%zu\n",
+              result.robust.supervisor_stalls,
+              result.robust.supervisor_restarts,
+              result.robust.supervisor_crashes);
+  for (const auto& row : result.robust.stages) {
+    if (row.queue.empty()) {
+      continue;
+    }
+    std::printf("  queue %-9s depth max %llu/%llu  pushed %llu  "
+                "shed %llu\n",
+                row.queue.c_str(),
+                static_cast<unsigned long long>(row.queue_max_depth),
+                static_cast<unsigned long long>(row.queue_capacity),
+                static_cast<unsigned long long>(row.queue_pushed),
+                static_cast<unsigned long long>(row.queue_shed));
+  }
 }
 
 /// Turns on the global stage profiler when any profiling output was
@@ -705,11 +779,17 @@ int cmd_monitor(int argc, char** argv) {
   obs::FlightRecorder flight_recorder;
   obs::FlightRecorder* flight =
       apply_tracing_flags(telemetry, pipeline_options, flight_recorder);
+  // The streaming scheduler reads stop_at_sec from the pipeline options
+  // (it has no per-run override), so fold the onset in before running.
+  if (telemetry.stream) {
+    pipeline_options.stop_at_sec = onset > 0.0 ? onset : -1.0;
+  }
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(),
                               pipeline_options);
-  const auto result =
-      pipeline.run(input, onset > 0.0 ? onset : -1.0);
+  const auto result = telemetry.stream
+                          ? run_scheduled(telemetry, pipeline, input)
+                          : pipeline.run(input, onset > 0.0 ? onset : -1.0);
   if (result.robust.recovery.resumed) {
     std::printf("resumed from checkpoint at window %zu\n",
                 static_cast<std::size_t>(
@@ -728,6 +808,7 @@ int cmd_monitor(int argc, char** argv) {
                 result.robust.degrade.max_shed_level,
                 robust::degrade_state_name(result.robust.degrade.final_state));
   }
+  print_stream_summary(result);
   for (std::size_t i = 0; i < result.iterations.size(); i += 15) {
     const auto& record = result.iterations[i];
     if (record.tracked) {
@@ -801,7 +882,7 @@ int cmd_synth_run(int argc, char** argv) {
       apply_tracing_flags(telemetry, options, flight_recorder);
   core::EmapPipeline pipeline(std::move(store),
                               core::EmapConfig::paper_defaults(), options);
-  const auto result = pipeline.run(input);
+  const auto result = run_scheduled(telemetry, pipeline, input);
   if (result.robust.recovery.resumed) {
     std::printf("resumed from checkpoint at window %zu\n",
                 static_cast<std::size_t>(
@@ -822,6 +903,7 @@ int cmd_synth_run(int argc, char** argv) {
                 result.robust.degrade.max_shed_level,
                 robust::degrade_state_name(result.robust.degrade.final_state));
   }
+  print_stream_summary(result);
   std::printf(result.anomaly_predicted ? "ANOMALY PREDICTED at t=%.0f s\n"
                                        : "no alarm (t=%.0f)\n",
               result.first_alarm_sec);

@@ -33,7 +33,15 @@ class CloudNode {
   net::CorrelationSetMessage respond(
       const net::SignalUploadMessage& request) const;
 
-  /// Stats of the most recent search (for timing accounting).
+  /// Thread-safe respond: writes the search stats into `stats_out` instead
+  /// of the shared last_stats() slot, so concurrent uplink workers can call
+  /// it without racing on the timing accounting.
+  net::CorrelationSetMessage respond(const net::SignalUploadMessage& request,
+                                     SearchStats* stats_out) const;
+
+  /// Stats of the most recent search (for timing accounting).  Only
+  /// meaningful with single-threaded callers; concurrent paths use the
+  /// stats-out respond overload.
   const SearchStats& last_stats() const { return last_stats_; }
 
   /// Attaches a telemetry registry (borrowed; nullptr disables).  Every

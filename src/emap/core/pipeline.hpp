@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "emap/core/cloud_call.hpp"
 #include "emap/core/cloud_node.hpp"
 #include "emap/core/edge_node.hpp"
 #include "emap/mdb/store.hpp"
@@ -237,58 +238,29 @@ class EmapPipeline {
   const sim::DeviceProfile& cloud_device() const { return cloud_device_; }
 
  private:
-  struct PendingSearch {
-    double ready_at_sec = 0.0;
-    std::vector<TrackedSignal> correlation_set;
-    double delta_ec = 0.0;
-    double delta_cs = 0.0;
-    double delta_ce = 0.0;
-    std::uint32_t sequence = 0;
-    std::size_t attempts = 0;    ///< attempts actually started
-    std::size_t duplicates = 0;  ///< duplicate deliveries deduped away
-    bool succeeded = false;      ///< false = retries/deadline exhausted
-    /// Causal chain of the issuing window (trace id + window root span).
-    obs::TraceContext trace;
-  };
-
-  PendingSearch issue_cloud_call(std::uint32_t sequence,
-                                 const std::vector<double>& filtered_window,
-                                 double now_sec, net::Channel& channel,
-                                 const net::RetryPolicy& retry,
-                                 obs::Tracer* tracer,
-                                 robust::CircuitBreaker* breaker,
-                                 obs::TraceContext trace) const;
+  friend class StreamPipeline;
 
   EmapConfig config_;
   PipelineOptions options_;
   CloudNode cloud_;
   sim::DeviceProfile edge_device_;
   sim::DeviceProfile cloud_device_;
+  /// The cloud round trip shared with the streaming uplink stage
+  /// (core/cloud_call.hpp); the batch loop and the threaded engine issue
+  /// calls through the same code.
+  CloudCallExecutor executor_;
 
   /// Cached telemetry handles (resolved once in the constructor; all null
-  /// when options.metrics is null).
+  /// when options.metrics is null).  Round-trip families live in the
+  /// executor's CloudCallMetrics.
   struct PipelineMetrics {
     obs::Counter* windows = nullptr;
-    obs::Counter* cloud_calls = nullptr;
-    obs::Counter* retries = nullptr;
-    obs::Counter* retry_timeouts = nullptr;
-    obs::Counter* rejects_timeout = nullptr;
-    obs::Counter* rejects_corrupt = nullptr;
-    obs::Counter* call_failures = nullptr;
     obs::Counter* degraded_windows = nullptr;
-    obs::Counter* duplicates_discarded = nullptr;
     obs::Counter* recovery_checkpoints = nullptr;
     obs::Counter* recovery_resumes = nullptr;
     obs::Counter* recovery_cold_starts = nullptr;
     obs::Gauge* recovery_resume_window = nullptr;
-    obs::Histogram* retry_backoff = nullptr;
-    obs::Histogram* delta_ec = nullptr;
-    obs::Histogram* delta_cs = nullptr;
-    obs::Histogram* delta_ce = nullptr;
-    obs::Histogram* delta_initial = nullptr;
     obs::Histogram* track_step = nullptr;
-    obs::Histogram* encode = nullptr;
-    obs::Histogram* decode = nullptr;
   };
   PipelineMetrics metrics_{};
 };

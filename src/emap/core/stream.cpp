@@ -1,0 +1,1086 @@
+#include "emap/core/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "emap/common/bounded_queue.hpp"
+#include "emap/common/error.hpp"
+#include "emap/obs/export.hpp"
+#include "emap/obs/flight.hpp"
+#include "emap/robust/crashpoint.hpp"
+
+namespace emap::core {
+
+namespace {
+
+/// acquire → filter: one raw input window plus its causal identity.
+struct RawItem {
+  std::size_t window_index = 0;
+  double t_end = 0.0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::vector<double> raw;
+};
+
+/// filter → track: the filtered window plus the quality verdict.
+struct FilteredItem {
+  std::size_t window_index = 0;
+  double t_end = 0.0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::vector<double> filtered;
+  robust::QualityReport quality{};
+};
+
+/// track → uplink worker: one cloud-call job.
+struct UplinkJob {
+  std::uint32_t sequence = 0;
+  double t_issue_sec = 0.0;
+  obs::TraceContext trace{};
+  std::vector<double> filtered;
+};
+
+/// track → predict: the finished window record.
+struct OutcomeItem {
+  IterationRecord record{};
+  bool supports_predict = false;
+  double t_end = 0.0;
+  std::uint64_t trace_id = 0;
+};
+
+/// One-shot injected fault, armed per StageFaultSpec.
+struct FaultArm {
+  StageFaultSpec spec;
+  std::atomic<bool> fired{false};
+};
+
+}  // namespace
+
+void StreamOptions::validate() const {
+  require(stage_threads >= 1,
+          "StreamOptions: stage_threads must be at least 1");
+  require(queue_capacity >= 2,
+          "StreamOptions: queue_capacity must be at least 2");
+  supervisor.validate();
+  for (const StageFaultSpec& fault : faults) {
+    require(!fault.stage.empty(), "StreamOptions: fault stage name empty");
+    require(fault.at_cursor >= 1,
+            "StreamOptions: fault at_cursor is 1-based");
+    require(fault.stall_max_sec > 0.0,
+            "StreamOptions: fault stall_max_sec must be positive");
+  }
+}
+
+const char* scheduler_mode_name(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kVirtualTime:
+      return "virtual";
+    case SchedulerMode::kThreaded:
+      return "threaded";
+  }
+  return "unknown";
+}
+
+const char* queue_full_policy_name(QueueFullPolicy policy) {
+  switch (policy) {
+    case QueueFullPolicy::kBlock:
+      return "block";
+    case QueueFullPolicy::kShedOldest:
+      return "shed_oldest";
+    case QueueFullPolicy::kDegrade:
+      return "degrade";
+  }
+  return "unknown";
+}
+
+StreamPipeline::StreamPipeline(EmapPipeline& pipeline, StreamOptions options)
+    : pipeline_(pipeline), options_(options) {
+  options_.validate();
+}
+
+RunResult StreamPipeline::run(const synth::Recording& input) {
+  if (options_.mode == SchedulerMode::kVirtualTime) {
+    // The deterministic scheduler IS the batch loop: bit-identity with
+    // every existing replay / checkpoint / equivalence guarantee holds by
+    // construction, not by re-implementation.
+    return pipeline_.run(input);
+  }
+  return run_threaded(input);
+}
+
+RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
+  EmapPipeline& p = pipeline_;
+  const EmapConfig& config = p.config_;
+  const PipelineOptions& opts = p.options_;
+  require(std::abs(input.fs() - config.base_fs_hz) < 1e-9,
+          "StreamPipeline::run: input must be sampled at the base rate");
+  const std::size_t window = config.window_length;
+  require(input.samples.size() >= window,
+          "StreamPipeline::run: input shorter than one window");
+
+  EdgeNode edge(config);
+  if (opts.metrics != nullptr) {
+    edge.tracker().set_metrics(opts.metrics);
+  }
+
+  RunResult result;
+
+  const bool robust_on = opts.robust.enabled;
+  std::optional<robust::DegradationController> controller;
+  std::optional<robust::CircuitBreaker> breaker;
+  std::optional<robust::StageWatchdog> watchdog;
+  std::optional<robust::SignalQualityGate> quality;
+  if (robust_on) {
+    controller.emplace(opts.robust.degrade, opts.metrics);
+    breaker.emplace(opts.robust.breaker, opts.metrics);
+    watchdog.emplace(opts.robust.watchdog, opts.metrics);
+    if (opts.robust.quality_gate) {
+      quality.emplace(opts.robust.quality, opts.metrics);
+      edge.set_quality_gate(&*quality);
+    }
+  }
+  result.robust.enabled = robust_on;
+  result.robust.streamed = true;
+  robust::CircuitBreaker* breaker_ptr = breaker ? &*breaker : nullptr;
+
+  obs::Tracer* tracer = nullptr;
+  if (opts.collect_trace) {
+    result.tracer = std::make_shared<obs::Tracer>();
+    tracer = result.tracer.get();
+  }
+  const std::uint64_t trace_seed =
+      tracer != nullptr ? opts.trace_seed : 0;
+  obs::FlightRecorder* flight = opts.flight;
+  robust::CrashPointRegistry* crashpoints = opts.crashpoints;
+  if (crashpoints != nullptr) {
+    crashpoints->set_flight_recorder(flight);
+  }
+
+  std::shared_ptr<obs::TimeSeriesStore> series_store;
+  std::optional<obs::TimeSeriesScraper> scraper;
+  std::shared_ptr<obs::AlertEngine> alert_engine;
+  if (opts.timeseries.enabled && opts.metrics != nullptr) {
+    obs::TimeSeriesOptions scrape_options = opts.timeseries;
+    for (const char* family :
+         {"emap_search_wall_seconds", "emap_codec_encode_seconds",
+          "emap_codec_decode_seconds"}) {
+      scrape_options.skip_families.emplace_back(family);
+    }
+    series_store = std::make_shared<obs::TimeSeriesStore>(scrape_options);
+    scraper.emplace(opts.metrics, series_store.get());
+    result.series = series_store;
+    if (opts.alerts_enabled) {
+      obs::AlertEngine::Hooks hooks;
+      hooks.registry = opts.metrics;
+      hooks.tracer = tracer;
+      hooks.flight = flight;
+      alert_engine = std::make_shared<obs::AlertEngine>(
+          opts.alert_rules.empty() ? obs::default_alert_rules()
+                                   : opts.alert_rules,
+          hooks);
+      result.alerts = alert_engine;
+    }
+  }
+
+  obs::SloMonitor edge_slo(obs::edge_iteration_slo(), opts.metrics);
+  obs::SloMonitor initial_slo(obs::initial_response_slo(), opts.metrics);
+
+  const std::size_t window_count =
+      std::min(opts.max_windows, input.samples.size() / window);
+  const std::size_t workers = options_.stage_threads;
+
+  // ---- The stage graph. ----
+  BoundedQueue<RawItem> q_raw(options_.queue_capacity);
+  BoundedQueue<FilteredItem> q_filtered(options_.queue_capacity);
+  BoundedQueue<UplinkJob> q_uplink(options_.queue_capacity);
+  BoundedQueue<PendingSearch> q_deliver(options_.queue_capacity);
+  BoundedQueue<OutcomeItem> q_outcome(options_.queue_capacity);
+  auto close_all_queues = [&] {
+    q_raw.close();
+    q_filtered.close();
+    q_uplink.close();
+    q_deliver.close();
+    q_outcome.close();
+  };
+
+  obs::Gauge* depth_raw = nullptr;
+  obs::Gauge* depth_filtered = nullptr;
+  obs::Gauge* depth_uplink = nullptr;
+  obs::Gauge* depth_deliver = nullptr;
+  obs::Gauge* depth_outcome = nullptr;
+  if (opts.metrics != nullptr) {
+    auto depth_gauge = [&](const char* name) {
+      return &opts.metrics->gauge("emap_stage_queue_depth",
+                                  {{"queue", name}},
+                                  "Instantaneous stage-queue occupancy");
+    };
+    depth_raw = depth_gauge("raw");
+    depth_filtered = depth_gauge("filtered");
+    depth_uplink = depth_gauge("uplink");
+    depth_deliver = depth_gauge("deliver");
+    depth_outcome = depth_gauge("outcome");
+  }
+
+  std::atomic<bool> stop{false};
+
+  // Injected stage faults (soak suite): each arm fires once.
+  std::vector<std::unique_ptr<FaultArm>> arms;
+  arms.reserve(options_.faults.size());
+  for (const StageFaultSpec& spec : options_.faults) {
+    auto arm = std::make_unique<FaultArm>();
+    arm->spec = spec;
+    arms.push_back(std::move(arm));
+  }
+  auto maybe_fault = [&](const std::string& stage, std::uint64_t cursor,
+                         robust::StageHealth& health) {
+    for (auto& arm : arms) {
+      if (arm->spec.at_cursor != cursor || arm->spec.stage != stage) {
+        continue;
+      }
+      if (arm->fired.exchange(true, std::memory_order_acq_rel)) {
+        continue;
+      }
+      if (arm->spec.kind == StageFaultSpec::Kind::kCrash) {
+        throw std::runtime_error("injected stage crash: " + stage);
+      }
+      // Stall: stop heartbeating while not idle.  The supervisor's monitor
+      // declares the stall and requests an abort; the caller returns at its
+      // next abort check and the body restarts.
+      const auto started = std::chrono::steady_clock::now();
+      while (!health.abort_requested()) {
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        if (waited >= arm->spec.stall_max_sec) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  };
+
+  const QueueFullPolicy policy = options_.policy;
+  std::atomic<std::uint64_t> dropped_newest{0};
+  // Applies the configured backpressure policy to one push.  Returns false
+  // when the item was not enqueued (queue closed, or kDegrade dropped it).
+  // Only the processing queues (q_filtered, q_outcome) are governed by
+  // the policy; the source queue and the cloud-call queues always block
+  // (see the comments at their push sites).
+  auto push_with_policy = [&](auto& queue, auto item) -> bool {
+    switch (policy) {
+      case QueueFullPolicy::kBlock:
+        return queue.push(std::move(item));
+      case QueueFullPolicy::kShedOldest:
+        return queue.push_shed_oldest(std::move(item));
+      case QueueFullPolicy::kDegrade: {
+        if (queue.try_push(item)) {
+          return true;
+        }
+        if (!queue.closed()) {
+          dropped_newest.fetch_add(1, std::memory_order_relaxed);
+        }
+        return false;
+      }
+    }
+    return false;
+  };
+
+  // ---- Per-stage state (each struct is confined to its stage thread and
+  // survives supervisor restarts; read from the main thread after join).
+  struct FilterState {
+    std::uint64_t processed = 0;
+  } filter_state;
+
+  struct TrackState {
+    std::uint64_t processed = 0;
+    double last_pa = 0.0;
+    std::int64_t last_loaded_sequence = -1;
+    bool first_round_trip_recorded = false;
+    double total_track_sec = 0.0;
+    std::size_t track_steps = 0;
+    std::uint64_t issued = 0;    ///< uplink jobs enqueued
+    std::uint64_t applied = 0;   ///< deliveries applied (or discarded)
+    std::vector<PendingSearch> completed;  ///< popped, not yet ready
+    std::vector<double> deferred_track_obs;
+    bool slo_burn_paged = false;
+    bool breaker_dumped = false;
+    bool watchdog_dumped = false;
+    bool watchdog_dump_pending = false;
+    robust::BreakerState last_breaker_state = robust::BreakerState::kClosed;
+    /// Timestamped queue-pressure samples inside the debounce window.
+    std::vector<std::pair<double, double>> pressure_samples;
+    /// Downstream shed/drop total at the previous window (loss detector).
+    std::uint64_t last_loss_total = 0;
+  } ts;
+  ts.last_breaker_state =
+      breaker ? breaker->state() : robust::BreakerState::kClosed;
+
+  struct PredictState {
+    std::uint64_t processed = 0;
+    double last_window_end_sec = 0.0;
+  } ps;
+
+  // Uplink workers: each owns its Channel + FaultInjector fork, so the
+  // per-worker fault schedule is a deterministic function of (options,
+  // worker index) regardless of thread interleaving.
+  struct WorkerState {
+    WorkerState(const PipelineOptions& opts, std::size_t index)
+        : injector([&] {
+            net::FaultOptions forked = opts.fault;
+            forked.seed ^= 0x9e3779b97f4a7c15ULL * (index + 1);
+            return forked;
+          }()),
+          channel(opts.platform, opts.channel,
+                  42 + static_cast<std::uint64_t>(index)),
+          retry(opts.retry) {
+      channel.set_fault_injector(&injector);
+    }
+    net::FaultInjector injector;
+    net::Channel channel;
+    net::RetryPolicy retry;
+    std::uint64_t processed = 0;
+    /// The job this worker is holding right now.  Survives a crash of the
+    /// stage body: the restarted incarnation reports it as a failed call
+    /// so the track stage's outstanding accounting settles (see below).
+    struct {
+      bool active = false;
+      std::uint32_t sequence = 0;
+      double t_issue_sec = 0.0;
+      obs::TraceContext trace{};
+    } in_flight;
+  };
+  std::vector<std::unique_ptr<WorkerState>> worker_states;
+  for (std::size_t k = 0; k < workers; ++k) {
+    auto state = std::make_unique<WorkerState>(opts, k);
+    if (opts.metrics != nullptr) {
+      state->channel.set_metrics(opts.metrics);
+      state->injector.set_metrics(opts.metrics);
+    }
+    state->channel.set_flight_recorder(flight);
+    worker_states.push_back(std::move(state));
+  }
+  std::atomic<std::size_t> active_workers{workers};
+
+  robust::StageSupervisor supervisor(options_.supervisor, opts.metrics,
+                                     flight);
+  supervisor.set_failure_handler([&](const std::string& stage) {
+    // A stage out of restart budget ends the run: force CRITICAL (the
+    // operator-visible verdict), stop the source, and close every queue so
+    // the rest of the graph drains and unwinds.
+    if (controller) {
+      controller->force_critical(ts.processed, 0.0);
+    }
+    stop.store(true, std::memory_order_release);
+    close_all_queues();
+    (void)stage;
+  });
+
+  // ---- Stage bodies. ----
+
+  auto acquire_body = [&](robust::StageHealth& health) {
+    health.set_idle(false);
+    for (std::size_t w = health.resume_cursor(); w < window_count; ++w) {
+      if (stop.load(std::memory_order_acquire) || health.abort_requested()) {
+        break;
+      }
+      const double t_end = static_cast<double>(w + 1);
+      if (opts.stop_at_sec >= 0.0 && t_end > opts.stop_at_sec) {
+        break;
+      }
+      maybe_fault("acquire", w + 1, health);
+      if (health.abort_requested()) {
+        return;  // restart resumes from resume_cursor()
+      }
+      EMAP_CRASH_POINT(crashpoints, "pipeline_window_start");
+      RawItem item;
+      item.window_index = w;
+      item.t_end = t_end;
+      item.trace_id =
+          trace_seed != 0 ? obs::mint_trace_id(trace_seed, w) : 0;
+      if (tracer != nullptr) {
+        item.span_id =
+            tracer->record_sim("window_" + std::to_string(w), "window",
+                               t_end - 1.0, t_end, 0, item.trace_id);
+        tracer->record_sim("sample", "sample", t_end - 1.0, t_end,
+                           item.span_id, item.trace_id);
+        tracer->record_sim("filter", "filter", t_end,
+                           t_end + opts.filter_accelerator_sec, item.span_id,
+                           item.trace_id);
+      }
+      if (flight != nullptr) {
+        flight->log(obs::FlightEventType::kSpan,
+                    ("window_" + std::to_string(w)).c_str(), t_end,
+                    item.trace_id, static_cast<double>(w));
+      }
+      item.raw.assign(input.samples.begin() +
+                          static_cast<std::ptrdiff_t>(w * window),
+                      input.samples.begin() +
+                          static_cast<std::ptrdiff_t>((w + 1) * window));
+      health.set_idle(true);  // a blocked push is backpressure, not a stall
+      // The source is always paced by blocking backpressure: acquire runs
+      // at virtual speed (no wall-clock cost per window), so a lossy
+      // policy here would flood q_raw and shed most of the input before
+      // the filter stage ever saw it.  The configured policy governs the
+      // downstream processing queues instead.
+      const bool pushed = q_raw.push(std::move(item));
+      health.set_idle(false);
+      if (!pushed && q_raw.closed()) {
+        break;
+      }
+      health.heartbeat(w + 1);
+    }
+    health.set_idle(true);
+    q_raw.close();
+  };
+
+  auto filter_body = [&](robust::StageHealth& health) {
+    for (;;) {
+      health.set_idle(true);
+      std::optional<RawItem> item = q_raw.pop();
+      health.set_idle(false);
+      if (!item.has_value()) {
+        break;
+      }
+      if (health.abort_requested()) {
+        return;
+      }
+      ++filter_state.processed;
+      maybe_fault("filter", filter_state.processed, health);
+      if (health.abort_requested()) {
+        return;
+      }
+      FilteredItem out;
+      out.window_index = item->window_index;
+      out.t_end = item->t_end;
+      out.trace_id = item->trace_id;
+      out.span_id = item->span_id;
+      out.filtered = edge.acquire_window(
+          std::span<const double>(item->raw.data(), item->raw.size()));
+      out.quality = edge.last_quality();
+      if (p.metrics_.windows != nullptr) {
+        p.metrics_.windows->increment();
+      }
+      health.heartbeat(filter_state.processed);
+      health.set_idle(true);
+      const bool pushed = push_with_policy(q_filtered, std::move(out));
+      health.set_idle(false);
+      if (!pushed && q_filtered.closed()) {
+        break;
+      }
+    }
+    health.set_idle(true);
+    q_filtered.close();
+  };
+
+  auto track_body = [&](robust::StageHealth& health) {
+    for (;;) {
+      health.set_idle(true);
+      std::optional<FilteredItem> item = q_filtered.pop();
+      health.set_idle(false);
+      if (!item.has_value()) {
+        break;
+      }
+      if (health.abort_requested()) {
+        return;
+      }
+      ++ts.processed;
+      maybe_fault("track", ts.processed, health);
+      if (health.abort_requested()) {
+        return;
+      }
+      const std::size_t w = item->window_index;
+      const double t_end = item->t_end;
+      const std::uint64_t window_trace = item->trace_id;
+      const std::uint64_t window_span = item->span_id;
+
+      IterationRecord record;
+      record.window_index = w;
+      record.t_sec = t_end;
+      record.quality = item->quality.verdict;
+
+      std::size_t shed_cap = 0;
+      if (controller) {
+        record.robust_state = controller->state();
+        edge.tracker().set_stride_multiplier(
+            controller->stride_multiplier());
+        if (controller->shed_level() > 0) {
+          shed_cap = controller->tracked_cap(config.top_k);
+          edge.tracker().set_recall_threshold(controller->recall_threshold(
+              config.tracking_threshold_h, config.top_k));
+          edge.tracker().shed_to(shed_cap);
+        } else {
+          edge.tracker().set_recall_threshold(0);
+        }
+        record.shed_cap = shed_cap;
+      }
+
+      // Collect finished cloud calls and deliver every one whose virtual
+      // ready time has arrived, oldest sequence first (the batch loop has
+      // at most one outstanding; here up to `workers` overlap).
+      while (std::optional<PendingSearch> done = q_deliver.try_pop()) {
+        ts.completed.push_back(std::move(*done));
+      }
+      if (!edge.tracker().loaded() && ts.completed.empty() &&
+          ts.issued > ts.applied) {
+        // Cold start with the initial search still in flight: nothing can
+        // be tracked until it lands, and the free-running edge would
+        // otherwise race through the whole input while the cloud computes.
+        // Wait for the result (the virtual ready-time gate below still
+        // decides *which window* loads it, exactly like the batch loop).
+        health.set_idle(true);
+        std::optional<PendingSearch> done = q_deliver.pop();
+        health.set_idle(false);
+        if (done.has_value()) {
+          ts.completed.push_back(std::move(*done));
+        }
+      }
+      std::sort(ts.completed.begin(), ts.completed.end(),
+                [](const PendingSearch& a, const PendingSearch& b) {
+                  return a.sequence < b.sequence;
+                });
+      for (auto it = ts.completed.begin(); it != ts.completed.end();) {
+        if (it->ready_at_sec > t_end) {
+          ++it;
+          continue;
+        }
+        PendingSearch pending = std::move(*it);
+        it = ts.completed.erase(it);
+        ++ts.applied;
+        result.retry_attempts +=
+            pending.attempts > 0 ? pending.attempts - 1 : 0;
+        result.duplicates_discarded += pending.duplicates;
+        if (pending.succeeded &&
+            static_cast<std::int64_t>(pending.sequence) >
+                ts.last_loaded_sequence) {
+          ts.last_loaded_sequence =
+              static_cast<std::int64_t>(pending.sequence);
+          if (shed_cap > 0 && pending.correlation_set.size() > shed_cap) {
+            pending.correlation_set.resize(shed_cap);
+            ++result.robust.shed_loads;
+          }
+          edge.tracker().load(std::move(pending.correlation_set));
+          record.set_loaded = true;
+          record.pa_on_load = edge.tracker().anomaly_probability();
+          const double initial_sec =
+              pending.delta_ec + pending.delta_cs + pending.delta_ce;
+          initial_slo.observe(initial_sec);
+          if (flight != nullptr &&
+              initial_sec > initial_slo.spec().budget_sec) {
+            flight->log(obs::FlightEventType::kSloMiss, "initial_response",
+                        t_end, pending.trace.trace_id, initial_sec,
+                        initial_slo.spec().budget_sec);
+          }
+          if (!ts.first_round_trip_recorded) {
+            result.timings.delta_ec_sec = pending.delta_ec;
+            result.timings.delta_cs_sec = pending.delta_cs;
+            result.timings.delta_ce_sec = pending.delta_ce;
+            result.timings.delta_initial_sec = initial_sec;
+            ts.first_round_trip_recorded = true;
+          }
+          ++result.cloud_calls;
+        } else if (pending.succeeded) {
+          // Stale success: with several uplink workers, an older search
+          // can complete after a newer set already loaded.  The round
+          // trip itself succeeded — count the call, discard the payload.
+          // (Impossible in the batch loop, which holds one outstanding
+          // call at a time.)
+          ++result.cloud_calls;
+        } else {
+          record.degraded = true;
+          result.degraded = true;
+          ++result.failed_cloud_calls;
+          if (p.metrics_.degraded_windows != nullptr) {
+            p.metrics_.degraded_windows->increment();
+          }
+        }
+      }
+
+      const bool quality_bad = quality && !item->quality.good();
+      bool stage_stuck = false;
+      bool observed_latency = false;
+      double step_latency = 0.0;
+      const std::uint64_t outstanding = ts.issued - ts.applied;
+      auto issue_job = [&] {
+        if (breaker_ptr != nullptr && !breaker_ptr->allow(t_end)) {
+          record.breaker_rejected = true;
+          if (tracer != nullptr) {
+            tracer->record_sim("breaker_reject", "robust", t_end, t_end,
+                               window_span, window_trace);
+          }
+          if (flight != nullptr) {
+            flight->log(obs::FlightEventType::kShed, "breaker_reject",
+                        t_end, window_trace);
+          }
+          return;
+        }
+        EMAP_CRASH_POINT(crashpoints, "pipeline_pre_cloud_call");
+        UplinkJob job;
+        job.sequence = static_cast<std::uint32_t>(w);
+        job.t_issue_sec = t_end;
+        job.trace = obs::TraceContext{window_trace, window_span};
+        job.filtered = item->filtered;
+        health.set_idle(true);
+        // Cloud jobs are never shed once created: a shed job would strand
+        // the issued/applied ledger (the result could never arrive), so
+        // the uplink queue always blocks regardless of policy.
+        const bool pushed = q_uplink.push(std::move(job));
+        health.set_idle(false);
+        if (pushed) {
+          ++ts.issued;
+          record.cloud_call_issued = true;
+        }
+      };
+
+      if (controller && controller->critical()) {
+        record.robust_critical = true;
+        record.anomaly_probability = ts.last_pa;
+        ++result.robust.critical_windows;
+      } else if (quality_bad) {
+        record.anomaly_probability = ts.last_pa;
+      } else if (edge.tracker().loaded()) {
+        EMAP_CRASH_POINT(crashpoints, "pipeline_tracker_step");
+        const TrackStepResult step = edge.tracker().step(item->filtered);
+        record.tracked = true;
+        record.anomaly_probability = step.anomaly_probability;
+        record.tracked_before = step.tracked_before;
+        record.tracked_after = step.tracked_after;
+        record.removed_dissimilar = step.removed_dissimilar;
+        record.removed_exhausted = step.removed_exhausted;
+        record.abs_ops = step.abs_ops;
+        record.track_device_sec =
+            p.edge_device_.seconds_for_abs(
+                static_cast<double>(step.abs_ops)) +
+            p.edge_device_.per_signal_overhead_sec *
+                static_cast<double>(step.tracked_before);
+        ts.total_track_sec += record.track_device_sec;
+        edge_slo.observe(record.track_device_sec);
+        if (flight != nullptr &&
+            record.track_device_sec > edge_slo.spec().budget_sec) {
+          flight->log(obs::FlightEventType::kSloMiss, "edge_iteration",
+                      t_end, window_trace, record.track_device_sec,
+                      edge_slo.spec().budget_sec);
+        }
+        result.timings.max_track_sec =
+            std::max(result.timings.max_track_sec, record.track_device_sec);
+        ++ts.track_steps;
+        ts.last_pa = step.anomaly_probability;
+        observed_latency = true;
+        step_latency = record.track_device_sec;
+        if (watchdog) {
+          stage_stuck = watchdog->check_stage(record.track_device_sec);
+        }
+        if (controller && controller->defer_flushes()) {
+          ts.deferred_track_obs.push_back(record.track_device_sec);
+          ++result.robust.deferred_flushes;
+        } else if (p.metrics_.track_step != nullptr) {
+          p.metrics_.track_step->observe(record.track_device_sec);
+        }
+        if (tracer != nullptr) {
+          tracer->record_sim("edge-track", "edge-track", t_end,
+                             t_end + record.track_device_sec, window_span,
+                             window_trace);
+          tracer->record_sim("prediction", "prediction",
+                             t_end + record.track_device_sec,
+                             t_end + record.track_device_sec + 1e-3,
+                             window_span, window_trace);
+        }
+        if (step.cloud_call_needed && outstanding < workers) {
+          issue_job();
+        }
+      } else if (outstanding == 0) {
+        // Cold start: the first window triggers the initial MDB search.
+        issue_job();
+      }
+
+      if (controller) {
+        robust::WindowSignal signal;
+        signal.window_index = w;
+        signal.t_sec = t_end;
+        signal.burn_rate = edge_slo.burn_rate();
+        signal.stage_stuck = stage_stuck;
+        double pressure = 0.0;
+        auto fold = [&pressure](std::size_t depth, std::size_t capacity) {
+          pressure = std::max(
+              pressure, static_cast<double>(depth) /
+                            static_cast<double>(capacity));
+        };
+        // The ingest queues (q_raw, q_filtered) are deliberately excluded:
+        // the virtual-speed source saturates everything upstream of the
+        // wall-clock bottleneck by design (blocking backpressure IS the
+        // pacing), so their depth measures how far the simulation outruns
+        // real time, not overload.  Pressure watches the cloud path and
+        // the egress consumer, whose backlog is always genuine.
+        fold(q_uplink.depth(), q_uplink.capacity());
+        fold(q_deliver.depth(), q_deliver.capacity());
+        fold(q_outcome.depth(), q_outcome.capacity());
+        // Debounce on WALL time: at virtual speed the producer fills a
+        // queue in microseconds, so a single descheduling of a consumer
+        // thread reads as a full queue for many windows.  Report the
+        // MINIMUM instantaneous pressure over the last quarter second of
+        // wall clock — only saturation that persists that long (a
+        // genuinely wedged or lagging consumer, e.g. a supervisor-level
+        // stall) registers as pressure for the degrade controller.
+        constexpr double kPressureSustainSec = 0.25;
+        const double now_wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        ts.pressure_samples.emplace_back(now_wall, std::min(pressure, 1.0));
+        // Prune, but keep ONE sample at or before the window start so we
+        // can tell whether the window is fully covered by history.
+        std::size_t keep_from = 0;
+        while (keep_from + 1 < ts.pressure_samples.size() &&
+               ts.pressure_samples[keep_from + 1].first <=
+                   now_wall - kPressureSustainSec) {
+          ++keep_from;
+        }
+        ts.pressure_samples.erase(ts.pressure_samples.begin(),
+                                  ts.pressure_samples.begin() +
+                                      static_cast<std::ptrdiff_t>(keep_from));
+        if (ts.pressure_samples.front().first >
+            now_wall - kPressureSustainSec) {
+          // Not enough history yet to prove the backlog persisted.
+          signal.queue_pressure = 0.0;
+        } else {
+          double sustained = 1.0;
+          for (const auto& [when, sample] : ts.pressure_samples) {
+            sustained = std::min(sustained, sample);
+          }
+          signal.queue_pressure = sustained;
+        }
+        // Actual record loss is unambiguous overload regardless of how
+        // briefly the depth spiked: a transient the buffer absorbed is
+        // what buffers are for, but a shed/dropped record means the
+        // consumer truly fell behind its bound.
+        const std::uint64_t loss_total =
+            q_outcome.shed() + q_deliver.shed() + q_uplink.shed() +
+            dropped_newest.load(std::memory_order_relaxed);
+        if (loss_total > ts.last_loss_total) {
+          signal.queue_pressure = 1.0;
+        }
+        ts.last_loss_total = loss_total;
+        if (observed_latency) {
+          const obs::SloSpec& spec = edge_slo.spec();
+          signal.deadline_miss = step_latency > spec.budget_sec;
+          signal.near_miss =
+              !signal.deadline_miss &&
+              step_latency > spec.near_miss_fraction * spec.budget_sec;
+        } else {
+          signal.no_observation = true;
+        }
+        const robust::DegradeState state_before = controller->state();
+        controller->observe_window(signal);
+        const robust::DegradeState state_after = controller->state();
+        if (flight != nullptr && state_after != state_before) {
+          flight->log(
+              obs::FlightEventType::kRobustTransition,
+              (std::string(robust::degrade_state_name(state_before)) +
+               "_to_" + robust::degrade_state_name(state_after))
+                  .c_str(),
+              t_end, window_trace);
+          if (signal.stage_stuck &&
+              state_after == robust::DegradeState::kCritical &&
+              !ts.watchdog_dumped) {
+            ts.watchdog_dumped = true;
+            ts.watchdog_dump_pending = true;
+          }
+        }
+        if (!controller->defer_flushes() &&
+            !ts.deferred_track_obs.empty()) {
+          if (p.metrics_.track_step != nullptr) {
+            for (const double observation : ts.deferred_track_obs) {
+              p.metrics_.track_step->observe(observation);
+            }
+          }
+          ts.deferred_track_obs.clear();
+        }
+      }
+      if (depth_raw != nullptr) {
+        depth_raw->set(static_cast<double>(q_raw.depth()));
+        depth_filtered->set(static_cast<double>(q_filtered.depth()));
+        depth_uplink->set(static_cast<double>(q_uplink.depth()));
+        depth_deliver->set(static_cast<double>(q_deliver.depth()));
+        depth_outcome->set(static_cast<double>(q_outcome.depth()));
+      }
+
+      if (breaker && flight != nullptr) {
+        const robust::BreakerState breaker_state = breaker->state();
+        if (breaker_state != ts.last_breaker_state) {
+          if (breaker_state == robust::BreakerState::kOpen) {
+            flight->log(obs::FlightEventType::kBreakerOpen, "breaker_open",
+                        t_end, window_trace);
+            if (tracer != nullptr) {
+              tracer->record_sim("breaker_open", "robust", t_end, t_end,
+                                 window_span, window_trace);
+            }
+            if (!ts.breaker_dumped) {
+              ts.breaker_dumped = true;
+              flight->trigger_dump("breaker_open");
+            }
+          } else if (breaker_state == robust::BreakerState::kClosed) {
+            flight->log(obs::FlightEventType::kBreakerClose,
+                        "breaker_close", t_end, window_trace);
+          }
+          ts.last_breaker_state = breaker_state;
+        }
+      }
+      if (flight != nullptr && !ts.slo_burn_paged) {
+        const bool edge_burning = !edge_slo.healthy();
+        if (edge_burning || !initial_slo.healthy()) {
+          ts.slo_burn_paged = true;
+          obs::SloMonitor& burning = edge_burning ? edge_slo : initial_slo;
+          flight->log(obs::FlightEventType::kSloBurnPage,
+                      burning.spec().name.c_str(), t_end, window_trace,
+                      burning.burn_rate());
+          flight->trigger_dump("slo_burn_page");
+        }
+      }
+      // After the burn-page check so CRITICAL owns the single dump file
+      // (mirrors the batch loop's ordering).
+      if (flight != nullptr && ts.watchdog_dump_pending) {
+        ts.watchdog_dump_pending = false;
+        flight->trigger_dump("watchdog_critical");
+      }
+
+      OutcomeItem out;
+      out.supports_predict =
+          record.tracked &&
+          record.tracked_after >= config.predict_min_support;
+      out.t_end = t_end;
+      out.trace_id = window_trace;
+      out.record = std::move(record);
+      health.heartbeat(ts.processed);
+      health.set_idle(true);
+      const bool pushed = push_with_policy(q_outcome, std::move(out));
+      health.set_idle(false);
+      if (!pushed && q_outcome.closed()) {
+        break;
+      }
+    }
+    // Input drained: no more jobs will be issued.  Wait out in-flight
+    // calls, then release the predict stage.  Results arriving after the
+    // final window are discarded, like the batch loop's still-pending
+    // search at run end.
+    health.set_idle(true);
+    q_uplink.close();
+    while (ts.applied < ts.issued) {
+      std::optional<PendingSearch> done = q_deliver.pop();
+      if (!done.has_value()) {
+        break;  // a worker died with the call in flight
+      }
+      ++ts.applied;
+    }
+    q_outcome.close();
+  };
+
+  auto predict_body = [&](robust::StageHealth& health) {
+    for (;;) {
+      health.set_idle(true);
+      std::optional<OutcomeItem> item = q_outcome.pop();
+      health.set_idle(false);
+      if (!item.has_value()) {
+        break;
+      }
+      if (health.abort_requested()) {
+        return;
+      }
+      ++ps.processed;
+      maybe_fault("predict", ps.processed, health);
+      if (health.abort_requested()) {
+        return;
+      }
+      if (item->supports_predict) {
+        edge.predictor().observe(item->record.anomaly_probability,
+                                 item->t_end);
+      }
+      if (scraper) {
+        ps.last_window_end_sec = item->t_end;
+        if (scraper->maybe_scrape(item->t_end) && alert_engine) {
+          alert_engine->evaluate(*series_store, item->t_end,
+                                 item->trace_id);
+        }
+      }
+      result.iterations.push_back(std::move(item->record));
+      EMAP_CRASH_POINT(crashpoints, "pipeline_window_end");
+      if (opts.stop_on_alarm && edge.predictor().anomaly_predicted()) {
+        stop.store(true, std::memory_order_release);
+      }
+      health.heartbeat(ps.processed);
+    }
+    health.set_idle(true);
+  };
+
+  auto make_worker_body = [&](std::size_t k) {
+    return [&, k](robust::StageHealth& health) {
+      WorkerState& me = *worker_states[k];
+      const std::string name = "uplink" + std::to_string(k);
+      if (me.in_flight.active) {
+        // A previous incarnation died holding this job.  Deliver it as a
+        // failed call (a degraded window, exactly like an exhausted
+        // retry): without this, the issued/applied ledger never settles,
+        // and a lost *cold-start* call would leave the track stage
+        // waiting forever on a result that cannot arrive.
+        PendingSearch lost;
+        lost.sequence = me.in_flight.sequence;
+        lost.ready_at_sec = me.in_flight.t_issue_sec;
+        lost.succeeded = false;
+        lost.trace = me.in_flight.trace;
+        me.in_flight.active = false;
+        health.set_idle(true);
+        (void)q_deliver.push(std::move(lost));  // closed = run is ending
+        health.set_idle(false);
+      }
+      for (;;) {
+        health.set_idle(true);
+        std::optional<UplinkJob> job = q_uplink.pop();
+        health.set_idle(false);
+        if (!job.has_value()) {
+          break;
+        }
+        if (health.abort_requested()) {
+          return;
+        }
+        ++me.processed;
+        me.in_flight.active = true;
+        me.in_flight.sequence = job->sequence;
+        me.in_flight.t_issue_sec = job->t_issue_sec;
+        me.in_flight.trace = job->trace;
+        maybe_fault(name, me.processed, health);
+        if (health.abort_requested()) {
+          return;
+        }
+        PendingSearch pending = p.executor_.issue(
+            job->sequence, job->filtered, job->t_issue_sec, me.channel,
+            me.retry, tracer, breaker_ptr, job->trace);
+        EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
+        health.heartbeat(me.processed);
+        health.set_idle(true);
+        const bool delivered = q_deliver.push(std::move(pending));
+        health.set_idle(false);
+        me.in_flight.active = false;
+        if (!delivered) {
+          break;
+        }
+      }
+      health.set_idle(true);
+      if (active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        q_deliver.close();
+      }
+    };
+  };
+
+  supervisor.spawn("predict", predict_body);
+  supervisor.spawn("track", track_body);
+  for (std::size_t k = 0; k < workers; ++k) {
+    supervisor.spawn("uplink" + std::to_string(k), make_worker_body(k));
+  }
+  supervisor.spawn("filter", filter_body);
+  supervisor.spawn("acquire", acquire_body);
+
+  // The join IS the wait: every stage exits when its input queue closes
+  // and drains (or on supervisor intervention), and the close cascades
+  // from the acquire stage down the graph.
+  supervisor.join_all();
+
+  // ---- Epilogue (single-threaded again; thread joins order everything
+  // the stages wrote). ----
+  if (ts.track_steps > 0) {
+    result.timings.mean_track_sec =
+        ts.total_track_sec / static_cast<double>(ts.track_steps);
+  }
+  result.anomaly_predicted = edge.predictor().anomaly_predicted();
+  result.first_alarm_sec = edge.predictor().first_alarm_sec();
+  if (scraper && series_store->scrapes() == 0) {
+    scraper->scrape_now(ps.last_window_end_sec);
+    if (alert_engine) {
+      alert_engine->evaluate(*series_store, ps.last_window_end_sec, 0);
+    }
+  }
+  result.slo = {edge_slo.summary(), initial_slo.summary()};
+  if (p.metrics_.track_step != nullptr) {
+    for (const double observation : ts.deferred_track_obs) {
+      p.metrics_.track_step->observe(observation);
+    }
+  }
+  ts.deferred_track_obs.clear();
+  if (controller) {
+    result.robust.degrade = controller->summary();
+    if (tracer != nullptr) {
+      for (const auto& transition : controller->transitions()) {
+        const std::uint64_t transition_trace =
+            trace_seed != 0 && transition.t_sec >= 1.0
+                ? obs::mint_trace_id(
+                      trace_seed,
+                      static_cast<std::uint64_t>(transition.t_sec - 1.0))
+                : 0;
+        tracer->record_sim(
+            std::string("robust_") +
+                robust::degrade_state_name(transition.from) + "_to_" +
+                robust::degrade_state_name(transition.to),
+            "robust", transition.t_sec, transition.t_sec, 0,
+            transition_trace);
+      }
+    }
+  }
+  if (breaker) {
+    result.robust.breaker = breaker->summary();
+  }
+  if (quality) {
+    result.robust.quality = quality->summary();
+  }
+  result.robust.watchdog_trips = watchdog ? watchdog->trips() : 0;
+  result.robust.supervisor_stalls = supervisor.stalls_detected();
+  result.robust.supervisor_restarts = supervisor.restarts();
+  result.robust.supervisor_crashes = supervisor.crashes();
+  for (const robust::StageStats& stats : supervisor.stats()) {
+    robust::StageQueueSummary row;
+    row.stage = stats.name;
+    row.processed = stats.processed;
+    row.stalls = stats.stalls;
+    row.crashes = stats.crashes;
+    row.restarts = stats.restarts;
+    row.failed = stats.failed;
+    result.robust.stages.push_back(std::move(row));
+  }
+  auto queue_row = [&](const char* name, std::size_t capacity,
+                       std::size_t max_depth, std::uint64_t pushed,
+                       std::uint64_t popped, std::uint64_t shed) {
+    robust::StageQueueSummary row;
+    row.stage = std::string("q_") + name;
+    row.processed = popped;
+    row.queue = name;
+    row.queue_capacity = capacity;
+    row.queue_max_depth = max_depth;
+    row.queue_pushed = pushed;
+    row.queue_shed = shed;
+    result.robust.stages.push_back(std::move(row));
+  };
+  queue_row("raw", q_raw.capacity(), q_raw.max_depth(), q_raw.pushed(),
+            q_raw.popped(), q_raw.shed());
+  queue_row("filtered", q_filtered.capacity(), q_filtered.max_depth(),
+            q_filtered.pushed(), q_filtered.popped(), q_filtered.shed());
+  queue_row("uplink", q_uplink.capacity(), q_uplink.max_depth(),
+            q_uplink.pushed(), q_uplink.popped(), q_uplink.shed());
+  queue_row("deliver", q_deliver.capacity(), q_deliver.max_depth(),
+            q_deliver.pushed(), q_deliver.popped(), q_deliver.shed());
+  queue_row("outcome", q_outcome.capacity(), q_outcome.max_depth(),
+            q_outcome.pushed(), q_outcome.popped(),
+            q_outcome.shed() + dropped_newest.load());
+  if (tracer != nullptr) {
+    result.trace = obs::timeline_view(*tracer);
+  }
+  return result;
+}
+
+}  // namespace emap::core

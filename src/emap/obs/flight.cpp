@@ -37,6 +37,8 @@ const char* flight_event_type_name(FlightEventType type) {
       return "crash_point";
     case FlightEventType::kAlert:
       return "alert";
+    case FlightEventType::kStageStall:
+      return "stage_stall";
   }
   return "?";
 }

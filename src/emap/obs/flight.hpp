@@ -37,6 +37,7 @@ enum class FlightEventType : std::uint8_t {
   kResume,            ///< run resumed from a checkpoint
   kCrashPoint,        ///< crash point tripped (always the dump's last event)
   kAlert,             ///< alert rule fired or resolved (a=value, b=threshold)
+  kStageStall,        ///< supervisor intervention: stall/crash/restart/giveup
 };
 
 const char* flight_event_type_name(FlightEventType type);

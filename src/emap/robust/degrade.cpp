@@ -30,6 +30,8 @@ void DegradeOptions::validate() const {
   require(critical_hold >= 1, "DegradeOptions: critical_hold must be >= 1");
   require(recover_after >= 1, "DegradeOptions: recover_after must be >= 1");
   require(step_up_after >= 1, "DegradeOptions: step_up_after must be >= 1");
+  require(queue_pressure_enter > 0.0 && queue_pressure_enter <= 1.0,
+          "DegradeOptions: queue_pressure_enter must be in (0, 1]");
   require(pressure_alpha > 0.0 && pressure_alpha <= 1.0,
           "DegradeOptions: pressure_alpha must be in (0, 1]");
   require(escalate_pressure > 0.0 && escalate_pressure <= 1.0,
@@ -168,10 +170,20 @@ void DegradationController::observe_window(const WindowSignal& signal) {
   if (signal.deadline_miss) {
     recovered_since_miss_ = false;
   }
+  // Queue-depth pressure joins burn rate as a shed signal (streaming mode):
+  // a backlog between stages means the edge is falling behind the window
+  // cadence even when each individual step stays inside its budget.
+  const bool queue_pressure =
+      signal.queue_pressure >= options_.queue_pressure_enter;
   const bool pressure =
-      signal.deadline_miss || (signal.burn_rate > options_.enter_burn_rate &&
-                               !recovered_since_miss_);
-  const bool clean = !signal.deadline_miss && !signal.near_miss;
+      signal.deadline_miss || queue_pressure ||
+      (signal.burn_rate > options_.enter_burn_rate &&
+       !recovered_since_miss_);
+  // A pressured queue disqualifies the window from counting as clean even
+  // when its own latency was fine: recovery must wait for the backlog to
+  // drain, not just for one good step.
+  const bool clean =
+      !signal.deadline_miss && !signal.near_miss && !queue_pressure;
   if (pressure && pressure_metric_ != nullptr) {
     pressure_metric_->increment();
   }

@@ -77,6 +77,14 @@ struct DegradeOptions {
   // anti-flap hysteresis; CRITICAL entry keeps the consecutive-miss rule
   // either way.  Off by default — the fixed-streak behaviour stays
   // bit-identical for existing calibrated runs.
+  /// Stage-queue occupancy (max depth/capacity over the streaming graph's
+  /// queues) at or above which a window counts as pressure even with clean
+  /// latency — a backlog building between stages is early warning the
+  /// burn rate cannot see.  The batch pipeline never reports queue
+  /// pressure (WindowSignal.queue_pressure stays 0), so this knob is
+  /// behaviour-preserving outside streaming mode.
+  double queue_pressure_enter = 0.75;
+
   bool adaptive = false;
   /// EWMA smoothing factor for the pressure indicator.
   double pressure_alpha = 0.4;
@@ -97,6 +105,9 @@ struct WindowSignal {
   bool deadline_miss = false;  ///< this window blew its budget
   bool near_miss = false;      ///< within budget but in the warning band
   bool stage_stuck = false;    ///< watchdog verdict: force CRITICAL
+  /// Stage-queue occupancy in [0, 1]: max depth/capacity over the
+  /// streaming queues (0 in batch mode — no queues exist).
+  double queue_pressure = 0.0;
   /// No latency observation this window (quality-gated or CRITICAL);
   /// streaks hold instead of advancing.
   bool no_observation = false;

@@ -67,7 +67,31 @@ std::string robust_summary_json(const RobustSummary& summary) {
              static_cast<std::uint64_t>(summary.recovery.checkpoints_written))
       .field("recovery_cold_start_fallback",
              summary.recovery.cold_start_fallback)
-      .field("recovery_reject_reason", summary.recovery.reject_reason);
+      .field("recovery_reject_reason", summary.recovery.reject_reason)
+      .field("streamed", summary.streamed)
+      .field("supervisor_stalls",
+             static_cast<std::uint64_t>(summary.supervisor_stalls))
+      .field("supervisor_restarts",
+             static_cast<std::uint64_t>(summary.supervisor_restarts))
+      .field("supervisor_crashes",
+             static_cast<std::uint64_t>(summary.supervisor_crashes));
+  // Stage-queue columns (streaming mode): one flattened field group per
+  // stage, keyed by stage name, so the JSON stays a flat one-line object.
+  for (const StageQueueSummary& stage : summary.stages) {
+    const std::string prefix = "stage_" + stage.stage + "_";
+    writer.field(prefix + "processed", stage.processed)
+        .field(prefix + "stalls", stage.stalls)
+        .field(prefix + "crashes", stage.crashes)
+        .field(prefix + "restarts", stage.restarts)
+        .field(prefix + "failed", stage.failed);
+    if (!stage.queue.empty()) {
+      writer.field(prefix + "queue", stage.queue)
+          .field(prefix + "queue_capacity", stage.queue_capacity)
+          .field(prefix + "queue_max_depth", stage.queue_max_depth)
+          .field(prefix + "queue_pushed", stage.queue_pushed)
+          .field(prefix + "queue_shed", stage.queue_shed);
+    }
+  }
   return writer.str();
 }
 

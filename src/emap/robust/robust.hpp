@@ -11,10 +11,13 @@
 #include <filesystem>
 #include <string>
 
+#include <vector>
+
 #include "emap/robust/breaker.hpp"
 #include "emap/robust/checkpoint.hpp"
 #include "emap/robust/degrade.hpp"
 #include "emap/robust/quality.hpp"
+#include "emap/robust/supervisor.hpp"
 #include "emap/robust/watchdog.hpp"
 
 namespace emap::robust {
@@ -36,6 +39,25 @@ struct RobustOptions {
   void validate() const;
 };
 
+/// One streaming stage with its outbound queue (streaming mode only):
+/// supervision counters from the StageSupervisor plus the bounded queue's
+/// occupancy accounting.  Rendered as per-stage columns in the robust
+/// summary JSON.
+struct StageQueueSummary {
+  std::string stage;
+  std::uint64_t processed = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  bool failed = false;
+  /// Outbound queue (empty name = terminal stage, queue fields all 0).
+  std::string queue;
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t queue_max_depth = 0;
+  std::uint64_t queue_pushed = 0;
+  std::uint64_t queue_shed = 0;
+};
+
 /// Controller-loop outcome of one run, embedded in RunResult.
 struct RobustSummary {
   bool enabled = false;
@@ -53,6 +75,14 @@ struct RobustSummary {
   std::size_t deferred_flushes = 0;
   /// Checkpoint/restore outcome (all-default when checkpointing is off).
   RecoverySummary recovery{};
+  /// True when the run executed on the threaded streaming scheduler.
+  bool streamed = false;
+  /// Supervisor interventions over the whole stage graph (0 in batch mode).
+  std::size_t supervisor_stalls = 0;
+  std::size_t supervisor_restarts = 0;
+  std::size_t supervisor_crashes = 0;
+  /// Per-stage supervision + queue columns (empty in batch mode).
+  std::vector<StageQueueSummary> stages{};
 };
 
 /// Flat JSON object of the summary (one line, no trailing newline).

@@ -1,0 +1,189 @@
+// Streaming soak: two simulated hours on the threaded scheduler with the
+// network fault injector, deterministic stage faults (stalls + crashes),
+// and an armed crash point all active at once.  The run must complete with
+// every injected fault recovered by the supervisor, queue depths bounded
+// by their configured capacities, and the telemetry/flight artifacts
+// intact.  A second scenario pins the shed-oldest backpressure policy:
+// a stalled consumer bounds the queue by shedding instead of blocking,
+// and the backlog registers as queue pressure in the degrade controller.
+//
+// This suite runs real threads; it is part of the ASan/TSan CI jobs and
+// the streaming soak-smoke job (which re-runs it with artifact export).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "emap/core/pipeline.hpp"
+#include "emap/core/stream.hpp"
+#include "emap/obs/flight.hpp"
+#include "emap/obs/metrics.hpp"
+#include "emap/robust/crashpoint.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+constexpr double kSoakSeconds = 7200.0;  // two simulated hours
+
+synth::Recording seizure_input(std::uint64_t seed, double duration,
+                               double onset) {
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = seed;
+  spec.duration_sec = duration;
+  spec.onset_sec = onset;
+  return synth::make_eval_input(spec);
+}
+
+const robust::StageQueueSummary* find_stage(const RunResult& result,
+                                            const std::string& name) {
+  for (const robust::StageQueueSummary& row : result.robust.stages) {
+    if (row.stage == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(StreamSoak, TwoVirtualHoursThreadedUnderFaultsAndStageFailures) {
+  emap::testing::TempDir dir("stream_soak");
+  const synth::Recording input = seizure_input(17, kSoakSeconds, 7150.0);
+
+  obs::MetricsRegistry registry;
+  // The ring must outlive two hours of per-window events, or the
+  // supervisor's kStageStall entries (injected around windows 1000-2500)
+  // would be evicted long before the end-of-run snapshot.
+  obs::FlightRecorder flight(65536);
+  flight.set_dump_path(dir.path() / "flight.jsonl");
+  robust::CrashPointRegistry crashpoints;
+  // One in-process crash mid-run, on top of the stage faults below: the
+  // supervisor must treat an InjectedCrash like any other stage death.
+  robust::ScopedCrashSchedule crash_guard(
+      crashpoints, {"pipeline_tracker_step", 5000},
+      robust::CrashAction::kThrow);
+
+  PipelineOptions options;
+  options.robust.enabled = true;
+  options.metrics = &registry;
+  options.flight = &flight;
+  options.crashpoints = &crashpoints;
+  options.timeseries.enabled = true;
+  options.fault.up.drop = 0.05;
+  options.fault.down.drop = 0.05;
+  options.fault.seed = 23;
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+
+  StreamOptions stream_options;
+  stream_options.mode = SchedulerMode::kThreaded;
+  stream_options.stage_threads = 2;
+  stream_options.queue_capacity = 8;
+  // Stall timeout must exceed one wall-clock cloud search (no heartbeat is
+  // possible inside the search, and sanitizers slow it 10-20x).
+  stream_options.supervisor.poll_interval_sec = 0.01;
+  stream_options.supervisor.stall_timeout_sec = 2.0;
+  stream_options.supervisor.max_restarts = 6;
+  stream_options.faults.push_back(
+      {"filter", 1000, StageFaultSpec::Kind::kStall, 10.0});
+  stream_options.faults.push_back(
+      {"track", 2500, StageFaultSpec::Kind::kCrash, 10.0});
+  stream_options.faults.push_back(
+      {"uplink0", 2, StageFaultSpec::Kind::kCrash, 10.0});
+  StreamPipeline stream(engine, stream_options);
+  const RunResult result = stream.run(input);
+
+  // The run survived to the end of the input: every injected fault was
+  // recovered, losing at most the in-flight item per stall/crash.
+  EXPECT_TRUE(result.robust.streamed);
+  EXPECT_GE(result.iterations.size(),
+            static_cast<std::size_t>(kSoakSeconds) - 5);
+  EXPECT_LE(result.iterations.size(), static_cast<std::size_t>(kSoakSeconds));
+  for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+    ASSERT_GT(result.iterations[i].window_index,
+              result.iterations[i - 1].window_index);
+  }
+
+  // Supervisor scoreboard: the stall was detected and aborted, both
+  // crashes (stage fault + crash point) restarted, and no stage ran out
+  // of restart budget.
+  EXPECT_GE(result.robust.supervisor_stalls, 1u);
+  EXPECT_GE(result.robust.supervisor_crashes, 2u);
+  EXPECT_GE(result.robust.supervisor_restarts, 3u);
+  for (const char* stage :
+       {"acquire", "filter", "track", "predict", "uplink0", "uplink1"}) {
+    const robust::StageQueueSummary* row = find_stage(result, stage);
+    ASSERT_NE(row, nullptr) << stage;
+    EXPECT_FALSE(row->failed) << stage;
+  }
+  const robust::StageQueueSummary* filter = find_stage(result, "filter");
+  EXPECT_GE(filter->stalls, 1u);
+  EXPECT_GE(find_stage(result, "track")->crashes, 1u);
+  EXPECT_GE(find_stage(result, "uplink0")->crashes, 1u);
+
+  // Bounded queues: two hours of sustained load never pushed any queue
+  // past its configured bound, and nothing was shed under kBlock.
+  for (const char* queue :
+       {"q_raw", "q_filtered", "q_uplink", "q_deliver", "q_outcome"}) {
+    const robust::StageQueueSummary* row = find_stage(result, queue);
+    ASSERT_NE(row, nullptr) << queue;
+    EXPECT_LE(row->queue_max_depth, row->queue_capacity) << queue;
+    EXPECT_EQ(row->queue_shed, 0u) << queue;
+  }
+
+  // The lossy link was really exercised and the cloud loop still closed.
+  EXPECT_GE(result.cloud_calls, 1u);
+  EXPECT_GE(result.retry_attempts, 1u);
+
+  // Telemetry survived the soak bounded, and the supervisor's
+  // interventions are in the flight ring.
+  ASSERT_NE(result.series, nullptr);
+  EXPECT_LE(result.series->total_buckets(), result.series->bucket_capacity());
+  std::size_t stall_events = 0;
+  for (const obs::FlightEvent& event : flight.snapshot()) {
+    stall_events += event.type == obs::FlightEventType::kStageStall ? 1 : 0;
+  }
+  EXPECT_GE(stall_events, 1u);
+}
+
+TEST(StreamSoak, ShedOldestPolicyBoundsBacklogWhenConsumerStalls) {
+  const synth::Recording input = seizure_input(29, 600.0, 550.0);
+
+  PipelineOptions options;
+  options.robust.enabled = true;
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+
+  StreamOptions stream_options;
+  stream_options.mode = SchedulerMode::kThreaded;
+  stream_options.policy = QueueFullPolicy::kShedOldest;
+  stream_options.supervisor.poll_interval_sec = 0.01;
+  stream_options.supervisor.stall_timeout_sec = 2.0;
+  // Predict wedges mid-run: with shed-oldest, the producer side never
+  // blocks — q_outcome stays bounded by discarding the stalest records
+  // while the supervisor deals with the wedged consumer.
+  stream_options.faults.push_back(
+      {"predict", 100, StageFaultSpec::Kind::kStall, 10.0});
+  StreamPipeline stream(engine, stream_options);
+  const RunResult result = stream.run(input);
+
+  EXPECT_GE(result.robust.supervisor_stalls, 1u);
+  const robust::StageQueueSummary* predict = find_stage(result, "predict");
+  ASSERT_NE(predict, nullptr);
+  EXPECT_GE(predict->stalls, 1u);
+  EXPECT_FALSE(predict->failed);
+
+  // The backlog was shed, not grown: records were lost (that is the
+  // policy's contract) but the queue never exceeded its bound.
+  const robust::StageQueueSummary* outcome = find_stage(result, "q_outcome");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_GE(outcome->queue_shed, 1u);
+  EXPECT_LE(outcome->queue_max_depth, outcome->queue_capacity);
+  EXPECT_LT(result.iterations.size(), 600u);
+
+  // The stage backlog registered as queue pressure in the controller —
+  // the streaming-mode shed signal (docs/streaming.md).
+  EXPECT_TRUE(result.robust.degrade.entered_degraded);
+}
+
+}  // namespace
+}  // namespace emap::core

@@ -1,0 +1,206 @@
+// StageSupervisor: stall detection, crash restart with cursor resume,
+// idle exemption, and the give-up path after max_restarts.  Timeouts are
+// kept tiny (milliseconds) — these tests run wall-clock, unlike the rest
+// of the robustness suite, because the supervisor is the one robustness
+// component that is deliberately not virtual-time driven.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "emap/common/error.hpp"
+#include "emap/obs/metrics.hpp"
+#include "emap/robust/supervisor.hpp"
+
+namespace emap::robust {
+namespace {
+
+SupervisorOptions fast_supervisor() {
+  SupervisorOptions options;
+  options.poll_interval_sec = 0.002;
+  options.stall_timeout_sec = 0.03;
+  options.max_restarts = 4;
+  return options;
+}
+
+TEST(Supervisor, ValidateRejectsBadOptions) {
+  SupervisorOptions options;
+  options.poll_interval_sec = 0.0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options = SupervisorOptions{};
+  options.stall_timeout_sec = options.poll_interval_sec / 2.0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options = SupervisorOptions{};
+  options.max_restarts = 0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  EXPECT_NO_THROW(SupervisorOptions{}.validate());
+}
+
+TEST(Supervisor, CleanBodyRunsOnceWithoutIntervention) {
+  StageSupervisor supervisor(fast_supervisor());
+  std::atomic<int> invocations{0};
+  supervisor.spawn("clean", [&](StageHealth& health) {
+    ++invocations;
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+      health.set_idle(false);
+      health.heartbeat(i);
+      health.set_idle(true);
+    }
+  });
+  supervisor.join_all();
+
+  EXPECT_EQ(invocations.load(), 1);
+  EXPECT_EQ(supervisor.stalls_detected(), 0u);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+  EXPECT_EQ(supervisor.crashes(), 0u);
+  EXPECT_FALSE(supervisor.any_failed());
+  const std::vector<StageStats> stats = supervisor.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "clean");
+  EXPECT_EQ(stats[0].processed, 10u);
+  EXPECT_FALSE(stats[0].failed);
+}
+
+TEST(Supervisor, IdleStageIsExemptFromStallVerdicts) {
+  SupervisorOptions options = fast_supervisor();
+  StageSupervisor supervisor(options);
+  supervisor.spawn("idle", [&](StageHealth& health) {
+    health.set_idle(true);
+    // Silent for 5x the stall timeout — but idle, so not stalled.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        5.0 * options.stall_timeout_sec));
+  });
+  supervisor.join_all();
+  EXPECT_EQ(supervisor.stalls_detected(), 0u);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+}
+
+TEST(Supervisor, StallIsDetectedAbortedAndRestarted) {
+  StageSupervisor supervisor(fast_supervisor());
+  std::atomic<int> invocations{0};
+  supervisor.spawn("wedged", [&](StageHealth& health) {
+    const int attempt = ++invocations;
+    health.set_idle(false);
+    health.heartbeat(1);
+    if (attempt == 1) {
+      // Wedge: busy (not idle), no heartbeats, until the monitor aborts.
+      while (!health.abort_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;  // unwind; the supervisor restarts the body
+    }
+    health.set_idle(true);  // second attempt completes cleanly
+  });
+  supervisor.join_all();
+
+  EXPECT_EQ(invocations.load(), 2);
+  EXPECT_GE(supervisor.stalls_detected(), 1u);
+  EXPECT_GE(supervisor.restarts(), 1u);
+  EXPECT_FALSE(supervisor.any_failed());
+}
+
+TEST(Supervisor, CrashRestartsFromLastHeartbeatCursor) {
+  StageSupervisor supervisor(fast_supervisor());
+  std::atomic<int> invocations{0};
+  std::atomic<std::uint64_t> resumed_at{0};
+  supervisor.spawn("crashy", [&](StageHealth& health) {
+    const int attempt = ++invocations;
+    health.set_idle(false);
+    if (attempt == 1) {
+      health.heartbeat(5);
+      throw std::runtime_error("injected");
+    }
+    resumed_at = health.resume_cursor();
+    health.set_idle(true);
+  });
+  supervisor.join_all();
+
+  EXPECT_EQ(invocations.load(), 2);
+  EXPECT_EQ(supervisor.crashes(), 1u);
+  EXPECT_GE(supervisor.restarts(), 1u);
+  EXPECT_EQ(resumed_at.load(), 5u);
+  EXPECT_FALSE(supervisor.any_failed());
+}
+
+TEST(Supervisor, GivesUpAfterMaxRestartsAndRunsFailureHandler) {
+  SupervisorOptions options = fast_supervisor();
+  options.max_restarts = 2;
+  obs::MetricsRegistry registry;
+  StageSupervisor supervisor(options, &registry);
+  std::atomic<int> handler_calls{0};
+  std::string failed_stage;
+  supervisor.set_failure_handler([&](const std::string& stage) {
+    ++handler_calls;
+    failed_stage = stage;
+  });
+  std::atomic<int> invocations{0};
+  supervisor.spawn("doomed", [&](StageHealth& health) {
+    health.set_idle(false);
+    ++invocations;
+    throw std::runtime_error("always");
+  });
+  supervisor.join_all();
+
+  // Initial run + max_restarts re-runs, then surrender.
+  EXPECT_EQ(invocations.load(), 3);
+  EXPECT_TRUE(supervisor.any_failed());
+  EXPECT_EQ(handler_calls.load(), 1);
+  EXPECT_EQ(failed_stage, "doomed");
+  const std::vector<StageStats> stats = supervisor.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].failed);
+  EXPECT_EQ(stats[0].crashes, 3u);
+}
+
+TEST(Supervisor, StallMetricIsRegisteredPerStage) {
+  obs::MetricsRegistry registry;
+  StageSupervisor supervisor(fast_supervisor(), &registry);
+  std::atomic<int> invocations{0};
+  supervisor.spawn("metered", [&](StageHealth& health) {
+    health.set_idle(false);
+    health.heartbeat(1);
+    if (++invocations == 1) {
+      while (!health.abort_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
+    }
+    health.set_idle(true);
+  });
+  supervisor.join_all();
+
+  obs::Counter& stalls = registry.counter("emap_stage_stalls_total",
+                                          {{"stage", "metered"}});
+  EXPECT_GE(stalls.value(), 1u);
+  obs::Counter& restarts = registry.counter("emap_stage_restarts_total",
+                                            {{"stage", "metered"}});
+  EXPECT_GE(restarts.value(), 1u);
+}
+
+TEST(Supervisor, RequestAbortStopsAllStagesWithoutRestarts) {
+  StageSupervisor supervisor(fast_supervisor());
+  std::atomic<bool> entered{false};
+  supervisor.spawn("looper", [&](StageHealth& health) {
+    entered = true;
+    std::uint64_t i = 0;
+    while (!health.abort_requested()) {
+      health.set_idle(false);
+      health.heartbeat(++i);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  while (!entered) {
+    std::this_thread::yield();
+  }
+  supervisor.request_abort();
+  supervisor.join_all();
+  EXPECT_EQ(supervisor.restarts(), 0u);
+  EXPECT_FALSE(supervisor.any_failed());
+}
+
+}  // namespace
+}  // namespace emap::robust
