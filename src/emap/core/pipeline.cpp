@@ -14,6 +14,66 @@
 
 namespace emap::core {
 
+robust::TrackedSignalState to_signal_state(const TrackedSignal& signal) {
+  robust::TrackedSignalState state;
+  state.set_id = signal.set_id;
+  state.omega = signal.omega;
+  state.beta = static_cast<std::uint64_t>(signal.beta);
+  state.anomalous = signal.anomalous;
+  state.class_tag = signal.class_tag;
+  state.samples = signal.samples;
+  return state;
+}
+
+TrackedSignal from_signal_state(robust::TrackedSignalState&& state) {
+  TrackedSignal signal;
+  signal.set_id = state.set_id;
+  signal.omega = state.omega;
+  signal.beta = static_cast<std::size_t>(state.beta);
+  signal.anomalous = state.anomalous;
+  signal.class_tag = state.class_tag;
+  signal.samples = std::move(state.samples);
+  return signal;
+}
+
+robust::PendingCallCheckpoint to_call_checkpoint(const PendingSearch& call) {
+  robust::PendingCallCheckpoint out;
+  out.ready_at_sec = call.ready_at_sec;
+  out.delta_ec = call.delta_ec;
+  out.delta_cs = call.delta_cs;
+  out.delta_ce = call.delta_ce;
+  out.sequence = call.sequence;
+  out.attempts = call.attempts;
+  out.duplicates = call.duplicates;
+  out.succeeded = call.succeeded;
+  out.trace_id = call.trace.trace_id;
+  out.parent_span = call.trace.parent_span;
+  out.correlation_set.reserve(call.correlation_set.size());
+  for (const TrackedSignal& signal : call.correlation_set) {
+    out.correlation_set.push_back(to_signal_state(signal));
+  }
+  return out;
+}
+
+PendingSearch from_call_checkpoint(robust::PendingCallCheckpoint&& call) {
+  PendingSearch out;
+  out.ready_at_sec = call.ready_at_sec;
+  out.delta_ec = call.delta_ec;
+  out.delta_cs = call.delta_cs;
+  out.delta_ce = call.delta_ce;
+  out.sequence = call.sequence;
+  out.attempts = static_cast<std::size_t>(call.attempts);
+  out.duplicates = static_cast<std::size_t>(call.duplicates);
+  out.succeeded = call.succeeded;
+  out.trace.trace_id = call.trace_id;
+  out.trace.parent_span = call.parent_span;
+  out.correlation_set.reserve(call.correlation_set.size());
+  for (robust::TrackedSignalState& signal : call.correlation_set) {
+    out.correlation_set.push_back(from_signal_state(std::move(signal)));
+  }
+  return out;
+}
+
 std::vector<double> RunResult::pa_history() const {
   std::vector<double> history;
   for (const auto& record : iterations) {
@@ -200,27 +260,6 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
   robust::QualitySummary quality_base{};
   std::size_t start_window = 0;
 
-  auto to_signal_state = [](const TrackedSignal& signal) {
-    robust::TrackedSignalState state;
-    state.set_id = signal.set_id;
-    state.omega = signal.omega;
-    state.beta = static_cast<std::uint64_t>(signal.beta);
-    state.anomalous = signal.anomalous;
-    state.class_tag = signal.class_tag;
-    state.samples = signal.samples;
-    return state;
-  };
-  auto from_signal_state = [](robust::TrackedSignalState&& state) {
-    TrackedSignal signal;
-    signal.set_id = state.set_id;
-    signal.omega = state.omega;
-    signal.beta = static_cast<std::size_t>(state.beta);
-    signal.anomalous = state.anomalous;
-    signal.class_tag = state.class_tag;
-    signal.samples = std::move(state.samples);
-    return signal;
-  };
-
   if (recovery.enabled() && recovery.resume) {
     try {
       std::optional<robust::SessionState> snapshot =
@@ -238,6 +277,12 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         throw robust::CheckpointError(
             "checkpoint: input fingerprint mismatch — snapshot belongs to "
             "a different recording");
+      }
+      if (!snapshot->stream_fingerprint.empty()) {
+        throw robust::CheckpointError(
+            "checkpoint: stream topology mismatch (snapshot \"" +
+            snapshot->stream_fingerprint +
+            "\", batch loop takes only virtual-time snapshots)");
       }
       robust::SessionState& s = *snapshot;
       std::vector<TrackedSignal> tracked;
@@ -269,25 +314,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
         trace_seed = s.trace_seed;
       }
       if (s.pending.has_value()) {
-        PendingSearch restored;
-        restored.ready_at_sec = s.pending->ready_at_sec;
-        restored.delta_ec = s.pending->delta_ec;
-        restored.delta_cs = s.pending->delta_cs;
-        restored.delta_ce = s.pending->delta_ce;
-        restored.sequence = s.pending->sequence;
-        restored.attempts = static_cast<std::size_t>(s.pending->attempts);
-        restored.duplicates =
-            static_cast<std::size_t>(s.pending->duplicates);
-        restored.succeeded = s.pending->succeeded;
-        restored.trace.trace_id = s.pending->trace_id;
-        restored.trace.parent_span = s.pending->parent_span;
-        restored.correlation_set.reserve(s.pending->correlation_set.size());
-        for (robust::TrackedSignalState& signal :
-             s.pending->correlation_set) {
-          restored.correlation_set.push_back(
-              from_signal_state(std::move(signal)));
-        }
-        pending = std::move(restored);
+        pending = from_call_checkpoint(std::move(*s.pending));
       }
       last_pa = s.last_pa;
       last_loaded_sequence = s.last_loaded_sequence;
@@ -396,22 +423,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     s.predictor.consecutive = edge.predictor().consecutive_hits();
     s.fir = edge.filter().save_stream();
     if (pending.has_value()) {
-      robust::PendingCallCheckpoint call;
-      call.ready_at_sec = pending->ready_at_sec;
-      call.delta_ec = pending->delta_ec;
-      call.delta_cs = pending->delta_cs;
-      call.delta_ce = pending->delta_ce;
-      call.sequence = pending->sequence;
-      call.attempts = pending->attempts;
-      call.duplicates = pending->duplicates;
-      call.succeeded = pending->succeeded;
-      call.trace_id = pending->trace.trace_id;
-      call.parent_span = pending->trace.parent_span;
-      call.correlation_set.reserve(pending->correlation_set.size());
-      for (const TrackedSignal& signal : pending->correlation_set) {
-        call.correlation_set.push_back(to_signal_state(signal));
-      }
-      s.pending = std::move(call);
+      s.pending = to_call_checkpoint(*pending);
     }
     if (controller) {
       s.degrade = controller->checkpoint();
@@ -426,6 +438,7 @@ RunResult EmapPipeline::run(const synth::Recording& input) {
     s.trace_seed = trace_seed;
     robust::write_checkpoint(recovery.checkpoint_dir, s, crashpoints);
     ++recovery_summary.checkpoints_written;
+    recovery_summary.last_snapshot_window = next_window;
     if (metrics_.recovery_checkpoints != nullptr) {
       metrics_.recovery_checkpoints->increment();
     }

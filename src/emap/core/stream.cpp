@@ -4,7 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -14,9 +18,11 @@
 #include <vector>
 
 #include "emap/common/bounded_queue.hpp"
+#include "emap/common/crc32.hpp"
 #include "emap/common/error.hpp"
 #include "emap/obs/export.hpp"
 #include "emap/obs/flight.hpp"
+#include "emap/robust/checkpoint.hpp"
 #include "emap/robust/crashpoint.hpp"
 
 namespace emap::core {
@@ -71,6 +77,8 @@ void StreamOptions::validate() const {
           "StreamOptions: stage_threads must be at least 1");
   require(queue_capacity >= 2,
           "StreamOptions: queue_capacity must be at least 2");
+  require(drain_timeout_sec > 0.0,
+          "StreamOptions: drain_timeout_sec must be positive");
   supervisor.validate();
   for (const StageFaultSpec& fault : faults) {
     require(!fault.stage.empty(), "StreamOptions: fault stage name empty");
@@ -101,6 +109,17 @@ const char* queue_full_policy_name(QueueFullPolicy policy) {
       return "degrade";
   }
   return "unknown";
+}
+
+std::string StreamOptions::fingerprint() const {
+  if (mode == SchedulerMode::kVirtualTime) {
+    // Batch snapshots carry no topology label, so the batch loop keeps
+    // reading (and producing) exactly the payloads it always has.
+    return "";
+  }
+  return std::string("threaded/workers=") + std::to_string(stage_threads) +
+         "/cap=" + std::to_string(queue_capacity) +
+         "/policy=" + queue_full_policy_name(policy);
 }
 
 StreamPipeline::StreamPipeline(EmapPipeline& pipeline, StreamOptions options)
@@ -158,7 +177,7 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
     result.tracer = std::make_shared<obs::Tracer>();
     tracer = result.tracer.get();
   }
-  const std::uint64_t trace_seed =
+  std::uint64_t trace_seed =
       tracer != nullptr ? opts.trace_seed : 0;
   obs::FlightRecorder* flight = opts.flight;
   robust::CrashPointRegistry* crashpoints = opts.crashpoints;
@@ -195,7 +214,27 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
   obs::SloMonitor edge_slo(obs::edge_iteration_slo(), opts.metrics);
   obs::SloMonitor initial_slo(obs::initial_response_slo(), opts.metrics);
 
-  const std::size_t window_count =
+  // ---- Durable streaming (robust/checkpoint.hpp): quiesce-barrier
+  // snapshots on the acquire cadence, emergency / clean-shutdown snapshots
+  // in the epilogue, resume before the stage graph spawns.  All of the
+  // quiesce machinery is gated on `durable`, so a run without recovery
+  // keeps the original blocking pops untouched. ----
+  const robust::RecoveryOptions& recovery = opts.recovery;
+  robust::RecoverySummary& recovery_summary = result.robust.recovery;
+  recovery_summary.enabled = recovery.enabled();
+  const bool durable = recovery.enabled();
+  const std::string config_fp = config.fingerprint();
+  const std::uint32_t input_fp = crc32(
+      input.samples.data(), input.samples.size() * sizeof(double));
+  const std::string stream_fp = options_.fingerprint();
+  // Baselines carried over from a restored snapshot for components whose
+  // own counters restart at zero in the resumed process (watchdog trips,
+  // quality-gate verdicts); folded back in at summary time.
+  std::size_t watchdog_trips_base = 0;
+  robust::QualitySummary quality_base{};
+  std::size_t start_window = 0;
+
+  std::size_t window_count =
       std::min(opts.max_windows, input.samples.size() / window);
   const std::size_t workers = options_.stage_threads;
 
@@ -312,6 +351,12 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
     std::uint64_t issued = 0;    ///< uplink jobs enqueued
     std::uint64_t applied = 0;   ///< deliveries applied (or discarded)
     std::vector<PendingSearch> completed;  ///< popped, not yet ready
+    /// Identity of every issued-not-yet-applied job (sequence → issue
+    /// time + trace), so an unsettled checkpoint drain can name the
+    /// in-flight windows it records as to-replay entries.  Maintained
+    /// only when durable checkpointing is on.
+    std::map<std::uint32_t, std::pair<double, obs::TraceContext>>
+        outstanding_jobs;
     std::vector<double> deferred_track_obs;
     bool slo_burn_paged = false;
     bool breaker_dumped = false;
@@ -359,6 +404,17 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
       double t_issue_sec = 0.0;
       obs::TraceContext trace{};
     } in_flight;
+    /// Checkpoint mailbox: the injector/channel draw positions as of the
+    /// last finished job, republished at every job boundary.  The quiesce
+    /// coordinator reads the mailbox even when this worker is mid-search
+    /// (an expired drain): the unfinished job becomes a to-replay entry
+    /// and the cursors here are consistent with the jobs that actually
+    /// completed, so a resumed worker replays a coherent fault schedule.
+    struct Mailbox {
+      std::mutex m;
+      net::FaultInjectorState injector{};
+      RngState channel_rng{};
+    } mailbox;
   };
   std::vector<std::unique_ptr<WorkerState>> worker_states;
   for (std::size_t k = 0; k < workers; ++k) {
@@ -368,9 +424,171 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
       state->injector.set_metrics(opts.metrics);
     }
     state->channel.set_flight_recorder(flight);
+    state->mailbox.injector = state->injector.save();
+    state->mailbox.channel_rng = state->channel.save_rng();
     worker_states.push_back(std::move(state));
   }
   std::atomic<std::size_t> active_workers{workers};
+
+  // ---- Resume (single-threaded: the stage graph has not spawned yet).
+  // Mirrors the batch loop's restore sequence, then rebuilds the settled
+  // ledger: snapshot-completed calls are re-delivered from here, and every
+  // to-replay entry lands as a failed call at its issue time — the
+  // documented ≤1-lost-window-per-stage-death degradation. ----
+  if (durable && recovery.resume) {
+    try {
+      std::optional<robust::SessionState> snapshot =
+          robust::read_checkpoint(recovery.checkpoint_dir);
+      if (!snapshot.has_value()) {
+        throw robust::CheckpointError("checkpoint: no snapshot in " +
+                                      recovery.checkpoint_dir.string());
+      }
+      if (snapshot->config_fingerprint != config_fp) {
+        throw robust::CheckpointError(
+            "checkpoint: config fingerprint mismatch (snapshot " +
+            snapshot->config_fingerprint + ", pipeline " + config_fp + ")");
+      }
+      if (snapshot->input_fingerprint != input_fp) {
+        throw robust::CheckpointError(
+            "checkpoint: input fingerprint mismatch — snapshot belongs to "
+            "a different recording");
+      }
+      if (snapshot->stream_fingerprint != stream_fp) {
+        throw robust::CheckpointError(
+            "checkpoint: stream topology mismatch (snapshot \"" +
+            snapshot->stream_fingerprint + "\", run \"" + stream_fp +
+            "\")");
+      }
+      if (snapshot->workers.size() != workers) {
+        // Unreachable while worker count rides the fingerprint, but a
+        // truncated-yet-valid payload must never index out of range.
+        throw robust::CheckpointError(
+            "checkpoint: stream topology mismatch (snapshot carries " +
+            std::to_string(snapshot->workers.size()) +
+            " worker cursors, run has " + std::to_string(workers) + ")");
+      }
+      robust::SessionState& s = *snapshot;
+      std::vector<TrackedSignal> tracked;
+      tracked.reserve(s.tracker.tracked.size());
+      for (robust::TrackedSignalState& signal : s.tracker.tracked) {
+        tracked.push_back(from_signal_state(std::move(signal)));
+      }
+      edge.tracker().restore(
+          std::move(tracked), s.tracker.loaded,
+          static_cast<std::size_t>(s.tracker.steps_since_load));
+      edge.predictor().restore(
+          std::move(s.predictor.history), s.predictor.alarmed,
+          s.predictor.alarm_time_sec,
+          static_cast<std::size_t>(s.predictor.consecutive));
+      edge.filter().restore_stream(s.fir);
+      if (controller) {
+        controller->restore(s.degrade);
+      }
+      if (breaker) {
+        breaker->restore(s.breaker);
+        ts.last_breaker_state = breaker->state();
+      }
+      edge_slo.restore_state(s.edge_slo);
+      initial_slo.restore_state(s.initial_slo);
+      for (std::size_t k = 0; k < workers; ++k) {
+        WorkerState& ws = *worker_states[k];
+        ws.injector.restore(s.workers[k].injector);
+        ws.channel.restore_rng(s.workers[k].channel_rng);
+        ws.mailbox.injector = s.workers[k].injector;
+        ws.mailbox.channel_rng = s.workers[k].channel_rng;
+      }
+      if (trace_seed != 0 && s.trace_seed != 0) {
+        // Re-adopt the writing run's seed: windows keep the trace ids the
+        // uninterrupted run would have minted — lineage survives the
+        // crash.
+        trace_seed = s.trace_seed;
+      }
+      for (robust::PendingCallCheckpoint& call : s.completed_calls) {
+        PendingSearch restored = from_call_checkpoint(std::move(call));
+        ts.outstanding_jobs[restored.sequence] = {restored.ready_at_sec,
+                                                  restored.trace};
+        ts.completed.push_back(std::move(restored));
+      }
+      for (const robust::ReplayEntryCheckpoint& entry : s.replay) {
+        PendingSearch lost;
+        lost.sequence = entry.sequence;
+        lost.ready_at_sec = entry.t_issue_sec;
+        lost.succeeded = false;
+        lost.trace = obs::TraceContext{entry.trace_id, entry.parent_span};
+        ts.outstanding_jobs[lost.sequence] = {entry.t_issue_sec,
+                                              lost.trace};
+        ts.completed.push_back(std::move(lost));
+      }
+      recovery_summary.replay_redelivered = s.replay.size();
+      ts.issued = s.completed_calls.size() + s.replay.size();
+      ts.applied = 0;
+      ts.last_pa = s.last_pa;
+      ts.last_loaded_sequence = s.last_loaded_sequence;
+      ts.first_round_trip_recorded = s.counters.first_round_trip_recorded;
+      ts.total_track_sec = s.counters.total_track_sec;
+      ts.track_steps = static_cast<std::size_t>(s.counters.track_steps);
+      result.cloud_calls = static_cast<std::size_t>(s.counters.cloud_calls);
+      result.failed_cloud_calls =
+          static_cast<std::size_t>(s.counters.failed_cloud_calls);
+      result.retry_attempts =
+          static_cast<std::size_t>(s.counters.retry_attempts);
+      result.duplicates_discarded =
+          static_cast<std::size_t>(s.counters.duplicates_discarded);
+      result.degraded = s.counters.degraded;
+      result.timings.delta_ec_sec = s.counters.delta_ec_sec;
+      result.timings.delta_cs_sec = s.counters.delta_cs_sec;
+      result.timings.delta_ce_sec = s.counters.delta_ce_sec;
+      result.timings.delta_initial_sec = s.counters.delta_initial_sec;
+      result.timings.max_track_sec = s.counters.max_track_sec;
+      result.robust.critical_windows =
+          static_cast<std::size_t>(s.counters.critical_windows);
+      result.robust.shed_loads =
+          static_cast<std::size_t>(s.counters.shed_loads);
+      result.robust.deferred_flushes =
+          static_cast<std::size_t>(s.counters.deferred_flushes);
+      watchdog_trips_base =
+          static_cast<std::size_t>(s.counters.watchdog_trips);
+      quality_base = s.counters.quality;
+      start_window = static_cast<std::size_t>(s.next_window);
+      recovery_summary.resumed = true;
+      recovery_summary.resume_window = start_window;
+      recovery_summary.last_snapshot_window = s.next_window;
+      if (p.metrics_.recovery_resumes != nullptr) {
+        p.metrics_.recovery_resumes->increment();
+        p.metrics_.recovery_resume_window->set(
+            static_cast<double>(start_window));
+      }
+      const std::uint64_t resume_trace =
+          trace_seed != 0 ? obs::mint_trace_id(trace_seed, start_window)
+                          : 0;
+      if (tracer != nullptr) {
+        const double t_resume = static_cast<double>(start_window);
+        tracer->record_sim("recovery_resume", "recovery", t_resume,
+                           t_resume, 0, resume_trace);
+      }
+      if (flight != nullptr) {
+        flight->log(obs::FlightEventType::kResume, "resume",
+                    static_cast<double>(start_window), resume_trace,
+                    static_cast<double>(start_window));
+      }
+    } catch (const robust::CheckpointError& error) {
+      // Missing or rejected snapshot: fail closed in strict mode, fall
+      // back to a cold start otherwise (the run is then a fresh session).
+      if (recovery.strict) {
+        throw;
+      }
+      recovery_summary.cold_start_fallback = true;
+      recovery_summary.reject_reason = error.what();
+      if (p.metrics_.recovery_cold_starts != nullptr) {
+        p.metrics_.recovery_cold_starts->increment();
+      }
+    }
+  }
+  if (opts.stop_on_alarm && edge.predictor().anomaly_predicted()) {
+    // The restored predictor already latched its alarm; nothing is left to
+    // monitor.
+    window_count = start_window;
+  }
 
   robust::StageSupervisor supervisor(options_.supervisor, opts.metrics,
                                      flight);
@@ -386,11 +604,312 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
     (void)stage;
   });
 
+  // ---- Checkpoint quiesce barrier (durable runs only). ----
+  //
+  // On cadence the acquire stage (the coordinator) stops admitting source
+  // windows and raises `draining`; each consumer stage parks at the gate
+  // when its park precondition holds, in topological order (filter when
+  // q_raw is empty, track when the ledger settled or the drain budget
+  // expired, predict and the uplink workers behind track).  The
+  // coordinator captures the snapshot while it holds the gate mutex — a
+  // parked stage cannot resume until the epoch advances, so everything
+  // the stages wrote happens-before the capture reads it.
+  constexpr std::uint64_t kNeverParked =
+      std::numeric_limits<std::uint64_t>::max();
+  struct QuiesceGate {
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<bool> draining{false};
+    std::atomic<bool> drain_expired{false};
+    // Guarded by m.  A stage is parked at the *current* quiesce iff its
+    // recorded epoch equals `epoch`; bumping the epoch on release makes
+    // every park record stale at once, so a stage slow to wake from a
+    // previous quiesce can never be mistaken for parked at this one.
+    std::uint64_t epoch = 0;
+    std::uint64_t filter_epoch = 0;
+    std::uint64_t track_epoch = 0;
+    std::uint64_t predict_epoch = 0;
+    std::vector<std::uint64_t> worker_epochs;
+  } gate;
+  gate.filter_epoch = kNeverParked;
+  gate.track_epoch = kNeverParked;
+  gate.predict_epoch = kNeverParked;
+  gate.worker_epochs.assign(workers, kNeverParked);
+
+  // Parks the calling stage at the barrier until the coordinator bumps
+  // the epoch.  `eligible` runs under the gate mutex; when it (or the
+  // draining flag, re-checked under the lock so a release cannot be
+  // missed) says no, the stage returns to its pop loop and retries.
+  auto try_park = [&](std::uint64_t& stage_epoch, auto eligible) {
+    std::unique_lock<std::mutex> lock(gate.m);
+    if (!gate.draining.load(std::memory_order_acquire) || !eligible()) {
+      return;
+    }
+    stage_epoch = gate.epoch;
+    const std::uint64_t my_epoch = gate.epoch;
+    gate.cv.notify_all();
+    gate.cv.wait(lock, [&] { return gate.epoch != my_epoch; });
+  };
+
+  // Drop-in replacement for BoundedQueue::pop, used only on durable runs:
+  // identical blocking semantics, plus the stage visits the quiesce gate
+  // whenever the coordinator is draining.  Callers already bracket the
+  // pop with set_idle(true/false), so a parked stage is exempt from
+  // supervisor stall verdicts just like a blocked one.
+  auto pop_or_park = [&](auto& queue, auto park) {
+    for (;;) {
+      if (auto item = queue.try_pop()) {
+        return item;
+      }
+      if (queue.closed()) {
+        return queue.try_pop();  // drain any racing final pushes
+      }
+      if (gate.draining.load(std::memory_order_acquire)) {
+        park();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
+  auto ledger_settled = [&] {
+    return ts.issued - ts.applied ==
+           static_cast<std::uint64_t>(ts.completed.size());
+  };
+
+  // The track stage's park routine: settle the issued/applied ledger
+  // first — collect in-flight results until every outstanding call has
+  // landed or the drain budget expires — then park behind the filter
+  // stage.  Runs on the track thread, off the gate mutex.
+  auto track_park = [&] {
+    while (gate.draining.load(std::memory_order_acquire) &&
+           !gate.drain_expired.load(std::memory_order_acquire) &&
+           !ledger_settled()) {
+      if (std::optional<PendingSearch> done = q_deliver.try_pop()) {
+        ts.completed.push_back(std::move(*done));
+        continue;
+      }
+      if (q_deliver.closed()) {
+        return;  // the run is shutting down; don't park
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    try_park(gate.track_epoch, [&] {
+      return gate.filter_epoch == gate.epoch &&
+             (ledger_settled() ||
+              gate.drain_expired.load(std::memory_order_acquire));
+    });
+  };
+
+  // Captures the full session state.  Caller must guarantee quiescence:
+  // either every stage is parked at the gate (cadence snapshots) or the
+  // stage threads are joined (epilogue snapshots).
+  auto build_session_state = [&](std::size_t next_window) {
+    robust::SessionState s;
+    s.config_fingerprint = config_fp;
+    s.input_fingerprint = input_fp;
+    s.stream_fingerprint = stream_fp;
+    s.next_window = next_window;
+    s.last_pa = ts.last_pa;
+    s.last_loaded_sequence = ts.last_loaded_sequence;
+    s.counters.cloud_calls = result.cloud_calls;
+    s.counters.failed_cloud_calls = result.failed_cloud_calls;
+    s.counters.retry_attempts = result.retry_attempts;
+    s.counters.duplicates_discarded = result.duplicates_discarded;
+    s.counters.degraded = result.degraded;
+    s.counters.first_round_trip_recorded = ts.first_round_trip_recorded;
+    s.counters.delta_ec_sec = result.timings.delta_ec_sec;
+    s.counters.delta_cs_sec = result.timings.delta_cs_sec;
+    s.counters.delta_ce_sec = result.timings.delta_ce_sec;
+    s.counters.delta_initial_sec = result.timings.delta_initial_sec;
+    s.counters.total_track_sec = ts.total_track_sec;
+    s.counters.track_steps = ts.track_steps;
+    s.counters.max_track_sec = result.timings.max_track_sec;
+    s.counters.critical_windows = result.robust.critical_windows;
+    s.counters.shed_loads = result.robust.shed_loads;
+    s.counters.deferred_flushes = result.robust.deferred_flushes;
+    s.counters.watchdog_trips =
+        watchdog_trips_base + (watchdog ? watchdog->trips() : 0);
+    s.counters.quality =
+        quality ? quality->summary() : robust::QualitySummary{};
+    s.counters.quality.assessed += quality_base.assessed;
+    s.counters.quality.good += quality_base.good;
+    s.counters.quality.nan += quality_base.nan;
+    s.counters.quality.flatline += quality_base.flatline;
+    s.counters.quality.saturated += quality_base.saturated;
+    s.counters.quality.artifact += quality_base.artifact;
+    s.tracker.loaded = edge.tracker().loaded();
+    s.tracker.steps_since_load = edge.tracker().steps_since_load();
+    s.tracker.tracked.reserve(edge.tracker().active().size());
+    for (const TrackedSignal& signal : edge.tracker().active()) {
+      s.tracker.tracked.push_back(to_signal_state(signal));
+    }
+    s.predictor.history = edge.predictor().history();
+    s.predictor.alarmed = edge.predictor().anomaly_predicted();
+    s.predictor.alarm_time_sec = edge.predictor().first_alarm_sec();
+    s.predictor.consecutive = edge.predictor().consecutive_hits();
+    s.fir = edge.filter().save_stream();
+    if (controller) {
+      s.degrade = controller->checkpoint();
+    }
+    if (breaker) {
+      s.breaker = breaker->checkpoint();
+    }
+    s.edge_slo = edge_slo.save_state();
+    s.initial_slo = initial_slo.save_state();
+    // The batch-mode injector/channel slots stay default-initialised: a
+    // threaded session's fault state lives per worker below.
+    s.trace_seed = trace_seed;
+    s.completed_calls.reserve(ts.completed.size());
+    for (const PendingSearch& call : ts.completed) {
+      s.completed_calls.push_back(to_call_checkpoint(call));
+    }
+    for (const auto& [sequence, info] : ts.outstanding_jobs) {
+      bool landed = false;
+      for (const PendingSearch& call : ts.completed) {
+        if (call.sequence == sequence) {
+          landed = true;
+          break;
+        }
+      }
+      if (landed) {
+        continue;
+      }
+      robust::ReplayEntryCheckpoint entry;
+      entry.sequence = sequence;
+      entry.t_issue_sec = info.first;
+      entry.trace_id = info.second.trace_id;
+      entry.parent_span = info.second.parent_span;
+      s.replay.push_back(entry);
+    }
+    s.workers.reserve(workers);
+    for (std::size_t k = 0; k < workers; ++k) {
+      WorkerState& ws = *worker_states[k];
+      std::lock_guard<std::mutex> mailbox_lock(ws.mailbox.m);
+      robust::WorkerCheckpoint wc;
+      wc.injector = ws.mailbox.injector;
+      wc.channel_rng = ws.mailbox.channel_rng;
+      s.workers.push_back(std::move(wc));
+    }
+    return s;
+  };
+
+  // The coordinator: runs on the acquire thread after admitting window
+  // `next_window - 1`.  Raises the gate, waits for the graph to park,
+  // captures and publishes the snapshot, then releases the gate.  Any
+  // supervisor intervention while the gate is up aborts the snapshot (the
+  // previous one on disk stays the resume point); the next cadence tries
+  // again.
+  auto quiesce_and_snapshot = [&](std::size_t next_window,
+                                  robust::StageHealth& health) {
+    health.set_idle(true);  // coordinating is waiting, not working
+    EMAP_CRASH_POINT(crashpoints, "stream_quiesce");
+    const std::uint64_t interventions_before = supervisor.interventions();
+    gate.drain_expired.store(false, std::memory_order_release);
+    gate.draining.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(gate.m);
+    auto release = [&] {
+      gate.draining.store(false, std::memory_order_release);
+      ++gate.epoch;
+      gate.cv.notify_all();
+    };
+    const auto started = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - started)
+          .count();
+    };
+    // After the drain budget the unsettled ledger falls back to to-replay
+    // entries and the stages park promptly; the hard bound on top exists
+    // only so a wedged stage can never hold the gate forever.
+    const double drain_budget = options_.drain_timeout_sec;
+    const double hard_budget =
+        drain_budget + std::max(5.0, drain_budget);
+    bool aborted = false;
+    for (;;) {
+      if (supervisor.interventions() != interventions_before ||
+          stop.load(std::memory_order_acquire) || q_raw.closed() ||
+          q_outcome.closed() || health.abort_requested()) {
+        aborted = true;  // a restart / stall / shutdown raced the quiesce
+        break;
+      }
+      const bool stages_parked = gate.filter_epoch == gate.epoch &&
+                                 gate.track_epoch == gate.epoch &&
+                                 gate.predict_epoch == gate.epoch;
+      std::size_t workers_parked = 0;
+      for (const std::uint64_t worker_epoch : gate.worker_epochs) {
+        if (worker_epoch == gate.epoch) {
+          ++workers_parked;
+        }
+      }
+      const bool workers_done =
+          workers_parked == workers ||
+          gate.drain_expired.load(std::memory_order_acquire);
+      if (stages_parked && workers_done) {
+        break;
+      }
+      if (elapsed() >= hard_budget) {
+        aborted = true;
+        break;
+      }
+      if (elapsed() >= drain_budget) {
+        gate.drain_expired.store(true, std::memory_order_release);
+      }
+      gate.cv.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    if (!aborted && supervisor.interventions() != interventions_before) {
+      aborted = true;  // an intervention slipped in as the last stage parked
+    }
+    if (aborted) {
+      ++recovery_summary.snapshot_aborts;
+      release();
+      return;
+    }
+    try {
+      EMAP_CRASH_POINT(crashpoints, "stream_drain");
+      if (gate.drain_expired.load(std::memory_order_acquire)) {
+        ++recovery_summary.drain_timeouts;
+      }
+      robust::SessionState s = build_session_state(next_window);
+      recovery_summary.replay_recorded += s.replay.size();
+      robust::write_checkpoint(recovery.checkpoint_dir, s, crashpoints);
+      ++recovery_summary.checkpoints_written;
+      recovery_summary.last_snapshot_window = next_window;
+      if (p.metrics_.recovery_checkpoints != nullptr) {
+        p.metrics_.recovery_checkpoints->increment();
+      }
+      if (flight != nullptr) {
+        flight->log(obs::FlightEventType::kCheckpoint, "checkpoint",
+                    static_cast<double>(next_window),
+                    trace_seed != 0 && next_window > 0
+                        ? obs::mint_trace_id(trace_seed, next_window - 1)
+                        : 0,
+                    static_cast<double>(next_window));
+      }
+    } catch (...) {
+      // An injected crash (kThrow) or I/O failure inside the capture must
+      // not leave the gate raised: count the abort, release the stages,
+      // and let the supervisor's wrapper handle the unwind.
+      ++recovery_summary.snapshot_aborts;
+      release();
+      throw;
+    }
+    release();
+  };
+
+  // The acquire stage's admission cursor: the next window it would push.
+  // Thread-confined to the acquire thread; read after join for the
+  // shutdown snapshots.
+  std::size_t acquired_next = start_window;
+
   // ---- Stage bodies. ----
 
   auto acquire_body = [&](robust::StageHealth& health) {
     health.set_idle(false);
-    for (std::size_t w = health.resume_cursor(); w < window_count; ++w) {
+    // A restarted incarnation resumes at its heartbeat cursor; a resumed
+    // session starts at the snapshot's next window, whichever is later.
+    for (std::size_t w = std::max(
+             start_window, static_cast<std::size_t>(health.resume_cursor()));
+         w < window_count; ++w) {
       if (stop.load(std::memory_order_acquire) || health.abort_requested()) {
         break;
       }
@@ -439,6 +958,17 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
         break;
       }
       health.heartbeat(w + 1);
+      acquired_next = w + 1;
+      // The heartbeat precedes the quiesce on purpose: a crash inside the
+      // barrier restarts this body at w + 1, skipping the failed cadence —
+      // the next one snapshots normally.
+      if (durable && (w + 1) % recovery.interval_windows == 0) {
+        quiesce_and_snapshot(w + 1, health);
+        health.set_idle(false);
+        if (health.abort_requested()) {
+          return;
+        }
+      }
     }
     health.set_idle(true);
     q_raw.close();
@@ -447,7 +977,15 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
   auto filter_body = [&](robust::StageHealth& health) {
     for (;;) {
       health.set_idle(true);
-      std::optional<RawItem> item = q_raw.pop();
+      std::optional<RawItem> item =
+          durable ? pop_or_park(q_raw,
+                                [&] {
+                                  // The coordinator stopped admitting, so
+                                  // an empty q_raw stays empty: park.
+                                  try_park(gate.filter_epoch,
+                                           [] { return true; });
+                                })
+                  : q_raw.pop();
       health.set_idle(false);
       if (!item.has_value()) {
         break;
@@ -486,7 +1024,8 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
   auto track_body = [&](robust::StageHealth& health) {
     for (;;) {
       health.set_idle(true);
-      std::optional<FilteredItem> item = q_filtered.pop();
+      std::optional<FilteredItem> item =
+          durable ? pop_or_park(q_filtered, track_park) : q_filtered.pop();
       health.set_idle(false);
       if (!item.has_value()) {
         break;
@@ -508,6 +1047,7 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
       record.window_index = w;
       record.t_sec = t_end;
       record.quality = item->quality.verdict;
+      record.recovered = recovery_summary.resumed;
 
       std::size_t shed_cap = 0;
       if (controller) {
@@ -557,6 +1097,9 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
         PendingSearch pending = std::move(*it);
         it = ts.completed.erase(it);
         ++ts.applied;
+        if (durable) {
+          ts.outstanding_jobs.erase(pending.sequence);
+        }
         result.retry_attempts +=
             pending.attempts > 0 ? pending.attempts - 1 : 0;
         result.duplicates_discarded += pending.duplicates;
@@ -639,6 +1182,10 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
         if (pushed) {
           ++ts.issued;
           record.cloud_call_issued = true;
+          if (durable) {
+            ts.outstanding_jobs[static_cast<std::uint32_t>(w)] = {
+                t_end, obs::TraceContext{window_trace, window_span}};
+          }
         }
       };
 
@@ -880,6 +1427,9 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
         break;  // a worker died with the call in flight
       }
       ++ts.applied;
+      if (durable) {
+        ts.outstanding_jobs.erase(done->sequence);
+      }
     }
     q_outcome.close();
   };
@@ -887,7 +1437,14 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
   auto predict_body = [&](robust::StageHealth& health) {
     for (;;) {
       health.set_idle(true);
-      std::optional<OutcomeItem> item = q_outcome.pop();
+      std::optional<OutcomeItem> item =
+          durable ? pop_or_park(q_outcome,
+                                [&] {
+                                  try_park(gate.predict_epoch, [&] {
+                                    return gate.track_epoch == gate.epoch;
+                                  });
+                                })
+                  : q_outcome.pop();
       health.set_idle(false);
       if (!item.has_value()) {
         break;
@@ -943,7 +1500,17 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
       }
       for (;;) {
         health.set_idle(true);
-        std::optional<UplinkJob> job = q_uplink.pop();
+        std::optional<UplinkJob> job =
+            durable ? pop_or_park(q_uplink,
+                                  [&] {
+                                    // Track parked ⇒ no further issues;
+                                    // only then is an empty uplink queue a
+                                    // settled one.
+                                    try_park(gate.worker_epochs[k], [&] {
+                                      return gate.track_epoch == gate.epoch;
+                                    });
+                                  })
+                    : q_uplink.pop();
         health.set_idle(false);
         if (!job.has_value()) {
           break;
@@ -964,6 +1531,14 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
             job->sequence, job->filtered, job->t_issue_sec, me.channel,
             me.retry, tracer, breaker_ptr, job->trace);
         EMAP_CRASH_POINT(crashpoints, "pipeline_post_cloud_call");
+        if (durable) {
+          // Republish the draw cursors at the job boundary, before the
+          // delivery: whether or not the result below reaches the track
+          // stage, the RNG streams advanced iff the search consumed them.
+          std::lock_guard<std::mutex> mailbox_lock(me.mailbox.m);
+          me.mailbox.injector = me.injector.save();
+          me.mailbox.channel_rng = me.channel.save_rng();
+        }
         health.heartbeat(me.processed);
         health.set_idle(true);
         const bool delivered = q_deliver.push(std::move(pending));
@@ -995,6 +1570,39 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
 
   // ---- Epilogue (single-threaded again; thread joins order everything
   // the stages wrote). ----
+
+  // Shutdown snapshots.  A supervisor give-up (forced CRITICAL) publishes
+  // the post-mortem state durably — the emergency snapshot — so the next
+  // run resumes at the admission cursor instead of cold-starting; a clean
+  // end of input snapshots for the same reason.  Windows still in flight
+  // at a forced shutdown are lost, exactly as the run's own forced-
+  // shutdown semantics already allow.  A failed write must not take down
+  // a finished run: the previously published snapshot stays the resume
+  // point.
+  if (durable) {
+    const bool emergency = supervisor.any_failed();
+    try {
+      robust::SessionState s = build_session_state(acquired_next);
+      recovery_summary.replay_recorded += s.replay.size();
+      robust::write_checkpoint(recovery.checkpoint_dir, s, crashpoints);
+      ++recovery_summary.checkpoints_written;
+      recovery_summary.last_snapshot_window = acquired_next;
+      recovery_summary.emergency_snapshot = emergency;
+      if (p.metrics_.recovery_checkpoints != nullptr) {
+        p.metrics_.recovery_checkpoints->increment();
+      }
+      if (flight != nullptr) {
+        flight->log(obs::FlightEventType::kCheckpoint,
+                    emergency ? "emergency_checkpoint"
+                              : "shutdown_checkpoint",
+                    static_cast<double>(acquired_next), 0,
+                    static_cast<double>(acquired_next));
+      }
+    } catch (const std::exception&) {
+      ++recovery_summary.snapshot_aborts;
+    }
+  }
+
   if (ts.track_steps > 0) {
     result.timings.mean_track_sec =
         ts.total_track_sec / static_cast<double>(ts.track_steps);
@@ -1039,7 +1647,16 @@ RunResult StreamPipeline::run_threaded(const synth::Recording& input) {
   if (quality) {
     result.robust.quality = quality->summary();
   }
-  result.robust.watchdog_trips = watchdog ? watchdog->trips() : 0;
+  // Fold in pre-crash counts a restored snapshot carried (zeros
+  // otherwise), mirroring the batch epilogue.
+  result.robust.quality.assessed += quality_base.assessed;
+  result.robust.quality.good += quality_base.good;
+  result.robust.quality.nan += quality_base.nan;
+  result.robust.quality.flatline += quality_base.flatline;
+  result.robust.quality.saturated += quality_base.saturated;
+  result.robust.quality.artifact += quality_base.artifact;
+  result.robust.watchdog_trips =
+      watchdog_trips_base + (watchdog ? watchdog->trips() : 0);
   result.robust.supervisor_stalls = supervisor.stalls_detected();
   result.robust.supervisor_restarts = supervisor.restarts();
   result.robust.supervisor_crashes = supervisor.crashes();

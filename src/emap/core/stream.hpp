@@ -31,7 +31,15 @@
 //     * a stage crash (injected or real) loses at most its in-flight
 //       window — the supervisor restarts the body and the queues retain
 //       everything else;
-//     * checkpoint/restore is not exercised (recovery options ignored).
+//     * checkpoint/restore runs through a quiesce barrier: on cadence the
+//       acquire stage stops admitting windows, the stages park in
+//       topological order, the issued/applied ledger drains (bounded by
+//       drain_timeout_sec — unsettled in-flight windows fall back to
+//       to-replay entries in the snapshot), and the session state is
+//       published with the same atomic temp-write+rename + CRC discipline
+//       as the batch loop.  Resume rebuilds the stage graph from the
+//       snapshot with the settled-ledger semantics above (≤1 in-flight
+//       window per stage death re-delivered as failed/degraded).
 //
 // Robustness integration: a robust::StageSupervisor monitors per-stage
 // wall-clock heartbeats, restarts stalled or crashed stages, and — after
@@ -96,9 +104,20 @@ struct StreamOptions {
   robust::SupervisorOptions supervisor{};
   /// Injected stage faults (kThreaded only; empty = none).
   std::vector<StageFaultSpec> faults{};
+  /// Wall-clock bound on the checkpoint quiesce drain (kThreaded only):
+  /// in-flight cloud calls that have not settled within this budget are
+  /// recorded as to-replay entries instead of blocking the snapshot.
+  double drain_timeout_sec = 1.0;
 
   /// Throws InvalidArgument when a knob is out of range.
   void validate() const;
+
+  /// Stream-topology fingerprint embedded in checkpoints: empty for
+  /// kVirtualTime (batch snapshots stay bit-identical to v2 producers);
+  /// for kThreaded a stable "threaded/workers=N/cap=N/policy=..." label.
+  /// A resume under a different topology is an explicit reject, never a
+  /// silent mismatch.
+  std::string fingerprint() const;
 };
 
 /// Lowercase mode / policy labels for reports and CLIs.

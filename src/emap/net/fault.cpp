@@ -69,6 +69,7 @@ FaultPlan FaultInjector::apply(Direction direction,
   const double delay_draw =
       s.spec.delay_min_sec +
       (s.spec.delay_max_sec - s.spec.delay_min_sec) * s.rng.uniform();
+  s.draws += 6;
 
   if (plan.dropped) {
     // A dropped message can't also be corrupted/duplicated/delayed in any
@@ -96,6 +97,7 @@ FaultPlan FaultInjector::apply(Direction direction,
           const std::uint64_t at = s.rng.uniform_index(bytes.size());
           const std::uint64_t bit = s.rng.uniform_index(8);
           bytes[at] ^= static_cast<std::uint8_t>(1u << bit);
+          s.draws += 2;
         }
       }
     }
@@ -127,12 +129,18 @@ FaultPlan FaultInjector::apply(Direction direction,
   return plan;
 }
 
+std::uint64_t FaultInjector::draws(Direction direction) const {
+  return direction == Direction::kUpload ? up_.draws : down_.draws;
+}
+
 FaultInjectorState FaultInjector::save() const {
   FaultInjectorState state;
   state.up_rng = up_.rng.save();
   state.down_rng = down_.rng.save();
   state.up_counts = up_.counts;
   state.down_counts = down_.counts;
+  state.up_draws = up_.draws;
+  state.down_draws = down_.draws;
   return state;
 }
 
@@ -141,6 +149,8 @@ void FaultInjector::restore(const FaultInjectorState& state) {
   down_.rng.restore(state.down_rng);
   up_.counts = state.up_counts;
   down_.counts = state.down_counts;
+  up_.draws = state.up_draws;
+  down_.draws = state.down_draws;
 }
 
 void FaultInjector::set_metrics(obs::MetricsRegistry* registry) {

@@ -99,12 +99,17 @@ struct FaultCounts {
 /// one of these so a resumed run draws the same fault schedule the
 /// uninterrupted run would have — corruption consumes a data-dependent
 /// number of extra draws, so the raw RNG state (not a draw counter) is the
-/// only exact resume point.
+/// only exact resume point.  The draw cursors ride along as an auditable
+/// position label: restore() rewinds both the RNG and the cursor, so a
+/// checkpoint can assert how far into the fault schedule it was taken and
+/// a resumed injector reports the same cursor the saved one would have.
 struct FaultInjectorState {
   RngState up_rng;
   RngState down_rng;
   FaultCounts up_counts;
   FaultCounts down_counts;
+  std::uint64_t up_draws = 0;    ///< raw RNG draws consumed upstream
+  std::uint64_t down_draws = 0;  ///< raw RNG draws consumed downstream
 };
 
 /// Seeded, deterministic per-message fault source.
@@ -128,6 +133,13 @@ class FaultInjector {
   /// Totals per direction since construction.
   const FaultCounts& counts(Direction direction) const;
 
+  /// Raw RNG draws consumed for `direction` so far — the injector's draw
+  /// cursor.  Every message consumes the fixed six-draw schedule plus two
+  /// extra draws per corruption bit-flip, so the cursor advances by a
+  /// data-dependent amount; it identifies the exact stream position a
+  /// save()/restore() pair rewinds to.
+  std::uint64_t draws(Direction direction) const;
+
   /// Attaches a telemetry registry (borrowed; nullptr disables):
   /// `emap_net_faults_total{direction,kind}` counters and
   /// `emap_net_fault_delay_seconds{direction}` histograms.
@@ -145,6 +157,7 @@ class FaultInjector {
     FaultSpec spec;
     Rng rng;
     FaultCounts counts;
+    std::uint64_t draws = 0;  ///< raw RNG draws consumed (the cursor)
     struct {
       obs::Counter* dropped = nullptr;
       obs::Counter* corrupted = nullptr;

@@ -237,6 +237,59 @@ BreakerCheckpoint decode_breaker(mdb::Decoder& dec,
   return breaker;
 }
 
+void encode_injector(mdb::Encoder& enc,
+                     const net::FaultInjectorState& injector) {
+  encode_rng(enc, injector.up_rng);
+  encode_rng(enc, injector.down_rng);
+  encode_fault_counts(enc, injector.up_counts);
+  encode_fault_counts(enc, injector.down_counts);
+  enc.write_u64(injector.up_draws);
+  enc.write_u64(injector.down_draws);
+}
+
+net::FaultInjectorState decode_injector(mdb::Decoder& dec) {
+  net::FaultInjectorState injector;
+  injector.up_rng = decode_rng(dec);
+  injector.down_rng = decode_rng(dec);
+  injector.up_counts = decode_fault_counts(dec);
+  injector.down_counts = decode_fault_counts(dec);
+  injector.up_draws = dec.read_u64();
+  injector.down_draws = dec.read_u64();
+  return injector;
+}
+
+void encode_pending_call(mdb::Encoder& enc,
+                         const PendingCallCheckpoint& pending) {
+  enc.write_f64(pending.ready_at_sec);
+  enc.write_f64(pending.delta_ec);
+  enc.write_f64(pending.delta_cs);
+  enc.write_f64(pending.delta_ce);
+  enc.write_u32(pending.sequence);
+  enc.write_u64(pending.attempts);
+  enc.write_u64(pending.duplicates);
+  enc.write_u8(pending.succeeded ? 1 : 0);
+  enc.write_u64(pending.trace_id);
+  enc.write_u64(pending.parent_span);
+  encode_signals(enc, pending.correlation_set);
+}
+
+PendingCallCheckpoint decode_pending_call(mdb::Decoder& dec,
+                                          std::size_t total_bytes) {
+  PendingCallCheckpoint pending;
+  pending.ready_at_sec = dec.read_f64();
+  pending.delta_ec = dec.read_f64();
+  pending.delta_cs = dec.read_f64();
+  pending.delta_ce = dec.read_f64();
+  pending.sequence = dec.read_u32();
+  pending.attempts = dec.read_u64();
+  pending.duplicates = dec.read_u64();
+  pending.succeeded = dec.read_u8() != 0;
+  pending.trace_id = dec.read_u64();
+  pending.parent_span = dec.read_u64();
+  pending.correlation_set = decode_signals(dec, total_bytes);
+  return pending;
+}
+
 void encode_payload(mdb::Encoder& enc, const SessionState& state) {
   enc.write_string(state.config_fingerprint);
   enc.write_u32(state.input_fingerprint);
@@ -289,18 +342,7 @@ void encode_payload(mdb::Encoder& enc, const SessionState& state) {
 
   enc.write_u8(state.pending.has_value() ? 1 : 0);
   if (state.pending.has_value()) {
-    const PendingCallCheckpoint& pending = *state.pending;
-    enc.write_f64(pending.ready_at_sec);
-    enc.write_f64(pending.delta_ec);
-    enc.write_f64(pending.delta_cs);
-    enc.write_f64(pending.delta_ce);
-    enc.write_u32(pending.sequence);
-    enc.write_u64(pending.attempts);
-    enc.write_u64(pending.duplicates);
-    enc.write_u8(pending.succeeded ? 1 : 0);
-    enc.write_u64(pending.trace_id);
-    enc.write_u64(pending.parent_span);
-    encode_signals(enc, pending.correlation_set);
+    encode_pending_call(enc, *state.pending);
   }
 
   encode_degrade(enc, state.degrade);
@@ -308,12 +350,28 @@ void encode_payload(mdb::Encoder& enc, const SessionState& state) {
   encode_slo(enc, state.edge_slo);
   encode_slo(enc, state.initial_slo);
 
-  encode_rng(enc, state.injector.up_rng);
-  encode_rng(enc, state.injector.down_rng);
-  encode_fault_counts(enc, state.injector.up_counts);
-  encode_fault_counts(enc, state.injector.down_counts);
+  encode_injector(enc, state.injector);
   encode_rng(enc, state.channel_rng);
   enc.write_u64(state.trace_seed);
+
+  // ---- Streaming extension (v3). ----
+  enc.write_string(state.stream_fingerprint);
+  enc.write_u64(state.completed_calls.size());
+  for (const PendingCallCheckpoint& call : state.completed_calls) {
+    encode_pending_call(enc, call);
+  }
+  enc.write_u64(state.replay.size());
+  for (const ReplayEntryCheckpoint& entry : state.replay) {
+    enc.write_u32(entry.sequence);
+    enc.write_f64(entry.t_issue_sec);
+    enc.write_u64(entry.trace_id);
+    enc.write_u64(entry.parent_span);
+  }
+  enc.write_u64(state.workers.size());
+  for (const WorkerCheckpoint& worker : state.workers) {
+    encode_injector(enc, worker.injector);
+    encode_rng(enc, worker.channel_rng);
+  }
 }
 
 SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
@@ -372,19 +430,7 @@ SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
   state.fir.history_pos = static_cast<std::size_t>(dec.read_u64());
 
   if (dec.read_u8() != 0) {
-    PendingCallCheckpoint pending;
-    pending.ready_at_sec = dec.read_f64();
-    pending.delta_ec = dec.read_f64();
-    pending.delta_cs = dec.read_f64();
-    pending.delta_ce = dec.read_f64();
-    pending.sequence = dec.read_u32();
-    pending.attempts = dec.read_u64();
-    pending.duplicates = dec.read_u64();
-    pending.succeeded = dec.read_u8() != 0;
-    pending.trace_id = dec.read_u64();
-    pending.parent_span = dec.read_u64();
-    pending.correlation_set = decode_signals(dec, total_bytes);
-    state.pending = std::move(pending);
+    state.pending = decode_pending_call(dec, total_bytes);
   }
 
   state.degrade = decode_degrade(dec);
@@ -392,12 +438,40 @@ SessionState decode_payload(mdb::Decoder& dec, std::size_t total_bytes) {
   state.edge_slo = decode_slo(dec, total_bytes);
   state.initial_slo = decode_slo(dec, total_bytes);
 
-  state.injector.up_rng = decode_rng(dec);
-  state.injector.down_rng = decode_rng(dec);
-  state.injector.up_counts = decode_fault_counts(dec);
-  state.injector.down_counts = decode_fault_counts(dec);
+  state.injector = decode_injector(dec);
   state.channel_rng = decode_rng(dec);
   state.trace_seed = dec.read_u64();
+
+  // ---- Streaming extension (v3). ----
+  state.stream_fingerprint = dec.read_string();
+  const std::uint64_t completed = dec.read_u64();
+  // Each settled call carries at least its fixed fields.
+  check_count(completed, 4 * 8 + 4 + 2 * 8 + 1 + 2 * 8 + 8, total_bytes);
+  state.completed_calls.reserve(static_cast<std::size_t>(completed));
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    state.completed_calls.push_back(decode_pending_call(dec, total_bytes));
+  }
+  const std::uint64_t replay = dec.read_u64();
+  check_count(replay, 4 + 8 + 8 + 8, total_bytes);
+  state.replay.reserve(static_cast<std::size_t>(replay));
+  for (std::uint64_t i = 0; i < replay; ++i) {
+    ReplayEntryCheckpoint entry;
+    entry.sequence = dec.read_u32();
+    entry.t_issue_sec = dec.read_f64();
+    entry.trace_id = dec.read_u64();
+    entry.parent_span = dec.read_u64();
+    state.replay.push_back(entry);
+  }
+  const std::uint64_t workers = dec.read_u64();
+  // Two injector RNG states alone dominate a worker entry.
+  check_count(workers, 2 * (4 * 8 + 8 + 8 + 1), total_bytes);
+  state.workers.reserve(static_cast<std::size_t>(workers));
+  for (std::uint64_t i = 0; i < workers; ++i) {
+    WorkerCheckpoint worker;
+    worker.injector = decode_injector(dec);
+    worker.channel_rng = decode_rng(dec);
+    state.workers.push_back(worker);
+  }
   return state;
 }
 

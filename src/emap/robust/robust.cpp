@@ -68,6 +68,18 @@ std::string robust_summary_json(const RobustSummary& summary) {
       .field("recovery_cold_start_fallback",
              summary.recovery.cold_start_fallback)
       .field("recovery_reject_reason", summary.recovery.reject_reason)
+      .field("checkpoint_last_snapshot_window",
+             static_cast<std::uint64_t>(summary.recovery.last_snapshot_window))
+      .field("checkpoint_drain_timeouts",
+             static_cast<std::uint64_t>(summary.recovery.drain_timeouts))
+      .field("checkpoint_replay_recorded",
+             static_cast<std::uint64_t>(summary.recovery.replay_recorded))
+      .field("checkpoint_replay_redelivered",
+             static_cast<std::uint64_t>(summary.recovery.replay_redelivered))
+      .field("checkpoint_snapshot_aborts",
+             static_cast<std::uint64_t>(summary.recovery.snapshot_aborts))
+      .field("checkpoint_emergency_snapshot",
+             summary.recovery.emergency_snapshot)
       .field("streamed", summary.streamed)
       .field("supervisor_stalls",
              static_cast<std::uint64_t>(summary.supervisor_stalls))

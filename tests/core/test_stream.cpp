@@ -67,6 +67,12 @@ TEST(StreamOptionsTest, ValidateRejectsBadKnobs) {
   options = StreamOptions{};
   options.faults.push_back({"track", 0, StageFaultSpec::Kind::kCrash, 1.0});
   EXPECT_THROW(options.validate(), InvalidArgument);
+  options = StreamOptions{};
+  options.drain_timeout_sec = 0.0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
+  options = StreamOptions{};
+  options.drain_timeout_sec = -1.0;
+  EXPECT_THROW(options.validate(), InvalidArgument);
   EXPECT_NO_THROW(StreamOptions{}.validate());
 }
 
@@ -77,6 +83,21 @@ TEST(StreamOptionsTest, ModeAndPolicyNames) {
   EXPECT_STREQ(queue_full_policy_name(QueueFullPolicy::kShedOldest),
                "shed_oldest");
   EXPECT_STREQ(queue_full_policy_name(QueueFullPolicy::kDegrade), "degrade");
+}
+
+// The checkpoint topology fingerprint: empty in virtual-time mode (batch
+// snapshots keep their historical shape) and a stable label in threaded
+// mode.  Changing this string invalidates every threaded snapshot in the
+// field, so pin it.
+TEST(StreamOptionsTest, FingerprintLabelsThreadedTopologyOnly) {
+  StreamOptions options;
+  EXPECT_EQ(options.fingerprint(), "");
+  options.mode = SchedulerMode::kThreaded;
+  options.stage_threads = 3;
+  options.queue_capacity = 16;
+  options.policy = QueueFullPolicy::kShedOldest;
+  EXPECT_EQ(options.fingerprint(),
+            "threaded/workers=3/cap=16/policy=shed_oldest");
 }
 
 // The determinism contract: the virtual-time scheduler IS the batch loop.

@@ -1,0 +1,498 @@
+// Durable streaming: crash-consistent checkpoint/restore for the threaded
+// scheduler (docs/robustness.md "Durable streaming").
+//
+// The headline is the threaded analogue of the batch kill-at-every-point
+// matrix (test_recovery.cpp): for every armed crash point the process is
+// killed for real (std::_Exit(42) inside a gtest death-test child) while
+// the live stage graph is running, and the parent then resumes from
+// whatever snapshot the dead run last published.  The resumed run must
+// start exactly at the snapshot's next_window, re-deliver at most one
+// in-flight call per uplink worker as a failed replay entry, and settle
+// the issued/applied ledger (the clean-shutdown snapshot it leaves behind
+// carries no replay entries).
+//
+// Around the matrix: quiesce-cadence + clean-shutdown snapshot accounting,
+// a supervisor restart racing the quiesce (the snapshot aborts cleanly and
+// the next cadence succeeds), shed-oldest backpressure interacting with
+// checkpoints (shed windows are never resurrected, nothing is counted
+// twice), and the stream-topology fingerprint (mismatched resume is a
+// typed reject — strict throws, non-strict cold-starts with a reason).
+//
+// This suite runs real threads; it is part of the ASan/TSan CI jobs and
+// the threaded crash-matrix legs re-run the same kill/resume cycle
+// through emapctl.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "emap/core/pipeline.hpp"
+#include "emap/core/stream.hpp"
+#include "emap/robust/checkpoint.hpp"
+#include "emap/robust/crashpoint.hpp"
+#include "support/test_util.hpp"
+
+namespace emap::core {
+namespace {
+
+synth::Recording seizure_input(std::uint64_t seed, double duration,
+                               double onset) {
+  synth::EvalInputSpec spec;
+  spec.cls = synth::AnomalyClass::kSeizure;
+  spec.seed = seed;
+  spec.duration_sec = duration;
+  spec.onset_sec = onset;
+  return synth::make_eval_input(spec);
+}
+
+/// Threaded scheduler for the tests.  The stall timeout must exceed one
+/// wall-clock cloud search (sanitizer builds slow it 10-20x); the drain
+/// budget sits above it so a healthy quiesce never times out and the
+/// replay ledger stays empty unless a test wedges a stage on purpose.
+StreamOptions threaded_options() {
+  StreamOptions options;
+  options.mode = SchedulerMode::kThreaded;
+  options.supervisor.poll_interval_sec = 0.01;
+  options.supervisor.stall_timeout_sec = 2.0;
+  options.drain_timeout_sec = 5.0;
+  return options;
+}
+
+PipelineOptions durable_options(const std::filesystem::path& dir,
+                                std::size_t interval) {
+  PipelineOptions options;
+  options.robust.enabled = true;
+  options.recovery.checkpoint_dir = dir;
+  options.recovery.interval_windows = interval;
+  return options;
+}
+
+const robust::StageQueueSummary* find_stage(const RunResult& result,
+                                            const std::string& name) {
+  for (const robust::StageQueueSummary& row : result.robust.stages) {
+    if (row.stage == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::set<std::size_t> window_set(const RunResult& result) {
+  std::set<std::size_t> windows;
+  for (const IterationRecord& record : result.iterations) {
+    windows.insert(record.window_index);
+  }
+  return windows;
+}
+
+// Every cadence publishes a snapshot through the quiesce barrier, the
+// clean shutdown publishes one more, and resuming from the end-of-run
+// snapshot is a no-op continuation (zero new windows, no hang).
+TEST(StreamRecovery, CadenceAndShutdownSnapshotsPublishDurably) {
+  emap::testing::TempDir dir("stream_ckpt_cadence");
+  const synth::Recording input = seizure_input(31, 20.0, 15.0);
+
+  PipelineOptions options = durable_options(dir.path(), 5);
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+  StreamPipeline stream(engine, threaded_options());
+  const RunResult result = stream.run(input);
+
+  ASSERT_TRUE(result.robust.streamed);
+  const robust::RecoverySummary& recovery = result.robust.recovery;
+  EXPECT_TRUE(recovery.enabled);
+  EXPECT_FALSE(recovery.resumed);
+  // Cadence snapshots after windows 5/10/15/20 plus the clean-shutdown
+  // snapshot (the window-20 cadence and the shutdown snapshot are
+  // distinct writes over the same state).
+  EXPECT_EQ(recovery.checkpoints_written, 5u);
+  EXPECT_EQ(recovery.snapshot_aborts, 0u);
+  EXPECT_FALSE(recovery.emergency_snapshot);
+  EXPECT_EQ(recovery.last_snapshot_window, 20u);
+  EXPECT_EQ(result.iterations.size(), 20u);
+
+  const std::optional<robust::SessionState> snapshot =
+      robust::read_checkpoint(dir.path());
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->next_window, 20u);
+  EXPECT_EQ(snapshot->stream_fingerprint,
+            stream.options().fingerprint());
+  EXPECT_TRUE(snapshot->replay.empty());  // clean shutdown: ledger settled
+
+  // Resume from the end-of-run snapshot: nothing left to do.
+  PipelineOptions resume_options = durable_options(dir.path(), 5);
+  resume_options.recovery.resume = true;
+  resume_options.recovery.strict = true;
+  EmapPipeline engine2(testing::small_mdb(4), EmapConfig{}, resume_options);
+  StreamPipeline stream2(engine2, threaded_options());
+  const RunResult resumed = stream2.run(input);
+  EXPECT_TRUE(resumed.robust.recovery.resumed);
+  EXPECT_EQ(resumed.robust.recovery.resume_window, 20u);
+  EXPECT_TRUE(resumed.iterations.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The threaded kill matrix.  One death test per catalog point: the child
+// process runs the stage graph with the point armed kExit and dies with
+// exit code 42 mid-run; the parent resumes from the snapshot the child
+// left behind and proves the ledger settles.
+// ---------------------------------------------------------------------------
+
+class StreamCrashMatrix : public ::testing::TestWithParam<std::string> {};
+
+// Cloud-call points fire rarely (one hit per issued search); everything
+// else fires at least once per window or per cadence, so a deeper hit
+// exercises richer state (loaded tracker, in-flight calls).  With a
+// one-window cadence the first snapshot commits before any second hit of
+// any point, so the parent always has a snapshot to resume from.
+std::uint64_t hit_for(const std::string& point) {
+  return point.find("cloud_call") != std::string::npos ? 2 : 5;
+}
+
+TEST_P(StreamCrashMatrix, KillThenResumeSettlesLedger) {
+  const std::string point = GetParam();
+  constexpr std::size_t kWindows = 20;
+  // Deterministic path shared between the death-test child (which re-runs
+  // this body up to the EXPECT_EXIT) and the parent: no pid component.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("emap_stream_crash_matrix_" + point);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const synth::Recording input =
+      seizure_input(37, static_cast<double>(kWindows), 15.0);
+
+  // threadsafe style re-executes the binary for the child, so the armed
+  // run starts from a clean single-threaded process before it spawns the
+  // stage graph.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_EXIT(
+      {
+        robust::CrashPointRegistry registry;
+        registry.arm({point, hit_for(point)}, robust::CrashAction::kExit);
+        PipelineOptions options = durable_options(dir, 1);
+        options.crashpoints = &registry;
+        EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+        StreamPipeline stream(engine, threaded_options());
+        stream.run(input);
+        std::_Exit(0);  // reached only if the armed point never fired
+      },
+      ::testing::ExitedWithCode(robust::kCrashExitCode), "");
+
+  // The dead run left a committed snapshot (for checkpoint_pre_rename the
+  // torn write left a .tmp next to it; the previous snapshot must load).
+  const std::optional<robust::SessionState> snapshot =
+      robust::read_checkpoint(dir);
+  ASSERT_TRUE(snapshot.has_value()) << point;
+  EXPECT_LT(snapshot->next_window, kWindows) << point;
+  // At most one in-flight call per uplink worker falls back to replay.
+  EXPECT_LE(snapshot->replay.size(), threaded_options().stage_threads)
+      << point;
+
+  PipelineOptions options = durable_options(dir, 1);
+  options.recovery.resume = true;
+  options.recovery.strict = true;
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+  StreamPipeline stream(engine, threaded_options());
+  const RunResult resumed = stream.run(input);
+
+  const robust::RecoverySummary& recovery = resumed.robust.recovery;
+  EXPECT_TRUE(recovery.resumed) << point;
+  EXPECT_EQ(recovery.resume_window, snapshot->next_window) << point;
+  EXPECT_EQ(recovery.replay_redelivered, snapshot->replay.size()) << point;
+  // Exactly the remaining windows, in order, each exactly once.
+  ASSERT_EQ(resumed.iterations.size(), kWindows - snapshot->next_window)
+      << point;
+  std::size_t expected = snapshot->next_window;
+  for (const IterationRecord& record : resumed.iterations) {
+    EXPECT_EQ(record.window_index, expected) << point;
+    EXPECT_TRUE(record.recovered) << point;
+    ++expected;
+  }
+
+  // The ledger settled: the resumed run's clean-shutdown snapshot carries
+  // no unsettled replay entries and sits at the end of the input.
+  const std::optional<robust::SessionState> final_snapshot =
+      robust::read_checkpoint(dir);
+  ASSERT_TRUE(final_snapshot.has_value()) << point;
+  EXPECT_EQ(final_snapshot->next_window, kWindows) << point;
+  EXPECT_TRUE(final_snapshot->replay.empty()) << point;
+
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArmedPoints, StreamCrashMatrix,
+    ::testing::ValuesIn(robust::crash_point_catalog()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// Supervisor restart racing a checkpoint (the quiesce-barrier abort path).
+// ---------------------------------------------------------------------------
+
+// A stage crash mid-drain (the coordinator itself dies between draining
+// the ledger and publishing the file) abandons the snapshot cleanly: the
+// abort is counted, no torn file is published, the supervisor restarts
+// the acquire stage, and the next cadence succeeds.
+TEST(StreamRecovery, CrashDuringDrainAbortsSnapshotAndNextCadenceSucceeds) {
+  emap::testing::TempDir dir("stream_ckpt_drain_abort");
+  const synth::Recording input = seizure_input(41, 20.0, 15.0);
+
+  robust::CrashPointRegistry registry;
+  robust::ScopedCrashSchedule schedule(registry, {"stream_drain", 1},
+                                       robust::CrashAction::kThrow);
+  PipelineOptions options = durable_options(dir.path(), 5);
+  options.crashpoints = &registry;
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+  StreamPipeline stream(engine, threaded_options());
+  const RunResult result = stream.run(input);
+
+  // First cadence (after window 5) died mid-quiesce; cadences 10/15/20
+  // and the shutdown snapshot went through.
+  const robust::RecoverySummary& recovery = result.robust.recovery;
+  EXPECT_EQ(recovery.snapshot_aborts, 1u);
+  EXPECT_EQ(recovery.checkpoints_written, 4u);
+  EXPECT_EQ(recovery.last_snapshot_window, 20u);
+  EXPECT_FALSE(recovery.emergency_snapshot);
+
+  // The acquire stage crashed once and was restarted without losing a
+  // window: the heartbeat precedes the quiesce, so the restarted
+  // incarnation resumes right after the already-admitted window.
+  const robust::StageQueueSummary* acquire = find_stage(result, "acquire");
+  ASSERT_NE(acquire, nullptr);
+  EXPECT_GE(acquire->crashes, 1u);
+  EXPECT_FALSE(acquire->failed);
+  EXPECT_EQ(result.iterations.size(), 20u);
+
+  // No torn file: the committed snapshot parses and is the end-of-run one.
+  const std::optional<robust::SessionState> snapshot =
+      robust::read_checkpoint(dir.path());
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->next_window, 20u);
+}
+
+// A crash between the temp write and the rename, under the live stage
+// graph: the abandoned .tmp never shadows the committed snapshot, and the
+// following cadences overwrite it with good state.
+TEST(StreamRecovery, TornRenameUnderLiveGraphKeepsCommittedSnapshot) {
+  emap::testing::TempDir dir("stream_ckpt_torn_rename");
+  const synth::Recording input = seizure_input(43, 20.0, 15.0);
+
+  robust::CrashPointRegistry registry;
+  robust::ScopedCrashSchedule schedule(registry, {"checkpoint_pre_rename", 2},
+                                       robust::CrashAction::kThrow);
+  PipelineOptions options = durable_options(dir.path(), 5);
+  options.crashpoints = &registry;
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+  StreamPipeline stream(engine, threaded_options());
+  const RunResult result = stream.run(input);
+
+  const robust::RecoverySummary& recovery = result.robust.recovery;
+  EXPECT_EQ(recovery.snapshot_aborts, 1u);
+  EXPECT_EQ(recovery.checkpoints_written, 4u);
+  EXPECT_EQ(result.iterations.size(), 20u);
+
+  // The final write renamed its temp over the snapshot; nothing torn
+  // remains and the committed file carries the end-of-run state.
+  EXPECT_FALSE(std::filesystem::exists(
+      robust::checkpoint_path(dir.path()).string() + ".tmp"));
+  const std::optional<robust::SessionState> snapshot =
+      robust::read_checkpoint(dir.path());
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->next_window, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Shed-oldest backpressure × checkpoints: exactly-once, never resurrected.
+// ---------------------------------------------------------------------------
+
+// A wedged predict stage under kShedOldest sheds the stalest outcome
+// records; a second wedge exhausts the restart budget, the supervisor
+// gives up, and the forced shutdown publishes the emergency snapshot.
+// The resumed run continues from the snapshot cursor: windows the dead
+// run already emitted are not re-emitted (no double-count) and windows
+// shed before the snapshot stay shed (no resurrection).
+TEST(StreamRecovery, ShedWindowsAreNeverResurrectedAcrossResume) {
+  emap::testing::TempDir dir("stream_ckpt_shed");
+  // Sized with headroom on purpose: under kShedOldest the acquire stage
+  // never blocks on a downstream queue, so its admission cursor is paced
+  // only by the quiesce cadences.  The give-up lands within a cadence or
+  // two of the second wedge; 120 windows of input guarantee the emergency
+  // snapshot's cursor sits well short of end-of-input, so the resumed run
+  // always has work left to prove exactly-once delivery on.
+  constexpr std::size_t kWindows = 120;
+  const synth::Recording input =
+      seizure_input(47, static_cast<double>(kWindows), 50.0);
+
+  PipelineOptions options = durable_options(dir.path(), 20);
+  EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+  StreamOptions stream_options = threaded_options();
+  stream_options.policy = QueueFullPolicy::kShedOldest;
+  stream_options.queue_capacity = 4;
+  stream_options.supervisor.max_restarts = 1;
+  // Both wedges target predict so the give-up is per-stage-budget exact.
+  // The second cursor sits just past the first: shed-oldest discards
+  // records *upstream* of predict, so a deep second cursor might never be
+  // reached when the machine is loaded and shedding is heavy — item 12
+  // arrives as soon as the restarted stage drains a handful of records.
+  stream_options.faults.push_back(
+      {"predict", 8, StageFaultSpec::Kind::kStall, 10.0});
+  stream_options.faults.push_back(
+      {"predict", 12, StageFaultSpec::Kind::kStall, 10.0});
+  StreamPipeline stream(engine, stream_options);
+  const RunResult crashed = stream.run(input);
+
+  // The first wedge backed q_outcome up past its bound and shed records;
+  // the second one exhausted the budget and forced the emergency snapshot.
+  const robust::StageQueueSummary* outcome = find_stage(crashed, "q_outcome");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_GE(outcome->queue_shed, 1u);
+  EXPECT_GE(crashed.robust.supervisor_stalls, 2u);
+  const robust::StageQueueSummary* predict = find_stage(crashed, "predict");
+  ASSERT_NE(predict, nullptr);
+  EXPECT_TRUE(predict->failed);
+  EXPECT_TRUE(crashed.robust.recovery.emergency_snapshot);
+  EXPECT_GE(crashed.robust.recovery.checkpoints_written, 1u);
+
+  const std::optional<robust::SessionState> snapshot =
+      robust::read_checkpoint(dir.path());
+  ASSERT_TRUE(snapshot.has_value());
+  ASSERT_LT(snapshot->next_window, kWindows);
+  // The snapshot ledger itself is exactly-once: completed calls and
+  // replay entries carry disjoint, duplicate-free sequence numbers.
+  std::set<std::uint32_t> sequences;
+  for (const robust::PendingCallCheckpoint& call : snapshot->completed_calls) {
+    EXPECT_TRUE(sequences.insert(call.sequence).second)
+        << "duplicate completed sequence " << call.sequence;
+  }
+  for (const robust::ReplayEntryCheckpoint& entry : snapshot->replay) {
+    EXPECT_TRUE(sequences.insert(entry.sequence).second)
+        << "replay sequence " << entry.sequence
+        << " also recorded as completed";
+  }
+
+  PipelineOptions resume_options = durable_options(dir.path(), 20);
+  resume_options.recovery.resume = true;
+  resume_options.recovery.strict = true;
+  EmapPipeline engine2(testing::small_mdb(4), EmapConfig{}, resume_options);
+  StreamOptions resumed_options = stream_options;
+  resumed_options.faults.clear();
+  StreamPipeline stream2(engine2, resumed_options);
+  const RunResult resumed = stream2.run(input);
+  EXPECT_TRUE(resumed.robust.recovery.resumed);
+  EXPECT_EQ(resumed.robust.recovery.resume_window, snapshot->next_window);
+
+  // Exactly once: the dead run only emitted windows below the snapshot
+  // cursor, the resumed run only windows at or above it — no overlap.
+  const std::set<std::size_t> before = window_set(crashed);
+  const std::set<std::size_t> after = window_set(resumed);
+  for (std::size_t window : before) {
+    EXPECT_LT(window, snapshot->next_window);
+    EXPECT_EQ(after.count(window), 0u) << "window " << window
+                                       << " delivered twice";
+  }
+  // No resurrection: windows shed (or lost to the forced shutdown) below
+  // the cursor stay absent; the resumed run starts at the cursor.
+  for (std::size_t window : after) {
+    EXPECT_GE(window, snapshot->next_window);
+  }
+  EXPECT_FALSE(after.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stream-topology fingerprint: mismatch is a typed reject, never silent.
+// ---------------------------------------------------------------------------
+
+TEST(StreamRecovery, TopologyMismatchIsTypedRejectNeverSilent) {
+  emap::testing::TempDir dir("stream_ckpt_topology");
+  const synth::Recording input = seizure_input(53, 10.0, 8.0);
+
+  // Publish a threaded snapshot (2 workers).
+  {
+    PipelineOptions options = durable_options(dir.path(), 5);
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    StreamPipeline stream(engine, threaded_options());
+    stream.run(input);
+  }
+
+  // Strict resume under a different worker count: typed CheckpointError.
+  {
+    PipelineOptions options = durable_options(dir.path(), 5);
+    options.recovery.resume = true;
+    options.recovery.strict = true;
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    StreamOptions wider = threaded_options();
+    wider.stage_threads = 3;
+    StreamPipeline stream(engine, wider);
+    try {
+      stream.run(input);
+      FAIL() << "topology mismatch must throw under strict resume";
+    } catch (const robust::CheckpointError& error) {
+      EXPECT_NE(std::string(error.what()).find("stream topology mismatch"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+
+  // Non-strict resume: explicit cold start with the typed reason — the
+  // snapshot is never silently re-shaped onto the new topology.
+  {
+    PipelineOptions options = durable_options(dir.path(), 5);
+    options.recovery.resume = true;
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    StreamOptions wider = threaded_options();
+    wider.stage_threads = 3;
+    StreamPipeline stream(engine, wider);
+    const RunResult result = stream.run(input);
+    EXPECT_FALSE(result.robust.recovery.resumed);
+    EXPECT_TRUE(result.robust.recovery.cold_start_fallback);
+    EXPECT_NE(result.robust.recovery.reject_reason.find(
+                  "stream topology mismatch"),
+              std::string::npos)
+        << result.robust.recovery.reject_reason;
+    EXPECT_EQ(result.iterations.size(), 10u);  // ran cold from window 0
+  }
+
+  // The batch loop rejects a threaded snapshot the same way (strict).
+  {
+    PipelineOptions options = durable_options(dir.path(), 5);
+    options.recovery.resume = true;
+    options.recovery.strict = true;
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    EXPECT_THROW(engine.run(input), robust::CheckpointError);
+  }
+
+  // And the threaded scheduler rejects a batch snapshot: publish one with
+  // the batch loop, then resume threaded.
+  emap::testing::TempDir batch_dir("stream_ckpt_topology_batch");
+  {
+    PipelineOptions options = durable_options(batch_dir.path(), 5);
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    engine.run(input);
+  }
+  {
+    PipelineOptions options = durable_options(batch_dir.path(), 5);
+    options.recovery.resume = true;
+    options.recovery.strict = true;
+    EmapPipeline engine(testing::small_mdb(4), EmapConfig{}, options);
+    StreamPipeline stream(engine, threaded_options());
+    try {
+      stream.run(input);
+      FAIL() << "batch snapshot must not resume onto the threaded graph";
+    } catch (const robust::CheckpointError& error) {
+      EXPECT_NE(std::string(error.what()).find("stream topology mismatch"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emap::core

@@ -59,6 +59,58 @@ TEST(FaultInjector, SameSeedSameSchedule) {
   }
 }
 
+TEST(FaultInjector, DrawCursorRewindsWithState) {
+  // The draw cursor labels the RNG stream position: 6 draws per message on
+  // the fixed schedule, plus 2 per corruption bit flip.  restore() must
+  // rewind cursor and RNG together so the replayed schedule — and the
+  // cursor audit trail — match the original run exactly.
+  FaultOptions options;
+  options.up.drop = 0.2;
+  options.up.corrupt = 0.3;
+  options.down.delay = 0.4;
+  options.seed = 99;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.draws(Direction::kUpload), 0u);
+  EXPECT_EQ(injector.draws(Direction::kDownload), 0u);
+
+  for (int i = 0; i < 10; ++i) {
+    auto bytes = payload(16);
+    injector.apply(Direction::kUpload, bytes);
+    injector.apply(Direction::kDownload, bytes);
+  }
+  // Every message consumes the fixed six-draw schedule; corrupted uploads
+  // consume two more per flipped bit on top.
+  EXPECT_GE(injector.draws(Direction::kUpload), 60u);
+  EXPECT_EQ(injector.draws(Direction::kDownload), 60u);
+
+  const FaultInjectorState snapshot = injector.save();
+  std::vector<FaultPlan> first_pass;
+  std::vector<std::vector<std::uint8_t>> first_payloads;
+  for (int i = 0; i < 20; ++i) {
+    auto bytes = payload(16);
+    first_pass.push_back(injector.apply(Direction::kUpload, bytes));
+    first_payloads.push_back(bytes);
+  }
+  const std::uint64_t cursor_after = injector.draws(Direction::kUpload);
+
+  injector.restore(snapshot);
+  EXPECT_EQ(injector.draws(Direction::kUpload), snapshot.up_draws);
+  EXPECT_EQ(injector.draws(Direction::kDownload), snapshot.down_draws);
+  for (int i = 0; i < 20; ++i) {
+    auto bytes = payload(16);
+    const FaultPlan replayed = injector.apply(Direction::kUpload, bytes);
+    EXPECT_EQ(replayed.dropped, first_pass[static_cast<std::size_t>(i)].dropped);
+    EXPECT_EQ(replayed.corrupted,
+              first_pass[static_cast<std::size_t>(i)].corrupted);
+    EXPECT_EQ(replayed.duplicated,
+              first_pass[static_cast<std::size_t>(i)].duplicated);
+    EXPECT_DOUBLE_EQ(replayed.extra_delay_sec,
+                     first_pass[static_cast<std::size_t>(i)].extra_delay_sec);
+    EXPECT_EQ(bytes, first_payloads[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(injector.draws(Direction::kUpload), cursor_after);
+}
+
 TEST(FaultInjector, DirectionsAreIndependentStreams) {
   // The schedule for message N of one direction must not change when the
   // other direction carries more or fewer messages in between.

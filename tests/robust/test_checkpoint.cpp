@@ -163,7 +163,45 @@ SessionState fuzz_state(std::uint64_t seed) {
   s.injector.down_counts.messages = rng.next_u64() % 1000;
   s.injector.down_counts.duplicated = rng.next_u64() % 100;
   s.injector.down_counts.delayed = rng.next_u64() % 100;
+  s.injector.up_draws = rng.next_u64() % 100000;
+  s.injector.down_draws = rng.next_u64() % 100000;
   s.channel_rng = fuzz_rng_state(rng);
+  // ---- Streaming extension (v3). ----
+  s.stream_fingerprint =
+      rng.bernoulli(0.5)
+          ? "threaded/workers=" + std::to_string(1 + rng.next_u64() % 8)
+          : "";
+  s.completed_calls.resize(static_cast<std::size_t>(rng.uniform_index(4)));
+  for (auto& call : s.completed_calls) {
+    call.ready_at_sec = rng.uniform(0.0, 60.0);
+    call.delta_ec = rng.uniform(0.0, 2.0);
+    call.delta_cs = rng.uniform(0.0, 2.0);
+    call.delta_ce = rng.uniform(0.0, 2.0);
+    call.sequence = static_cast<std::uint32_t>(rng.next_u64());
+    call.attempts = 1 + rng.next_u64() % 3;
+    call.duplicates = rng.next_u64() % 3;
+    call.succeeded = rng.bernoulli(0.8);
+    call.correlation_set = fuzz_signals(rng, 3);
+  }
+  s.replay.resize(static_cast<std::size_t>(rng.uniform_index(4)));
+  for (auto& entry : s.replay) {
+    entry.sequence = static_cast<std::uint32_t>(rng.next_u64());
+    entry.t_issue_sec = rng.uniform(0.0, 60.0);
+    entry.trace_id = rng.next_u64();
+    entry.parent_span = rng.next_u64();
+  }
+  s.workers.resize(static_cast<std::size_t>(rng.uniform_index(4)));
+  for (auto& worker : s.workers) {
+    worker.injector.up_rng = fuzz_rng_state(rng);
+    worker.injector.down_rng = fuzz_rng_state(rng);
+    worker.injector.up_counts.messages = rng.next_u64() % 1000;
+    worker.injector.up_counts.dropped = rng.next_u64() % 100;
+    worker.injector.down_counts.messages = rng.next_u64() % 1000;
+    worker.injector.down_counts.delayed = rng.next_u64() % 100;
+    worker.injector.up_draws = rng.next_u64() % 100000;
+    worker.injector.down_draws = rng.next_u64() % 100000;
+    worker.channel_rng = fuzz_rng_state(rng);
+  }
   return s;
 }
 
@@ -210,9 +248,44 @@ void expect_state_eq(const SessionState& a, const SessionState& b) {
   EXPECT_EQ(a.injector.up_rng.state, b.injector.up_rng.state);
   EXPECT_EQ(a.injector.down_rng.seed, b.injector.down_rng.seed);
   EXPECT_EQ(a.injector.up_counts.messages, b.injector.up_counts.messages);
+  EXPECT_EQ(a.injector.up_draws, b.injector.up_draws);
+  EXPECT_EQ(a.injector.down_draws, b.injector.down_draws);
   EXPECT_EQ(a.channel_rng.state, b.channel_rng.state);
   EXPECT_EQ(a.channel_rng.spare_normal, b.channel_rng.spare_normal);
   EXPECT_EQ(a.channel_rng.has_spare_normal, b.channel_rng.has_spare_normal);
+  EXPECT_EQ(a.stream_fingerprint, b.stream_fingerprint);
+  ASSERT_EQ(a.completed_calls.size(), b.completed_calls.size());
+  for (std::size_t i = 0; i < a.completed_calls.size(); ++i) {
+    EXPECT_EQ(a.completed_calls[i].ready_at_sec,
+              b.completed_calls[i].ready_at_sec);
+    EXPECT_EQ(a.completed_calls[i].sequence, b.completed_calls[i].sequence);
+    EXPECT_EQ(a.completed_calls[i].attempts, b.completed_calls[i].attempts);
+    EXPECT_EQ(a.completed_calls[i].succeeded,
+              b.completed_calls[i].succeeded);
+    EXPECT_EQ(a.completed_calls[i].correlation_set.size(),
+              b.completed_calls[i].correlation_set.size());
+  }
+  ASSERT_EQ(a.replay.size(), b.replay.size());
+  for (std::size_t i = 0; i < a.replay.size(); ++i) {
+    EXPECT_EQ(a.replay[i].sequence, b.replay[i].sequence);
+    EXPECT_EQ(a.replay[i].t_issue_sec, b.replay[i].t_issue_sec);
+    EXPECT_EQ(a.replay[i].trace_id, b.replay[i].trace_id);
+    EXPECT_EQ(a.replay[i].parent_span, b.replay[i].parent_span);
+  }
+  ASSERT_EQ(a.workers.size(), b.workers.size());
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    EXPECT_EQ(a.workers[i].injector.up_rng.state,
+              b.workers[i].injector.up_rng.state);
+    EXPECT_EQ(a.workers[i].injector.down_rng.seed,
+              b.workers[i].injector.down_rng.seed);
+    EXPECT_EQ(a.workers[i].injector.up_counts.messages,
+              b.workers[i].injector.up_counts.messages);
+    EXPECT_EQ(a.workers[i].injector.up_draws,
+              b.workers[i].injector.up_draws);
+    EXPECT_EQ(a.workers[i].injector.down_draws,
+              b.workers[i].injector.down_draws);
+    EXPECT_EQ(a.workers[i].channel_rng.state, b.workers[i].channel_rng.state);
+  }
 }
 
 TEST(Checkpoint, RoundTripPreservesEveryField) {
